@@ -1,0 +1,61 @@
+// Ablation: what drives the cost of the dynamic checks (DESIGN.md §5).
+//
+// The Jones-Kelly checker searches the object table on every access, so the
+// checked policies' per-access cost grows with the program's live-object
+// population while the Standard (unchecked) cost does not. This bench
+// sweeps the resident heap size and reports ns/access for byte reads —
+// explaining why the interactive, allocation-heavy servers (Pine, Sendmail,
+// Mutt) see the paper's largest slowdowns while block-I/O servers (Apache,
+// MC) see almost none.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/resident.h"
+#include "src/harness/stats.h"
+#include "src/harness/table.h"
+#include "src/runtime/memory.h"
+
+namespace fob {
+namespace {
+
+double NsPerAccess(AccessPolicy policy, size_t resident_blocks) {
+  Memory memory(policy);
+  std::vector<Ptr> resident = PopulateResidentHeap(memory, resident_blocks, 48, "resident");
+  Ptr buf = memory.Malloc(4096, "hot");
+  uint64_t sink = 0;
+  constexpr int kAccesses = 4096;
+  TimingStats stats = MeasureMs(
+      [&] {
+        for (int i = 0; i < kAccesses; ++i) {
+          sink += memory.ReadU8(buf + i);
+        }
+      },
+      15);
+  if (sink == 0xdeadbeef) {
+    std::printf("impossible\n");
+  }
+  return stats.mean_ms * 1e6 / kAccesses;
+}
+
+void Run() {
+  std::printf("Ablation: checked-access cost vs live-object population (ns per byte read)\n");
+  Table table({"Live objects", "Standard", "Failure Oblivious", "Check overhead"});
+  for (size_t blocks : {16u, 256u, 1024u, 8192u}) {
+    double standard = NsPerAccess(AccessPolicy::kStandard, blocks);
+    double oblivious = NsPerAccess(AccessPolicy::kFailureOblivious, blocks);
+    table.AddRow({std::to_string(blocks), Table::Num(standard), Table::Num(oblivious),
+                  Table::Num(oblivious / standard) + "x"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("Standard stays flat (no table search); checked cost grows with the live\n"
+              "set — the reproduction analog of CRED's splay-tree lookup per access.\n");
+}
+
+}  // namespace
+}  // namespace fob
+
+int main() {
+  fob::Run();
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "src/apps/apache.h"
+
+#include <sstream>
+
+namespace fob {
+
+ApacheApp::ApacheApp(AccessPolicy policy, const Vfs* docroot, const std::string& config_text)
+    : memory_(policy), docroot_(docroot) {
+  // Server initialization: parse the config and compile every rewrite rule.
+  // This is the work a worker restart repeats.
+  std::istringstream config(config_text);
+  std::string line;
+  while (std::getline(config, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string directive, pattern, replacement;
+    fields >> directive >> pattern >> replacement;
+    if (directive != "RewriteRule" || pattern.empty()) {
+      continue;
+    }
+    std::string error;
+    auto rule = RewriteRule::Make(pattern, replacement, &error);
+    if (rule) {
+      rules_.push_back(std::move(*rule));
+    }
+  }
+  // Startup also allocates the request-pool arenas in program memory.
+  Memory::Frame frame(memory_, "server_init");
+  Ptr arena = memory_.Malloc(64 << 10, "request_pool");
+  for (int i = 0; i < (64 << 10); i += 512) {
+    memory_.WriteU8(arena + i, 0);
+  }
+  memory_.Free(arena);
+}
+
+std::optional<std::string> ApacheApp::RewriteVulnerable(const std::string& url) {
+  for (const RewriteRule& rule : rules_) {
+    MatchResult match = rule.pattern.Search(url);
+    if (!match.matched) {
+      continue;
+    }
+    // --- the vulnerable copy (ap_regexec offset handling) ---
+    Memory::Frame frame(memory_, "try_rewrite");
+    Ptr offsets = frame.Local(static_cast<size_t>(kMaxCapturePairs) * 2 * 4, "capture_offsets");
+    // Bug: writes (group_count + 1) pairs with no clamp against the ten the
+    // buffer holds.
+    for (int g = 0; g < match.GroupCount(); ++g) {
+      memory_.WriteI32(offsets + static_cast<int64_t>(g) * 8, match.groups[static_cast<size_t>(g)].first);
+      memory_.WriteI32(offsets + static_cast<int64_t>(g) * 8 + 4,
+                       match.groups[static_cast<size_t>(g)].second);
+    }
+    // The rewrite proper then copies the first ten pairs into its own
+    // structure (§4.3.2) — these reads are always in bounds.
+    int starts[kMaxCapturePairs];
+    int ends[kMaxCapturePairs];
+    for (int g = 0; g < kMaxCapturePairs; ++g) {
+      starts[g] = memory_.ReadI32(offsets + static_cast<int64_t>(g) * 8);
+      ends[g] = memory_.ReadI32(offsets + static_cast<int64_t>(g) * 8 + 4);
+    }
+    // Expand the replacement from the read-back offsets ($0..$9: single
+    // digits, so discarded pairs beyond ten are never referenced).
+    std::string out;
+    const std::string& repl = rule.replacement;
+    for (size_t i = 0; i < repl.size(); ++i) {
+      char c = repl[i];
+      if (c == '$' && i + 1 < repl.size() && repl[i + 1] >= '0' && repl[i + 1] <= '9') {
+        int g = repl[i + 1] - '0';
+        int s = starts[g];
+        int e = ends[g];
+        if (g < match.GroupCount() && s >= 0 && e >= s &&
+            e <= static_cast<int>(url.size())) {
+          out.append(url, static_cast<size_t>(s), static_cast<size_t>(e - s));
+        }
+        ++i;
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+    // Standard compilation: the smashed canary is detected when this frame
+    // pops — the child has computed the response but dies returning.
+  }
+  return std::nullopt;
+}
+
+void ApacheApp::LogAccess(const HttpRequest& request, int status, size_t bytes) {
+  // Common log format, assembled in the per-request log buffer.
+  Memory::Frame frame(memory_, "log_transaction");
+  std::string line = "127.0.0.1 - - [01/Oct/2004:12:00:00] \"" + request.method + " " +
+                     request.path + " " + request.version + "\" " + std::to_string(status) +
+                     " " + std::to_string(bytes);
+  Ptr buf = memory_.NewCString(line, "log_line");
+  access_log_.push_back(memory_.ReadCString(buf, line.size() + 1));
+  memory_.Free(buf);
+  if (access_log_.size() > 4096) {
+    access_log_.erase(access_log_.begin(), access_log_.begin() + 2048);
+  }
+}
+
+HttpResponse ApacheApp::Handle(const HttpRequest& request) {
+  ++requests_served_;
+  bool head_only = request.method == "HEAD";
+  if (request.method != "GET" && !head_only) {
+    HttpResponse response = HttpResponse::BadRequest("only GET and HEAD are supported");
+    LogAccess(request, response.status, response.body.size());
+    return response;
+  }
+  std::string path = request.path;
+  if (auto rewritten = RewriteVulnerable(path)) {
+    path = *rewritten;
+  }
+  // Strip a query string before the filesystem lookup.
+  size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);
+  }
+  // Request processing copies the served file through the connection
+  // buffer in program memory (the write() path).
+  auto contents = docroot_->ReadFile(path);
+  if (!contents) {
+    HttpResponse response = HttpResponse::NotFound(path);
+    LogAccess(request, response.status, response.body.size());
+    return response;
+  }
+  if (head_only) {
+    HttpResponse response = HttpResponse::Ok("");
+    response.headers[1].second = std::to_string(contents->size());  // Content-Length
+    LogAccess(request, 200, 0);
+    return response;
+  }
+  Memory::Frame frame(memory_, "default_handler");
+  constexpr size_t kIoBuf = 8192;
+  Ptr buffer = frame.Local(kIoBuf, "conn_buf");
+  std::string body;
+  body.reserve(contents->size());
+  for (size_t off = 0; off < contents->size(); off += kIoBuf) {
+    size_t chunk = std::min(kIoBuf, contents->size() - off);
+    memory_.Write(buffer, contents->data() + off, chunk);
+    std::string staged(chunk, '\0');
+    memory_.Read(buffer, staged.data(), chunk);
+    body.append(staged);
+  }
+  LogAccess(request, 200, body.size());
+  return HttpResponse::Ok(std::move(body));
+}
+
+std::string ApacheApp::DefaultConfigText(int filler_rules) {
+  std::ostringstream os;
+  os << "# mini-Apache rewrite configuration\n";
+  os << "RewriteRule ^/old/(\\w+)$ /$1\n";
+  os << "RewriteRule ^/project/(\\w+)/docs$ /docs/$1.html\n";
+  // The >10-capture rule (the real-world configs hit by the CVE used long
+  // capture lists to decompose structured paths). Only URLs shaped
+  // /captures/a-b-c-d-e-f-g-h-i-j-k-l reach it.
+  os << "RewriteRule ^/captures/(\\w+)-(\\w+)-(\\w+)-(\\w+)-(\\w+)-(\\w+)-(\\w+)-(\\w+)-"
+        "(\\w+)-(\\w+)-(\\w+)-(\\w+)$ /rewritten/$1/$2/$3\n";
+  for (int i = 0; i < filler_rules; ++i) {
+    os << "RewriteRule ^/legacy" << i << "/(\\d+)/(\\w+)$ /archive" << i << "/$2-$1.html\n";
+  }
+  return os.str();
+}
+
+}  // namespace fob

@@ -1,0 +1,274 @@
+#include "src/apps/mc.h"
+
+#include <sstream>
+
+#include "src/archive/gzip.h"
+#include "src/archive/tar.h"
+#include "src/libc/cstring.h"
+
+namespace fob {
+
+namespace {
+Memory::Config McConfig(AccessPolicy policy, SequenceKind sequence) {
+  Memory::Config config;
+  config.policy = policy;
+  config.sequence = sequence;
+  return config;
+}
+}  // namespace
+
+McApp::McApp(AccessPolicy policy, const std::string& config_text, SequenceKind sequence)
+    : memory_(McConfig(policy, sequence)) {
+  ParseConfigVulnerable(config_text);
+}
+
+void McApp::ParseConfigVulnerable(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    Memory::Frame frame(memory_, "load_setup");
+    Ptr buf = memory_.NewCString(line, "config_line");
+    size_t len = StrLen(memory_, buf);
+    // The bug: trim a trailing '\r' by peeking at line[len-1] — with no
+    // check that the line is nonempty. A blank line reads one byte *below*
+    // the buffer.
+    uint8_t last = memory_.ReadU8(buf + static_cast<int64_t>(len) - 1);
+    if (last == '\r') {
+      memory_.WriteU8(buf + static_cast<int64_t>(len) - 1, 0);
+    }
+    std::string cleaned = memory_.ReadCString(buf, line.size() + 1);
+    memory_.Free(buf);
+    size_t eq = cleaned.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      config_[cleaned.substr(0, eq)] = cleaned.substr(eq + 1);
+    }
+  }
+}
+
+McApp::ArchiveListing McApp::BrowseTgz(const std::string& tgz_bytes) {
+  ArchiveListing listing;
+  GunzipError gz_error;
+  auto tar_bytes = GunzipStore(tgz_bytes, &gz_error);
+  if (!tar_bytes) {
+    listing.error = "Cannot open archive (gzip error)";
+    return listing;
+  }
+  auto entries = ReadTar(*tar_bytes);
+  if (!entries) {
+    listing.error = "Cannot open archive (tar error)";
+    return listing;
+  }
+
+  // Names present in the archive, for symlink resolution.
+  std::map<std::string, const TarEntry*> by_name;
+  for (const TarEntry& entry : *entries) {
+    by_name[entry.name] = &entry;
+  }
+
+  // --- the vulnerable pass: relativize absolute symlinks -----------------
+  // One stack buffer for the whole loop, never reset between links: the
+  // component names "simply accumulate sequentially in the buffer"
+  // (§4.5.1).
+  Memory::Frame frame(memory_, "vfs_tarfs_resolve");
+  Ptr linkbuf = frame.Local(kLinkBufSize, "linkname_buf");
+  std::map<std::string, std::string> resolved_links;
+
+  for (const TarEntry& entry : *entries) {
+    if (entry.type != TarEntryType::kSymlink || entry.link_target.empty() ||
+        entry.link_target[0] != '/') {
+      continue;
+    }
+    // Split the absolute target into components.
+    std::vector<std::string> parts;
+    {
+      std::istringstream components(entry.link_target);
+      std::string component;
+      while (std::getline(components, component, '/')) {
+        if (!component.empty()) {
+          parts.push_back(component);
+        }
+      }
+    }
+    if (parts.size() < 2) {
+      // Top-of-tree targets take a different (boring) path in MC.
+      resolved_links[entry.name] = entry.link_target;
+      continue;
+    }
+    // Remember where this link's name starts in the buffer (strcat appends
+    // after everything the previous links left there).
+    size_t start = StrLen(memory_, linkbuf);
+    // Append each path component, '/'-separated, strcat-style.
+    bool first = true;
+    for (const std::string& component : parts) {
+      Ptr piece = memory_.NewCString(first ? component : "/" + component, "component");
+      StrCat(memory_, linkbuf, piece);
+      memory_.Free(piece);
+      first = false;
+    }
+    // Find the first '/' of this link's relative name: the §3 loop. When
+    // the overflow discarded the '/' writes, the scan runs past the end of
+    // the buffer and has to be rescued by a manufactured '/':
+    Ptr cursor = linkbuf + static_cast<int64_t>(start);
+    while (memory_.ReadU8(cursor) != '/') {
+      ++cursor;
+    }
+    // Extract this link's accumulated name and look it up in the archive.
+    std::string relative;
+    for (Ptr p = linkbuf + static_cast<int64_t>(start);; ++p) {
+      uint8_t c = memory_.ReadU8(p);
+      if (c == 0 || relative.size() > kLinkBufSize * 4) {
+        break;
+      }
+      relative.push_back(static_cast<char>(c));
+    }
+    // "This lookup always fails (apparently even for the first symbolic
+    //  link, when the name in the buffer is correct)" — the archive stores
+    //  entry names, not reconstructed target paths, so the miss is the
+    //  anticipated dangling-link case (§4.5.2).
+    if (by_name.find(relative) == by_name.end()) {
+      resolved_links[entry.name] = "(dangling)";
+    } else {
+      resolved_links[entry.name] = relative;
+    }
+  }
+
+  for (const TarEntry& entry : *entries) {
+    std::string row;
+    switch (entry.type) {
+      case TarEntryType::kDirectory:
+        row = "dir   " + entry.name;
+        break;
+      case TarEntryType::kFile:
+        row = "file  " + entry.name + " (" + std::to_string(entry.data.size()) + " bytes)";
+        break;
+      case TarEntryType::kSymlink: {
+        auto it = resolved_links.find(entry.name);
+        std::string shown = it != resolved_links.end() ? it->second : entry.link_target;
+        row = "link  " + entry.name + " -> " + shown;
+        break;
+      }
+    }
+    listing.rows.push_back(std::move(row));
+  }
+  listing.ok = true;
+  return listing;
+}
+
+std::string McApp::StagePath(const std::string& path) {
+  Memory::Frame frame(memory_, "name_quote");
+  Ptr raw = memory_.NewCString(path, "path_arg");
+  Ptr staged = memory_.Malloc(path.size() + 1, "path_buf");
+  StrCpy(memory_, staged, raw);
+  std::string result = memory_.ReadCString(staged, path.size() + 1);
+  memory_.Free(staged);
+  memory_.Free(raw);
+  return result;
+}
+
+void McApp::StageContents(const std::string& contents) {
+  Memory::Frame frame(memory_, "file_io");
+  constexpr size_t kIoBuf = 64 << 10;
+  Ptr buffer = frame.Local(kIoBuf, "io_buf");
+  for (size_t off = 0; off < contents.size(); off += kIoBuf) {
+    size_t chunk = std::min(kIoBuf, contents.size() - off);
+    memory_.Write(buffer, contents.data() + off, chunk);
+    std::string readback(chunk, '\0');
+    memory_.Read(buffer, readback.data(), chunk);
+  }
+}
+
+bool McApp::Copy(const std::string& src, const std::string& dst) {
+  std::string s = StagePath(src);
+  std::string d = StagePath(dst);
+  // Stage the data movement through program memory like read()/write().
+  std::vector<std::string> stack = {s};
+  while (!stack.empty()) {
+    std::string path = stack.back();
+    stack.pop_back();
+    // Every visited node's path goes through the name-handling buffers,
+    // like MC's per-entry path construction.
+    std::string staged_path = StagePath(path);
+    if (auto contents = fs_.ReadFile(staged_path)) {
+      StageContents(*contents);
+      continue;
+    }
+    if (auto children = fs_.List(staged_path)) {
+      for (const std::string& name : *children) {
+        stack.push_back(staged_path == "/" ? "/" + name : staged_path + "/" + name);
+      }
+    }
+  }
+  return fs_.Copy(s, d);
+}
+
+bool McApp::Move(const std::string& src, const std::string& dst) {
+  std::string s = StagePath(src);
+  std::string d = StagePath(dst);
+  // A move inside one filesystem is a rename: no data staging.
+  return fs_.Move(s, d);
+}
+
+bool McApp::MkDir(const std::string& path) {
+  return fs_.MkDir(StagePath(path));
+}
+
+bool McApp::Delete(const std::string& path) {
+  return fs_.Remove(StagePath(path));
+}
+
+std::optional<std::string> McApp::View(const std::string& path, size_t limit) {
+  std::string staged = StagePath(path);
+  auto contents = fs_.ReadFile(staged);
+  if (!contents) {
+    return std::nullopt;
+  }
+  // The viewer pages the file through its display buffer.
+  Memory::Frame frame(memory_, "mc_view");
+  size_t shown = std::min(limit, contents->size());
+  Ptr pager = memory_.Malloc(shown + 1, "pager_buf");
+  memory_.Write(pager, contents->data(), shown);
+  memory_.WriteU8(pager + static_cast<int64_t>(shown), 0);
+  std::string rendered = memory_.ReadBytesAsString(pager, shown);
+  memory_.Free(pager);
+  return rendered;
+}
+
+bool McApp::ExtractFromTgz(const std::string& tgz_bytes, const std::string& entry_name,
+                           const std::string& dst_dir) {
+  auto tar_bytes = GunzipStore(tgz_bytes);
+  if (!tar_bytes) {
+    return false;
+  }
+  auto entries = ReadTar(*tar_bytes);
+  if (!entries) {
+    return false;
+  }
+  for (const TarEntry& entry : *entries) {
+    if (entry.name != entry_name || entry.type != TarEntryType::kFile) {
+      continue;
+    }
+    // Stage the extraction through the I/O buffer like a real copy-out.
+    StageContents(entry.data);
+    std::string leaf = entry.name;
+    size_t slash = leaf.rfind('/');
+    if (slash != std::string::npos) {
+      leaf = leaf.substr(slash + 1);
+    }
+    return fs_.WriteFile(dst_dir + "/" + leaf, entry.data, /*create_parents=*/true);
+  }
+  return false;
+}
+
+std::string McApp::DefaultConfigText(bool with_blank_lines) {
+  std::string text =
+      "use_internal_edit=1\n"
+      "show_backups=0\n"
+      "confirm_delete=1\n";
+  if (with_blank_lines) {
+    text += "\n";  // the everyday memory error (§4.5.4)
+  }
+  text += "pause_after_run=1\n";
+  return text;
+}
+
+}  // namespace fob

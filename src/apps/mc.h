@@ -1,0 +1,101 @@
+// mini-Midnight Commander (§4.5).
+//
+// A file manager with a tgz virtual filesystem. Two ported memory errors:
+//
+//  1. Symlink relativization (the documented attack): converting absolute
+//     symlink targets in a .tgz to archive-relative links builds the name
+//     with strcat in a stack buffer that is never (re)initialized, so the
+//     component names of *all* the links accumulate; enough combined length
+//     writes past the end (§4.5.1). After the overflow, a scan for '/'
+//     can run past the end of the buffer — the loop §3 uses to motivate the
+//     manufactured-value sequence (zero-only values hang it).
+//
+//       Standard          stack physically corrupted; segfault.
+//       Bounds Check      terminates at the first out-of-bounds strcat.
+//       Failure Oblivious writes discarded; the (truncated/garbled) name
+//                         fails the archive lookup — the anticipated
+//                         "dangling symlink" case MC displays; the session
+//                         continues (§4.5.2).
+//
+//  2. Config parsing: a *blank line* in the configuration file makes the
+//     parser read line[len-1] with len == 0 — an everyday out-of-bounds
+//     read that "completely disabled the Bounds Check version until we
+//     removed the blank lines" (§4.5.4).
+//
+// File operations (Copy/Move/MkDir/Delete — Figure 5's requests) run over
+// the native Vfs with their data staged through simulated I/O buffers.
+
+#ifndef SRC_APPS_MC_H_
+#define SRC_APPS_MC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+#include "src/vfs/vfs.h"
+
+namespace fob {
+
+class McApp {
+ public:
+  // The symlink name buffer (MC_MAXPATHLEN-flavored).
+  static constexpr size_t kLinkBufSize = 64;
+
+  // Startup parses the config text — the blank-line bug lives there.
+  // `sequence` selects the manufactured-value sequence (§3); the zeros
+  // baseline hangs the symlink '/'-search on attack archives, which is the
+  // ablation bench_manufacture runs.
+  McApp(AccessPolicy policy, const std::string& config_text,
+        SequenceKind sequence = SequenceKind::kPaper);
+
+  struct ArchiveListing {
+    bool ok = false;
+    std::vector<std::string> rows;
+    std::string error;
+  };
+
+  // Opens a .tgz in the VFS browser: gunzip + untar (substrates), then the
+  // vulnerable symlink relativization, then the listing.
+  ArchiveListing BrowseTgz(const std::string& tgz_bytes);
+
+  // Figure 5's request types, over the in-memory filesystem.
+  bool Copy(const std::string& src, const std::string& dst);
+  bool Move(const std::string& src, const std::string& dst);
+  bool MkDir(const std::string& path);
+  bool Delete(const std::string& path);
+
+  // F3 view: reads a file through the pager buffer; returns the first
+  // `limit` bytes, or nullopt if the file is missing.
+  std::optional<std::string> View(const std::string& path, size_t limit = 4096);
+
+  // Extracts one file entry of a .tgz into the filesystem at dst_dir
+  // (browsing is read-only; extraction is how archive contents get used).
+  bool ExtractFromTgz(const std::string& tgz_bytes, const std::string& entry_name,
+                      const std::string& dst_dir);
+
+  Vfs& fs() { return fs_; }
+  Memory& memory() { return memory_; }
+  const std::map<std::string, std::string>& config() const { return config_; }
+
+  static std::string DefaultConfigText(bool with_blank_lines);
+
+ private:
+  void ParseConfigVulnerable(const std::string& text);
+  // Copies one path string through a simulated path buffer (the cost every
+  // file operation pays per argument).
+  std::string StagePath(const std::string& path);
+  // Stages file contents through the simulated I/O buffer, chunk by chunk.
+  void StageContents(const std::string& contents);
+
+  Memory memory_;
+  Vfs fs_;
+  std::map<std::string, std::string> config_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_APPS_MC_H_

@@ -1,0 +1,300 @@
+#include "src/apps/mutt.h"
+
+#include "src/apps/resident.h"
+#include "src/codec/base64.h"
+
+namespace fob {
+
+MuttApp::MuttApp(AccessPolicy policy, ImapServer* imap)
+    : memory_(policy), imap_(imap) {
+  // Figure 1 indexes a global B64Chars table; load it into the simulated
+  // image like the compiler would.
+  b64chars_ = memory_.AllocGlobal(64, "B64Chars");
+  memory_.WriteBytes(b64chars_, std::string_view(kB64Chars, 64));
+  // Mutt keeps per-message header-cache and thread-tree nodes alive for the
+  // whole session.
+  resident_ = PopulateResidentHeap(memory_, 768, 56, "header_cache");
+}
+
+// Line-for-line port of Figure 1. `goto bail` becomes an early-return
+// lambda; everything else — including the undersized allocation and the
+// unchecked `*p++` stores — keeps the original structure.
+Ptr MuttApp::Utf8ToUtf7Port(Ptr u8, size_t u8len) {
+  Memory::Frame frame(memory_, "utf8_to_utf7");
+  // "The allocated string is too small; instead of u8len*2+1, a safe length
+  //  would be u8len*4+1."
+  Ptr buf = memory_.Malloc(u8len * 2 + 1, "utf7_buf");
+  Ptr p = buf;
+  uint32_t ch = 0;
+  int n = 0;
+  int b = 0;
+  int k = 0;
+  int base64 = 0;
+
+  auto bail = [&]() -> Ptr {
+    memory_.Free(buf);
+    return kNullPtr;
+  };
+
+  while (u8len) {
+    uint8_t c = memory_.ReadU8(u8);
+    if (c < 0x80) {
+      ch = c;
+      n = 0;
+    } else if (c < 0xc2) {
+      return bail();
+    } else if (c < 0xe0) {
+      ch = c & 0x1f;
+      n = 1;
+    } else if (c < 0xf0) {
+      ch = c & 0x0f;
+      n = 2;
+    } else if (c < 0xf8) {
+      ch = c & 0x07;
+      n = 3;
+    } else if (c < 0xfc) {
+      ch = c & 0x03;
+      n = 4;
+    } else if (c < 0xfe) {
+      ch = c & 0x01;
+      n = 5;
+    } else {
+      return bail();
+    }
+    ++u8;
+    --u8len;
+    if (static_cast<size_t>(n) > u8len) {
+      return bail();
+    }
+    for (int i = 0; i < n; ++i) {
+      uint8_t cont = memory_.ReadU8(u8 + i);
+      if ((cont & 0xc0) != 0x80) {
+        return bail();
+      }
+      ch = (ch << 6) | (cont & 0x3f);
+    }
+    if (n > 1 && !(ch >> (n * 5 + 1))) {
+      return bail();
+    }
+    u8 += n;
+    u8len -= static_cast<size_t>(n);
+
+    if (ch < 0x20 || ch >= 0x7f) {
+      if (!base64) {
+        memory_.WriteU8(p, '&');
+        ++p;
+        base64 = 1;
+        b = 0;
+        k = 10;
+      }
+      if (ch & ~0xffffu) {
+        ch = 0xfffe;
+      }
+      memory_.WriteU8(p, memory_.ReadU8(b64chars_ + (b | (ch >> k))));
+      ++p;
+      k -= 6;
+      for (; k >= 0; k -= 6) {
+        memory_.WriteU8(p, memory_.ReadU8(b64chars_ + ((ch >> k) & 0x3f)));
+        ++p;
+      }
+      b = static_cast<int>((ch << (-k)) & 0x3f);
+      k += 16;
+    } else {
+      if (base64) {
+        if (k > 10) {
+          memory_.WriteU8(p, memory_.ReadU8(b64chars_ + b));
+          ++p;
+        }
+        memory_.WriteU8(p, '-');
+        ++p;
+        base64 = 0;
+      }
+      memory_.WriteU8(p, static_cast<uint8_t>(ch));
+      ++p;
+      if (ch == '&') {
+        memory_.WriteU8(p, '-');
+        ++p;
+      }
+    }
+  }
+  if (base64) {
+    if (k > 10) {
+      memory_.WriteU8(p, memory_.ReadU8(b64chars_ + b));
+      ++p;
+    }
+    memory_.WriteU8(p, '-');
+    ++p;
+  }
+  memory_.WriteU8(p, '\0');
+  ++p;
+  // safe_realloc((void **) &buf, p - buf): under Standard compilation this
+  // is where the stomped heap metadata is discovered.
+  Ptr shrunk = memory_.Realloc(buf, static_cast<size_t>(p - buf));
+  return shrunk;
+}
+
+std::string MuttApp::QuoteConvertedName(Ptr name) {
+  // Mutt places "a quoted and escaped version of the name into yet another
+  // buffer, then passes this name on as part of a command to the IMAP
+  // server" (§4.6.2). Reads go through checked memory; for a truncated name
+  // with no NUL, manufactured zeros terminate the scan.
+  Memory::Frame frame(memory_, "imap_quote_string");
+  std::string raw = memory_.ReadCString(name, 4096);
+  Ptr quoted = memory_.Malloc(raw.size() * 2 + 3, "quoted_name");
+  Ptr q = quoted;
+  memory_.WriteU8(q, '"');
+  ++q;
+  for (char c : raw) {
+    if (c == '"' || c == '\\') {
+      memory_.WriteU8(q, '\\');
+      ++q;
+    }
+    memory_.WriteU8(q, static_cast<uint8_t>(c));
+    ++q;
+  }
+  memory_.WriteU8(q, '"');
+  ++q;
+  memory_.WriteU8(q, '\0');
+  std::string result = memory_.ReadCString(quoted, 8192);
+  memory_.Free(quoted);
+  // Strip the wire quotes for the in-memory IMAP call.
+  if (result.size() >= 2 && result.front() == '"' && result.back() == '"') {
+    result = result.substr(1, result.size() - 2);
+  }
+  std::string unescaped;
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (result[i] == '\\' && i + 1 < result.size()) {
+      ++i;
+    }
+    unescaped.push_back(result[i]);
+  }
+  return unescaped;
+}
+
+MuttApp::Result MuttApp::OpenFolder(const std::string& utf8_name) {
+  Result result;
+  ++folders_opened_;
+  // The folder name arrives in program memory (heap), like any config value.
+  Ptr u8 = memory_.NewCString(utf8_name, "folder_name_utf8");
+  Ptr converted = Utf8ToUtf7Port(u8, utf8_name.size());
+  memory_.Free(u8);
+  if (converted.IsNull()) {
+    result.error = "Bad mailbox name (invalid UTF-8)";
+    return result;
+  }
+  std::string wire_name = QuoteConvertedName(converted);
+  memory_.Free(converted);
+  ImapServer::SelectResult select = imap_->Select(wire_name);
+  if (!select.ok) {
+    // The anticipated error case: Mutt's standard error-handling logic
+    // reports it and execution continues.
+    result.error = "Mailbox " + wire_name + ": " + select.response;
+    return result;
+  }
+  result.ok = true;
+  result.display = "Mailbox " + wire_name + " opened (" +
+                   std::to_string(select.message_count) + " messages)";
+  return result;
+}
+
+MuttApp::Result MuttApp::ReadMessage(const std::string& utf8_name, size_t index) {
+  Result result;
+  Ptr u8 = memory_.NewCString(utf8_name, "folder_name_utf8");
+  Ptr converted = Utf8ToUtf7Port(u8, utf8_name.size());
+  memory_.Free(u8);
+  if (converted.IsNull()) {
+    result.error = "Bad mailbox name";
+    return result;
+  }
+  std::string wire_name = QuoteConvertedName(converted);
+  memory_.Free(converted);
+  auto message = imap_->Fetch(wire_name, index);
+  if (!message) {
+    result.error = "Message " + std::to_string(index) + " not found in " + wire_name;
+    return result;
+  }
+  // Render the pager view through a simulated line buffer, like Mutt's
+  // display path.
+  Memory::Frame frame(memory_, "mutt_display");
+  std::string rendered = "From: " + message->From() + "\nSubject: " + message->Subject() +
+                         "\n\n" + message->body;
+  Ptr line = memory_.Malloc(rendered.size() + 1, "pager_line");
+  memory_.WriteBytes(line, rendered);
+  memory_.WriteU8(line + static_cast<int64_t>(rendered.size()), 0);
+  result.display = memory_.ReadCString(line, rendered.size() + 1);
+  memory_.Free(line);
+  result.ok = true;
+  return result;
+}
+
+MuttApp::Result MuttApp::Compose(const std::string& folder_utf8, const std::string& to,
+                                 const std::string& subject, const std::string& body) {
+  Result result;
+  Ptr u8 = memory_.NewCString(folder_utf8, "folder_name_utf8");
+  Ptr converted = Utf8ToUtf7Port(u8, folder_utf8.size());
+  memory_.Free(u8);
+  if (converted.IsNull()) {
+    result.error = "Bad mailbox name";
+    return result;
+  }
+  std::string wire_name = QuoteConvertedName(converted);
+  memory_.Free(converted);
+  // The draft is edited in program memory before APPEND.
+  Memory::Frame frame(memory_, "mutt_compose");
+  std::string draft = "To: " + to + "\nSubject: " + subject + "\n\n" + body;
+  Ptr edit = memory_.NewCString(draft, "compose_buf");
+  std::string final_draft = memory_.ReadCString(edit, draft.size() + 1);
+  memory_.Free(edit);
+  if (!imap_->Append(wire_name, MailMessage::Make("me@here", to, subject, body))) {
+    result.error = "APPEND failed: mailbox " + wire_name + " does not exist";
+    return result;
+  }
+  result.ok = true;
+  result.display = "Message appended to " + wire_name;
+  return result;
+}
+
+MuttApp::Result MuttApp::Forward(const std::string& folder_utf8, size_t index,
+                                 const std::string& to) {
+  Result result;
+  Result read = ReadMessage(folder_utf8, index);
+  if (!read.ok) {
+    result.error = read.error;
+    return result;
+  }
+  return Compose(folder_utf8, to, "Fwd:", read.display);
+}
+
+MuttApp::Result MuttApp::MoveMessage(const std::string& from_utf8, size_t index,
+                                     const std::string& to_utf8) {
+  Result result;
+  Ptr from_p = memory_.NewCString(from_utf8, "from_folder");
+  Ptr from_conv = Utf8ToUtf7Port(from_p, from_utf8.size());
+  memory_.Free(from_p);
+  Ptr to_p = memory_.NewCString(to_utf8, "to_folder");
+  Ptr to_conv = Utf8ToUtf7Port(to_p, to_utf8.size());
+  memory_.Free(to_p);
+  if (from_conv.IsNull() || to_conv.IsNull()) {
+    result.error = "Bad mailbox name";
+    if (!from_conv.IsNull()) {
+      memory_.Free(from_conv);
+    }
+    if (!to_conv.IsNull()) {
+      memory_.Free(to_conv);
+    }
+    return result;
+  }
+  std::string from_wire = QuoteConvertedName(from_conv);
+  std::string to_wire = QuoteConvertedName(to_conv);
+  memory_.Free(from_conv);
+  memory_.Free(to_conv);
+  if (!imap_->MoveMessage(from_wire, index, to_wire)) {
+    result.error = "Could not move message";
+    return result;
+  }
+  result.ok = true;
+  result.display = "Message moved to " + to_wire;
+  return result;
+}
+
+}  // namespace fob

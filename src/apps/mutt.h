@@ -1,0 +1,92 @@
+// mini-Mutt (§2, §4.6).
+//
+// A text-based mail user agent whose folder-open path runs the paper's
+// Figure 1 procedure: utf8_to_utf7 conversion into a heap buffer allocated
+// at u8len*2+1 bytes — too small, since the conversion can expand by more
+// than 2x. Opening a mailbox whose UTF-8 name has a high expansion ratio
+// makes the conversion write past the end of the buffer:
+//
+//   Standard          heap metadata physically stomped; the allocator aborts
+//                     at the safe_realloc/safe_free (simulated SIGSEGV).
+//   Bounds Check      terminates at the first out-of-bounds write, before
+//                     the user interface ever comes up.
+//   Failure Oblivious writes discarded -> truncated converted name; the
+//                     IMAP server answers "NO Mailbox does not exist"; the
+//                     standard error handling shows the error and the user
+//                     keeps working (§4.6.2).
+//   Boundless         the out-of-bounds bytes are stored and recovered by
+//                     safe_realloc, so the conversion is *correct* (§5.1).
+//
+// All buffer manipulation in the open path runs in simulated memory under
+// the configured policy; the IMAP server, message store and UI rendering
+// are native substrates.
+
+#ifndef SRC_APPS_MUTT_H_
+#define SRC_APPS_MUTT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/imap.h"
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+
+namespace fob {
+
+class MuttApp {
+ public:
+  struct Result {
+    bool ok = false;
+    std::string display;  // what the user sees
+    std::string error;    // the error line, if any
+  };
+
+  // `imap` must outlive the app.
+  MuttApp(AccessPolicy policy, ImapServer* imap);
+
+  // Opens a mailbox by its configured UTF-8 name: converts the name with
+  // the vulnerable Figure 1 procedure and SELECTs it on the IMAP server.
+  // Mutt runs this during startup for the spool folder, which is why the
+  // Standard/BoundsCheck versions die before the UI appears.
+  Result OpenFolder(const std::string& utf8_name);
+
+  // Reads message `index` (1-based) from a folder (converted + fetched).
+  Result ReadMessage(const std::string& utf8_name, size_t index);
+
+  // Moves a message between folders.
+  Result MoveMessage(const std::string& from_utf8, size_t index, const std::string& to_utf8);
+
+  // Composes a message and appends it to a folder via IMAP APPEND (§4.6.4
+  // "read, forward, and compose mail").
+  Result Compose(const std::string& folder_utf8, const std::string& to,
+                 const std::string& subject, const std::string& body);
+
+  // Forwards message `index` of a folder to a recipient, appending the
+  // forwarded copy to the same folder.
+  Result Forward(const std::string& folder_utf8, size_t index, const std::string& to);
+
+  // The Figure 1 port, exposed for tests and benches. Returns the converted
+  // string (heap Ptr, caller frees) or null on the bail paths. The
+  // undersized allocation is the paper's `safe_malloc(u8len * 2 + 1)`.
+  Ptr Utf8ToUtf7Port(Ptr u8, size_t u8len);
+
+  // Reads the converted C-string out of simulated memory (checked reads, so
+  // manufactured NULs terminate it, §4.6.2) and quotes it for the IMAP wire.
+  std::string QuoteConvertedName(Ptr name);
+
+  Memory& memory() { return memory_; }
+  uint64_t folders_opened() const { return folders_opened_; }
+
+ private:
+  Memory memory_;
+  ImapServer* imap_;
+  Ptr b64chars_;  // Figure 1's B64Chars[] table, loaded as a global
+  // Mutt's long-lived heap state (header cache, thread tree nodes).
+  std::vector<Ptr> resident_;
+  uint64_t folders_opened_ = 0;
+};
+
+}  // namespace fob
+
+#endif  // SRC_APPS_MUTT_H_

@@ -1,0 +1,243 @@
+#include "src/apps/pine.h"
+
+#include "src/libc/cstring.h"
+#include "src/mail/mbox.h"
+
+namespace fob {
+
+PineApp::PineApp(AccessPolicy policy, const std::string& mbox_text) : memory_(policy) {
+  inbox_ = ParseMbox(mbox_text);
+  folders_["sent"] = {};
+  folders_["saved"] = {};
+  // Keep per-message heap records live for the whole session, like Pine's
+  // in-core mailbox state (envelope, header cache, body cache per message).
+  resident_.reserve(inbox_.size() * 3);
+  for (const MailMessage& message : inbox_) {
+    resident_.push_back(memory_.NewCString(message.From(), "envelope_from"));
+    resident_.push_back(memory_.NewCString(message.Subject(), "header_cache"));
+    resident_.push_back(memory_.Malloc(64, "body_cache_entry"));
+  }
+  BuildIndex();  // faults here under Standard/BoundsCheck with attack mail
+}
+
+std::string PineApp::QuoteFromVulnerable(const std::string& from) {
+  Memory::Frame frame(memory_, "addr_list_string");
+  // Count the characters that need quoting...
+  size_t quotable = 0;
+  for (char c : from) {
+    if (c == '\\' || c == '"') {
+      ++quotable;
+    }
+  }
+  // ...then miscalculate the buffer length: each quotable character grows
+  // the string by one byte, but the estimate only accounts for half of
+  // them. (Correct: from.size() + quotable + 1.)
+  size_t estimated = from.size() + quotable / 2 + 1;
+  Ptr buf = memory_.Malloc(estimated, "from_quote_buf");
+
+  // The transfer loop inserts '\' before each quoted character — writing
+  // through the end of the undersized buffer when `quotable` is large.
+  Ptr input = memory_.NewCString(from, "from_field");
+  int64_t j = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(from.size()); ++i) {
+    uint8_t c = memory_.ReadU8(input + i);
+    if (c == '\\' || c == '"') {
+      memory_.WriteU8(buf + j, '\\');
+      ++j;
+    }
+    memory_.WriteU8(buf + j, c);
+    ++j;
+  }
+  memory_.WriteU8(buf + j, 0);
+  std::string quoted = memory_.ReadCString(buf, from.size() * 2 + 2);
+  // Under Standard compilation the overrun stomped this block's footer; the
+  // free is where the allocator notices (simulated SIGSEGV).
+  memory_.Free(buf);
+  memory_.Free(input);
+  return quoted;
+}
+
+void PineApp::BuildIndex() {
+  index_lines_.clear();
+  index_lines_.reserve(inbox_.size());
+  for (size_t i = 0; i < inbox_.size(); ++i) {
+    std::string quoted = QuoteFromVulnerable(inbox_[i].From());
+    // "the mail list user interface displays only an initial segment of
+    //  long From fields" (§4.2.2).
+    if (quoted.size() > kIndexFromWidth) {
+      quoted.resize(kIndexFromWidth);
+    }
+    Memory::Frame frame(memory_, "index_line");
+    std::string line =
+        std::to_string(i + 1) + "  " + quoted + "  " + inbox_[i].Subject();
+    Ptr rendered = memory_.Malloc(line.size() + 1, "index_render");
+    memory_.WriteBytes(rendered, line);
+    memory_.WriteU8(rendered + static_cast<int64_t>(line.size()), 0);
+    index_lines_.push_back(memory_.ReadCString(rendered, line.size() + 1));
+    memory_.Free(rendered);
+  }
+}
+
+PineApp::Result PineApp::ReadMessage(size_t index) {
+  Result result;
+  if (index >= inbox_.size()) {
+    result.error = "No such message";
+    return result;
+  }
+  const MailMessage& message = inbox_[index];
+  // The correct translation path: full headers, no quoting bug (§4.2.2).
+  // The pager renders character by character (line-wrap tracking per byte),
+  // which is where Pine's interactive requests pay the checking cost.
+  Memory::Frame frame(memory_, "mail_view");
+  std::string text = "From: " + message.From() + "\nTo: " + message.To() +
+                     "\nSubject: " + message.Subject() + "\n\n" + message.body;
+  Ptr raw = memory_.NewCString(text, "view_raw");
+  Ptr view = memory_.Malloc(text.size() * 2 + 16, "view_buf");
+  int64_t out = 0;
+  int column = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(text.size()); ++i) {
+    uint8_t c = memory_.ReadU8(raw + i);
+    memory_.WriteU8(view + out, c);
+    ++out;
+    if (c == '\n') {
+      column = 0;
+    } else if (++column >= 80) {
+      memory_.WriteU8(view + out, '\n');
+      ++out;
+      column = 0;
+    }
+  }
+  memory_.WriteU8(view + out, 0);
+  result.display = memory_.ReadCString(view, static_cast<size_t>(out) + 1);
+  memory_.Free(view);
+  memory_.Free(raw);
+  result.ok = true;
+  return result;
+}
+
+PineApp::Result PineApp::Compose(const std::string& to, const std::string& subject,
+                                 const std::string& body) {
+  Result result;
+  // The compose screen builds the editable draft character by character
+  // (header lines, separator, body, signature) in an edit buffer — the
+  // same per-byte profile as the real composer's redraw.
+  Memory::Frame frame(memory_, "compose");
+  static const char kSignature[] =
+      "\n-- \nsent with mini-pine, a failure-oblivious reproduction\n";
+  std::string draft = "From: user@local\nTo: " + to + "\nSubject: " + subject +
+                      "\n--------\n" + body + kSignature;
+  Ptr raw = memory_.NewCString(draft, "draft_raw");
+  Ptr edit = memory_.Malloc(draft.size() + 1, "edit_buf");
+  for (int64_t i = 0; i < static_cast<int64_t>(draft.size()); ++i) {
+    memory_.WriteU8(edit + i, memory_.ReadU8(raw + i));
+  }
+  memory_.WriteU8(edit + static_cast<int64_t>(draft.size()), 0);
+  std::string draft_back = memory_.ReadCString(edit, draft.size() + 1);
+  memory_.Free(edit);
+  memory_.Free(raw);
+  MailMessage message = MailMessage::Make("user@local", to, subject, body);
+  (void)draft_back;
+  folders_["sent"].push_back(std::move(message));
+  result.ok = true;
+  result.display = "Message sent";
+  return result;
+}
+
+PineApp::Result PineApp::Reply(size_t index, const std::string& body) {
+  Result result;
+  if (index >= inbox_.size()) {
+    result.error = "No such message";
+    return result;
+  }
+  const MailMessage& original = inbox_[index];
+  // Build the quoted original in the reply edit buffer: "> " before every
+  // line, character by character like the composer.
+  Memory::Frame frame(memory_, "reply_quote");
+  Ptr raw = memory_.NewCString(original.body, "reply_raw");
+  Ptr edit = memory_.Malloc(original.body.size() * 2 + 64, "reply_edit");
+  int64_t out = 0;
+  bool at_line_start = true;
+  for (int64_t i = 0; i < static_cast<int64_t>(original.body.size()); ++i) {
+    uint8_t c = memory_.ReadU8(raw + i);
+    if (at_line_start) {
+      memory_.WriteU8(edit + out, '>');
+      ++out;
+      memory_.WriteU8(edit + out, ' ');
+      ++out;
+      at_line_start = false;
+    }
+    memory_.WriteU8(edit + out, c);
+    ++out;
+    if (c == '\n') {
+      at_line_start = true;
+    }
+  }
+  memory_.WriteU8(edit + out, 0);
+  std::string quoted = memory_.ReadCString(edit, static_cast<size_t>(out) + 1);
+  memory_.Free(edit);
+  memory_.Free(raw);
+  std::string subject = original.Subject();
+  if (subject.substr(0, 4) != "Re: ") {
+    subject = "Re: " + subject;
+  }
+  folders_["sent"].push_back(
+      MailMessage::Make("user@local", original.From(), subject, body + "\n" + quoted));
+  result.ok = true;
+  result.display = "Reply sent to " + original.From();
+  return result;
+}
+
+PineApp::Result PineApp::Forward(size_t index, const std::string& to) {
+  Result result;
+  if (index >= inbox_.size()) {
+    result.error = "No such message";
+    return result;
+  }
+  const MailMessage& original = inbox_[index];
+  // The forwarded copy round-trips through the attachment buffer.
+  Memory::Frame frame(memory_, "forward");
+  std::string wrapped = "----- Forwarded message from " + original.From() + " -----\n" +
+                        original.body;
+  Ptr buf = memory_.NewCString(wrapped, "fwd_buf");
+  std::string body = memory_.ReadCString(buf, wrapped.size() + 1);
+  memory_.Free(buf);
+  folders_["sent"].push_back(
+      MailMessage::Make("user@local", to, "Fwd: " + original.Subject(), body));
+  result.ok = true;
+  result.display = "Message forwarded to " + to;
+  return result;
+}
+
+PineApp::Result PineApp::MoveMessage(size_t index, const std::string& folder) {
+  Result result;
+  if (index >= inbox_.size()) {
+    result.error = "No such message";
+    return result;
+  }
+  // Folder name passes through a path buffer (strcpy-style validation).
+  Memory::Frame frame(memory_, "folder_select");
+  Ptr name = memory_.NewCString(folder, "folder_name");
+  Ptr copy = memory_.Malloc(folder.size() + 1, "folder_copy");
+  StrCpy(memory_, copy, name);
+  std::string resolved = memory_.ReadCString(copy, folder.size() + 1);
+  memory_.Free(copy);
+  memory_.Free(name);
+  auto it = folders_.find(resolved);
+  if (it == folders_.end()) {
+    result.error = "Folder \"" + resolved + "\" does not exist";
+    return result;
+  }
+  it->second.push_back(inbox_[index]);
+  inbox_.erase(inbox_.begin() + static_cast<ptrdiff_t>(index));
+  BuildIndex();
+  result.ok = true;
+  result.display = "Message moved to " + resolved;
+  return result;
+}
+
+size_t PineApp::FolderSize(const std::string& folder) const {
+  auto it = folders_.find(folder);
+  return it == folders_.end() ? 0 : it->second.size();
+}
+
+}  // namespace fob

@@ -1,0 +1,97 @@
+// mini-Pine (§4.2).
+//
+// A mail user agent that loads an mbox at startup and builds the message
+// index. Building each index line quotes the From field into a heap buffer
+// whose maximum length is miscalculated ("fails to correctly account for
+// the potential increase" from inserted '\' characters), so a From field
+// with many quotable characters writes past the end of the buffer:
+//
+//   Standard          heap corrupted during startup; Pine dies before the
+//                     user can interact at all (the attack message sits in
+//                     the mailbox, so restarting does not help).
+//   Bounds Check      terminates during startup for the same reason.
+//   Failure Oblivious out-of-bounds writes discarded; the From column is
+//                     truncated — invisible, since the index shows only an
+//                     initial segment anyway. Selecting the message takes a
+//                     different, correct path that shows the full header.
+//
+// Index construction, quoting and rendering run in simulated memory; the
+// mailbox substrate (mbox parsing, folders) is native.
+
+#ifndef SRC_APPS_PINE_H_
+#define SRC_APPS_PINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/mail/message.h"
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+
+namespace fob {
+
+class PineApp {
+ public:
+  struct Result {
+    bool ok = false;
+    std::string display;
+    std::string error;
+  };
+
+  // Width of the From column in the index view; long (and truncated) From
+  // fields are cut to this anyway, which is why failure-oblivious truncation
+  // is invisible (§4.2.2).
+  static constexpr size_t kIndexFromWidth = 40;
+
+  // Startup: parses the mbox and builds the index — the vulnerable path.
+  // Under Standard/BoundsCheck an attack mailbox faults out of here.
+  PineApp(AccessPolicy policy, const std::string& mbox_text);
+
+  // The index screen: one line per message.
+  const std::vector<std::string>& IndexLines() const { return index_lines_; }
+
+  // Opens message `index` (0-based): the full-header display path, which
+  // translates the From field correctly (§4.2.2).
+  Result ReadMessage(size_t index);
+
+  // Composes a message into the "sent" folder.
+  Result Compose(const std::string& to, const std::string& subject, const std::string& body);
+
+  // Replies to message `index`: quotes its body ("> " prefixes, built in an
+  // edit buffer) and sends to its From address (§4.2.4 "replying to mails").
+  Result Reply(size_t index, const std::string& body);
+
+  // Forwards message `index` verbatim to a new recipient (§4.2.4
+  // "forwarding mails").
+  Result Forward(size_t index, const std::string& to);
+
+  // Moves a message from the inbox to a named folder.
+  Result MoveMessage(size_t index, const std::string& folder);
+
+  size_t MessageCount() const { return inbox_.size(); }
+  size_t FolderSize(const std::string& folder) const;
+  Memory& memory() { return memory_; }
+
+  // The vulnerable quoting routine, public for tests: quotes '\' and '"'
+  // with a leading backslash into an undersized heap buffer and returns the
+  // (possibly truncated) result.
+  std::string QuoteFromVulnerable(const std::string& from);
+
+ private:
+  void BuildIndex();
+
+  Memory memory_;
+  std::vector<MailMessage> inbox_;
+  std::map<std::string, std::vector<MailMessage>> folders_;
+  std::vector<std::string> index_lines_;
+  // Live per-message heap records (header copies etc.), like the real
+  // Pine's in-core mailbox: these populate the object table for the
+  // lifetime of the session.
+  std::vector<Ptr> resident_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_APPS_PINE_H_

@@ -1,0 +1,21 @@
+#include "src/apps/resident.h"
+
+namespace fob {
+
+std::vector<Ptr> PopulateResidentHeap(Memory& memory, size_t blocks, size_t bytes_each,
+                                      const std::string& name) {
+  std::vector<Ptr> resident;
+  resident.reserve(blocks);
+  for (size_t i = 0; i < blocks; ++i) {
+    Ptr p = memory.Malloc(bytes_each, name);
+    if (p.IsNull()) {
+      break;
+    }
+    // Touch the block so it is part of the working set, not just the table.
+    memory.WriteU8(p, static_cast<uint8_t>(i));
+    resident.push_back(p);
+  }
+  return resident;
+}
+
+}  // namespace fob

@@ -1,0 +1,27 @@
+// Resident-heap population for the mini-servers.
+//
+// A long-running server carries thousands of live heap allocations (parsed
+// messages, alias databases, connection caches, config trees). The size of
+// that live set is what the Jones-Kelly object-table search pays for on
+// every checked access, so the mini-servers must carry a realistic resident
+// set for the Standard-vs-checked performance gap to be meaningful.
+// PopulateResidentHeap allocates `blocks` long-lived allocations whose Ptrs
+// the app keeps for its lifetime.
+
+#ifndef SRC_APPS_RESIDENT_H_
+#define SRC_APPS_RESIDENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+
+namespace fob {
+
+std::vector<Ptr> PopulateResidentHeap(Memory& memory, size_t blocks, size_t bytes_each,
+                                      const std::string& name);
+
+}  // namespace fob
+
+#endif  // SRC_APPS_RESIDENT_H_

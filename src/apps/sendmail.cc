@@ -1,0 +1,252 @@
+#include "src/apps/sendmail.h"
+
+#include "src/apps/resident.h"
+#include "src/net/smtp.h"
+
+namespace fob {
+
+SendmailApp::SendmailApp(AccessPolicy policy) : memory_(policy) {
+  work_queue_ = memory_.Malloc(static_cast<size_t>(kQueueSlots) * 4, "work_queue");
+  for (int i = 0; i < kQueueSlots; ++i) {
+    memory_.WriteI32(work_queue_ + static_cast<int64_t>(i) * 4, 0);
+  }
+  // Daemon startup loads the alias database and connection caches — the
+  // long-lived allocations a real sendmail carries.
+  resident_ = PopulateResidentHeap(memory_, 1024, 48, "alias_db_entry");
+  local_mailbox_.reserve(1024);
+  relay_queue_.reserve(1024);
+  // The daemon checks for queued work as it comes up; under Bounds Check
+  // this is already fatal.
+  DaemonWakeup();
+}
+
+void SendmailApp::DaemonWakeup() {
+  ++wakeups_;
+  Memory::Frame frame(memory_, "runqueue");
+  int pending = 0;
+  // Off-by-one scan: <= instead of < — reads one int past the array every
+  // single wakeup. Harmless garbage under Standard (the heap page is
+  // mapped), a manufactured value under Failure Oblivious, fatal under
+  // Bounds Check.
+  for (int i = 0; i <= kQueueSlots; ++i) {
+    if (memory_.ReadI32(work_queue_ + static_cast<int64_t>(i) * 4) != 0) {
+      ++pending;
+    }
+  }
+  (void)pending;
+}
+
+bool SendmailApp::PrescanAddress(const std::string& address, std::string* parsed,
+                                 std::string* error) {
+  Memory::Frame frame(memory_, "prescan");
+  Ptr buf = frame.Local(kAddrBufSize, "addr_buf");
+  Ptr in = memory_.NewCString(address, "addr_wire");
+  size_t len = address.size();
+  size_t i = 0;
+  int64_t q = 0;
+  int backslash_run = 0;
+  bool too_long = false;
+
+  while (i < len) {
+    int c = memory_.ReadI8(in + static_cast<int64_t>(i));  // sign extension: 0xff -> -1
+    ++i;
+    if (c == '\\') {
+      ++backslash_run;
+      bool odd_backslash = (backslash_run % 2) == 1;
+      int lookahead = i < len ? memory_.ReadI8(in + static_cast<int64_t>(i)) : -1;
+      if (lookahead == -1 || odd_backslash) {
+        // The branch that skips the checked store — and with it the only
+        // bounds check on q.
+      } else {
+        if (q >= static_cast<int64_t>(kAddrBufSize) - 1) {
+          too_long = true;
+          break;
+        }
+        memory_.WriteU8(buf + q, static_cast<uint8_t>(lookahead));
+        ++q;
+        ++i;
+      }
+      // The unchecked store: a '\' is written for a '\' lookahead that was
+      // not -1, with no room check at all.
+      if (lookahead == '\\') {
+        memory_.WriteU8(buf + q, '\\');
+        ++q;
+      }
+    } else if (c == -1) {
+      // Sign-extended 0xff: "no lookahead character".
+      backslash_run = 0;
+    } else {
+      backslash_run = 0;
+      if (q >= static_cast<int64_t>(kAddrBufSize) - 1) {
+        too_long = true;
+        break;
+      }
+      memory_.WriteU8(buf + q, static_cast<uint8_t>(c));
+      ++q;
+    }
+  }
+  memory_.WriteU8(buf + q, 0);  // terminator, also unchecked
+  memory_.Free(in);
+
+  // Back in the caller: "The next step is to check if the input mail
+  // address is too long. This check fails, throwing Sendmail into an
+  // anticipated error case." (§4.4.2)
+  if (too_long || q >= static_cast<int64_t>(kAddrBufSize) ||
+      address.size() > kMaxAddressLength) {
+    if (error != nullptr) {
+      *error = "553 5.1.0 Address too long or malformed";
+    }
+    return false;
+  }
+  if (parsed != nullptr) {
+    *parsed = memory_.ReadCString(buf, kAddrBufSize);
+  }
+  return true;
+  // Standard compilation with the attack address: the unchecked stores ran
+  // through the canary; the crash fires when this frame pops.
+}
+
+void SendmailApp::ResetTransaction() {
+  mail_from_.clear();
+  rcpt_to_.clear();
+  data_lines_.clear();
+  in_data_ = false;
+}
+
+void SendmailApp::DeliverCurrentMessage() {
+  std::string body;
+  for (const std::string& line : data_lines_) {
+    // Each body line is staged through the message collection buffer.
+    Memory::Frame frame(memory_, "collect");
+    Ptr staging = memory_.Malloc(line.size() + 1, "body_line");
+    memory_.WriteBytes(staging, line);
+    memory_.WriteU8(staging + static_cast<int64_t>(line.size()), 0);
+    body += memory_.ReadCString(staging, line.size() + 1);
+    body += '\n';
+    memory_.Free(staging);
+  }
+  MailMessage message;
+  message.SetHeader("From", mail_from_);
+  for (const std::string& rcpt : rcpt_to_) {
+    message.SetHeader("To", rcpt);
+    // Local recipients deliver to the mailbox; everything else queues for
+    // relay — the "send" path.
+    bool local = rcpt.find("@localhost") != std::string::npos ||
+                 rcpt.find('@') == std::string::npos;
+    message.body = body;
+    if (local) {
+      local_mailbox_.push_back(message);
+    } else {
+      relay_queue_.push_back(message);
+    }
+  }
+}
+
+std::string SendmailApp::HandleCommand(const std::string& line) {
+  if (in_data_) {
+    if (line == ".") {
+      in_data_ = false;
+      DeliverCurrentMessage();
+      ResetTransaction();
+      return "250 2.0.0 Message accepted for delivery";
+    }
+    data_lines_.push_back(line);
+    return "";  // no response per body line
+  }
+  SmtpCommand command = ParseSmtpCommand(line);
+  if (command.verb == "HELO" || command.verb == "EHLO") {
+    saw_helo_ = true;
+    return "250 mini-sendmail Hello " + (command.arg.empty() ? "you" : command.arg);
+  }
+  if (command.verb == "MAIL") {
+    auto address = ExtractAngleAddress(command.arg);
+    if (!address) {
+      return "501 5.5.4 Syntax error in MAIL command";
+    }
+    std::string parsed;
+    std::string error;
+    if (!PrescanAddress(*address, &parsed, &error)) {
+      return error;
+    }
+    mail_from_ = parsed;
+    return "250 2.1.0 Sender ok";
+  }
+  if (command.verb == "RCPT") {
+    auto address = ExtractAngleAddress(command.arg);
+    if (!address) {
+      return "501 5.5.4 Syntax error in RCPT command";
+    }
+    std::string parsed;
+    std::string error;
+    if (!PrescanAddress(*address, &parsed, &error)) {
+      return error;
+    }
+    rcpt_to_.push_back(parsed);
+    return "250 2.1.5 Recipient ok";
+  }
+  if (command.verb == "DATA") {
+    if (mail_from_.empty() || rcpt_to_.empty()) {
+      return "503 5.0.0 Need MAIL and RCPT before DATA";
+    }
+    in_data_ = true;
+    return "354 Enter mail, end with \".\" on a line by itself";
+  }
+  if (command.verb == "VRFY" || command.verb == "EXPN") {
+    // Address verification runs the same (vulnerable) prescan as MAIL/RCPT
+    // — a second remote-reachable path to the §4.4 bug.
+    std::string parsed;
+    std::string error;
+    std::string address = command.arg;
+    if (auto angled = ExtractAngleAddress(command.arg)) {
+      address = *angled;
+    }
+    if (!PrescanAddress(address, &parsed, &error)) {
+      return error;
+    }
+    bool local = parsed.find("@localhost") != std::string::npos ||
+                 parsed.find('@') == std::string::npos;
+    if (command.verb == "VRFY") {
+      return local ? "250 2.1.5 <" + parsed + ">" : "252 2.1.5 Cannot VRFY remote user";
+    }
+    return "550 5.1.1 EXPN not available for " + parsed;
+  }
+  if (command.verb == "RSET") {
+    ResetTransaction();
+    return "250 2.0.0 Reset state";
+  }
+  if (command.verb == "NOOP") {
+    return "250 2.0.0 OK";
+  }
+  if (command.verb == "QUIT") {
+    return "221 2.0.0 mini-sendmail closing connection";
+  }
+  return "500 5.5.1 Command unrecognized: \"" + command.verb + "\"";
+}
+
+std::vector<std::string> SendmailApp::HandleSession(const std::vector<std::string>& client_lines) {
+  std::vector<std::string> responses;
+  responses.push_back("220 mini-sendmail ESMTP ready");
+  for (const std::string& line : client_lines) {
+    std::string response = HandleCommand(line);
+    if (!response.empty()) {
+      responses.push_back(std::move(response));
+    }
+  }
+  return responses;
+}
+
+std::string MakeSendmailAttackAddress(size_t pairs) {
+  // Fill the buffer right up to its bound with legitimate characters, then
+  // drive the unchecked store once per "\ \ 0xff" triple:
+  //   '\' (odd run)  -> skips the checked store, lookahead '\' fires the
+  //                     unchecked store of '\';
+  //   '\' (even run) -> lookahead 0xff reads as -1, skips everything;
+  //   0xff           -> resets the run parity.
+  std::string address(SendmailApp::kAddrBufSize - 1, 'a');
+  for (size_t i = 0; i < pairs; ++i) {
+    address += "\\\\\xff";
+  }
+  return address;
+}
+
+}  // namespace fob

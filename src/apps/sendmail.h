@@ -1,0 +1,103 @@
+// mini-Sendmail (§4.4).
+//
+// An SMTP daemon. Address parsing ports the prescan() bug: the transfer
+// into a fixed-size stack buffer uses an integer lookahead character that
+// can be -1 (no character, via sign extension of 0xff) and treats '\'
+// specially; a crafted alternating sequence of -1 and '\' characters drives
+// an *unchecked* store of '\' arbitrarily many times past the end of the
+// buffer:
+//
+//   Standard          the call stack is physically corrupted — the classic
+//                     remote-code-execution setup; the process dies when
+//                     prescan returns.
+//   Bounds Check      dies even earlier — and in fact never gets this far:
+//                     the daemon's periodic wakeup commits a (benign) OOB
+//                     read every single time (§4.4.4), so the Bounds Check
+//                     daemon exits during initialization and "is simply
+//                     unusable".
+//   Failure Oblivious the out-of-bounds stores are discarded; prescan
+//                     returns; the very next step — the address-length
+//                     check — fails, Sendmail answers "553 address too
+//                     long", and the session continues (§4.4.2).
+//
+// The SMTP state machine, delivery queues and mailboxes are native
+// substrates; every byte of address/message handling goes through the
+// simulated memory.
+
+#ifndef SRC_APPS_SENDMAIL_H_
+#define SRC_APPS_SENDMAIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mail/message.h"
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+
+namespace fob {
+
+class SendmailApp {
+ public:
+  // prescan's fixed address buffer (MAXNAME-flavored).
+  static constexpr size_t kAddrBufSize = 64;
+  // The post-prescan policy limit that turns the attack into an anticipated
+  // error under failure-oblivious execution.
+  static constexpr size_t kMaxAddressLength = 256;
+
+  // Daemon initialization runs the first queue wakeup — the path with the
+  // everyday memory error that disables the Bounds Check version outright.
+  explicit SendmailApp(AccessPolicy policy);
+
+  // Feeds a full SMTP session (client lines, CRLF stripped) and returns the
+  // server's responses, one per processed line (plus the greeting first).
+  std::vector<std::string> HandleSession(const std::vector<std::string>& client_lines);
+
+  // One SMTP line against the session state machine; returns the response.
+  std::string HandleCommand(const std::string& line);
+
+  // The daemon's periodic queue scan; commits one out-of-bounds read per
+  // call (§4.4.4: "every time the Sendmail daemon wakes up to check for
+  // incoming messages, it generates a memory error").
+  void DaemonWakeup();
+
+  // The vulnerable parser, public for tests. Returns false when the address
+  // was rejected (too long / bad syntax); *parsed receives the buffer
+  // contents on success.
+  bool PrescanAddress(const std::string& address, std::string* parsed, std::string* error);
+
+  const std::vector<MailMessage>& local_mailbox() const { return local_mailbox_; }
+  const std::vector<MailMessage>& relay_queue() const { return relay_queue_; }
+  uint64_t wakeups() const { return wakeups_; }
+  Memory& memory() { return memory_; }
+
+ private:
+  void ResetTransaction();
+  void DeliverCurrentMessage();
+
+  Memory memory_;
+  Ptr work_queue_;               // heap array the wakeup scans one past the end
+  static constexpr int kQueueSlots = 16;
+  // The daemon's long-lived heap state (alias db, mci cache, class macros):
+  // a realistic live-object population for the checker to search.
+  std::vector<Ptr> resident_;
+
+  // Session state.
+  bool saw_helo_ = false;
+  bool in_data_ = false;
+  std::string mail_from_;
+  std::vector<std::string> rcpt_to_;
+  std::vector<std::string> data_lines_;
+  std::vector<MailMessage> local_mailbox_;
+  std::vector<MailMessage> relay_queue_;
+  uint64_t wakeups_ = 0;
+};
+
+// The crafted MAIL FROM address: a normal prefix that fills the buffer to
+// its edge, followed by `pairs` repetitions of the "\ \ 0xff" pattern, each
+// of which drives one unchecked store past the end.
+std::string MakeSendmailAttackAddress(size_t pairs);
+
+}  // namespace fob
+
+#endif  // SRC_APPS_SENDMAIL_H_

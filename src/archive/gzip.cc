@@ -1,0 +1,154 @@
+#include "src/archive/gzip.h"
+
+#include <algorithm>
+#include <array>
+
+namespace fob {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(std::string_view s, size_t pos) {
+  return static_cast<uint8_t>(s[pos]) | (static_cast<uint8_t>(s[pos + 1]) << 8) |
+         (static_cast<uint8_t>(s[pos + 2]) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(s[pos + 3])) << 24);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string GzipStore(std::string_view data) {
+  std::string out;
+  // Member header: magic, CM=8 (deflate), FLG=0, MTIME=0, XFL=0, OS=3 (unix).
+  out.push_back('\x1f');
+  out.push_back('\x8b');
+  out.push_back('\x08');
+  out.push_back('\x00');
+  PutU32(out, 0);
+  out.push_back('\x00');
+  out.push_back('\x03');
+  // DEFLATE stored blocks: max 65535 bytes each.
+  size_t pos = 0;
+  do {
+    size_t chunk = std::min<size_t>(data.size() - pos, 65535);
+    bool final = pos + chunk == data.size();
+    out.push_back(final ? '\x01' : '\x00');  // BFINAL bit, BTYPE=00
+    PutU16(out, static_cast<uint16_t>(chunk));
+    PutU16(out, static_cast<uint16_t>(~chunk & 0xffff));
+    out.append(data.substr(pos, chunk));
+    pos += chunk;
+  } while (pos < data.size());
+  PutU32(out, Crc32(data));
+  PutU32(out, static_cast<uint32_t>(data.size() & 0xffffffffu));
+  return out;
+}
+
+std::optional<std::string> GunzipStore(std::string_view bytes, GunzipError* error) {
+  auto fail = [&](GunzipError e) -> std::optional<std::string> {
+    if (error != nullptr) {
+      *error = e;
+    }
+    return std::nullopt;
+  };
+  if (bytes.size() < 18) {
+    return fail(GunzipError::kTruncated);
+  }
+  if (static_cast<uint8_t>(bytes[0]) != 0x1f || static_cast<uint8_t>(bytes[1]) != 0x8b ||
+      static_cast<uint8_t>(bytes[2]) != 0x08) {
+    return fail(GunzipError::kBadMagic);
+  }
+  uint8_t flags = static_cast<uint8_t>(bytes[3]);
+  size_t pos = 10;
+  if (flags & 0x04) {  // FEXTRA
+    if (pos + 2 > bytes.size()) {
+      return fail(GunzipError::kTruncated);
+    }
+    uint16_t extra = static_cast<uint8_t>(bytes[pos]) | (static_cast<uint8_t>(bytes[pos + 1]) << 8);
+    pos += 2 + extra;
+  }
+  for (uint8_t flag : {static_cast<uint8_t>(0x08), static_cast<uint8_t>(0x10)}) {  // FNAME, FCOMMENT
+    if (flags & flag) {
+      while (pos < bytes.size() && bytes[pos] != '\0') {
+        ++pos;
+      }
+      ++pos;
+    }
+  }
+  if (flags & 0x02) {  // FHCRC
+    pos += 2;
+  }
+  std::string out;
+  for (;;) {
+    if (pos >= bytes.size()) {
+      return fail(GunzipError::kTruncated);
+    }
+    uint8_t block_header = static_cast<uint8_t>(bytes[pos]);
+    bool final = (block_header & 1) != 0;
+    uint8_t btype = (block_header >> 1) & 0x3;
+    if (btype != 0) {
+      return fail(GunzipError::kUnsupportedCompression);
+    }
+    ++pos;
+    if (pos + 4 > bytes.size()) {
+      return fail(GunzipError::kTruncated);
+    }
+    uint16_t len = static_cast<uint8_t>(bytes[pos]) | (static_cast<uint8_t>(bytes[pos + 1]) << 8);
+    uint16_t nlen =
+        static_cast<uint8_t>(bytes[pos + 2]) | (static_cast<uint8_t>(bytes[pos + 3]) << 8);
+    if (static_cast<uint16_t>(~len) != nlen) {
+      return fail(GunzipError::kBadLength);
+    }
+    pos += 4;
+    if (pos + len > bytes.size()) {
+      return fail(GunzipError::kTruncated);
+    }
+    out.append(bytes.substr(pos, len));
+    pos += len;
+    if (final) {
+      break;
+    }
+  }
+  if (pos + 8 > bytes.size()) {
+    return fail(GunzipError::kTruncated);
+  }
+  if (GetU32(bytes, pos) != Crc32(out)) {
+    return fail(GunzipError::kBadCrc);
+  }
+  if (GetU32(bytes, pos + 4) != (out.size() & 0xffffffffu)) {
+    return fail(GunzipError::kBadLength);
+  }
+  return out;
+}
+
+}  // namespace fob

@@ -1,0 +1,43 @@
+// gzip container with stored (uncompressed) DEFLATE blocks.
+//
+// The paper's Midnight Commander attack arrives as a .tgz. Building a full
+// DEFLATE codec is out of scope for what the experiment exercises — the
+// vulnerable code operates on the *decompressed* entry stream — so this
+// module implements the honest subset: a real gzip container (magic, flags,
+// CRC32, ISIZE) whose DEFLATE payload uses stored blocks only (BTYPE=00,
+// what `gzip -0` conceptually emits). Any archive produced by GzipStore
+// round-trips through GunzipStore with full CRC verification; archives that
+// use Huffman-compressed blocks are reported as unsupported, not silently
+// misparsed. DESIGN.md records this substitution.
+
+#ifndef SRC_ARCHIVE_GZIP_H_
+#define SRC_ARCHIVE_GZIP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fob {
+
+// CRC-32 (IEEE 802.3), the checksum gzip uses.
+uint32_t Crc32(std::string_view data);
+
+// Wraps data in a gzip member whose DEFLATE stream is stored blocks.
+std::string GzipStore(std::string_view data);
+
+enum class GunzipError {
+  kBadMagic,
+  kUnsupportedCompression,  // a BTYPE other than stored
+  kTruncated,
+  kBadCrc,
+  kBadLength,
+};
+
+// Decodes a stored-block gzip member. On failure returns nullopt and, if
+// error != nullptr, the reason.
+std::optional<std::string> GunzipStore(std::string_view bytes, GunzipError* error = nullptr);
+
+}  // namespace fob
+
+#endif  // SRC_ARCHIVE_GZIP_H_

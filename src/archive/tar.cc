@@ -1,0 +1,201 @@
+#include "src/archive/tar.h"
+
+#include <cstring>
+
+namespace fob {
+
+namespace {
+
+constexpr size_t kBlock = 512;
+
+struct Header {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char padding[12];
+};
+static_assert(sizeof(Header) == kBlock, "ustar header must be one block");
+
+void WriteOctal(char* field, size_t width, uint64_t value) {
+  // width-1 octal digits, NUL terminated.
+  for (size_t i = width - 1; i-- > 0;) {
+    field[i] = static_cast<char>('0' + (value & 7));
+    value >>= 3;
+  }
+  field[width - 1] = '\0';
+}
+
+uint64_t ReadOctal(const char* field, size_t width) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < width; ++i) {
+    char c = field[i];
+    if (c == '\0' || c == ' ') {
+      break;
+    }
+    if (c < '0' || c > '7') {
+      return value;  // tolerate garbage like GNU tar does
+    }
+    value = (value << 3) | static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+uint32_t Checksum(const Header& header) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(&header);
+  uint32_t sum = 0;
+  for (size_t i = 0; i < kBlock; ++i) {
+    // The checksum field itself counts as spaces.
+    if (i >= offsetof(Header, chksum) && i < offsetof(Header, chksum) + 8) {
+      sum += ' ';
+    } else {
+      sum += bytes[i];
+    }
+  }
+  return sum;
+}
+
+char TypeFlag(TarEntryType type) {
+  switch (type) {
+    case TarEntryType::kFile:
+      return '0';
+    case TarEntryType::kSymlink:
+      return '2';
+    case TarEntryType::kDirectory:
+      return '5';
+  }
+  return '0';
+}
+
+}  // namespace
+
+TarEntry TarEntry::File(std::string name, std::string data) {
+  TarEntry entry;
+  entry.name = std::move(name);
+  entry.type = TarEntryType::kFile;
+  entry.data = std::move(data);
+  return entry;
+}
+
+TarEntry TarEntry::Symlink(std::string name, std::string target) {
+  TarEntry entry;
+  entry.name = std::move(name);
+  entry.type = TarEntryType::kSymlink;
+  entry.link_target = std::move(target);
+  return entry;
+}
+
+TarEntry TarEntry::Directory(std::string name) {
+  TarEntry entry;
+  entry.name = std::move(name);
+  entry.type = TarEntryType::kDirectory;
+  return entry;
+}
+
+std::string WriteTar(const std::vector<TarEntry>& entries) {
+  std::string out;
+  for (const TarEntry& entry : entries) {
+    if (entry.name.size() > 99 || entry.link_target.size() > 99) {
+      return {};
+    }
+    Header header;
+    std::memset(&header, 0, sizeof(header));
+    std::memcpy(header.name, entry.name.data(), entry.name.size());
+    WriteOctal(header.mode, 8, entry.type == TarEntryType::kDirectory ? 0755 : 0644);
+    WriteOctal(header.uid, 8, 1000);
+    WriteOctal(header.gid, 8, 1000);
+    WriteOctal(header.size, 12, entry.type == TarEntryType::kFile ? entry.data.size() : 0);
+    WriteOctal(header.mtime, 12, 1096329600);  // late 2004
+    header.typeflag = TypeFlag(entry.type);
+    std::memcpy(header.linkname, entry.link_target.data(), entry.link_target.size());
+    std::memcpy(header.magic, "ustar", 6);
+    header.version[0] = '0';
+    header.version[1] = '0';
+    std::memcpy(header.uname, "user", 4);
+    std::memcpy(header.gname, "user", 4);
+    uint32_t sum = Checksum(header);
+    // 6 octal digits, NUL, space — the traditional layout.
+    for (int i = 5; i >= 0; --i) {
+      header.chksum[i] = static_cast<char>('0' + (sum & 7));
+      sum >>= 3;
+    }
+    header.chksum[6] = '\0';
+    header.chksum[7] = ' ';
+    out.append(reinterpret_cast<const char*>(&header), kBlock);
+    if (entry.type == TarEntryType::kFile) {
+      out.append(entry.data);
+      size_t pad = (kBlock - entry.data.size() % kBlock) % kBlock;
+      out.append(pad, '\0');
+    }
+  }
+  out.append(2 * kBlock, '\0');
+  return out;
+}
+
+std::optional<std::vector<TarEntry>> ReadTar(std::string_view bytes) {
+  std::vector<TarEntry> entries;
+  size_t pos = 0;
+  while (pos + kBlock <= bytes.size()) {
+    Header header;
+    std::memcpy(&header, bytes.data() + pos, kBlock);
+    // Two all-zero blocks end the archive; one is enough for us to stop.
+    bool all_zero = true;
+    for (size_t i = 0; i < kBlock; ++i) {
+      if (bytes[pos + i] != '\0') {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      return entries;
+    }
+    uint32_t declared = static_cast<uint32_t>(ReadOctal(header.chksum, 8));
+    if (Checksum(header) != declared) {
+      return std::nullopt;
+    }
+    pos += kBlock;
+    TarEntry entry;
+    entry.name = std::string(header.name, strnlen(header.name, sizeof(header.name)));
+    entry.link_target =
+        std::string(header.linkname, strnlen(header.linkname, sizeof(header.linkname)));
+    uint64_t size = ReadOctal(header.size, 12);
+    switch (header.typeflag) {
+      case '2':
+        entry.type = TarEntryType::kSymlink;
+        break;
+      case '5':
+        entry.type = TarEntryType::kDirectory;
+        break;
+      case '0':
+      case '\0':
+      default:
+        entry.type = TarEntryType::kFile;
+        break;
+    }
+    if (entry.type == TarEntryType::kFile) {
+      if (pos + size > bytes.size()) {
+        return std::nullopt;
+      }
+      entry.data = std::string(bytes.substr(pos, size));
+      pos += (size + kBlock - 1) / kBlock * kBlock;
+    }
+    entries.push_back(std::move(entry));
+  }
+  // Missing terminator blocks: accept what we parsed (like GNU tar's
+  // "unexpected EOF" warning path).
+  return entries;
+}
+
+}  // namespace fob

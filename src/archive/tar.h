@@ -1,0 +1,48 @@
+// ustar (POSIX tar) archives, in memory.
+//
+// Midnight Commander's vulnerability (§4.5) lives in its tgz virtual
+// filesystem: symlink entries with absolute targets get rewritten to
+// archive-relative names in an uninitialized stack buffer. This module
+// provides the archive substrate: header parsing with checksum validation,
+// entry extraction, and a writer the attack-workload generator uses to craft
+// malicious archives.
+
+#ifndef SRC_ARCHIVE_TAR_H_
+#define SRC_ARCHIVE_TAR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fob {
+
+enum class TarEntryType {
+  kFile,     // typeflag '0' or '\0'
+  kSymlink,  // typeflag '2'
+  kDirectory,  // typeflag '5'
+};
+
+struct TarEntry {
+  std::string name;
+  TarEntryType type = TarEntryType::kFile;
+  std::string link_target;  // for symlinks
+  std::string data;         // for files
+
+  static TarEntry File(std::string name, std::string data);
+  static TarEntry Symlink(std::string name, std::string target);
+  static TarEntry Directory(std::string name);
+};
+
+// Serializes entries as a ustar archive (512-byte blocks, two zero blocks at
+// the end). Names and link targets longer than 99 bytes are unsupported and
+// make this return an empty string.
+std::string WriteTar(const std::vector<TarEntry>& entries);
+
+// Parses an archive; nullopt on malformed headers or checksum mismatch.
+std::optional<std::vector<TarEntry>> ReadTar(std::string_view bytes);
+
+}  // namespace fob
+
+#endif  // SRC_ARCHIVE_TAR_H_

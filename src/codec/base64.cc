@@ -1,0 +1,89 @@
+#include "src/codec/base64.h"
+
+#include <cstdint>
+
+namespace fob {
+
+const char kBase64Std[65] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const char kB64Chars[65] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+,";
+
+int Base64Index(char c, const char* alphabet) {
+  for (int i = 0; i < 64; ++i) {
+    if (alphabet[i] == c) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+std::string Base64Encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t triple = (static_cast<uint8_t>(data[i]) << 16) |
+                      (static_cast<uint8_t>(data[i + 1]) << 8) | static_cast<uint8_t>(data[i + 2]);
+    out.push_back(kBase64Std[(triple >> 18) & 0x3f]);
+    out.push_back(kBase64Std[(triple >> 12) & 0x3f]);
+    out.push_back(kBase64Std[(triple >> 6) & 0x3f]);
+    out.push_back(kBase64Std[triple & 0x3f]);
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<uint8_t>(data[i]) << 16;
+    out.push_back(kBase64Std[(v >> 18) & 0x3f]);
+    out.push_back(kBase64Std[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) | (static_cast<uint8_t>(data[i + 1]) << 8);
+    out.push_back(kBase64Std[(v >> 18) & 0x3f]);
+    out.push_back(kBase64Std[(v >> 12) & 0x3f]);
+    out.push_back(kBase64Std[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::string> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return std::nullopt;
+  }
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    uint32_t triple = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) {
+          return std::nullopt;
+        }
+        ++pad;
+        triple <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return std::nullopt;  // data after padding
+      }
+      int index = Base64Index(c, kBase64Std);
+      if (index < 0) {
+        return std::nullopt;
+      }
+      triple = (triple << 6) | static_cast<uint32_t>(index);
+    }
+    out.push_back(static_cast<char>((triple >> 16) & 0xff));
+    if (pad < 2) {
+      out.push_back(static_cast<char>((triple >> 8) & 0xff));
+    }
+    if (pad < 1) {
+      out.push_back(static_cast<char>(triple & 0xff));
+    }
+  }
+  return out;
+}
+
+}  // namespace fob

@@ -1,0 +1,32 @@
+// Base64 alphabets and host-side codecs.
+//
+// Two alphabets: the standard RFC 4648 one, and the modified-UTF-7 variant
+// RFC 3501 uses for IMAP mailbox names (',' instead of '/'). kB64Chars is
+// the exact table the paper's Figure 1 indexes as B64Chars[]; the Mutt port
+// (src/apps/mutt.h) loads it into simulated memory.
+
+#ifndef SRC_CODEC_BASE64_H_
+#define SRC_CODEC_BASE64_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fob {
+
+// RFC 4648.
+extern const char kBase64Std[65];
+// RFC 3501 modified base64 (used by modified UTF-7): '/' becomes ','.
+extern const char kB64Chars[65];
+
+// Standard base64 with padding.
+std::string Base64Encode(std::string_view data);
+// Returns nullopt on any character outside the alphabet or bad padding.
+std::optional<std::string> Base64Decode(std::string_view text);
+
+// Index of c in the given alphabet, or -1.
+int Base64Index(char c, const char* alphabet);
+
+}  // namespace fob
+
+#endif  // SRC_CODEC_BASE64_H_

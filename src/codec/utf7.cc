@@ -1,0 +1,129 @@
+#include "src/codec/utf7.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codec/base64.h"
+#include "src/codec/utf8.h"
+
+namespace fob {
+
+size_t Utf7MaxOutputBytes(size_t utf8_len) {
+  // Figure 1's comment: "a safe length would be u8len*4+1". The 7/3 ratio
+  // §4.6.1 quotes is the worst case for multi-byte (CJK-style) inputs; a
+  // pathological mix of shifted one-byte characters and literal '&'
+  // characters can reach 3.5x, so the tight universal bound is 4x.
+  return utf8_len * 4 + 1;
+}
+
+std::optional<std::string> Utf8ToUtf7(std::string_view utf8) {
+  std::string out;
+  out.reserve(Utf7MaxOutputBytes(utf8.size()));
+  size_t i = 0;
+  int b = 0;        // carry bits
+  int k = 0;        // bits pending in the carry
+  bool base64 = false;
+  while (i < utf8.size()) {
+    auto decoded = Utf8DecodeNext(utf8, i);
+    if (!decoded) {
+      return std::nullopt;  // Figure 1: goto bail
+    }
+    uint32_t ch = *decoded;
+    if (ch < 0x20 || ch >= 0x7f) {
+      if (!base64) {
+        out.push_back('&');
+        base64 = true;
+        b = 0;
+        k = 10;
+      }
+      if (ch & ~0xffffu) {
+        ch = 0xfffe;  // Figure 1 folds astral codepoints to U+FFFE
+      }
+      out.push_back(kB64Chars[b | (ch >> k)]);
+      k -= 6;
+      for (; k >= 0; k -= 6) {
+        out.push_back(kB64Chars[(ch >> k) & 0x3f]);
+      }
+      b = static_cast<int>((ch << (-k)) & 0x3f);
+      k += 16;
+    } else {
+      if (base64) {
+        if (k > 10) {
+          out.push_back(kB64Chars[b]);
+        }
+        out.push_back('-');
+        base64 = false;
+      }
+      out.push_back(static_cast<char>(ch));
+      if (ch == '&') {
+        out.push_back('-');
+      }
+    }
+  }
+  if (base64) {
+    if (k > 10) {
+      out.push_back(kB64Chars[b]);
+    }
+    out.push_back('-');
+  }
+  return out;
+}
+
+std::optional<std::string> Utf7ToUtf8(std::string_view utf7) {
+  std::string out;
+  size_t i = 0;
+  while (i < utf7.size()) {
+    char c = utf7[i];
+    if (c != '&') {
+      if (static_cast<uint8_t>(c) < 0x20 || static_cast<uint8_t>(c) >= 0x7f) {
+        return std::nullopt;  // raw non-printable never legal
+      }
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    // Shifted section.
+    ++i;
+    if (i < utf7.size() && utf7[i] == '-') {
+      out.push_back('&');
+      ++i;
+      continue;
+    }
+    uint32_t bits = 0;
+    int nbits = 0;
+    std::vector<uint16_t> units;
+    bool closed = false;
+    while (i < utf7.size()) {
+      char d = utf7[i];
+      if (d == '-') {
+        closed = true;
+        ++i;
+        break;
+      }
+      int index = Base64Index(d, kB64Chars);
+      if (index < 0) {
+        return std::nullopt;
+      }
+      bits = (bits << 6) | static_cast<uint32_t>(index);
+      nbits += 6;
+      if (nbits >= 16) {
+        nbits -= 16;
+        units.push_back(static_cast<uint16_t>((bits >> nbits) & 0xffff));
+      }
+      ++i;
+    }
+    if (!closed || units.empty()) {
+      return std::nullopt;
+    }
+    // Leftover bits must be zero padding only.
+    if (nbits > 0 && (bits & ((1u << nbits) - 1)) != 0) {
+      return std::nullopt;
+    }
+    for (uint16_t unit : units) {
+      Utf8Encode(unit, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace fob

@@ -1,0 +1,43 @@
+// Modified UTF-7 (RFC 3501 IMAP mailbox encoding) — reference codec.
+//
+// Utf8ToUtf7 is the *correct* version of the paper's Figure 1 procedure: the
+// identical state machine (shift in with '&', modified base64 over 16-bit
+// units, shift out with '-', "&-" for a literal '&', codepoints above 0xffff
+// replaced by 0xfffe), but writing into a correctly sized buffer. The Mutt
+// application (src/apps/mutt.h) ports the same algorithm into simulated
+// memory with the paper's undersized `u8len*2+1` allocation; property tests
+// assert that under the Boundless policy the port reproduces this reference
+// output exactly, and that under Failure Oblivious it produces a prefix of
+// it (truncation by discarded writes).
+//
+// The worst case expansion is 7/3: each 3-byte UTF-8 sequence can become a
+// shift-in '&', ~2.67 base64 chars, and a shift-out '-' (§4.6.1).
+
+#ifndef SRC_CODEC_UTF7_H_
+#define SRC_CODEC_UTF7_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fob {
+
+// Ratio the paper cites for sizing: output <= kUtf7WorstCaseNumerator/
+// kUtf7WorstCaseDenominator * input + small constant.
+inline constexpr int kUtf7WorstCaseNumerator = 7;
+inline constexpr int kUtf7WorstCaseDenominator = 3;
+
+// nullopt on invalid UTF-8 (the Figure 1 "bail" paths).
+std::optional<std::string> Utf8ToUtf7(std::string_view utf8);
+
+// Inverse transform; nullopt on malformed modified-UTF-7.
+std::optional<std::string> Utf7ToUtf8(std::string_view utf7);
+
+// An input of length n can produce an output this long (excluding the NUL):
+// the bound Mutt should have used instead of n*2 (Figure 1 recommends
+// u8len*4+1, which this returns).
+size_t Utf7MaxOutputBytes(size_t utf8_len);
+
+}  // namespace fob
+
+#endif  // SRC_CODEC_UTF7_H_

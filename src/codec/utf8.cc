@@ -1,0 +1,117 @@
+#include "src/codec/utf8.h"
+
+namespace fob {
+
+std::optional<uint32_t> Utf8DecodeNext(std::string_view s, size_t& i) {
+  if (i >= s.size()) {
+    return std::nullopt;
+  }
+  uint8_t c = static_cast<uint8_t>(s[i]);
+  uint32_t ch;
+  int n;
+  // The lead-byte ladder from Figure 1.
+  if (c < 0x80) {
+    ch = c;
+    n = 0;
+  } else if (c < 0xc2) {
+    return std::nullopt;  // continuation byte or overlong C0/C1 lead
+  } else if (c < 0xe0) {
+    ch = c & 0x1f;
+    n = 1;
+  } else if (c < 0xf0) {
+    ch = c & 0x0f;
+    n = 2;
+  } else if (c < 0xf8) {
+    ch = c & 0x07;
+    n = 3;
+  } else if (c < 0xfc) {
+    ch = c & 0x03;
+    n = 4;
+  } else if (c < 0xfe) {
+    ch = c & 0x01;
+    n = 5;
+  } else {
+    return std::nullopt;
+  }
+  ++i;
+  if (static_cast<size_t>(n) > s.size() - i) {
+    return std::nullopt;  // truncated
+  }
+  for (int k = 0; k < n; ++k) {
+    uint8_t cont = static_cast<uint8_t>(s[i + static_cast<size_t>(k)]);
+    if ((cont & 0xc0) != 0x80) {
+      return std::nullopt;
+    }
+    ch = (ch << 6) | (cont & 0x3f);
+  }
+  // Overlong check, exactly as Figure 1 writes it: an n+1 byte sequence must
+  // encode a value that needs more than the next-shorter form's bits.
+  if (n > 1 && (ch >> (n * 5 + 1)) == 0) {
+    return std::nullopt;
+  }
+  // The 2-byte overlong case is already excluded by rejecting c < 0xc2.
+  i += static_cast<size_t>(n);
+  return ch;
+}
+
+void Utf8Encode(uint32_t cp, std::string& out) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x200000) {
+    out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x4000000) {
+    out.push_back(static_cast<char>(0xf8 | (cp >> 24)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 18) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xfc | (cp >> 30)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 24) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 18) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+std::string Utf8Encode(uint32_t cp) {
+  std::string out;
+  Utf8Encode(cp, out);
+  return out;
+}
+
+std::optional<std::vector<uint32_t>> Utf8DecodeAll(std::string_view s) {
+  std::vector<uint32_t> cps;
+  size_t i = 0;
+  while (i < s.size()) {
+    auto cp = Utf8DecodeNext(s, i);
+    if (!cp) {
+      return std::nullopt;
+    }
+    cps.push_back(*cp);
+  }
+  return cps;
+}
+
+std::string Utf8EncodeAll(const std::vector<uint32_t>& cps) {
+  std::string out;
+  for (uint32_t cp : cps) {
+    Utf8Encode(cp, out);
+  }
+  return out;
+}
+
+bool Utf8Valid(std::string_view s) { return Utf8DecodeAll(s).has_value(); }
+
+}  // namespace fob

@@ -1,0 +1,36 @@
+// UTF-8 reference codec.
+//
+// Decoding follows the same structure as the paper's Figure 1 loop (lead
+// byte classes at 0xc2/0xe0/0xf0/0xf8/0xfc/0xfe boundaries, continuation
+// bytes 10xxxxxx, overlong rejection) so that property tests can compare the
+// checked-memory ports against it byte for byte. Encoding covers the same
+// 31-bit range the classic UTF-8 definition (and Figure 1) accepts.
+
+#ifndef SRC_CODEC_UTF8_H_
+#define SRC_CODEC_UTF8_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fob {
+
+// Decodes the codepoint starting at s[i]; advances i past it. Returns
+// nullopt (i unspecified) on invalid input — lead byte 0x80..0xc1 or >=
+// 0xfe, truncated sequence, bad continuation byte, or overlong encoding.
+std::optional<uint32_t> Utf8DecodeNext(std::string_view s, size_t& i);
+
+// Appends the UTF-8 encoding of cp (up to 6 bytes, 31-bit range) to out.
+void Utf8Encode(uint32_t cp, std::string& out);
+std::string Utf8Encode(uint32_t cp);
+
+// Whole-string helpers.
+std::optional<std::vector<uint32_t>> Utf8DecodeAll(std::string_view s);
+std::string Utf8EncodeAll(const std::vector<uint32_t>& cps);
+bool Utf8Valid(std::string_view s);
+
+}  // namespace fob
+
+#endif  // SRC_CODEC_UTF8_H_

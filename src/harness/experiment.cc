@@ -1,0 +1,218 @@
+#include "src/harness/experiment.h"
+
+#include <memory>
+
+#include "src/apps/apache.h"
+#include "src/apps/mc.h"
+#include "src/apps/mutt.h"
+#include "src/apps/pine.h"
+#include "src/apps/sendmail.h"
+#include "src/harness/workloads.h"
+#include "src/net/imap.h"
+
+namespace fob {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kContinued:
+      return "continued (acceptable)";
+    case Outcome::kCrashed:
+      return "crashed (segfault)";
+    case Outcome::kTerminated:
+      return "terminated (bounds error)";
+    case Outcome::kHang:
+      return "hang";
+    case Outcome::kWrongOutput:
+      return "continued (WRONG output)";
+  }
+  return "?";
+}
+
+const char* ServerName(Server server) {
+  switch (server) {
+    case Server::kPine:
+      return "Pine";
+    case Server::kApache:
+      return "Apache";
+    case Server::kSendmail:
+      return "Sendmail";
+    case Server::kMc:
+      return "Midnight Commander";
+    case Server::kMutt:
+      return "Mutt";
+  }
+  return "?";
+}
+
+Outcome ClassifyOutcome(const RunResult& result, bool output_acceptable) {
+  switch (result.status) {
+    case ExitStatus::kOk:
+      return output_acceptable ? Outcome::kContinued : Outcome::kWrongOutput;
+    case ExitStatus::kBoundsTerminated:
+      return Outcome::kTerminated;
+    case ExitStatus::kBudgetExhausted:
+      return Outcome::kHang;
+    case ExitStatus::kSegfault:
+    case ExitStatus::kStackSmash:
+    case ExitStatus::kHeapCorruption:
+    case ExitStatus::kOtherFault:
+      return Outcome::kCrashed;
+  }
+  return Outcome::kWrongOutput;
+}
+
+namespace {
+
+constexpr uint64_t kHangBudget = 5'000'000;
+
+AttackReport ReportFrom(const RunResult& result, bool output_acceptable, bool subsequent_ok,
+                        uint64_t errors_logged) {
+  AttackReport report;
+  report.outcome = ClassifyOutcome(result, output_acceptable);
+  report.subsequent_requests_ok = result.ok() && subsequent_ok;
+  report.possible_code_injection = result.possible_code_injection;
+  report.memory_errors_logged = errors_logged;
+  report.detail = result.detail;
+  return report;
+}
+
+AttackReport RunPine(AccessPolicy policy) {
+  std::unique_ptr<PineApp> pine;
+  bool output_acceptable = false;
+  bool subsequent_ok = false;
+  RunResult result = RunAsProcess([&] {
+    // The attack message is *in the mailbox*: startup itself is the attack.
+    pine = std::make_unique<PineApp>(policy, MakePineMbox(6, /*include_attack=*/true));
+    pine->memory().set_access_budget(kHangBudget);
+    // Acceptability: the index came up with every message listed.
+    output_acceptable = pine->IndexLines().size() == 7;
+    // Subsequent requests: read a legitimate message, compose, move.
+    auto read = pine->ReadMessage(0);
+    auto compose = pine->Compose("friend0@example.org", "re: message 0", "thanks!\n");
+    auto move = pine->MoveMessage(0, "saved");
+    subsequent_ok = read.ok && compose.ok && move.ok && pine->FolderSize("saved") == 1;
+  });
+  uint64_t errors = pine != nullptr ? pine->memory().log().total_errors() : 0;
+  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+}
+
+AttackReport RunApache(AccessPolicy policy) {
+  Vfs docroot = MakeApacheDocroot();
+  std::unique_ptr<ApacheApp> apache;
+  bool output_acceptable = false;
+  bool subsequent_ok = false;
+  RunResult result = RunAsProcess([&] {
+    apache = std::make_unique<ApacheApp>(policy, &docroot, ApacheApp::DefaultConfigText());
+    apache->memory().set_access_budget(kHangBudget);
+    HttpResponse attack = apache->Handle(MakeHttpGet(MakeApacheAttackUrl()));
+    // Acceptable: the attack request got a well-formed HTTP response (under
+    // Failure Oblivious it is even byte-identical to the correct one — the
+    // app tests check that stronger property; under Wrap the redirected
+    // writes may degrade the attack request's own response to a 404, which
+    // still leaves every legitimate user unaffected).
+    output_acceptable = attack.status == 200 || attack.status == 404;
+    HttpResponse legit = apache->Handle(MakeHttpGet("/index.html"));
+    subsequent_ok = legit.status == 200 && legit.body.size() > 4000;
+  });
+  uint64_t errors = apache != nullptr ? apache->memory().log().total_errors() : 0;
+  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+}
+
+AttackReport RunSendmail(AccessPolicy policy) {
+  std::unique_ptr<SendmailApp> sendmail;
+  bool output_acceptable = false;
+  bool subsequent_ok = false;
+  RunResult result = RunAsProcess([&] {
+    // Daemon init runs the first wakeup — already fatal for Bounds Check.
+    sendmail = std::make_unique<SendmailApp>(policy);
+    sendmail->memory().set_access_budget(kHangBudget);
+    auto attack_responses = sendmail->HandleSession(MakeSendmailAttackSession());
+    // Acceptable: the attack MAIL command was *rejected* (553), session
+    // continued to QUIT.
+    bool rejected = false;
+    for (const std::string& response : attack_responses) {
+      if (response.substr(0, 3) == "553") {
+        rejected = true;
+      }
+    }
+    output_acceptable = rejected && attack_responses.back().substr(0, 3) == "221";
+    // Subsequent legitimate delivery must work.
+    auto legit = sendmail->HandleSession(MakeSendmailSession("user@localhost", 64));
+    subsequent_ok = sendmail->local_mailbox().size() == 1 &&
+                    legit.back().substr(0, 3) == "221";
+    sendmail->DaemonWakeup();  // the everyday error keeps happening
+  });
+  uint64_t errors = sendmail != nullptr ? sendmail->memory().log().total_errors() : 0;
+  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+}
+
+AttackReport RunMc(AccessPolicy policy) {
+  std::unique_ptr<McApp> mc;
+  bool output_acceptable = false;
+  bool subsequent_ok = false;
+  RunResult result = RunAsProcess([&] {
+    // Config has the blank line (the everyday error): fatal for BoundsCheck
+    // at startup, like the paper found.
+    mc = std::make_unique<McApp>(policy, McApp::DefaultConfigText(/*with_blank_lines=*/true));
+    mc->memory().set_access_budget(kHangBudget);
+    auto listing = mc->BrowseTgz(MakeMcAttackTgz());
+    // Acceptable: the browse returned a listing (symlinks shown dangling is
+    // the anticipated case).
+    output_acceptable = listing.ok && listing.rows.size() == 6;
+    // Subsequent file management must work.
+    MakeMcTree(mc->fs(), "/home/user/tree", 256 << 10);
+    bool copied = mc->Copy("/home/user/tree", "/home/user/tree2");
+    bool made = mc->MkDir("/home/user/newdir");
+    bool moved = mc->Move("/home/user/tree2", "/home/user/tree3");
+    bool deleted = mc->Delete("/home/user/tree3");
+    subsequent_ok = copied && made && moved && deleted;
+  });
+  uint64_t errors = mc != nullptr ? mc->memory().log().total_errors() : 0;
+  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+}
+
+AttackReport RunMutt(AccessPolicy policy) {
+  ImapServer imap;
+  imap.AddFolderUtf8("INBOX", {MailMessage::Make("a@b", "me@here", "hello", "body\n"),
+                               MailMessage::Make("c@d", "me@here", "again", "more\n")});
+  imap.AddFolderUtf8("archive", {});
+  std::unique_ptr<MuttApp> mutt;
+  bool output_acceptable = false;
+  bool subsequent_ok = false;
+  RunResult result = RunAsProcess([&] {
+    mutt = std::make_unique<MuttApp>(policy, &imap);
+    mutt->memory().set_access_budget(kHangBudget);
+    // Mutt is configured to open the attack folder at startup (§4.6.4).
+    auto open = mutt->OpenFolder(MakeMuttAttackFolderName());
+    // Acceptable: the open *failed* with the server's "does not exist"
+    // error, handled by Mutt's standard error logic.
+    output_acceptable = !open.ok && open.error.find("does not exist") != std::string::npos;
+    // Subsequent requests on legitimate folders.
+    auto inbox = mutt->OpenFolder("INBOX");
+    auto read = mutt->ReadMessage("INBOX", 1);
+    auto move = mutt->MoveMessage("INBOX", 1, "archive");
+    subsequent_ok = inbox.ok && read.ok && move.ok;
+  });
+  uint64_t errors = mutt != nullptr ? mutt->memory().log().total_errors() : 0;
+  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+}
+
+}  // namespace
+
+AttackReport RunAttackExperiment(Server server, AccessPolicy policy) {
+  switch (server) {
+    case Server::kPine:
+      return RunPine(policy);
+    case Server::kApache:
+      return RunApache(policy);
+    case Server::kSendmail:
+      return RunSendmail(policy);
+    case Server::kMc:
+      return RunMc(policy);
+    case Server::kMutt:
+      return RunMutt(policy);
+  }
+  return AttackReport{};
+}
+
+}  // namespace fob

@@ -1,0 +1,52 @@
+// Experiment runner: the Security & Resilience matrix and outcome
+// classification shared by tests and benches.
+
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/policy.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+
+// What happened when a server processed the attack input.
+enum class Outcome {
+  kContinued,        // executed through; acceptable output (the FO story)
+  kCrashed,          // segfault / stack smash / heap corruption (Standard)
+  kTerminated,       // checker terminated the program (Bounds Check)
+  kHang,             // access budget exhausted (nontermination)
+  kWrongOutput,      // continued but produced unacceptable output
+};
+
+const char* OutcomeName(Outcome outcome);
+
+// Classifies a RunResult plus an output-acceptability verdict.
+Outcome ClassifyOutcome(const RunResult& result, bool output_acceptable);
+
+// The five servers of §4.
+enum class Server { kPine, kApache, kSendmail, kMc, kMutt };
+const char* ServerName(Server server);
+inline constexpr Server kAllServers[] = {Server::kPine, Server::kApache, Server::kSendmail,
+                                         Server::kMc, Server::kMutt};
+
+struct AttackReport {
+  Outcome outcome = Outcome::kWrongOutput;
+  // Did the server keep serving *subsequent legitimate requests* correctly
+  // after the attack? (The paper's availability criterion.)
+  bool subsequent_requests_ok = false;
+  bool possible_code_injection = false;
+  uint64_t memory_errors_logged = 0;
+  std::string detail;
+};
+
+// Runs server × policy on its §4 attack workload followed by legitimate
+// requests, with an access budget so nontermination classifies as kHang.
+AttackReport RunAttackExperiment(Server server, AccessPolicy policy);
+
+}  // namespace fob
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,124 @@
+#include "src/harness/stats.h"
+
+#include <sstream>
+
+namespace fob {
+
+TimingStats ComputeStats(const std::vector<double>& samples_ms) {
+  TimingStats stats;
+  stats.samples = samples_ms.size();
+  if (samples_ms.empty()) {
+    return stats;
+  }
+  double sum = 0;
+  for (double s : samples_ms) {
+    sum += s;
+  }
+  stats.mean_ms = sum / static_cast<double>(samples_ms.size());
+  if (samples_ms.size() > 1 && stats.mean_ms > 0) {
+    double var = 0;
+    for (double s : samples_ms) {
+      var += (s - stats.mean_ms) * (s - stats.mean_ms);
+    }
+    var /= static_cast<double>(samples_ms.size() - 1);
+    stats.stddev_pct = 100.0 * std::sqrt(var) / stats.mean_ms;
+  }
+  return stats;
+}
+
+TimingStats MeasureMs(const std::function<void()>& fn, size_t reps) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  // One warmup run keeps first-touch page allocation out of the samples.
+  fn();
+  for (size_t i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.ElapsedMs());
+  }
+  return ComputeStats(samples);
+}
+
+TimingStats MeasureMsWithCleanup(const std::function<void()>& fn,
+                                 const std::function<void()>& cleanup, size_t reps) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  fn();
+  cleanup();
+  for (size_t i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.ElapsedMs());
+    cleanup();
+  }
+  return ComputeStats(samples);
+}
+
+PairStats MeasurePairMs(const std::function<void()>& fn_a, const std::function<void()>& fn_b,
+                        size_t batch, size_t reps) {
+  if (batch == 0) {
+    batch = 1;
+  }
+  std::vector<double> samples_a;
+  std::vector<double> samples_b;
+  samples_a.reserve(reps);
+  samples_b.reserve(reps);
+  // Warm both sides before timing either.
+  fn_a();
+  fn_b();
+  for (size_t i = 0; i < reps; ++i) {
+    {
+      Stopwatch watch;
+      for (size_t j = 0; j < batch; ++j) {
+        fn_a();
+      }
+      samples_a.push_back(watch.ElapsedMs() / static_cast<double>(batch));
+    }
+    {
+      Stopwatch watch;
+      for (size_t j = 0; j < batch; ++j) {
+        fn_b();
+      }
+      samples_b.push_back(watch.ElapsedMs() / static_cast<double>(batch));
+    }
+  }
+  return PairStats{ComputeStats(samples_a), ComputeStats(samples_b)};
+}
+
+PairStats MeasurePairMsWithCleanup(const std::function<void()>& fn_a,
+                                   const std::function<void()>& cleanup_a,
+                                   const std::function<void()>& fn_b,
+                                   const std::function<void()>& cleanup_b, size_t reps) {
+  std::vector<double> samples_a;
+  std::vector<double> samples_b;
+  fn_a();
+  cleanup_a();
+  fn_b();
+  cleanup_b();
+  for (size_t i = 0; i < reps; ++i) {
+    {
+      Stopwatch watch;
+      fn_a();
+      samples_a.push_back(watch.ElapsedMs());
+    }
+    cleanup_a();
+    {
+      Stopwatch watch;
+      fn_b();
+      samples_b.push_back(watch.ElapsedMs());
+    }
+    cleanup_b();
+  }
+  return PairStats{ComputeStats(samples_a), ComputeStats(samples_b)};
+}
+
+std::string TimingStats::ToString() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << mean_ms << " ms +/- ";
+  os.precision(2);
+  os << stddev_pct << "%";
+  return os.str();
+}
+
+}  // namespace fob

@@ -1,0 +1,66 @@
+// Timing helpers: request-processing-time measurement in the paper's style
+// (mean ± relative standard deviation over >= 20 runs).
+
+#ifndef SRC_HARNESS_STATS_H_
+#define SRC_HARNESS_STATS_H_
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fob {
+
+struct TimingStats {
+  double mean_ms = 0;
+  double stddev_pct = 0;  // relative standard deviation, like "± 7.1%"
+  size_t samples = 0;
+
+  std::string ToString() const;  // e.g. "1.98 ms ± 1.5%"
+};
+
+TimingStats ComputeStats(const std::vector<double>& samples_ms);
+
+// Runs fn `reps` times (>= the paper's "at least twenty"), timing each run.
+TimingStats MeasureMs(const std::function<void()>& fn, size_t reps = 20);
+
+// Like MeasureMs but runs an untimed cleanup between repetitions (undo a
+// copy, replenish a mailbox, ...).
+TimingStats MeasureMsWithCleanup(const std::function<void()>& fn,
+                                 const std::function<void()>& cleanup, size_t reps = 20);
+
+// A/B comparison without ordering bias: samples alternate between the two
+// functions (warming both first), and each sample batches `batch` calls so
+// microsecond-scale requests stay above timer noise. Reported times are
+// per call.
+struct PairStats {
+  TimingStats a;
+  TimingStats b;
+};
+PairStats MeasurePairMs(const std::function<void()>& fn_a, const std::function<void()>& fn_b,
+                        size_t batch = 1, size_t reps = 20);
+
+// Interleaved A/B with untimed per-sample cleanup (for operations that must
+// be undone, like a directory copy).
+PairStats MeasurePairMsWithCleanup(const std::function<void()>& fn_a,
+                                   const std::function<void()>& cleanup_a,
+                                   const std::function<void()>& fn_b,
+                                   const std::function<void()>& cleanup_b, size_t reps = 20);
+
+// One-shot wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_HARNESS_STATS_H_

@@ -1,0 +1,67 @@
+#include "src/harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace fob {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_line = [&] {
+    os << '+';
+    for (size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[i])) << cells[i] << " |";
+    }
+    os << '\n';
+  };
+  print_line();
+  print_row(headers_);
+  print_line();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_line();
+}
+
+std::string Table::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+std::string Table::Cell(double mean, double stddev_pct) {
+  std::ostringstream os;
+  os << Num(mean) << " +/- " << Num(stddev_pct, 2) << "%";
+  return os.str();
+}
+
+std::string Table::Num(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace fob

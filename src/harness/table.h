@@ -1,0 +1,31 @@
+// ASCII table printer for the paper-style figures the benches emit.
+
+#ifndef SRC_HARNESS_TABLE_H_
+#define SRC_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fob {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Formats like the paper: "0.287 +/- 7.1%".
+  static std::string Cell(double mean, double stddev_pct);
+  static std::string Num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_HARNESS_TABLE_H_

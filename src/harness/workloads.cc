@@ -1,0 +1,176 @@
+#include "src/harness/workloads.h"
+
+#include <sstream>
+
+#include "src/archive/gzip.h"
+#include "src/archive/tar.h"
+#include "src/codec/utf8.h"
+#include "src/mail/mbox.h"
+
+namespace fob {
+
+// ---- Pine ----------------------------------------------------------------
+
+std::string MakePineAttackFrom(size_t quotable) {
+  // "attacker" <\\\\\\...@evil.example> — plenty of characters Pine quotes.
+  std::string from = "\"attacker\" <";
+  from.append(quotable, '\\');
+  from += "@evil.example>";
+  return from;
+}
+
+std::string MakePineMbox(size_t legit, bool include_attack, size_t body_bytes) {
+  std::vector<MailMessage> messages;
+  messages.reserve(legit + 1);
+  for (size_t i = 0; i < legit; ++i) {
+    std::string body = "Hello number " + std::to_string(i) + "\n";
+    while (body.size() < body_bytes) {
+      body += "lorem ipsum dolor sit amet, consectetur adipiscing elit\n";
+    }
+    messages.push_back(MailMessage::Make("friend" + std::to_string(i) + "@example.org",
+                                         "user@local", "message " + std::to_string(i),
+                                         std::move(body)));
+  }
+  if (include_attack) {
+    MailMessage attack = MailMessage::Make(MakePineAttackFrom(), "user@local",
+                                           "you have won", "click here\n");
+    messages.insert(messages.begin() + static_cast<ptrdiff_t>(messages.size() / 2), attack);
+  }
+  return SerializeMbox(messages);
+}
+
+// ---- Apache ---------------------------------------------------------------
+
+std::string MakeApacheAttackUrl() {
+  // Twelve '-'-separated segments: matches the 12-capture rule, so the
+  // vulnerable copy writes 12 offset pairs into the 10-pair buffer.
+  return "/captures/a-b-c-d-e-f-g-h-i-j-k-l";
+}
+
+Vfs MakeApacheDocroot(size_t small_bytes, size_t large_bytes) {
+  Vfs docroot;
+  std::string small_page = "<html><head><title>research project</title></head><body>";
+  while (small_page.size() + 32 < small_bytes) {
+    small_page += "<p>publications and software</p>";
+  }
+  small_page += "</body></html>";
+  docroot.WriteFile("/index.html", small_page, true);
+  std::string big(large_bytes, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('A' + (i % 61));
+  }
+  docroot.WriteFile("/files/big.bin", big, true);
+  docroot.WriteFile("/docs/flexc.html", "<html><body>docs</body></html>", true);
+  docroot.WriteFile("/rewritten/a/b/c", "capture target page", true);
+  return docroot;
+}
+
+HttpRequest MakeHttpGet(const std::string& path) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  request.version = "HTTP/1.0";
+  request.headers.emplace_back("Host", "www.flexc.csail.mit.edu");
+  return request;
+}
+
+// ---- Sendmail ---------------------------------------------------------------
+
+std::vector<std::string> MakeSendmailAttackSession(size_t pairs) {
+  // The attack address needs the prescan port's mechanics; keep the string
+  // construction local to avoid a dependency cycle with apps/.
+  std::string address(63, 'a');
+  for (size_t i = 0; i < pairs; ++i) {
+    address += "\\\\\xff";
+  }
+  return {
+      "HELO attacker.example",
+      "MAIL FROM:<" + address + ">",
+      "QUIT",
+  };
+}
+
+std::vector<std::string> MakeSendmailSession(const std::string& rcpt, size_t body_bytes) {
+  std::vector<std::string> lines = {
+      "HELO client.example",
+      "MAIL FROM:<sender@client.example>",
+      "RCPT TO:<" + rcpt + ">",
+      "DATA",
+  };
+  std::string body_line(72, 'm');
+  size_t written = 0;
+  while (written < body_bytes) {
+    size_t take = std::min(body_line.size(), body_bytes - written);
+    lines.push_back(body_line.substr(0, take));
+    written += take;
+  }
+  if (body_bytes == 0) {
+    lines.push_back("hi");
+  }
+  lines.push_back(".");
+  lines.push_back("QUIT");
+  return lines;
+}
+
+// ---- Midnight Commander ------------------------------------------------------
+
+std::string MakeMcAttackTgz() {
+  // Several symlinks with long multi-component absolute targets: their
+  // component names accumulate in the 64-byte link buffer and overflow it
+  // by the second/third link.
+  std::vector<TarEntry> entries;
+  entries.push_back(TarEntry::Directory("pkg/"));
+  entries.push_back(TarEntry::File("pkg/readme.txt", "malicious archive\n"));
+  for (int i = 0; i < 4; ++i) {
+    std::string target = "/opt/verylongcomponentname" + std::to_string(i) +
+                         "/anotherlongcomponent/finaltarget" + std::to_string(i);
+    entries.push_back(TarEntry::Symlink("pkg/link" + std::to_string(i), target));
+  }
+  return GzipStore(WriteTar(entries));
+}
+
+std::string MakeMcBenignTgz() {
+  std::vector<TarEntry> entries;
+  entries.push_back(TarEntry::Directory("pkg/"));
+  entries.push_back(TarEntry::File("pkg/a.txt", "file a\n"));
+  entries.push_back(TarEntry::File("pkg/b.txt", "file b\n"));
+  entries.push_back(TarEntry::Symlink("pkg/s", "/usr/doc"));  // short: boring path
+  return GzipStore(WriteTar(entries));
+}
+
+uint64_t MakeMcTree(Vfs& fs, const std::string& root, uint64_t bytes) {
+  fs.MkDir(root, true);
+  uint64_t written = 0;
+  size_t file_index = 0;
+  std::string chunk(64 << 10, 'd');
+  while (written < bytes) {
+    std::string dir = root + "/d" + std::to_string(file_index / 16);
+    size_t take = static_cast<size_t>(std::min<uint64_t>(chunk.size(), bytes - written));
+    fs.WriteFile(dir + "/f" + std::to_string(file_index) + ".dat", chunk.substr(0, take), true);
+    written += take;
+    ++file_index;
+  }
+  return written;
+}
+
+// ---- Mutt ---------------------------------------------------------------------
+
+std::string MakeMuttAttackFolderName(size_t blocks) {
+  // Alternating control characters and ASCII: each control char costs
+  // '&' + 3 base64 chars + '-' = 5 output bytes for 1 input byte, ratio 3x
+  // — well past the 2x Mutt allocated (§4.6.1).
+  std::string name = "mail/";
+  for (size_t i = 0; i < blocks; ++i) {
+    name += '\x01';
+    name += 'a';
+  }
+  return name;
+}
+
+std::string MakeMuttBenignFolderName() {
+  // "archive/<CJK><CJK>" — expansion stays under 2x because the wide chars
+  // share one shift sequence.
+  return "archive/" + Utf8Encode(0x65e5) + Utf8Encode(0x672c) + Utf8Encode(0x8a9e);
+}
+
+}  // namespace fob

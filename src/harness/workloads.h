@@ -1,0 +1,66 @@
+// Workload generators: the attack inputs from §4 and legitimate request
+// streams for the performance/stability experiments.
+
+#ifndef SRC_HARNESS_WORKLOADS_H_
+#define SRC_HARNESS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mail/message.h"
+#include "src/net/http.h"
+#include "src/vfs/vfs.h"
+
+namespace fob {
+
+// ---- Pine -------------------------------------------------------------
+
+// A From field with enough quotable characters that Pine's miscalculated
+// buffer overflows by ~quoted/2 bytes (§4.2.1).
+std::string MakePineAttackFrom(size_t quotable = 64);
+// An mbox with `legit` ordinary messages and, optionally, one attack
+// message (the paper's trigger sits in the mailbox at load time).
+// body_bytes sizes each message body.
+std::string MakePineMbox(size_t legit, bool include_attack, size_t body_bytes = 48);
+
+// ---- Apache ------------------------------------------------------------
+
+// A URL matching the >10-capture rewrite rule (§4.3.1).
+std::string MakeApacheAttackUrl();
+// Builds the docroot with the two pages Figure 3 measures: /index.html
+// (small_bytes) and /files/big.bin (large_bytes).
+Vfs MakeApacheDocroot(size_t small_bytes = 5 * 1024, size_t large_bytes = 830 * 1024);
+HttpRequest MakeHttpGet(const std::string& path);
+
+// ---- Sendmail ------------------------------------------------------------
+// (MakeSendmailAttackAddress lives in src/apps/sendmail.h next to the
+//  prescan port whose mechanics it mirrors.)
+
+// A full attack SMTP session (HELO/MAIL-with-attack-address/QUIT).
+std::vector<std::string> MakeSendmailAttackSession(size_t pairs = 32);
+// A legitimate delivery session with a body of `body_bytes` bytes.
+std::vector<std::string> MakeSendmailSession(const std::string& rcpt, size_t body_bytes);
+
+// ---- Midnight Commander ---------------------------------------------------
+
+// A .tgz whose absolute-target symlinks accumulate more than the link
+// buffer holds (§4.5.1).
+std::string MakeMcAttackTgz();
+// A benign .tgz with files and resolvable-shaped symlinks.
+std::string MakeMcBenignTgz();
+// Populates `fs` with a directory tree of roughly `bytes` at `root` (the
+// 31 MB tree Figure 5 copies). Returns the actual byte count.
+uint64_t MakeMcTree(Vfs& fs, const std::string& root, uint64_t bytes);
+
+// ---- Mutt ------------------------------------------------------------------
+
+// A folder name whose UTF-8 -> UTF-7 conversion expands by more than 2x
+// (§4.6.1); `blocks` scales the overflow size.
+std::string MakeMuttAttackFolderName(size_t blocks = 24);
+// A benign non-ASCII folder name (expansion < 2x).
+std::string MakeMuttBenignFolderName();
+
+}  // namespace fob
+
+#endif  // SRC_HARNESS_WORKLOADS_H_

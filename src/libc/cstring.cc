@@ -1,0 +1,183 @@
+#include "src/libc/cstring.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace fob {
+
+size_t StrLen(Memory& m, Ptr s) {
+  size_t n = 0;
+  while (m.ReadU8(s + static_cast<int64_t>(n)) != 0) {
+    ++n;
+  }
+  return n;
+}
+
+Ptr StrCpy(Memory& m, Ptr dst, Ptr src) {
+  int64_t i = 0;
+  for (;; ++i) {
+    uint8_t c = m.ReadU8(src + i);
+    m.WriteU8(dst + i, c);
+    if (c == 0) {
+      break;
+    }
+  }
+  return dst;
+}
+
+Ptr StrNCpy(Memory& m, Ptr dst, Ptr src, size_t n) {
+  size_t i = 0;
+  for (; i < n; ++i) {
+    uint8_t c = m.ReadU8(src + static_cast<int64_t>(i));
+    m.WriteU8(dst + static_cast<int64_t>(i), c);
+    if (c == 0) {
+      ++i;
+      break;
+    }
+  }
+  for (; i < n; ++i) {
+    m.WriteU8(dst + static_cast<int64_t>(i), 0);
+  }
+  return dst;
+}
+
+Ptr StrCat(Memory& m, Ptr dst, Ptr src) {
+  int64_t offset = static_cast<int64_t>(StrLen(m, dst));
+  int64_t i = 0;
+  for (;; ++i) {
+    uint8_t c = m.ReadU8(src + i);
+    m.WriteU8(dst + offset + i, c);
+    if (c == 0) {
+      break;
+    }
+  }
+  return dst;
+}
+
+Ptr StrNCat(Memory& m, Ptr dst, Ptr src, size_t n) {
+  int64_t offset = static_cast<int64_t>(StrLen(m, dst));
+  size_t i = 0;
+  for (; i < n; ++i) {
+    uint8_t c = m.ReadU8(src + static_cast<int64_t>(i));
+    if (c == 0) {
+      break;
+    }
+    m.WriteU8(dst + offset + static_cast<int64_t>(i), c);
+  }
+  m.WriteU8(dst + offset + static_cast<int64_t>(i), 0);
+  return dst;
+}
+
+int StrCmp(Memory& m, Ptr a, Ptr b) {
+  for (int64_t i = 0;; ++i) {
+    uint8_t ca = m.ReadU8(a + i);
+    uint8_t cb = m.ReadU8(b + i);
+    if (ca != cb) {
+      return ca < cb ? -1 : 1;
+    }
+    if (ca == 0) {
+      return 0;
+    }
+  }
+}
+
+int StrNCmp(Memory& m, Ptr a, Ptr b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t ca = m.ReadU8(a + static_cast<int64_t>(i));
+    uint8_t cb = m.ReadU8(b + static_cast<int64_t>(i));
+    if (ca != cb) {
+      return ca < cb ? -1 : 1;
+    }
+    if (ca == 0) {
+      return 0;
+    }
+  }
+  return 0;
+}
+
+int MemCmp(Memory& m, Ptr a, Ptr b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t ca = m.ReadU8(a + static_cast<int64_t>(i));
+    uint8_t cb = m.ReadU8(b + static_cast<int64_t>(i));
+    if (ca != cb) {
+      return ca < cb ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+Ptr StrChr(Memory& m, Ptr s, char c) {
+  for (int64_t i = 0;; ++i) {
+    uint8_t v = m.ReadU8(s + i);
+    if (v == static_cast<uint8_t>(c)) {
+      return s + i;
+    }
+    if (v == 0) {
+      return kNullPtr;
+    }
+  }
+}
+
+Ptr StrRChr(Memory& m, Ptr s, char c) {
+  Ptr found = kNullPtr;
+  for (int64_t i = 0;; ++i) {
+    uint8_t v = m.ReadU8(s + i);
+    if (v == static_cast<uint8_t>(c)) {
+      found = s + i;
+    }
+    if (v == 0) {
+      return found;
+    }
+  }
+}
+
+void MemCpy(Memory& m, Ptr dst, Ptr src, size_t n) {
+  // Chunked transfers keep the number of checked accesses proportional to
+  // n/chunk rather than n, like a compiler that checks the whole access
+  // range once. memcpy with overlapping ranges is undefined; this copies
+  // forward like most implementations.
+  constexpr size_t kChunk = 4096;
+  std::vector<uint8_t> buffer(std::min(n, kChunk));
+  size_t done = 0;
+  while (done < n) {
+    size_t step = std::min(n - done, kChunk);
+    m.Read(src + static_cast<int64_t>(done), buffer.data(), step);
+    m.Write(dst + static_cast<int64_t>(done), buffer.data(), step);
+    done += step;
+  }
+}
+
+void MemMove(Memory& m, Ptr dst, Ptr src, size_t n) {
+  // Buffer the whole source first so overlap is safe.
+  std::vector<uint8_t> buffer(n);
+  if (n > 0) {
+    m.Read(src, buffer.data(), n);
+    m.Write(dst, buffer.data(), n);
+  }
+}
+
+void MemSet(Memory& m, Ptr dst, uint8_t value, size_t n) {
+  constexpr size_t kChunk = 4096;
+  std::vector<uint8_t> buffer(std::min(n, kChunk), value);
+  size_t done = 0;
+  while (done < n) {
+    size_t step = std::min(n - done, kChunk);
+    m.Write(dst + static_cast<int64_t>(done), buffer.data(), step);
+    done += step;
+  }
+}
+
+Ptr StrDup(Memory& m, Ptr s, const char* name) {
+  size_t n = StrLen(m, s);
+  Ptr copy = m.Malloc(n + 1, name);
+  if (copy.IsNull()) {
+    return copy;
+  }
+  for (size_t i = 0; i <= n; ++i) {
+    m.WriteU8(copy + static_cast<int64_t>(i), m.ReadU8(s + static_cast<int64_t>(i)));
+  }
+  return copy;
+}
+
+}  // namespace fob

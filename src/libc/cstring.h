@@ -1,0 +1,61 @@
+// Checked libc string/memory routines.
+//
+// These are the <string.h> functions the paper's servers call, re-expressed
+// over checked pointers: every byte they touch goes through fob::Memory, so
+// each one inherits the semantics of the active policy. That is the point:
+// `strcat` through a failure-oblivious Memory silently truncates at the end
+// of the destination unit; through a bounds-check Memory it terminates the
+// program; through a standard Memory it smashes whatever lies beyond.
+//
+// Loops that scan for a terminator (StrLen, StrChr, StrCpy, ...) are exactly
+// the loops §3 worries about: under the failure-oblivious policy their exit
+// condition may be satisfied only by a manufactured value. The Memory access
+// budget is the backstop that turns a nonterminating scan into a detectable
+// hang for the experiments.
+
+#ifndef SRC_LIBC_CSTRING_H_
+#define SRC_LIBC_CSTRING_H_
+
+#include <cstddef>
+
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+
+namespace fob {
+
+// Length of the NUL-terminated string at s.
+size_t StrLen(Memory& m, Ptr s);
+
+// Copies src (including NUL) to dst; returns dst.
+Ptr StrCpy(Memory& m, Ptr dst, Ptr src);
+
+// Copies at most n bytes; pads with NULs like the real strncpy; returns dst.
+Ptr StrNCpy(Memory& m, Ptr dst, Ptr src, size_t n);
+
+// Appends src to the NUL-terminated string at dst; returns dst.
+Ptr StrCat(Memory& m, Ptr dst, Ptr src);
+
+// Appends at most n bytes of src plus a NUL; returns dst.
+Ptr StrNCat(Memory& m, Ptr dst, Ptr src, size_t n);
+
+// Standard three-way comparisons.
+int StrCmp(Memory& m, Ptr a, Ptr b);
+int StrNCmp(Memory& m, Ptr a, Ptr b, size_t n);
+int MemCmp(Memory& m, Ptr a, Ptr b, size_t n);
+
+// First occurrence of c (which may be '\0') in s; null Ptr if absent.
+Ptr StrChr(Memory& m, Ptr s, char c);
+// Last occurrence of c in s; null Ptr if absent.
+Ptr StrRChr(Memory& m, Ptr s, char c);
+
+// Byte-block operations.
+void MemCpy(Memory& m, Ptr dst, Ptr src, size_t n);
+void MemMove(Memory& m, Ptr dst, Ptr src, size_t n);
+void MemSet(Memory& m, Ptr dst, uint8_t value, size_t n);
+
+// strdup: Malloc + StrCpy.
+Ptr StrDup(Memory& m, Ptr s, const char* name = "strdup");
+
+}  // namespace fob
+
+#endif  // SRC_LIBC_CSTRING_H_

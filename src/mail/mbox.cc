@@ -1,0 +1,74 @@
+#include "src/mail/mbox.h"
+
+#include <sstream>
+
+namespace fob {
+
+namespace {
+bool IsFromLine(std::string_view line) { return line.substr(0, 5) == "From "; }
+}  // namespace
+
+std::vector<MailMessage> ParseMbox(std::string_view text) {
+  std::vector<MailMessage> messages;
+  std::string current;
+  bool in_message = false;
+  size_t pos = 0;
+  auto flush = [&] {
+    if (in_message) {
+      // Strip one trailing newline added by the serializer between messages.
+      if (!current.empty() && current.back() == '\n') {
+        current.pop_back();
+      }
+      messages.push_back(MailMessage::Parse(current));
+      current.clear();
+    }
+  };
+  while (pos < text.size()) {
+    size_t line_end = text.find('\n', pos);
+    bool last = line_end == std::string_view::npos;
+    std::string_view line = text.substr(pos, last ? text.size() - pos : line_end - pos);
+    if (IsFromLine(line)) {
+      flush();
+      in_message = true;
+    } else if (in_message) {
+      // Unstuff ">From " -> "From " (and ">>From" -> ">From", etc.).
+      if (!line.empty() && line[0] == '>') {
+        size_t gt = line.find_first_not_of('>');
+        if (gt != std::string_view::npos && line.substr(gt, 5) == "From ") {
+          line.remove_prefix(1);
+        }
+      }
+      current += std::string(line);
+      current += '\n';
+    }
+    if (last) {
+      break;
+    }
+    pos = line_end + 1;
+  }
+  flush();
+  return messages;
+}
+
+std::string SerializeMbox(const std::vector<MailMessage>& messages) {
+  std::ostringstream os;
+  for (const MailMessage& message : messages) {
+    os << "From MAILER-DAEMON Thu Jan  1 00:00:00 2004\n";
+    std::istringstream body(message.Serialize());
+    std::string line;
+    while (std::getline(body, line)) {
+      std::string_view view = line;
+      size_t gt = view.find_first_not_of('>');
+      if (gt != std::string_view::npos && view.substr(gt, 5) == "From ") {
+        os << '>';
+      } else if (gt == std::string_view::npos && view.substr(0, 5) == "From ") {
+        os << '>';
+      }
+      os << line << "\n";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fob

@@ -1,0 +1,22 @@
+// mbox folder format (mboxrd-style From-stuffing).
+//
+// Messages are separated by "From " lines; body lines that would collide
+// are quoted with '>' on write and unquoted on read.
+
+#ifndef SRC_MAIL_MBOX_H_
+#define SRC_MAIL_MBOX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/mail/message.h"
+
+namespace fob {
+
+std::vector<MailMessage> ParseMbox(std::string_view text);
+std::string SerializeMbox(const std::vector<MailMessage>& messages);
+
+}  // namespace fob
+
+#endif  // SRC_MAIL_MBOX_H_

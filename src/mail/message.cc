@@ -1,0 +1,97 @@
+#include "src/mail/message.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace fob {
+
+namespace {
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string MailMessage::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (IEquals(key, name)) {
+      return value;
+    }
+  }
+  return {};
+}
+
+void MailMessage::SetHeader(std::string name, std::string value) {
+  for (auto& [key, existing] : headers) {
+    if (IEquals(key, name)) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+MailMessage MailMessage::Parse(std::string_view text) {
+  MailMessage message;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t line_end = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, line_end == std::string_view::npos ? text.size() - pos : line_end - pos);
+    pos = line_end == std::string_view::npos ? text.size() : line_end + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) {
+      break;  // end of headers
+    }
+    if ((line[0] == ' ' || line[0] == '\t') && !message.headers.empty()) {
+      // Folded continuation line.
+      message.headers.back().second += ' ';
+      size_t start = line.find_first_not_of(" \t");
+      message.headers.back().second += std::string(line.substr(start));
+      continue;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      continue;  // junk line in the header block; tolerate
+    }
+    std::string name(line.substr(0, colon));
+    size_t value_start = colon + 1;
+    while (value_start < line.size() && (line[value_start] == ' ' || line[value_start] == '\t')) {
+      ++value_start;
+    }
+    message.headers.emplace_back(std::move(name), std::string(line.substr(value_start)));
+  }
+  message.body = std::string(text.substr(pos));
+  return message;
+}
+
+std::string MailMessage::Serialize() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\n";
+  }
+  os << "\n" << body;
+  return os.str();
+}
+
+MailMessage MailMessage::Make(std::string from, std::string to, std::string subject,
+                              std::string body) {
+  MailMessage message;
+  message.headers.emplace_back("From", std::move(from));
+  message.headers.emplace_back("To", std::move(to));
+  message.headers.emplace_back("Subject", std::move(subject));
+  message.body = std::move(body);
+  return message;
+}
+
+}  // namespace fob

@@ -1,0 +1,36 @@
+// RFC-822-style mail messages.
+
+#ifndef SRC_MAIL_MESSAGE_H_
+#define SRC_MAIL_MESSAGE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fob {
+
+struct MailMessage {
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // First header with the given name (case-insensitive); empty if absent.
+  std::string Header(std::string_view name) const;
+  std::string From() const { return Header("From"); }
+  std::string To() const { return Header("To"); }
+  std::string Subject() const { return Header("Subject"); }
+
+  void SetHeader(std::string name, std::string value);
+
+  // Parses "Header: value" lines up to the first blank line, then the body.
+  // Header continuation lines (leading whitespace) are folded.
+  static MailMessage Parse(std::string_view text);
+  std::string Serialize() const;
+
+  static MailMessage Make(std::string from, std::string to, std::string subject,
+                          std::string body);
+};
+
+}  // namespace fob
+
+#endif  // SRC_MAIL_MESSAGE_H_

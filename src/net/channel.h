@@ -1,0 +1,54 @@
+// In-memory line-oriented connection.
+//
+// Stands in for a TCP connection between a client (the attacker or a
+// legitimate user agent) and a server under test. Both mini-Sendmail's SMTP
+// dialogue and the stability harness drive servers through one of these.
+
+#ifndef SRC_NET_CHANNEL_H_
+#define SRC_NET_CHANNEL_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fob {
+
+class LineChannel {
+ public:
+  // Client -> server direction.
+  void ClientSend(std::string line) { to_server_.push_back(std::move(line)); }
+  std::optional<std::string> ServerReceive() {
+    if (to_server_.empty()) {
+      return std::nullopt;
+    }
+    std::string line = std::move(to_server_.front());
+    to_server_.pop_front();
+    return line;
+  }
+  bool ServerHasInput() const { return !to_server_.empty(); }
+
+  // Server -> client direction.
+  void ServerSend(std::string line) { to_client_.push_back(std::move(line)); }
+  std::optional<std::string> ClientReceive() {
+    if (to_client_.empty()) {
+      return std::nullopt;
+    }
+    std::string line = std::move(to_client_.front());
+    to_client_.pop_front();
+    return line;
+  }
+  std::vector<std::string> ClientReceiveAll() {
+    std::vector<std::string> lines(to_client_.begin(), to_client_.end());
+    to_client_.clear();
+    return lines;
+  }
+
+ private:
+  std::deque<std::string> to_server_;
+  std::deque<std::string> to_client_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_NET_CHANNEL_H_

@@ -1,0 +1,136 @@
+#include "src/net/http.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fob {
+
+namespace {
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view TrimView(std::string_view s) {
+  size_t start = s.find_first_not_of(" \t\r");
+  if (start == std::string_view::npos) {
+    return {};
+  }
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(start, end - start + 1);
+}
+
+}  // namespace
+
+std::optional<HttpRequest> HttpRequest::Parse(std::string_view text) {
+  HttpRequest request;
+  size_t line_end = text.find('\n');
+  std::string_view request_line = text.substr(0, line_end == std::string_view::npos
+                                                     ? text.size()
+                                                     : line_end);
+  request_line = TrimView(request_line);
+  size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return std::nullopt;
+  }
+  size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    return std::nullopt;
+  }
+  request.method = std::string(request_line.substr(0, sp1));
+  request.path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.method.empty() || request.path.empty() || request.version.substr(0, 5) != "HTTP/") {
+    return std::nullopt;
+  }
+  // Headers until a blank line.
+  size_t pos = line_end == std::string_view::npos ? text.size() : line_end + 1;
+  while (pos < text.size()) {
+    size_t next = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, next == std::string_view::npos ? text.size() - pos : next - pos);
+    pos = next == std::string_view::npos ? text.size() : next + 1;
+    line = TrimView(line);
+    if (line.empty()) {
+      break;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      continue;  // tolerate junk header lines
+    }
+    request.headers.emplace_back(std::string(TrimView(line.substr(0, colon))),
+                                 std::string(TrimView(line.substr(colon + 1))));
+  }
+  return request;
+}
+
+std::string HttpRequest::Serialize() const {
+  std::ostringstream os;
+  os << method << " " << path << " " << version << "\r\n";
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "\r\n";
+  return os.str();
+}
+
+std::string HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (IEquals(key, name)) {
+      return value;
+    }
+  }
+  return {};
+}
+
+HttpResponse HttpResponse::Ok(std::string body, std::string content_type) {
+  HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  response.headers.emplace_back("Content-Type", std::move(content_type));
+  response.headers.emplace_back("Content-Length", std::to_string(body.size()));
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::NotFound(std::string_view path) {
+  HttpResponse response;
+  response.status = 404;
+  response.reason = "Not Found";
+  response.body = "<html><body><h1>404 Not Found</h1><p>" + std::string(path) +
+                  "</p></body></html>\n";
+  response.headers.emplace_back("Content-Type", "text/html");
+  response.headers.emplace_back("Content-Length", std::to_string(response.body.size()));
+  return response;
+}
+
+HttpResponse HttpResponse::BadRequest(std::string detail) {
+  HttpResponse response;
+  response.status = 400;
+  response.reason = "Bad Request";
+  response.body = "<html><body><h1>400 Bad Request</h1><p>" + detail + "</p></body></html>\n";
+  response.headers.emplace_back("Content-Type", "text/html");
+  response.headers.emplace_back("Content-Length", std::to_string(response.body.size()));
+  return response;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << " " << reason << "\r\n";
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "\r\n" << body;
+  return os.str();
+}
+
+}  // namespace fob

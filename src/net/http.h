@@ -1,0 +1,40 @@
+// Minimal HTTP/1.0 message handling for mini-Apache.
+
+#ifndef SRC_NET_HTTP_H_
+#define SRC_NET_HTTP_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fob {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string version = "HTTP/1.0";
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // Parses "METHOD SP path SP version CRLF (header CRLF)* CRLF". Returns
+  // nullopt on a malformed request line.
+  static std::optional<HttpRequest> Parse(std::string_view text);
+  std::string Serialize() const;
+  std::string Header(std::string_view name) const;  // empty if absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  static HttpResponse Ok(std::string body, std::string content_type = "text/html");
+  static HttpResponse NotFound(std::string_view path);
+  static HttpResponse BadRequest(std::string detail);
+  std::string Serialize() const;
+};
+
+}  // namespace fob
+
+#endif  // SRC_NET_HTTP_H_

@@ -1,0 +1,70 @@
+#include "src/net/imap.h"
+
+#include "src/codec/utf7.h"
+
+namespace fob {
+
+bool ImapServer::AddFolderUtf8(const std::string& utf8_name, std::vector<MailMessage> messages) {
+  std::optional<std::string> utf7 = Utf8ToUtf7(utf8_name);
+  if (!utf7) {
+    return false;
+  }
+  folders_[*utf7] = std::move(messages);
+  return true;
+}
+
+ImapServer::SelectResult ImapServer::Select(const std::string& utf7_name) const {
+  SelectResult result;
+  auto it = folders_.find(utf7_name);
+  if (it == folders_.end()) {
+    result.ok = false;
+    result.response = "NO [NONEXISTENT] Mailbox does not exist";
+    return result;
+  }
+  result.ok = true;
+  result.message_count = it->second.size();
+  result.response = "OK [READ-WRITE] SELECT completed";
+  return result;
+}
+
+std::optional<MailMessage> ImapServer::Fetch(const std::string& utf7_name, size_t index) const {
+  auto it = folders_.find(utf7_name);
+  if (it == folders_.end() || index == 0 || index > it->second.size()) {
+    return std::nullopt;
+  }
+  return it->second[index - 1];
+}
+
+bool ImapServer::MoveMessage(const std::string& from_utf7, size_t index,
+                             const std::string& to_utf7) {
+  auto from = folders_.find(from_utf7);
+  auto to = folders_.find(to_utf7);
+  if (from == folders_.end() || to == folders_.end() || index == 0 ||
+      index > from->second.size()) {
+    return false;
+  }
+  to->second.push_back(std::move(from->second[index - 1]));
+  from->second.erase(from->second.begin() + static_cast<ptrdiff_t>(index - 1));
+  return true;
+}
+
+bool ImapServer::Append(const std::string& utf7_name, MailMessage message) {
+  auto it = folders_.find(utf7_name);
+  if (it == folders_.end()) {
+    return false;
+  }
+  it->second.push_back(std::move(message));
+  return true;
+}
+
+std::vector<std::string> ImapServer::ListUtf7() const {
+  std::vector<std::string> names;
+  names.reserve(folders_.size());
+  for (const auto& [name, messages] : folders_) {
+    (void)messages;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace fob

@@ -1,0 +1,55 @@
+// Mini IMAP folder server.
+//
+// Just enough IMAP for the Mutt experiment (§4.6): folders are stored under
+// their modified-UTF-7 names (the on-the-wire form); SELECT of a nonexistent
+// folder answers "NO Mailbox does not exist" — the anticipated error case
+// Mutt's standard error handling processes after failure-oblivious execution
+// truncates the converted folder name.
+
+#ifndef SRC_NET_IMAP_H_
+#define SRC_NET_IMAP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mail/message.h"
+
+namespace fob {
+
+class ImapServer {
+ public:
+  // Adds a folder by UTF-8 name (stored under its modified-UTF-7 encoding).
+  // Returns false if the name is not valid UTF-8.
+  bool AddFolderUtf8(const std::string& utf8_name, std::vector<MailMessage> messages);
+
+  struct SelectResult {
+    bool ok = false;
+    std::string response;  // the tagged IMAP response line
+    size_t message_count = 0;
+  };
+
+  // SELECT with the wire-format (modified UTF-7) mailbox name.
+  SelectResult Select(const std::string& utf7_name) const;
+
+  // 1-based message fetch from a selected folder.
+  std::optional<MailMessage> Fetch(const std::string& utf7_name, size_t index) const;
+
+  // Moves message `index` (1-based) from one folder to another. Returns
+  // false if either folder or the message is missing.
+  bool MoveMessage(const std::string& from_utf7, size_t index, const std::string& to_utf7);
+
+  // Appends a message to a folder; false if the folder is missing.
+  bool Append(const std::string& utf7_name, MailMessage message);
+
+  std::vector<std::string> ListUtf7() const;
+  size_t folder_count() const { return folders_.size(); }
+
+ private:
+  std::map<std::string, std::vector<MailMessage>> folders_;  // by UTF-7 name
+};
+
+}  // namespace fob
+
+#endif  // SRC_NET_IMAP_H_

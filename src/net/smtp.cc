@@ -1,0 +1,38 @@
+#include "src/net/smtp.h"
+
+#include <cctype>
+
+namespace fob {
+
+SmtpCommand ParseSmtpCommand(std::string_view line) {
+  SmtpCommand command;
+  size_t i = 0;
+  while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])) &&
+         line[i] != ':') {
+    command.verb.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(line[i]))));
+    ++i;
+  }
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  command.arg = std::string(line.substr(i));
+  while (!command.arg.empty() &&
+         std::isspace(static_cast<unsigned char>(command.arg.back()))) {
+    command.arg.pop_back();
+  }
+  return command;
+}
+
+std::optional<std::string> ExtractAngleAddress(std::string_view arg) {
+  size_t open = arg.find('<');
+  if (open == std::string_view::npos) {
+    return std::nullopt;
+  }
+  size_t close = arg.rfind('>');
+  if (close == std::string_view::npos || close < open) {
+    return std::nullopt;
+  }
+  return std::string(arg.substr(open + 1, close - open - 1));
+}
+
+}  // namespace fob

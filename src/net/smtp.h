@@ -1,0 +1,26 @@
+// SMTP command parsing helpers for mini-Sendmail.
+
+#ifndef SRC_NET_SMTP_H_
+#define SRC_NET_SMTP_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fob {
+
+struct SmtpCommand {
+  std::string verb;  // uppercased: HELO, MAIL, RCPT, DATA, QUIT, RSET, NOOP
+  std::string arg;   // remainder after the verb, trimmed
+};
+
+SmtpCommand ParseSmtpCommand(std::string_view line);
+
+// "FROM:<user@host>" / "TO:<user@host>" -> "user@host". Returns nullopt if
+// the angle brackets are missing. The address is NOT validated — that is the
+// server's (vulnerable) job.
+std::optional<std::string> ExtractAngleAddress(std::string_view arg);
+
+}  // namespace fob
+
+#endif  // SRC_NET_SMTP_H_

@@ -1,0 +1,543 @@
+#include "src/regex/regex.h"
+
+#include <cassert>
+#include <functional>
+
+namespace fob {
+
+// ---- AST -------------------------------------------------------------------
+
+struct Regex::Node {
+  enum class Type {
+    kChar,     // literal byte
+    kAny,      // .
+    kClass,    // [...] or \d etc.
+    kConcat,   // sequence
+    kAlt,      // a|b|c
+    kRepeat,   // child{min,max}; max == -1 means unbounded
+    kGroup,    // (...) capturing, index
+    kAnchorStart,
+    kAnchorEnd,
+  };
+
+  Type type = Type::kChar;
+  char ch = 0;
+  std::bitset<256> klass;
+  std::vector<std::shared_ptr<const Node>> children;
+  int min = 0;
+  int max = -1;
+  int group_index = 0;
+};
+
+namespace {
+
+using Node = Regex::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, std::string* error) : pattern_(pattern), error_(error) {}
+
+  NodePtr Parse(int* capture_count) {
+    group_count_ = 0;
+    NodePtr node = ParseAlternation();
+    if (node != nullptr && pos_ != pattern_.size()) {
+      Fail("unexpected ')'");
+      return nullptr;
+    }
+    *capture_count = group_count_;
+    return node;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+
+  void Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+    failed_ = true;
+  }
+
+  NodePtr ParseAlternation() {
+    std::vector<NodePtr> branches;
+    branches.push_back(ParseConcat());
+    while (!failed_ && !AtEnd() && Peek() == '|') {
+      ++pos_;
+      branches.push_back(ParseConcat());
+    }
+    if (failed_) {
+      return nullptr;
+    }
+    if (branches.size() == 1) {
+      return branches[0];
+    }
+    auto node = std::make_shared<Node>();
+    node->type = Node::Type::kAlt;
+    node->children = std::move(branches);
+    return node;
+  }
+
+  NodePtr ParseConcat() {
+    std::vector<NodePtr> parts;
+    while (!failed_ && !AtEnd() && Peek() != '|' && Peek() != ')') {
+      NodePtr part = ParseRepeat();
+      if (part == nullptr) {
+        return nullptr;
+      }
+      parts.push_back(std::move(part));
+    }
+    if (failed_) {
+      return nullptr;
+    }
+    auto node = std::make_shared<Node>();
+    node->type = Node::Type::kConcat;
+    node->children = std::move(parts);
+    return node;
+  }
+
+  NodePtr ParseRepeat() {
+    NodePtr atom = ParseAtom();
+    if (atom == nullptr) {
+      return nullptr;
+    }
+    while (!AtEnd()) {
+      char c = Peek();
+      int min = 0;
+      int max = -1;
+      if (c == '*') {
+        min = 0;
+        max = -1;
+      } else if (c == '+') {
+        min = 1;
+        max = -1;
+      } else if (c == '?') {
+        min = 0;
+        max = 1;
+      } else if (c == '{') {
+        size_t save = pos_;
+        if (!ParseBrace(&min, &max)) {
+          pos_ = save;
+          break;
+        }
+        auto node = std::make_shared<Node>();
+        node->type = Node::Type::kRepeat;
+        node->min = min;
+        node->max = max;
+        node->children.push_back(std::move(atom));
+        atom = std::move(node);
+        continue;
+      } else {
+        break;
+      }
+      ++pos_;
+      if (atom->type == Node::Type::kAnchorStart || atom->type == Node::Type::kAnchorEnd) {
+        Fail("quantifier on anchor");
+        return nullptr;
+      }
+      auto node = std::make_shared<Node>();
+      node->type = Node::Type::kRepeat;
+      node->min = min;
+      node->max = max;
+      node->children.push_back(std::move(atom));
+      atom = std::move(node);
+    }
+    return atom;
+  }
+
+  // Parses {m}, {m,}, {m,n}. Returns false (without reporting) if the brace
+  // is not a valid quantifier — it is then treated as a literal '{'.
+  bool ParseBrace(int* min, int* max) {
+    assert(Peek() == '{');
+    size_t p = pos_ + 1;
+    int m = 0;
+    bool any = false;
+    while (p < pattern_.size() && pattern_[p] >= '0' && pattern_[p] <= '9') {
+      m = m * 10 + (pattern_[p] - '0');
+      ++p;
+      any = true;
+    }
+    if (!any) {
+      return false;
+    }
+    int n = m;
+    if (p < pattern_.size() && pattern_[p] == ',') {
+      ++p;
+      if (p < pattern_.size() && pattern_[p] == '}') {
+        n = -1;
+      } else {
+        n = 0;
+        bool any2 = false;
+        while (p < pattern_.size() && pattern_[p] >= '0' && pattern_[p] <= '9') {
+          n = n * 10 + (pattern_[p] - '0');
+          ++p;
+          any2 = true;
+        }
+        if (!any2) {
+          return false;
+        }
+      }
+    }
+    if (p >= pattern_.size() || pattern_[p] != '}') {
+      return false;
+    }
+    if (n != -1 && n < m) {
+      return false;
+    }
+    pos_ = p + 1;
+    *min = m;
+    *max = n;
+    return true;
+  }
+
+  NodePtr ParseAtom() {
+    if (AtEnd()) {
+      Fail("dangling quantifier or empty atom");
+      return nullptr;
+    }
+    char c = Peek();
+    switch (c) {
+      case '(': {
+        ++pos_;
+        if (group_count_ + 1 >= Regex::kMaxGroups) {
+          Fail("too many groups");
+          return nullptr;
+        }
+        int index = ++group_count_;
+        NodePtr body = ParseAlternation();
+        if (body == nullptr) {
+          return nullptr;
+        }
+        if (AtEnd() || Peek() != ')') {
+          Fail("missing ')'");
+          return nullptr;
+        }
+        ++pos_;
+        auto node = std::make_shared<Node>();
+        node->type = Node::Type::kGroup;
+        node->group_index = index;
+        node->children.push_back(std::move(body));
+        return node;
+      }
+      case '[':
+        return ParseClass();
+      case '.': {
+        ++pos_;
+        auto node = std::make_shared<Node>();
+        node->type = Node::Type::kAny;
+        return node;
+      }
+      case '^': {
+        ++pos_;
+        auto node = std::make_shared<Node>();
+        node->type = Node::Type::kAnchorStart;
+        return node;
+      }
+      case '$': {
+        ++pos_;
+        auto node = std::make_shared<Node>();
+        node->type = Node::Type::kAnchorEnd;
+        return node;
+      }
+      case '*':
+      case '+':
+      case '?':
+        Fail("quantifier with nothing to repeat");
+        return nullptr;
+      case '\\':
+        return ParseEscape();
+      default: {
+        ++pos_;
+        auto node = std::make_shared<Node>();
+        node->type = Node::Type::kChar;
+        node->ch = c;
+        return node;
+      }
+    }
+  }
+
+  static void AddClassShorthand(std::bitset<256>* klass, char c) {
+    switch (c) {
+      case 'd':
+        for (int i = '0'; i <= '9'; ++i) {
+          klass->set(static_cast<size_t>(i));
+        }
+        break;
+      case 'w':
+        for (int i = '0'; i <= '9'; ++i) {
+          klass->set(static_cast<size_t>(i));
+        }
+        for (int i = 'a'; i <= 'z'; ++i) {
+          klass->set(static_cast<size_t>(i));
+        }
+        for (int i = 'A'; i <= 'Z'; ++i) {
+          klass->set(static_cast<size_t>(i));
+        }
+        klass->set('_');
+        break;
+      case 's':
+        klass->set(' ');
+        klass->set('\t');
+        klass->set('\n');
+        klass->set('\r');
+        klass->set('\f');
+        klass->set('\v');
+        break;
+      default:
+        break;
+    }
+  }
+
+  NodePtr ParseEscape() {
+    assert(Peek() == '\\');
+    ++pos_;
+    if (AtEnd()) {
+      Fail("trailing backslash");
+      return nullptr;
+    }
+    char c = Peek();
+    ++pos_;
+    auto node = std::make_shared<Node>();
+    switch (c) {
+      case 'd':
+      case 'w':
+      case 's': {
+        node->type = Node::Type::kClass;
+        AddClassShorthand(&node->klass, c);
+        return node;
+      }
+      case 'D':
+      case 'W':
+      case 'S': {
+        node->type = Node::Type::kClass;
+        std::bitset<256> inner;
+        AddClassShorthand(&inner, static_cast<char>(c - 'A' + 'a'));
+        node->klass = ~inner;
+        return node;
+      }
+      case 'n':
+        node->type = Node::Type::kChar;
+        node->ch = '\n';
+        return node;
+      case 't':
+        node->type = Node::Type::kChar;
+        node->ch = '\t';
+        return node;
+      case 'r':
+        node->type = Node::Type::kChar;
+        node->ch = '\r';
+        return node;
+      default:
+        node->type = Node::Type::kChar;
+        node->ch = c;
+        return node;
+    }
+  }
+
+  NodePtr ParseClass() {
+    assert(Peek() == '[');
+    ++pos_;
+    auto node = std::make_shared<Node>();
+    node->type = Node::Type::kClass;
+    bool negated = false;
+    if (!AtEnd() && Peek() == '^') {
+      negated = true;
+      ++pos_;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) {
+        Fail("missing ']'");
+        return nullptr;
+      }
+      char c = Peek();
+      if (c == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) {
+          Fail("trailing backslash in class");
+          return nullptr;
+        }
+        char esc = Peek();
+        ++pos_;
+        if (esc == 'd' || esc == 'w' || esc == 's') {
+          AddClassShorthand(&node->klass, esc);
+        } else if (esc == 'n') {
+          node->klass.set('\n');
+        } else if (esc == 't') {
+          node->klass.set('\t');
+        } else if (esc == 'r') {
+          node->klass.set('\r');
+        } else {
+          node->klass.set(static_cast<uint8_t>(esc));
+        }
+        continue;
+      }
+      ++pos_;
+      // Range?
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() && pattern_[pos_ + 1] != ']') {
+        ++pos_;
+        char hi = Peek();
+        ++pos_;
+        if (static_cast<uint8_t>(hi) < static_cast<uint8_t>(c)) {
+          Fail("inverted range in class");
+          return nullptr;
+        }
+        for (int v = static_cast<uint8_t>(c); v <= static_cast<uint8_t>(hi); ++v) {
+          node->klass.set(static_cast<size_t>(v));
+        }
+      } else {
+        node->klass.set(static_cast<uint8_t>(c));
+      }
+    }
+    if (negated) {
+      node->klass = ~node->klass;
+    }
+    return node;
+  }
+
+  std::string_view pattern_;
+  std::string* error_;
+  size_t pos_ = 0;
+  int group_count_ = 0;
+  bool failed_ = false;
+};
+
+// ---- Matcher ----------------------------------------------------------------
+
+struct MatchState {
+  std::string_view subject;
+  std::vector<std::pair<int, int>>* groups;
+};
+
+// Continuation-passing backtracking matcher. Returns true if node matches at
+// pos and the continuation succeeds for the position after the match.
+bool MatchNode(const Node* node, MatchState& state, size_t pos,
+               const std::function<bool(size_t)>& k) {
+  switch (node->type) {
+    case Node::Type::kChar:
+      return pos < state.subject.size() && state.subject[pos] == node->ch && k(pos + 1);
+    case Node::Type::kAny:
+      return pos < state.subject.size() && k(pos + 1);
+    case Node::Type::kClass:
+      return pos < state.subject.size() &&
+             node->klass.test(static_cast<uint8_t>(state.subject[pos])) && k(pos + 1);
+    case Node::Type::kAnchorStart:
+      return pos == 0 && k(pos);
+    case Node::Type::kAnchorEnd:
+      return pos == state.subject.size() && k(pos);
+    case Node::Type::kConcat: {
+      // Recursive chain over the children.
+      std::function<bool(size_t, size_t)> chain = [&](size_t index, size_t p) -> bool {
+        if (index == node->children.size()) {
+          return k(p);
+        }
+        return MatchNode(node->children[index].get(), state, p,
+                         [&, index](size_t next) { return chain(index + 1, next); });
+      };
+      return chain(0, pos);
+    }
+    case Node::Type::kAlt: {
+      for (const auto& child : node->children) {
+        if (MatchNode(child.get(), state, pos, k)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Node::Type::kGroup: {
+      int index = node->group_index;
+      auto saved = (*state.groups)[static_cast<size_t>(index)];
+      bool ok = MatchNode(node->children[0].get(), state, pos, [&](size_t end) {
+        auto inner_saved = (*state.groups)[static_cast<size_t>(index)];
+        (*state.groups)[static_cast<size_t>(index)] = {static_cast<int>(pos),
+                                                       static_cast<int>(end)};
+        if (k(end)) {
+          return true;
+        }
+        (*state.groups)[static_cast<size_t>(index)] = inner_saved;
+        return false;
+      });
+      if (!ok) {
+        (*state.groups)[static_cast<size_t>(index)] = saved;
+      }
+      return ok;
+    }
+    case Node::Type::kRepeat: {
+      const Node* child = node->children[0].get();
+      // Greedy: try as many as possible, then backtrack.
+      std::function<bool(size_t, int)> rep = [&](size_t p, int count) -> bool {
+        if (node->max < 0 || count < node->max) {
+          // Try one more (require progress to avoid infinite loops on
+          // empty-width matches).
+          if (MatchNode(child, state, p, [&](size_t next) {
+                if (next == p && count + 1 >= node->min) {
+                  return false;  // empty match adds nothing; stop extending
+                }
+                return rep(next, count + 1);
+              })) {
+            return true;
+          }
+        }
+        return count >= node->min && k(p);
+      };
+      return rep(pos, 0);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Regex> Regex::Compile(std::string_view pattern, std::string* error) {
+  std::string local_error;
+  Parser parser(pattern, error != nullptr ? error : &local_error);
+  int captures = 0;
+  NodePtr root = parser.Parse(&captures);
+  if (root == nullptr) {
+    return std::nullopt;
+  }
+  Regex regex;
+  regex.pattern_ = std::string(pattern);
+  regex.root_ = std::move(root);
+  regex.capture_count_ = captures;
+  regex.anchored_start_ = !pattern.empty() && pattern.front() == '^';
+  return regex;
+}
+
+MatchResult Regex::Run(std::string_view subject, size_t start) const {
+  MatchResult result;
+  result.groups.assign(static_cast<size_t>(capture_count_) + 1, {-1, -1});
+  MatchState state{subject, &result.groups};
+  size_t match_end = 0;
+  bool ok = MatchNode(root_.get(), state, start, [&](size_t end) {
+    match_end = end;
+    return true;
+  });
+  if (!ok) {
+    return MatchResult{};
+  }
+  result.matched = true;
+  result.groups[0] = {static_cast<int>(start), static_cast<int>(match_end)};
+  return result;
+}
+
+MatchResult Regex::Match(std::string_view subject) const { return Run(subject, 0); }
+
+MatchResult Regex::Search(std::string_view subject) const {
+  size_t limit = anchored_start_ ? 0 : subject.size();
+  for (size_t start = 0; start <= limit; ++start) {
+    MatchResult result = Run(subject, start);
+    if (result.matched) {
+      return result;
+    }
+  }
+  return MatchResult{};
+}
+
+}  // namespace fob

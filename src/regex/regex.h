@@ -1,0 +1,80 @@
+// Backtracking regular-expression engine with capture groups.
+//
+// This is the substrate for mini-Apache's mod_rewrite (§4.3): rewrite match
+// patterns are POSIX-ish regexes whose parenthesized captures produce the
+// offset pairs that overflow the 10-entry buffer in the vulnerable code.
+//
+// Supported syntax:
+//   literals, '.', escapes (\d \D \w \W \s \S \. \\ ...), character classes
+//   [a-z] [^...], quantifiers * + ? and {m}, {m,}, {m,n} (greedy, with
+//   backtracking), groups (...) (capturing, up to kMaxGroups), alternation
+//   |, anchors ^ $.
+//
+// Match() anchors at position 0; Search() finds the leftmost match. Group 0
+// is the whole match; unmatched groups report offsets (-1,-1).
+
+#ifndef SRC_REGEX_REGEX_H_
+#define SRC_REGEX_REGEX_H_
+
+#include <bitset>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fob {
+
+struct MatchResult {
+  bool matched = false;
+  // groups[i] = {start, end} byte offsets into the subject; {-1,-1} if the
+  // group did not participate. groups[0] is the whole match.
+  std::vector<std::pair<int, int>> groups;
+
+  int GroupCount() const { return static_cast<int>(groups.size()); }
+  std::string_view Group(std::string_view subject, int i) const {
+    if (i < 0 || i >= GroupCount() || groups[static_cast<size_t>(i)].first < 0) {
+      return {};
+    }
+    auto [s, e] = groups[static_cast<size_t>(i)];
+    return subject.substr(static_cast<size_t>(s), static_cast<size_t>(e - s));
+  }
+};
+
+class Regex {
+ public:
+  static constexpr int kMaxGroups = 64;
+
+  // AST node; defined in regex.cc. Public so the matcher implementation can
+  // name it, but opaque to clients.
+  struct Node;
+
+  // Compiles pattern; returns nullopt and fills *error on bad syntax.
+  static std::optional<Regex> Compile(std::string_view pattern, std::string* error = nullptr);
+
+  Regex(Regex&&) = default;
+  Regex& operator=(Regex&&) = default;
+
+  // Anchored match at the start of subject (may end anywhere).
+  MatchResult Match(std::string_view subject) const;
+  // Leftmost match anywhere in subject.
+  MatchResult Search(std::string_view subject) const;
+
+  // Number of capturing groups, excluding group 0.
+  int capture_count() const { return capture_count_; }
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  Regex() = default;
+
+  MatchResult Run(std::string_view subject, size_t start) const;
+
+  std::string pattern_;
+  std::shared_ptr<const Node> root_;  // shared: Regex is copy-cheap via move
+  int capture_count_ = 0;
+  bool anchored_start_ = false;
+};
+
+}  // namespace fob
+
+#endif  // SRC_REGEX_REGEX_H_

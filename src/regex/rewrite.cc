@@ -1,0 +1,51 @@
+#include "src/regex/rewrite.h"
+
+namespace fob {
+
+std::optional<RewriteRule> RewriteRule::Make(std::string_view pattern, std::string replacement,
+                                             std::string* error) {
+  std::optional<Regex> regex = Regex::Compile(pattern, error);
+  if (!regex) {
+    return std::nullopt;
+  }
+  return RewriteRule{std::move(*regex), std::move(replacement)};
+}
+
+std::string ExpandReplacement(std::string_view replacement, std::string_view subject,
+                              const MatchResult& match) {
+  std::string out;
+  for (size_t i = 0; i < replacement.size(); ++i) {
+    char c = replacement[i];
+    if (c != '$' || i + 1 >= replacement.size()) {
+      out.push_back(c);
+      continue;
+    }
+    char next = replacement[i + 1];
+    if (next == '$') {
+      out.push_back('$');
+      ++i;
+      continue;
+    }
+    if (next >= '0' && next <= '9') {
+      int index = next - '0';
+      out.append(match.Group(subject, index));
+      ++i;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::optional<std::string> ApplyRules(const std::vector<RewriteRule>& rules,
+                                      std::string_view url) {
+  for (const RewriteRule& rule : rules) {
+    MatchResult match = rule.pattern.Search(url);
+    if (match.matched) {
+      return ExpandReplacement(rule.replacement, url, match);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fob

@@ -1,0 +1,39 @@
+// URL rewrite rules (mini mod_rewrite).
+//
+// A rule pairs a match pattern (regex with captures) and a replacement that
+// may reference captured substrings as $0..$9 — a single digit each, which
+// is why the paper's Apache never reads past the first ten offset pairs even
+// when the vulnerable code wrote more (§4.3.2). ApplyRules is the host-side
+// reference; the vulnerable offset-buffer version lives in src/apps/apache.h.
+
+#ifndef SRC_REGEX_REWRITE_H_
+#define SRC_REGEX_REWRITE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/regex/regex.h"
+
+namespace fob {
+
+struct RewriteRule {
+  Regex pattern;
+  std::string replacement;
+
+  static std::optional<RewriteRule> Make(std::string_view pattern, std::string replacement,
+                                         std::string* error = nullptr);
+};
+
+// Substitutes $0..$9 in replacement from the match result. Unmatched $n
+// substitutes the empty string. "$$" escapes a literal '$'.
+std::string ExpandReplacement(std::string_view replacement, std::string_view subject,
+                              const MatchResult& match);
+
+// Applies the first matching rule; nullopt if none match.
+std::optional<std::string> ApplyRules(const std::vector<RewriteRule>& rules, std::string_view url);
+
+}  // namespace fob
+
+#endif  // SRC_REGEX_REWRITE_H_

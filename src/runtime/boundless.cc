@@ -1,0 +1,46 @@
+#include "src/runtime/boundless.h"
+
+#include <vector>
+
+namespace fob {
+
+void BoundlessStore::StoreByte(UnitId unit, int64_t offset, uint8_t value) {
+  Key key{unit, offset};
+  auto [it, inserted] = bytes_.insert_or_assign(key, value);
+  (void)it;
+  if (!inserted || capacity_ == 0) {
+    return;
+  }
+  order_.push_back(key);
+  while (bytes_.size() > capacity_ && !order_.empty()) {
+    // FIFO eviction; entries already dropped via DropUnit are skipped.
+    Key victim = order_.front();
+    order_.pop_front();
+    if (bytes_.erase(victim) > 0) {
+      ++evictions_;
+    }
+  }
+}
+
+std::optional<uint8_t> BoundlessStore::LoadByte(UnitId unit, int64_t offset) const {
+  auto it = bytes_.find(Key{unit, offset});
+  if (it == bytes_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void BoundlessStore::DropUnit(UnitId unit) {
+  std::vector<Key> doomed;
+  for (const auto& [key, value] : bytes_) {
+    (void)value;
+    if (key.unit == unit) {
+      doomed.push_back(key);
+    }
+  }
+  for (const Key& key : doomed) {
+    bytes_.erase(key);
+  }
+}
+
+}  // namespace fob

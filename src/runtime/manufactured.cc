@@ -1,0 +1,59 @@
+#include "src/runtime/manufactured.h"
+
+namespace fob {
+
+const char* SequenceKindName(SequenceKind kind) {
+  switch (kind) {
+    case SequenceKind::kPaper:
+      return "paper (0,1,k)";
+    case SequenceKind::kZeros:
+      return "zeros";
+    case SequenceKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+uint64_t ValueSequence::Next() {
+  ++produced_;
+  switch (kind_) {
+    case SequenceKind::kZeros:
+      return 0;
+    case SequenceKind::kRandom: {
+      // xorshift64*: deterministic, full-range values.
+      rng_state_ ^= rng_state_ >> 12;
+      rng_state_ ^= rng_state_ << 25;
+      rng_state_ ^= rng_state_ >> 27;
+      return rng_state_ * 2685821657736338717ull;
+    }
+    case SequenceKind::kPaper:
+      break;
+  }
+  uint64_t value;
+  switch (phase_) {
+    case 0:
+      value = 0;
+      break;
+    case 1:
+      value = 1;
+      break;
+    default:
+      value = small_;
+      ++small_;
+      if (small_ > 255) {
+        small_ = 2;
+      }
+      break;
+  }
+  phase_ = (phase_ + 1) % 3;
+  return value;
+}
+
+void ValueSequence::Reset() {
+  phase_ = 0;
+  small_ = 2;
+  rng_state_ = 0x9e3779b97f4a7c15ull;
+  produced_ = 0;
+}
+
+}  // namespace fob

@@ -1,0 +1,62 @@
+// Manufactured values for invalid reads (§3).
+//
+// "In principle, any sequence of manufactured values should work. In
+//  practice, these values are sometimes used to determine loop conditions.
+//  [...] We therefore generate a sequence that iterates through all small
+//  integers, increasing the chance that [...] the computation will hit upon
+//  a value that will exit the loop. Because zero and one are usually the
+//  most commonly loaded values in computer programs, the sequence is
+//  designed to return these values more frequently than other, less common,
+//  values."
+//
+// The sequence produced here is 0, 1, 2, 0, 1, 3, 0, 1, 4, ... : zero and
+// one each appear with frequency 1/3, and the third slot cycles through all
+// remaining byte values (2..255) before wrapping, so any byte-valued loop
+// exit test (Midnight Commander's search for '/') is satisfied within at
+// most 3*254 manufactured reads.
+//
+// ZeroSequence and RandomSequence are ablation baselines for
+// bench_manufacture: a zero-only sequence hangs Midnight Commander exactly
+// as §3 describes.
+
+#ifndef SRC_RUNTIME_MANUFACTURED_H_
+#define SRC_RUNTIME_MANUFACTURED_H_
+
+#include <cstdint>
+
+namespace fob {
+
+enum class SequenceKind {
+  kPaper,   // 0,1,2, 0,1,3, ... (the paper's design)
+  kZeros,   // always 0 (naive baseline; can hang value-dependent loops)
+  kRandom,  // deterministic xorshift stream (no 0/1 bias)
+};
+
+const char* SequenceKindName(SequenceKind kind);
+
+class ValueSequence {
+ public:
+  explicit ValueSequence(SequenceKind kind = SequenceKind::kPaper) : kind_(kind) {}
+
+  // Next manufactured value. Reads narrower than 8 bytes truncate it.
+  uint64_t Next();
+
+  // Next manufactured value truncated to one byte; used to fill individual
+  // unstored bytes in the Boundless policy.
+  uint8_t NextByte() { return static_cast<uint8_t>(Next()); }
+
+  void Reset();
+  SequenceKind kind() const { return kind_; }
+  uint64_t values_produced() const { return produced_; }
+
+ private:
+  SequenceKind kind_;
+  uint32_t phase_ = 0;
+  uint32_t small_ = 2;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_MANUFACTURED_H_

@@ -1,0 +1,63 @@
+#include "src/runtime/memlog.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace fob {
+
+std::string MemErrorRecord::ToString() const {
+  std::ostringstream os;
+  os << "memory error: invalid " << (is_write ? "write" : "read") << " of " << size << " byte"
+     << (size == 1 ? "" : "s") << " at 0x" << std::hex << addr << std::dec << " ["
+     << PointerStatusName(status) << "]";
+  if (!unit_name.empty()) {
+    os << " referent '" << unit_name << "'";
+  }
+  if (!function.empty()) {
+    os << " in " << function;
+  }
+  os << " (access #" << access_index << ")";
+  return os.str();
+}
+
+void MemLog::Record(MemErrorRecord record) {
+  ++total_;
+  if (record.is_write) {
+    ++write_errors_;
+  } else {
+    ++read_errors_;
+  }
+  if (!record.unit_name.empty()) {
+    ++by_unit_[record.unit_name];
+  }
+  if (echo_ != nullptr) {
+    *echo_ << record.ToString() << "\n";
+  }
+  recent_.push_back(std::move(record));
+  if (recent_.size() > capacity_) {
+    recent_.pop_front();
+  }
+}
+
+std::string MemLog::Summary() const {
+  std::ostringstream os;
+  os << "memory-error log: " << total_ << " total (" << write_errors_ << " writes, "
+     << read_errors_ << " reads)\n";
+  // Sort units by error count, descending.
+  std::vector<std::pair<std::string, uint64_t>> units(by_unit_.begin(), by_unit_.end());
+  std::sort(units.begin(), units.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [name, count] : units) {
+    os << "  " << count << "x  " << name << "\n";
+  }
+  return os.str();
+}
+
+void MemLog::Clear() {
+  recent_.clear();
+  total_ = read_errors_ = write_errors_ = 0;
+  by_unit_.clear();
+}
+
+}  // namespace fob

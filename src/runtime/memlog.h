@@ -1,0 +1,78 @@
+// Memory-error log (§3).
+//
+// "To help make the errors more apparent, our compiler can optionally
+//  augment the generated code to produce a log containing information about
+//  the program's attempts to commit memory errors."
+//
+// The log keeps bounded per-error records (a ring of the most recent
+// kDefaultCapacity) plus unbounded counters, and can echo entries to a
+// stream as they happen. The stability experiments read the counters; the
+// examples echo the stream.
+
+#ifndef SRC_RUNTIME_MEMLOG_H_
+#define SRC_RUNTIME_MEMLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "src/softmem/address_space.h"
+#include "src/softmem/object_table.h"
+#include "src/softmem/oob_registry.h"
+
+namespace fob {
+
+struct MemErrorRecord {
+  bool is_write = false;
+  Addr addr = 0;
+  size_t size = 0;
+  UnitId unit = kInvalidUnit;
+  std::string unit_name;
+  PointerStatus status = PointerStatus::kInBounds;
+  std::string function;  // innermost simulated stack frame
+  uint64_t access_index = 0;
+
+  std::string ToString() const;
+};
+
+class MemLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit MemLog(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  void Record(MemErrorRecord record);
+
+  uint64_t total_errors() const { return total_; }
+  uint64_t read_errors() const { return read_errors_; }
+  uint64_t write_errors() const { return write_errors_; }
+  // Errors per data-unit name, e.g. "prescan::buf" -> 37.
+  const std::map<std::string, uint64_t>& errors_by_unit() const { return by_unit_; }
+  const std::deque<MemErrorRecord>& recent() const { return recent_; }
+
+  // When set, every record is also printed to the stream as it happens.
+  void set_echo(std::ostream* stream) { echo_ = stream; }
+
+  // Administrator-facing digest: totals plus the per-buffer histogram,
+  // worst offenders first. This is what the paper imagines an operator
+  // reading to "detect and respond appropriately to the presence of such
+  // errors" (§3).
+  std::string Summary() const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::deque<MemErrorRecord> recent_;
+  uint64_t total_ = 0;
+  uint64_t read_errors_ = 0;
+  uint64_t write_errors_ = 0;
+  std::map<std::string, uint64_t> by_unit_;
+  std::ostream* echo_ = nullptr;
+};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_MEMLOG_H_

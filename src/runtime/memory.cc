@@ -1,0 +1,428 @@
+#include "src/runtime/memory.h"
+
+#include <cassert>
+#include <cstring>
+#include <exception>
+#include <sstream>
+
+namespace fob {
+
+Memory::Memory(AccessPolicy policy) : Memory(Config{.policy = policy}) {}
+
+Memory::Memory(const Config& config)
+    : config_(config),
+      sequence_(config.sequence),
+      log_(config.log_capacity),
+      boundless_(config.boundless_capacity) {
+  heap_ = std::make_unique<Heap>(space_, table_, kHeapBase, config_.heap_bytes);
+  stack_ = std::make_unique<Stack>(space_, table_, kStackLow, config_.stack_bytes);
+  space_.Map(kGlobalBase, config_.global_bytes);
+  global_cursor_ = kGlobalBase;
+  global_end_ = kGlobalBase + config_.global_bytes;
+}
+
+// ---- Allocation -----------------------------------------------------------
+
+Ptr Memory::Malloc(size_t size, std::string name) {
+  Addr payload = heap_->Malloc(size, std::move(name));
+  if (payload == 0) {
+    return kNullPtr;
+  }
+  return Ptr(payload, heap_->BlockUnit(payload));
+}
+
+void Memory::Free(Ptr p) {
+  if (p.IsNull()) {
+    return;  // free(NULL) is a no-op in every libc
+  }
+  switch (config_.policy) {
+    case AccessPolicy::kStandard:
+    case AccessPolicy::kBoundsCheck:
+      // Both configurations die here: Standard with the allocator's own
+      // abort, BoundsCheck with its terminate-on-error behaviour.
+      heap_->Free(p.addr);
+      return;
+    case AccessPolicy::kFailureOblivious:
+    case AccessPolicy::kBoundless:
+    case AccessPolicy::kWrap:
+      // Continuing policies treat an invalid free like an invalid write:
+      // log it and discard the operation.
+      if (heap_->BlockSize(p.addr) == 0) {
+        CheckResult check = CheckAccess(p, 1);
+        LogError(/*is_write=*/true, p, 0, check);
+        return;
+      }
+      boundless_.DropUnit(heap_->BlockUnit(p.addr));
+      heap_->Free(p.addr);
+      return;
+  }
+}
+
+Ptr Memory::Realloc(Ptr p, size_t new_size) {
+  if (p.IsNull()) {
+    return Malloc(new_size, "realloc");
+  }
+  switch (config_.policy) {
+    case AccessPolicy::kStandard:
+    case AccessPolicy::kBoundsCheck: {
+      Addr fresh = heap_->Realloc(p.addr, new_size);
+      return fresh == 0 ? kNullPtr : Ptr(fresh, heap_->BlockUnit(fresh));
+    }
+    case AccessPolicy::kFailureOblivious:
+    case AccessPolicy::kBoundless:
+    case AccessPolicy::kWrap: {
+      size_t old_size = heap_->BlockSize(p.addr);
+      if (old_size == 0) {
+        CheckResult check = CheckAccess(p, 1);
+        LogError(/*is_write=*/true, p, 0, check);
+        return p;  // leave the program with its pointer; best effort
+      }
+      UnitId old_unit = heap_->BlockUnit(p.addr);
+      Addr fresh = heap_->Realloc(p.addr, new_size);
+      if (fresh == 0) {
+        return kNullPtr;
+      }
+      if (config_.policy == AccessPolicy::kBoundless && new_size > old_size) {
+        // Boundless semantics: bytes the program wrote past the old end are
+        // part of the block's logical contents; growing the block
+        // materializes them (this is what lets Mutt's
+        // `safe_realloc(buf, p - buf)` recover the full converted string).
+        for (size_t offset = old_size; offset < new_size; ++offset) {
+          if (auto stored = boundless_.LoadByte(old_unit, static_cast<int64_t>(offset))) {
+            bool ok = space_.Write(fresh + offset, &*stored, 1);
+            assert(ok);
+            (void)ok;
+          }
+        }
+      }
+      boundless_.DropUnit(old_unit);
+      return Ptr(fresh, heap_->BlockUnit(fresh));
+    }
+  }
+  return kNullPtr;
+}
+
+Ptr Memory::AllocGlobal(size_t size, std::string name) {
+  if (size == 0) {
+    size = 1;
+  }
+  size_t reserved = (size + 15) & ~static_cast<size_t>(15);
+  if (global_cursor_ + reserved > global_end_) {
+    return kNullPtr;
+  }
+  Addr base = global_cursor_;
+  global_cursor_ += reserved;
+  UnitId unit = table_.Register(base, size, UnitKind::kGlobal, std::move(name));
+  return Ptr(base, unit);
+}
+
+// ---- Frames ----------------------------------------------------------------
+
+Memory::Frame::Frame(Memory& memory, std::string function)
+    : memory_(memory), exceptions_at_entry_(std::uncaught_exceptions()) {
+  memory_.stack_->PushFrame(std::move(function));
+}
+
+Memory::Frame::~Frame() noexcept(false) {
+  if (std::uncaught_exceptions() > exceptions_at_entry_) {
+    // The simulated process is crashing through this frame; it never
+    // returns, so the canary is not consulted.
+    memory_.stack_->PopFrameUnchecked();
+    return;
+  }
+  memory_.stack_->PopFrame();
+}
+
+Ptr Memory::Frame::Local(size_t size, std::string name) {
+  Addr base = memory_.stack_->AllocLocal(size, std::move(name));
+  const DataUnit* unit = memory_.table_.LookupByAddress(base);
+  assert(unit != nullptr);
+  return Ptr(base, unit->id);
+}
+
+// ---- Checked access ---------------------------------------------------------
+
+void Memory::BumpAccess() {
+  ++accesses_;
+  if (config_.access_budget != 0 && accesses_ > config_.access_budget) {
+    throw Fault::BudgetExhausted(config_.access_budget);
+  }
+}
+
+Memory::CheckResult Memory::CheckAccess(Ptr p, size_t n) const {
+  CheckResult result;
+  // The table search is what a Jones-Kelly/CRED checker executes per access;
+  // performing it here (even though the referent id already hangs off the
+  // pointer) keeps the checked policies' cost model honest.
+  const DataUnit* containing = table_.LookupByAddress(p.addr);
+  result.unit = table_.Lookup(p.unit);
+  result.status = OobRegistry::Classify(table_, p.unit, p.addr, n);
+  result.in_bounds = result.status == PointerStatus::kInBounds;
+  (void)containing;
+  return result;
+}
+
+void Memory::LogError(bool is_write, Ptr p, size_t n, const CheckResult& check) {
+  oob_.Note(check.status);
+  MemErrorRecord record;
+  record.is_write = is_write;
+  record.addr = p.addr;
+  record.size = n;
+  record.unit = p.unit;
+  record.unit_name = check.unit != nullptr ? check.unit->name : "";
+  record.status = check.status;
+  record.function = stack_->current_function();
+  record.access_index = accesses_;
+  log_.Record(std::move(record));
+}
+
+void Memory::ManufactureRead(void* dst, size_t n) {
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  if (n <= 8) {
+    uint64_t value = sequence_.Next();
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = sequence_.NextByte();
+  }
+}
+
+void Memory::WrapWrite(const DataUnit& unit, Ptr p, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    int64_t offset = static_cast<int64_t>(p.addr + i - unit.base);
+    int64_t size = static_cast<int64_t>(unit.size);
+    int64_t wrapped = ((offset % size) + size) % size;
+    bool ok = space_.Write(unit.base + static_cast<uint64_t>(wrapped), &src[i], 1);
+    assert(ok);
+    (void)ok;
+  }
+}
+
+void Memory::WrapRead(const DataUnit& unit, Ptr p, uint8_t* dst, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    int64_t offset = static_cast<int64_t>(p.addr + i - unit.base);
+    int64_t size = static_cast<int64_t>(unit.size);
+    int64_t wrapped = ((offset % size) + size) % size;
+    bool ok = space_.Read(unit.base + static_cast<uint64_t>(wrapped), &dst[i], 1);
+    assert(ok);
+    (void)ok;
+  }
+}
+
+void Memory::Write(Ptr p, const void* src, size_t n) {
+  BumpAccess();
+  if (config_.policy == AccessPolicy::kStandard) {
+    // No checks: the write lands wherever the address points. Unmapped
+    // memory is a segmentation violation.
+    if (!space_.Write(p.addr, src, n)) {
+      throw Fault::Segfault(p.addr);
+    }
+    return;
+  }
+  CheckResult check = CheckAccess(p, n);
+  if (check.in_bounds) {
+    bool ok = space_.Write(p.addr, src, n);
+    assert(ok && "in-bounds unit memory must be mapped");
+    (void)ok;
+    return;
+  }
+  LogError(/*is_write=*/true, p, n, check);
+  switch (config_.policy) {
+    case AccessPolicy::kBoundsCheck: {
+      std::ostringstream os;
+      os << "illegal write of " << n << " bytes, referent "
+         << (check.unit != nullptr ? check.unit->name : "<unknown>");
+      throw Fault::BoundsViolation(os.str());
+    }
+    case AccessPolicy::kFailureOblivious:
+      return;  // discard
+    case AccessPolicy::kBoundless: {
+      if (check.unit != nullptr && check.unit->live) {
+        const uint8_t* bytes = static_cast<const uint8_t*>(src);
+        for (size_t i = 0; i < n; ++i) {
+          int64_t offset = static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
+          // In-bounds bytes of a straddling access still land in the unit.
+          if (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) {
+            bool ok = space_.Write(p.addr + i, &bytes[i], 1);
+            assert(ok);
+            (void)ok;
+          } else {
+            boundless_.StoreByte(check.unit->id, offset, bytes[i]);
+          }
+        }
+      }
+      return;  // wild/dangling writes are discarded
+    }
+    case AccessPolicy::kWrap:
+      if (check.unit != nullptr && check.unit->live && check.unit->size > 0) {
+        WrapWrite(*check.unit, p, static_cast<const uint8_t*>(src), n);
+      }
+      return;
+    case AccessPolicy::kStandard:
+      break;  // unreachable
+  }
+}
+
+void Memory::Read(Ptr p, void* dst, size_t n) {
+  BumpAccess();
+  if (config_.policy == AccessPolicy::kStandard) {
+    if (!space_.Read(p.addr, dst, n)) {
+      throw Fault::Segfault(p.addr);
+    }
+    return;
+  }
+  CheckResult check = CheckAccess(p, n);
+  if (check.in_bounds) {
+    bool ok = space_.Read(p.addr, dst, n);
+    assert(ok && "in-bounds unit memory must be mapped");
+    (void)ok;
+    return;
+  }
+  LogError(/*is_write=*/false, p, n, check);
+  switch (config_.policy) {
+    case AccessPolicy::kBoundsCheck: {
+      std::ostringstream os;
+      os << "illegal read of " << n << " bytes, referent "
+         << (check.unit != nullptr ? check.unit->name : "<unknown>");
+      throw Fault::BoundsViolation(os.str());
+    }
+    case AccessPolicy::kFailureOblivious:
+      ManufactureRead(dst, n);
+      return;
+    case AccessPolicy::kBoundless: {
+      if (check.unit == nullptr || !check.unit->live) {
+        ManufactureRead(dst, n);
+        return;
+      }
+      // Return stored bytes where the program previously wrote out of
+      // bounds; manufacture the rest. If nothing is stored this degenerates
+      // to exactly the failure-oblivious manufactured value.
+      uint8_t* out = static_cast<uint8_t*>(dst);
+      bool any_stored = false;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t offset = static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
+        if (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) {
+          bool ok = space_.Read(p.addr + i, &out[i], 1);
+          assert(ok);
+          (void)ok;
+          any_stored = true;
+        } else if (auto stored = boundless_.LoadByte(check.unit->id, offset)) {
+          out[i] = *stored;
+          any_stored = true;
+        } else {
+          out[i] = 0xa5;  // placeholder, replaced below if nothing stored
+        }
+      }
+      if (!any_stored) {
+        ManufactureRead(dst, n);
+        return;
+      }
+      // Fill any placeholder bytes from the sequence.
+      for (size_t i = 0; i < n; ++i) {
+        int64_t offset = static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
+        bool covered = (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) ||
+                       boundless_.LoadByte(check.unit->id, offset).has_value();
+        if (!covered) {
+          out[i] = sequence_.NextByte();
+        }
+      }
+      return;
+    }
+    case AccessPolicy::kWrap:
+      if (check.unit != nullptr && check.unit->live && check.unit->size > 0) {
+        WrapRead(*check.unit, p, static_cast<uint8_t*>(dst), n);
+      } else {
+        ManufactureRead(dst, n);
+      }
+      return;
+    case AccessPolicy::kStandard:
+      break;  // unreachable
+  }
+}
+
+uint8_t Memory::ReadU8(Ptr p) {
+  uint8_t v = 0;
+  Read(p, &v, 1);
+  return v;
+}
+
+uint16_t Memory::ReadU16(Ptr p) {
+  uint16_t v = 0;
+  Read(p, &v, 2);
+  return v;
+}
+
+uint32_t Memory::ReadU32(Ptr p) {
+  uint32_t v = 0;
+  Read(p, &v, 4);
+  return v;
+}
+
+uint64_t Memory::ReadU64(Ptr p) {
+  uint64_t v = 0;
+  Read(p, &v, 8);
+  return v;
+}
+
+void Memory::WriteU8(Ptr p, uint8_t v) { Write(p, &v, 1); }
+void Memory::WriteU16(Ptr p, uint16_t v) { Write(p, &v, 2); }
+void Memory::WriteU32(Ptr p, uint32_t v) { Write(p, &v, 4); }
+void Memory::WriteU64(Ptr p, uint64_t v) { Write(p, &v, 8); }
+
+// ---- Host bridging -----------------------------------------------------------
+
+Ptr Memory::NewCString(std::string_view s, std::string name) {
+  Ptr p = Malloc(s.size() + 1, std::move(name));
+  if (p.IsNull()) {
+    return p;
+  }
+  if (!s.empty()) {
+    Write(p, s.data(), s.size());
+  }
+  WriteU8(p + static_cast<int64_t>(s.size()), 0);
+  return p;
+}
+
+Ptr Memory::NewBytes(std::string_view bytes, std::string name) {
+  Ptr p = Malloc(bytes.size(), std::move(name));
+  if (p.IsNull() || bytes.empty()) {
+    return p;
+  }
+  Write(p, bytes.data(), bytes.size());
+  return p;
+}
+
+std::string Memory::ReadCString(Ptr p, size_t limit) {
+  std::string out;
+  for (size_t i = 0; i < limit; ++i) {
+    uint8_t c = ReadU8(p + static_cast<int64_t>(i));
+    if (c == 0) {
+      break;
+    }
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+std::string Memory::ReadBytesAsString(Ptr p, size_t n) {
+  std::string out(n, '\0');
+  if (n > 0) {
+    Read(p, out.data(), n);
+  }
+  return out;
+}
+
+void Memory::WriteBytes(Ptr p, std::string_view bytes) {
+  if (!bytes.empty()) {
+    Write(p, bytes.data(), bytes.size());
+  }
+}
+
+PointerStatus Memory::Classify(Ptr p, size_t n) const {
+  return OobRegistry::Classify(table_, p.unit, p.addr, n);
+}
+
+}  // namespace fob

@@ -1,0 +1,185 @@
+// fob::Memory — the failure-oblivious runtime.
+//
+// Memory is what the code emitted by a failure-oblivious compiler would link
+// against: it owns a simulated process image (address space, heap, call
+// stack, globals, Jones-Kelly object table) and mediates every load and
+// store according to an AccessPolicy.
+//
+//   * checking code: classify the access against the pointer's intended
+//     referent (src/softmem/oob_registry.h);
+//   * continuation code: for invalid accesses, do what the policy says —
+//     crash (kStandard, by actually performing/faulting the raw access),
+//     terminate (kBoundsCheck), discard-writes/manufacture-reads
+//     (kFailureOblivious, §3), store-and-return out-of-bounds bytes
+//     (kBoundless, §5.1), or wrap offsets back into the unit (kWrap, §5.1).
+//
+// The Standard policy skips the object-table search entirely and touches the
+// page map only, so the measured gap between Standard and the checked
+// policies reproduces the cost profile of inserting dynamic checks.
+//
+// "Programs" written against this runtime allocate with Malloc/Frame::Local,
+// address memory through fob::Ptr, and access it through Read*/Write*.
+
+#ifndef SRC_RUNTIME_MEMORY_H_
+#define SRC_RUNTIME_MEMORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/runtime/boundless.h"
+#include "src/runtime/manufactured.h"
+#include "src/runtime/memlog.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/ptr.h"
+#include "src/softmem/address_space.h"
+#include "src/softmem/fault.h"
+#include "src/softmem/heap.h"
+#include "src/softmem/object_table.h"
+#include "src/softmem/oob_registry.h"
+#include "src/softmem/stack.h"
+
+namespace fob {
+
+class Memory {
+ public:
+  struct Config {
+    AccessPolicy policy = AccessPolicy::kFailureOblivious;
+    SequenceKind sequence = SequenceKind::kPaper;
+    size_t heap_bytes = 16 << 20;
+    size_t global_bytes = 1 << 20;
+    size_t stack_bytes = 1 << 20;
+    size_t log_capacity = MemLog::kDefaultCapacity;
+    // 0 = unlimited. When nonzero, the access that exceeds the budget throws
+    // Fault{kBudgetExhausted}; the harness uses this to detect hangs.
+    uint64_t access_budget = 0;
+    // Cap on the Boundless policy's stored out-of-bounds bytes (0 =
+    // unbounded); bounds attacker-driven memory growth per the ACSAC
+    // variant.
+    size_t boundless_capacity = 0;
+  };
+
+  explicit Memory(AccessPolicy policy);
+  explicit Memory(const Config& config);
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+  AccessPolicy policy() const { return config_.policy; }
+
+  // ---- Allocation -------------------------------------------------------
+
+  // malloc/free/realloc over the simulated heap. Free/Realloc of a bad
+  // pointer follow the policy: Standard and BoundsCheck fault, the
+  // continuing policies log and ignore.
+  Ptr Malloc(size_t size, std::string name = "alloc");
+  void Free(Ptr p);
+  Ptr Realloc(Ptr p, size_t new_size);
+
+  // Globals live forever (bump allocated, zero initialized).
+  Ptr AllocGlobal(size_t size, std::string name = "global");
+
+  // ---- Simulated call stack ---------------------------------------------
+
+  // RAII frame: construction is function entry, destruction is return (with
+  // the canary check — unless C++ is already unwinding a Fault, in which
+  // case the simulated process is crashing and no return happens).
+  class Frame {
+   public:
+    Frame(Memory& memory, std::string function);
+    // noexcept(false): returning from a function whose canary was smashed
+    // IS the crash (Fault{kStackSmash}), and it happens exactly here. The
+    // destructor only rethrows when no other exception is in flight.
+    ~Frame() noexcept(false);
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+    // Allocates an (uninitialized) local buffer in this frame.
+    Ptr Local(size_t size, std::string name = "local");
+
+   private:
+    Memory& memory_;
+    int exceptions_at_entry_;
+  };
+
+  // ---- Checked access ----------------------------------------------------
+
+  void Read(Ptr p, void* dst, size_t n);
+  void Write(Ptr p, const void* src, size_t n);
+
+  uint8_t ReadU8(Ptr p);
+  int8_t ReadI8(Ptr p) { return static_cast<int8_t>(ReadU8(p)); }
+  uint16_t ReadU16(Ptr p);
+  uint32_t ReadU32(Ptr p);
+  int32_t ReadI32(Ptr p) { return static_cast<int32_t>(ReadU32(p)); }
+  uint64_t ReadU64(Ptr p);
+  void WriteU8(Ptr p, uint8_t v);
+  void WriteI8(Ptr p, int8_t v) { WriteU8(p, static_cast<uint8_t>(v)); }
+  void WriteU16(Ptr p, uint16_t v);
+  void WriteU32(Ptr p, uint32_t v);
+  void WriteI32(Ptr p, int32_t v) { WriteU32(p, static_cast<uint32_t>(v)); }
+  void WriteU64(Ptr p, uint64_t v);
+
+  // ---- Host bridging (all via checked accesses) --------------------------
+
+  // Heap-allocates a NUL-terminated copy of s.
+  Ptr NewCString(std::string_view s, std::string name = "cstring");
+  // Heap-allocates a copy of exactly bytes.size() bytes.
+  Ptr NewBytes(std::string_view bytes, std::string name = "bytes");
+  // Reads bytes until NUL (checked reads, so manufactured values can
+  // terminate it); stops at limit as a harness safety net.
+  std::string ReadCString(Ptr p, size_t limit = 1 << 16);
+  std::string ReadBytesAsString(Ptr p, size_t n);
+  void WriteBytes(Ptr p, std::string_view bytes);
+
+  // ---- Introspection ------------------------------------------------------
+
+  MemLog& log() { return log_; }
+  const MemLog& log() const { return log_; }
+  uint64_t access_count() const { return accesses_; }
+  void set_access_budget(uint64_t budget) { config_.access_budget = budget; }
+  PointerStatus Classify(Ptr p, size_t n = 1) const;
+
+  AddressSpace& space() { return space_; }
+  const ObjectTable& objects() const { return table_; }
+  Heap& heap() { return *heap_; }
+  Stack& stack() { return *stack_; }
+  ValueSequence& sequence() { return sequence_; }
+  const OobRegistry& oob() const { return oob_; }
+  const BoundlessStore& boundless() const { return boundless_; }
+
+  // Region layout (fixed; tests rely on the ordering globals < heap < stack).
+  static constexpr Addr kGlobalBase = 0x0000000000100000ull;
+  static constexpr Addr kHeapBase = 0x0000000010000000ull;
+  static constexpr Addr kStackLow = 0x00007fffff000000ull;
+
+ private:
+  struct CheckResult {
+    bool in_bounds = false;
+    PointerStatus status = PointerStatus::kWild;
+    const DataUnit* unit = nullptr;  // intended referent (may be dead)
+  };
+
+  void BumpAccess();
+  CheckResult CheckAccess(Ptr p, size_t n) const;
+  void LogError(bool is_write, Ptr p, size_t n, const CheckResult& check);
+  void WrapWrite(const DataUnit& unit, Ptr p, const uint8_t* src, size_t n);
+  void WrapRead(const DataUnit& unit, Ptr p, uint8_t* dst, size_t n);
+  void ManufactureRead(void* dst, size_t n);
+
+  Config config_;
+  AddressSpace space_;
+  ObjectTable table_;
+  std::unique_ptr<Heap> heap_;
+  std::unique_ptr<Stack> stack_;
+  Addr global_cursor_;
+  Addr global_end_;
+  ValueSequence sequence_;
+  MemLog log_;
+  OobRegistry oob_;
+  BoundlessStore boundless_;
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_MEMORY_H_

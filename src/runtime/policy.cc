@@ -1,0 +1,21 @@
+#include "src/runtime/policy.h"
+
+namespace fob {
+
+const char* PolicyName(AccessPolicy policy) {
+  switch (policy) {
+    case AccessPolicy::kStandard:
+      return "Standard";
+    case AccessPolicy::kBoundsCheck:
+      return "Bounds Check";
+    case AccessPolicy::kFailureOblivious:
+      return "Failure Oblivious";
+    case AccessPolicy::kBoundless:
+      return "Boundless";
+    case AccessPolicy::kWrap:
+      return "Wrap";
+  }
+  return "?";
+}
+
+}  // namespace fob

@@ -1,0 +1,46 @@
+// Compilation policies evaluated in the paper plus the §5.1 variants.
+
+#ifndef SRC_RUNTIME_POLICY_H_
+#define SRC_RUNTIME_POLICY_H_
+
+#include <array>
+
+namespace fob {
+
+enum class AccessPolicy {
+  // Plain C compiler: no checks; out-of-bounds accesses physically land,
+  // corrupting whatever they hit; unmapped accesses are a SIGSEGV.
+  kStandard,
+  // CRED safe-C compiler: program terminates with an error message at the
+  // first memory error.
+  kBoundsCheck,
+  // This paper: discard invalid writes, manufacture values for invalid reads
+  // (§1.1, §3), continue executing.
+  kFailureOblivious,
+  // §5.1 variant: boundless memory blocks — out-of-bounds writes are stored
+  // in a hash table keyed by (data unit, offset), and the corresponding
+  // out-of-bounds reads return the stored values.
+  kBoundless,
+  // §5.1 variant: redirect out-of-bounds accesses back into the accessed
+  // data unit at the offset modulo the unit size.
+  kWrap,
+};
+
+const char* PolicyName(AccessPolicy policy);
+
+// All policies, handy for parameterized tests and experiment sweeps.
+inline constexpr std::array<AccessPolicy, 5> kAllPolicies = {
+    AccessPolicy::kStandard,    AccessPolicy::kBoundsCheck, AccessPolicy::kFailureOblivious,
+    AccessPolicy::kBoundless,   AccessPolicy::kWrap,
+};
+
+// The three configurations the paper's tables compare.
+inline constexpr std::array<AccessPolicy, 3> kPaperPolicies = {
+    AccessPolicy::kStandard,
+    AccessPolicy::kBoundsCheck,
+    AccessPolicy::kFailureOblivious,
+};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_POLICY_H_

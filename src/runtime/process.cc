@@ -1,0 +1,57 @@
+#include "src/runtime/process.h"
+
+namespace fob {
+
+const char* ExitStatusName(ExitStatus status) {
+  switch (status) {
+    case ExitStatus::kOk:
+      return "ok";
+    case ExitStatus::kSegfault:
+      return "segfault";
+    case ExitStatus::kBoundsTerminated:
+      return "terminated (bounds check)";
+    case ExitStatus::kStackSmash:
+      return "stack smash";
+    case ExitStatus::kHeapCorruption:
+      return "heap corruption";
+    case ExitStatus::kBudgetExhausted:
+      return "hang (budget exhausted)";
+    case ExitStatus::kOtherFault:
+      return "fault";
+  }
+  return "?";
+}
+
+ExitStatus ExitStatusFromFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSegfault:
+      return ExitStatus::kSegfault;
+    case FaultKind::kBoundsViolation:
+      return ExitStatus::kBoundsTerminated;
+    case FaultKind::kStackSmash:
+      return ExitStatus::kStackSmash;
+    case FaultKind::kHeapCorruption:
+    case FaultKind::kDoubleFree:
+    case FaultKind::kInvalidFree:
+      return ExitStatus::kHeapCorruption;
+    case FaultKind::kBudgetExhausted:
+      return ExitStatus::kBudgetExhausted;
+    case FaultKind::kStackOverflow:
+      return ExitStatus::kSegfault;
+  }
+  return ExitStatus::kOtherFault;
+}
+
+RunResult RunAsProcess(const std::function<void()>& body) {
+  RunResult result;
+  try {
+    body();
+  } catch (const Fault& fault) {
+    result.status = ExitStatusFromFault(fault.kind());
+    result.detail = fault.what();
+    result.possible_code_injection = fault.possible_code_injection();
+  }
+  return result;
+}
+
+}  // namespace fob

@@ -1,0 +1,91 @@
+// Simulated processes and process pools.
+//
+// RunAsProcess runs a computation the way the OS runs a process: a Fault
+// thrown anywhere inside is "the process died" and is converted into an exit
+// status. WorkerPool models Apache's regenerating pool of child processes
+// (§4.3.2): work is dispatched to workers round robin, a worker that faults
+// is torn down and a replacement is constructed by re-running the factory —
+// which is what makes restarts cost real (re-initialization) time in the
+// throughput experiment.
+
+#ifndef SRC_RUNTIME_PROCESS_H_
+#define SRC_RUNTIME_PROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/softmem/fault.h"
+
+namespace fob {
+
+enum class ExitStatus {
+  kOk,
+  kSegfault,
+  kBoundsTerminated,
+  kStackSmash,
+  kHeapCorruption,
+  kBudgetExhausted,
+  kOtherFault,
+};
+
+const char* ExitStatusName(ExitStatus status);
+ExitStatus ExitStatusFromFault(FaultKind kind);
+
+struct RunResult {
+  ExitStatus status = ExitStatus::kOk;
+  std::string detail;
+  bool possible_code_injection = false;
+
+  bool ok() const { return status == ExitStatus::kOk; }
+  // Did the "process" die (any fault at all)?
+  bool crashed() const { return status != ExitStatus::kOk; }
+};
+
+// Runs body, catching Faults. Any other exception propagates (it is a bug in
+// the harness, not a simulated crash).
+RunResult RunAsProcess(const std::function<void()>& body);
+
+// A pool of crash-isolated workers.
+template <typename App>
+class WorkerPool {
+ public:
+  using Factory = std::function<std::unique_ptr<App>()>;
+
+  WorkerPool(size_t worker_count, Factory factory) : factory_(std::move(factory)) {
+    workers_.resize(worker_count);
+    for (auto& w : workers_) {
+      w = factory_();
+    }
+  }
+
+  // Runs work(app) on the next worker. If the worker faults, it is replaced
+  // (the replacement cost is paid here, synchronously, like a fork+init).
+  template <typename Fn>
+  RunResult Dispatch(Fn&& work) {
+    size_t index = next_++ % workers_.size();
+    App* app = workers_[index].get();
+    RunResult result = RunAsProcess([&] { work(*app); });
+    if (result.crashed()) {
+      ++restarts_;
+      workers_[index] = factory_();
+    }
+    return result;
+  }
+
+  uint64_t restarts() const { return restarts_; }
+  size_t size() const { return workers_.size(); }
+  App& worker(size_t index) { return *workers_[index]; }
+
+ private:
+  Factory factory_;
+  std::vector<std::unique_ptr<App>> workers_;
+  size_t next_ = 0;
+  uint64_t restarts_ = 0;
+};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_PROCESS_H_

@@ -1,0 +1,75 @@
+// Checked pointers.
+//
+// A Ptr is the value a safe-C compiler would manipulate for a C pointer: the
+// raw address plus the identity of the data unit the pointer was derived
+// from (the "intended referent" in Jones-Kelly terminology). Arithmetic
+// never faults and never loses the referent — CRED's key enhancement — so
+// idioms like `p < end` with a temporarily out-of-bounds p behave exactly
+// like the unchecked program (§4.1). Only dereferences, which go through
+// fob::Memory, are checked.
+//
+// Comparison operators compare addresses only, matching raw pointer
+// comparison semantics.
+
+#ifndef SRC_RUNTIME_PTR_H_
+#define SRC_RUNTIME_PTR_H_
+
+#include <compare>
+#include <cstdint>
+
+#include "src/softmem/address_space.h"
+#include "src/softmem/object_table.h"
+
+namespace fob {
+
+struct Ptr {
+  Addr addr = 0;
+  UnitId unit = kInvalidUnit;
+
+  constexpr Ptr() = default;
+  constexpr Ptr(Addr a, UnitId u) : addr(a), unit(u) {}
+
+  constexpr bool IsNull() const { return addr == 0; }
+  constexpr explicit operator bool() const { return addr != 0; }
+
+  // Pointer +/- integer keeps the referent.
+  constexpr Ptr operator+(int64_t n) const { return Ptr(addr + static_cast<uint64_t>(n), unit); }
+  constexpr Ptr operator-(int64_t n) const { return Ptr(addr - static_cast<uint64_t>(n), unit); }
+  Ptr& operator+=(int64_t n) {
+    addr += static_cast<uint64_t>(n);
+    return *this;
+  }
+  Ptr& operator-=(int64_t n) {
+    addr -= static_cast<uint64_t>(n);
+    return *this;
+  }
+  Ptr& operator++() {
+    ++addr;
+    return *this;
+  }
+  Ptr operator++(int) {
+    Ptr old = *this;
+    ++addr;
+    return old;
+  }
+  Ptr& operator--() {
+    --addr;
+    return *this;
+  }
+
+  // Pointer difference (p - q), as in `p - buf` size computations.
+  constexpr int64_t operator-(const Ptr& other) const {
+    return static_cast<int64_t>(addr - other.addr);
+  }
+
+  friend constexpr bool operator==(const Ptr& a, const Ptr& b) { return a.addr == b.addr; }
+  friend constexpr std::strong_ordering operator<=>(const Ptr& a, const Ptr& b) {
+    return a.addr <=> b.addr;
+  }
+};
+
+inline constexpr Ptr kNullPtr{};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_PTR_H_

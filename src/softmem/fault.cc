@@ -1,0 +1,59 @@
+#include "src/softmem/fault.h"
+
+#include <sstream>
+
+namespace fob {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSegfault:
+      return "SIGSEGV (segmentation violation)";
+    case FaultKind::kBoundsViolation:
+      return "bounds violation (checker terminated program)";
+    case FaultKind::kStackSmash:
+      return "stack smashing detected";
+    case FaultKind::kHeapCorruption:
+      return "heap corruption detected";
+    case FaultKind::kDoubleFree:
+      return "double free detected";
+    case FaultKind::kInvalidFree:
+      return "invalid free detected";
+    case FaultKind::kBudgetExhausted:
+      return "access budget exhausted (possible nontermination)";
+    case FaultKind::kStackOverflow:
+      return "stack overflow";
+  }
+  return "unknown fault";
+}
+
+Fault::Fault(FaultKind kind, std::string detail, bool possible_code_injection)
+    : kind_(kind), detail_(std::move(detail)), possible_code_injection_(possible_code_injection) {
+  message_ = std::string(FaultKindName(kind_));
+  if (!detail_.empty()) {
+    message_ += ": " + detail_;
+  }
+}
+
+Fault Fault::Segfault(uint64_t addr) {
+  std::ostringstream os;
+  os << "access to unmapped address 0x" << std::hex << addr;
+  return Fault(FaultKind::kSegfault, os.str());
+}
+
+Fault Fault::BoundsViolation(std::string detail) {
+  return Fault(FaultKind::kBoundsViolation, std::move(detail));
+}
+
+Fault Fault::StackSmash(std::string function, bool possible_code_injection) {
+  return Fault(FaultKind::kStackSmash, "in function " + function, possible_code_injection);
+}
+
+Fault Fault::HeapCorruption(std::string detail) {
+  return Fault(FaultKind::kHeapCorruption, std::move(detail));
+}
+
+Fault Fault::BudgetExhausted(uint64_t budget) {
+  return Fault(FaultKind::kBudgetExhausted, "after " + std::to_string(budget) + " accesses");
+}
+
+}  // namespace fob

@@ -1,0 +1,77 @@
+// Simulated hardware/runtime faults.
+//
+// The failure-oblivious runtime simulates an entire process address space, so
+// "crashes" must be simulated too. A Fault models the abrupt termination of a
+// process: a segmentation violation from touching unmapped memory, the glibc
+// abort on corrupted heap metadata, a smashed stack detected when a function
+// returns over an overwritten return address, or the CRED bounds-check
+// compiler's terminate-with-error-message behaviour.
+//
+// Faults are thrown by the substrate and are intended to be caught only by
+// fob::RunAsProcess (src/runtime/process.h), which converts them into exit
+// statuses, exactly the way the OS converts SIGSEGV into a wait status.
+
+#ifndef SRC_SOFTMEM_FAULT_H_
+#define SRC_SOFTMEM_FAULT_H_
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace fob {
+
+enum class FaultKind {
+  // Access to unmapped simulated memory (Standard-compiler behaviour).
+  kSegfault,
+  // A dynamic bounds check failed and the policy terminates the program
+  // (the Bounds Check / CRED configuration).
+  kBoundsViolation,
+  // A frame canary (stand-in for the saved return address) was found
+  // overwritten when a function returned.
+  kStackSmash,
+  // Heap block metadata (header/footer magic) found overwritten, detected at
+  // free/realloc time like a glibc "heap corruption detected" abort.
+  kHeapCorruption,
+  // free() of a block that was already freed.
+  kDoubleFree,
+  // free() of a pointer that is not a live allocation.
+  kInvalidFree,
+  // The per-Memory access budget was exhausted; used by the experiment
+  // harness to detect nontermination (e.g. a loop consuming manufactured
+  // values that never produce the value that exits the loop).
+  kBudgetExhausted,
+  // Simulated stack region exhausted.
+  kStackOverflow,
+};
+
+// Human-readable fault kind, e.g. "SIGSEGV (segmentation violation)".
+const char* FaultKindName(FaultKind kind);
+
+class Fault : public std::exception {
+ public:
+  Fault(FaultKind kind, std::string detail, bool possible_code_injection = false);
+
+  FaultKind kind() const { return kind_; }
+  const std::string& detail() const { return detail_; }
+  // True when the corrupting bytes came from program (attacker) data written
+  // over a control structure, i.e. the error would have been exploitable for
+  // code injection on real hardware.
+  bool possible_code_injection() const { return possible_code_injection_; }
+  const char* what() const noexcept override { return message_.c_str(); }
+
+  static Fault Segfault(uint64_t addr);
+  static Fault BoundsViolation(std::string detail);
+  static Fault StackSmash(std::string function, bool possible_code_injection);
+  static Fault HeapCorruption(std::string detail);
+  static Fault BudgetExhausted(uint64_t budget);
+
+ private:
+  FaultKind kind_;
+  std::string detail_;
+  std::string message_;
+  bool possible_code_injection_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_SOFTMEM_FAULT_H_

@@ -1,0 +1,197 @@
+#include "src/softmem/heap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "src/softmem/fault.h"
+
+namespace fob {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kFooterBytes = 8;
+constexpr size_t kAlign = 16;
+constexpr uint64_t kHeaderMagic = 0x48454150424c4b21ull;  // "HEAPBLK!"
+constexpr uint64_t kFooterMagic = 0x464f4f5445524d21ull;  // "FOOTERM!"
+
+size_t AlignUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+}  // namespace
+
+Heap::Heap(AddressSpace& space, ObjectTable& table, Addr base, size_t size)
+    : space_(space), table_(table), base_(base), size_(size) {
+  assert(base >= kNullGuardSize);
+  space_.Map(base_, size_);
+  free_ranges_.emplace(base_, size_);
+}
+
+void Heap::WriteMetadata(Addr payload, size_t size) {
+  uint64_t header[2] = {kHeaderMagic ^ static_cast<uint64_t>(size), static_cast<uint64_t>(size)};
+  bool ok = space_.Write(payload - kHeaderBytes, header, sizeof(header));
+  uint64_t footer = kFooterMagic ^ static_cast<uint64_t>(size);
+  ok = space_.Write(payload + size, &footer, sizeof(footer)) && ok;
+  assert(ok);
+  (void)ok;
+}
+
+bool Heap::MetadataIntact(Addr payload, size_t size) const {
+  uint64_t header[2] = {0, 0};
+  if (!space_.Read(payload - kHeaderBytes, header, sizeof(header))) {
+    return false;
+  }
+  if (header[0] != (kHeaderMagic ^ static_cast<uint64_t>(size)) ||
+      header[1] != static_cast<uint64_t>(size)) {
+    return false;
+  }
+  uint64_t footer = 0;
+  if (!space_.Read(payload + size, &footer, sizeof(footer))) {
+    return false;
+  }
+  return footer == (kFooterMagic ^ static_cast<uint64_t>(size));
+}
+
+Addr Heap::AllocateRange(size_t bytes) {
+  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+    if (it->second >= bytes) {
+      Addr range_base = it->first;
+      size_t range_size = it->second;
+      free_ranges_.erase(it);
+      if (range_size > bytes) {
+        free_ranges_.emplace(range_base + bytes, range_size - bytes);
+      }
+      return range_base;
+    }
+  }
+  return 0;
+}
+
+void Heap::ReleaseRange(Addr range_base, size_t bytes) {
+  auto next = free_ranges_.lower_bound(range_base);
+  // Coalesce with the following range.
+  if (next != free_ranges_.end() && range_base + bytes == next->first) {
+    bytes += next->second;
+    next = free_ranges_.erase(next);
+  }
+  // Coalesce with the preceding range.
+  if (next != free_ranges_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == range_base) {
+      prev->second += bytes;
+      return;
+    }
+  }
+  free_ranges_.emplace(range_base, bytes);
+}
+
+Addr Heap::Malloc(size_t size, std::string name) {
+  if (size == 0) {
+    size = 1;
+  }
+  size_t reserved = AlignUp(kHeaderBytes + size + kFooterBytes);
+  Addr range = AllocateRange(reserved);
+  if (range == 0) {
+    return 0;
+  }
+  Addr payload = range + kHeaderBytes;
+  // Fresh blocks start zeroed: the region may hold stale bytes from earlier
+  // allocations, which is realistic for malloc but makes tests flaky; the
+  // paper's buffers are all written before being read in the legal paths, so
+  // zeroing does not change any experiment. Uninitialized-read bugs (Midnight
+  // Commander) come from *reusing* a block without resetting it, which this
+  // does not mask.
+  bool ok = space_.Fill(payload, 0, size);
+  assert(ok);
+  (void)ok;
+  WriteMetadata(payload, size);
+  BlockInfo info;
+  info.size = size;
+  info.reserved = reserved;
+  info.unit = table_.Register(payload, size, UnitKind::kHeap, std::move(name));
+  live_.emplace(payload, info);
+  ++malloc_count_;
+  bytes_in_use_ += size;
+  return payload;
+}
+
+void Heap::Free(Addr payload) {
+  auto it = live_.find(payload);
+  if (it == live_.end()) {
+    // Distinguish a stale (double) free from a wild free for the fault log.
+    const DataUnit* unit = table_.LookupByAddress(payload);
+    std::ostringstream os;
+    os << "free(0x" << std::hex << payload << ")";
+    if (unit == nullptr) {
+      throw Fault(FaultKind::kDoubleFree, os.str());
+    }
+    throw Fault(FaultKind::kInvalidFree, os.str());
+  }
+  const BlockInfo info = it->second;
+  if (!MetadataIntact(payload, info.size)) {
+    std::ostringstream os;
+    os << "block 0x" << std::hex << payload << " (" << std::dec << info.size
+       << " bytes) has overwritten metadata";
+    throw Fault::HeapCorruption(os.str());
+  }
+  table_.Retire(info.unit);
+  live_.erase(it);
+  ReleaseRange(payload - kHeaderBytes, info.reserved);
+  ++free_count_;
+  bytes_in_use_ -= info.size;
+}
+
+Addr Heap::Realloc(Addr payload, size_t new_size) {
+  if (payload == 0) {
+    return Malloc(new_size, "realloc");
+  }
+  auto it = live_.find(payload);
+  if (it == live_.end()) {
+    std::ostringstream os;
+    os << "realloc(0x" << std::hex << payload << ")";
+    throw Fault(FaultKind::kInvalidFree, os.str());
+  }
+  const BlockInfo info = it->second;
+  if (!MetadataIntact(payload, info.size)) {
+    std::ostringstream os;
+    os << "block 0x" << std::hex << payload << " (" << std::dec << info.size
+       << " bytes) has overwritten metadata";
+    throw Fault::HeapCorruption(os.str());
+  }
+  const DataUnit* unit = table_.Lookup(info.unit);
+  std::string name = unit != nullptr ? unit->name : "realloc";
+  Addr fresh = Malloc(new_size, name);
+  if (fresh == 0) {
+    return 0;
+  }
+  size_t to_copy = std::min(info.size, new_size);
+  if (to_copy > 0) {
+    std::string buf(to_copy, '\0');
+    bool ok = space_.Read(payload, buf.data(), to_copy);
+    ok = space_.Write(fresh, buf.data(), to_copy) && ok;
+    assert(ok);
+    (void)ok;
+  }
+  Free(payload);
+  return fresh;
+}
+
+bool Heap::BlockIntact(Addr payload) const {
+  auto it = live_.find(payload);
+  if (it == live_.end()) {
+    return false;
+  }
+  return MetadataIntact(payload, it->second.size);
+}
+
+size_t Heap::BlockSize(Addr payload) const {
+  auto it = live_.find(payload);
+  return it == live_.end() ? 0 : it->second.size;
+}
+
+UnitId Heap::BlockUnit(Addr payload) const {
+  auto it = live_.find(payload);
+  return it == live_.end() ? kInvalidUnit : it->second.unit;
+}
+
+}  // namespace fob

@@ -1,0 +1,92 @@
+// Simulated heap allocator with metadata that can really be corrupted.
+//
+// Blocks carry a header and footer *inside simulated memory*:
+//
+//   [ header: magic^size (8) | size (8) ] [ payload ... ] [ footer: magic^size (8) ]
+//
+// Under the Standard (unchecked) policy an out-of-bounds write physically
+// stomps the next block's header or this block's footer. Like glibc, the
+// allocator notices at free()/realloc() time and aborts the process — that is
+// how the paper's Standard versions of Pine and Mutt "corrupt the heap and
+// terminate with a segmentation violation". Under checked policies the
+// corrupting writes never land, so these checks always pass.
+//
+// The free list itself is native shadow state (a std::map), which
+// approximates an allocator whose list heads live outside the corruptible
+// region; header/footer magic is the corruption detector.
+
+#ifndef SRC_SOFTMEM_HEAP_H_
+#define SRC_SOFTMEM_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/softmem/address_space.h"
+#include "src/softmem/object_table.h"
+
+namespace fob {
+
+class Heap {
+ public:
+  // Carves the heap out of [base, base+size) of `space`, mapping it eagerly.
+  Heap(AddressSpace& space, ObjectTable& table, Addr base, size_t size);
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // Allocates `size` bytes (size 0 behaves as size 1). Returns the payload
+  // address and registers a live heap data unit, or 0 on out-of-memory.
+  Addr Malloc(size_t size, std::string name);
+
+  // Frees the block whose payload starts at `payload`. Throws Fault with
+  // kHeapCorruption if the block's metadata was overwritten, kDoubleFree for
+  // a block already freed, kInvalidFree for an address that was never a
+  // payload base.
+  void Free(Addr payload);
+
+  // Classic realloc: contents preserved up to min(old,new) sizes. Returns
+  // the new payload address, or 0 on out-of-memory (original intact). Same
+  // corruption checks as Free.
+  Addr Realloc(Addr payload, size_t new_size);
+
+  // True iff payload is a live block whose header and footer are intact.
+  bool BlockIntact(Addr payload) const;
+
+  // Size of the live block at payload, or 0 if not a live block.
+  size_t BlockSize(Addr payload) const;
+  UnitId BlockUnit(Addr payload) const;
+
+  uint64_t malloc_count() const { return malloc_count_; }
+  uint64_t free_count() const { return free_count_; }
+  size_t live_blocks() const { return live_.size(); }
+  size_t bytes_in_use() const { return bytes_in_use_; }
+
+ private:
+  struct BlockInfo {
+    size_t size = 0;        // payload size
+    size_t reserved = 0;    // total carved bytes incl. header/footer/padding
+    UnitId unit = kInvalidUnit;
+  };
+
+  // Header/footer helpers. All may touch only mapped heap memory.
+  void WriteMetadata(Addr payload, size_t size);
+  bool MetadataIntact(Addr payload, size_t size) const;
+
+  Addr AllocateRange(size_t bytes);      // from free list, first fit
+  void ReleaseRange(Addr base, size_t bytes);  // back to free list, coalescing
+
+  AddressSpace& space_;
+  ObjectTable& table_;
+  Addr base_;
+  size_t size_;
+  std::map<Addr, BlockInfo> live_;     // by payload address
+  std::map<Addr, size_t> free_ranges_; // by range base
+  uint64_t malloc_count_ = 0;
+  uint64_t free_count_ = 0;
+  size_t bytes_in_use_ = 0;
+};
+
+}  // namespace fob
+
+#endif  // SRC_SOFTMEM_HEAP_H_

@@ -1,0 +1,72 @@
+#include "src/softmem/object_table.h"
+
+#include <cassert>
+
+namespace fob {
+
+const char* UnitKindName(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kHeap:
+      return "heap";
+    case UnitKind::kStack:
+      return "stack";
+    case UnitKind::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
+UnitId ObjectTable::Register(Addr base, size_t size, UnitKind kind, std::string name) {
+  DataUnit unit;
+  unit.id = static_cast<UnitId>(units_.size() + 1);
+  unit.base = base;
+  unit.size = size;
+  unit.kind = kind;
+  unit.live = true;
+  unit.name = std::move(name);
+  units_.push_back(unit);
+  by_base_.emplace(base, unit.id);
+  return unit.id;
+}
+
+void ObjectTable::Retire(UnitId id) {
+  if (id == kInvalidUnit || id > units_.size()) {
+    return;
+  }
+  DataUnit& unit = units_[id - 1];
+  if (!unit.live) {
+    return;
+  }
+  unit.live = false;
+  auto it = by_base_.find(unit.base);
+  // Several dead units may have shared a base over time, but only one live
+  // unit can; make sure we erase exactly the one being retired.
+  if (it != by_base_.end() && it->second == id) {
+    by_base_.erase(it);
+  }
+}
+
+const DataUnit* ObjectTable::Lookup(UnitId id) const {
+  if (id == kInvalidUnit || id > units_.size()) {
+    return nullptr;
+  }
+  return &units_[id - 1];
+}
+
+const DataUnit* ObjectTable::LookupByAddress(Addr addr) const {
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) {
+    return nullptr;
+  }
+  --it;
+  const DataUnit& unit = units_[it->second - 1];
+  if (unit.size == 0) {
+    return addr == unit.base ? &unit : nullptr;
+  }
+  if (addr >= unit.base && addr - unit.base < unit.size) {
+    return &unit;
+  }
+  return nullptr;
+}
+
+}  // namespace fob

@@ -1,0 +1,84 @@
+// Jones-Kelly object table: maps addresses to data units.
+//
+// Following Jones & Kelly (1997) as enhanced by Ruwase & Lam's CRED (2004),
+// every allocated object — each heap block, stack local and global — is a
+// *data unit* with known base and extent. The checking code distinguishes
+// legal from illegal accesses by locating the data unit a pointer was derived
+// from and comparing the access range against that unit's bounds.
+//
+// Units are identified by a stable UnitId that survives retirement, so a
+// dangling pointer can still be attributed to the (dead) unit it once
+// pointed into — that is what lets the error log name the buffer a bad
+// access was aimed at.
+
+#ifndef SRC_SOFTMEM_OBJECT_TABLE_H_
+#define SRC_SOFTMEM_OBJECT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/softmem/address_space.h"
+
+namespace fob {
+
+using UnitId = uint32_t;
+inline constexpr UnitId kInvalidUnit = 0;
+
+enum class UnitKind : uint8_t {
+  kHeap,
+  kStack,
+  kGlobal,
+};
+
+const char* UnitKindName(UnitKind kind);
+
+struct DataUnit {
+  UnitId id = kInvalidUnit;
+  Addr base = 0;
+  size_t size = 0;
+  UnitKind kind = UnitKind::kHeap;
+  bool live = false;
+  std::string name;
+
+  bool Contains(Addr addr, size_t n) const {
+    return addr >= base && n <= size && addr - base <= size - n;
+  }
+};
+
+class ObjectTable {
+ public:
+  ObjectTable() = default;
+  ObjectTable(const ObjectTable&) = delete;
+  ObjectTable& operator=(const ObjectTable&) = delete;
+
+  // Registers a new live unit and returns its id. Overlapping live units are
+  // a programming error in the substrate (CHECK-failed).
+  UnitId Register(Addr base, size_t size, UnitKind kind, std::string name);
+
+  // Marks the unit dead and removes it from the address index. The record
+  // itself is kept so Lookup(id) can still describe it.
+  void Retire(UnitId id);
+
+  // Unit by id; nullptr if the id was never issued.
+  const DataUnit* Lookup(UnitId id) const;
+
+  // The live unit containing addr, or nullptr. This is the table search the
+  // Jones-Kelly checker performs on every checked access; it is deliberately
+  // an ordered-map lookup so checked configurations pay a realistic cost
+  // relative to the Standard configuration's raw access.
+  const DataUnit* LookupByAddress(Addr addr) const;
+
+  size_t live_count() const { return by_base_.size(); }
+  size_t total_registered() const { return units_.size(); }
+
+ private:
+  std::vector<DataUnit> units_;     // units_[id - 1]
+  std::map<Addr, UnitId> by_base_;  // live units ordered by base address
+};
+
+}  // namespace fob
+
+#endif  // SRC_SOFTMEM_OBJECT_TABLE_H_

@@ -1,0 +1,50 @@
+#include "src/softmem/oob_registry.h"
+
+namespace fob {
+
+const char* PointerStatusName(PointerStatus status) {
+  switch (status) {
+    case PointerStatus::kInBounds:
+      return "in-bounds";
+    case PointerStatus::kNull:
+      return "null";
+    case PointerStatus::kOobBelow:
+      return "out-of-bounds (below)";
+    case PointerStatus::kOobAbove:
+      return "out-of-bounds (above)";
+    case PointerStatus::kDangling:
+      return "dangling";
+    case PointerStatus::kWild:
+      return "wild";
+  }
+  return "?";
+}
+
+PointerStatus OobRegistry::Classify(const ObjectTable& table, UnitId unit, Addr addr, size_t n) {
+  if (addr < kNullGuardSize) {
+    return PointerStatus::kNull;
+  }
+  const DataUnit* u = table.Lookup(unit);
+  if (u == nullptr) {
+    return PointerStatus::kWild;
+  }
+  if (!u->live) {
+    return PointerStatus::kDangling;
+  }
+  if (u->Contains(addr, n == 0 ? 1 : n)) {
+    return PointerStatus::kInBounds;
+  }
+  return addr < u->base ? PointerStatus::kOobBelow : PointerStatus::kOobAbove;
+}
+
+void OobRegistry::Note(PointerStatus status) {
+  ++total_;
+  ++counts_[status];
+}
+
+uint64_t OobRegistry::count(PointerStatus status) const {
+  auto it = counts_.find(status);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace fob

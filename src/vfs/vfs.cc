@@ -1,0 +1,259 @@
+#include "src/vfs/vfs.h"
+
+namespace fob {
+
+Vfs::Vfs() : root_(std::make_unique<Node>()) {}
+
+Vfs::Vfs(const Vfs& other) : root_(other.root_->Clone()) {}
+
+Vfs& Vfs::operator=(const Vfs& other) {
+  if (this != &other) {
+    root_ = other.root_->Clone();
+  }
+  return *this;
+}
+
+std::unique_ptr<Vfs::Node> Vfs::Node::Clone() const {
+  auto copy = std::make_unique<Node>();
+  copy->type = type;
+  copy->contents = contents;
+  for (const auto& [name, child] : children) {
+    copy->children.emplace(name, child->Clone());
+  }
+  return copy;
+}
+
+std::optional<std::vector<std::string>> Vfs::SplitPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return std::nullopt;
+  }
+  std::vector<std::string> parts;
+  size_t pos = 1;
+  while (pos <= path.size()) {
+    size_t next = path.find('/', pos);
+    std::string_view part =
+        path.substr(pos, next == std::string_view::npos ? path.size() - pos : next - pos);
+    pos = next == std::string_view::npos ? path.size() + 1 : next + 1;
+    if (part.empty()) {
+      continue;  // tolerate trailing or doubled slashes
+    }
+    if (part == "." || part == "..") {
+      return std::nullopt;
+    }
+    parts.emplace_back(part);
+  }
+  return parts;
+}
+
+const Vfs::Node* Vfs::Find(std::string_view path) const {
+  auto parts = SplitPath(path);
+  if (!parts) {
+    return nullptr;
+  }
+  const Node* node = root_.get();
+  for (const std::string& part : *parts) {
+    if (node->type != VfsNodeType::kDirectory) {
+      return nullptr;
+    }
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+Vfs::Node* Vfs::Find(std::string_view path) {
+  return const_cast<Node*>(static_cast<const Vfs*>(this)->Find(path));
+}
+
+Vfs::Node* Vfs::FindParent(std::string_view path, std::string* leaf, bool create_parents) {
+  auto parts = SplitPath(path);
+  if (!parts || parts->empty()) {
+    return nullptr;
+  }
+  *leaf = parts->back();
+  parts->pop_back();
+  Node* node = root_.get();
+  for (const std::string& part : *parts) {
+    if (node->type != VfsNodeType::kDirectory) {
+      return nullptr;
+    }
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      if (!create_parents) {
+        return nullptr;
+      }
+      auto fresh = std::make_unique<Node>();
+      it = node->children.emplace(part, std::move(fresh)).first;
+    }
+    node = it->second.get();
+  }
+  return node->type == VfsNodeType::kDirectory ? node : nullptr;
+}
+
+bool Vfs::MkDir(std::string_view path, bool create_parents) {
+  std::string leaf;
+  Node* parent = FindParent(path, &leaf, create_parents);
+  if (parent == nullptr || parent->children.count(leaf) > 0) {
+    return false;
+  }
+  parent->children.emplace(leaf, std::make_unique<Node>());
+  return true;
+}
+
+bool Vfs::WriteFile(std::string_view path, std::string contents, bool create_parents) {
+  std::string leaf;
+  Node* parent = FindParent(path, &leaf, create_parents);
+  if (parent == nullptr) {
+    return false;
+  }
+  auto it = parent->children.find(leaf);
+  if (it != parent->children.end()) {
+    if (it->second->type != VfsNodeType::kFile) {
+      return false;
+    }
+    it->second->contents = std::move(contents);
+    return true;
+  }
+  auto node = std::make_unique<Node>();
+  node->type = VfsNodeType::kFile;
+  node->contents = std::move(contents);
+  parent->children.emplace(leaf, std::move(node));
+  return true;
+}
+
+bool Vfs::SymLink(std::string_view path, std::string target, bool create_parents) {
+  std::string leaf;
+  Node* parent = FindParent(path, &leaf, create_parents);
+  if (parent == nullptr || parent->children.count(leaf) > 0) {
+    return false;
+  }
+  auto node = std::make_unique<Node>();
+  node->type = VfsNodeType::kSymlink;
+  node->contents = std::move(target);
+  parent->children.emplace(leaf, std::move(node));
+  return true;
+}
+
+std::optional<std::string> Vfs::ReadFile(std::string_view path) const {
+  const Node* node = Find(path);
+  if (node == nullptr || node->type != VfsNodeType::kFile) {
+    return std::nullopt;
+  }
+  return node->contents;
+}
+
+std::optional<std::string> Vfs::ReadLink(std::string_view path) const {
+  const Node* node = Find(path);
+  if (node == nullptr || node->type != VfsNodeType::kSymlink) {
+    return std::nullopt;
+  }
+  return node->contents;
+}
+
+bool Vfs::Exists(std::string_view path) const { return Find(path) != nullptr; }
+
+bool Vfs::IsDirectory(std::string_view path) const {
+  const Node* node = Find(path);
+  return node != nullptr && node->type == VfsNodeType::kDirectory;
+}
+
+std::optional<uint64_t> Vfs::FileSize(std::string_view path) const {
+  const Node* node = Find(path);
+  if (node == nullptr || node->type != VfsNodeType::kFile) {
+    return std::nullopt;
+  }
+  return node->contents.size();
+}
+
+std::optional<std::vector<std::string>> Vfs::List(std::string_view path) const {
+  const Node* node = Find(path);
+  if (node == nullptr || node->type != VfsNodeType::kDirectory) {
+    return std::nullopt;
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    (void)child;
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool Vfs::Remove(std::string_view path) {
+  std::string leaf;
+  Node* parent = FindParent(path, &leaf, /*create_parents=*/false);
+  if (parent == nullptr) {
+    return false;
+  }
+  return parent->children.erase(leaf) > 0;
+}
+
+bool Vfs::Copy(std::string_view src, std::string_view dst) {
+  const Node* source = Find(src);
+  if (source == nullptr) {
+    return false;
+  }
+  std::unique_ptr<Node> clone = source->Clone();
+  std::string leaf;
+  Node* parent = FindParent(dst, &leaf, /*create_parents=*/false);
+  if (parent == nullptr || parent->children.count(leaf) > 0) {
+    return false;
+  }
+  parent->children.emplace(leaf, std::move(clone));
+  return true;
+}
+
+bool Vfs::Move(std::string_view src, std::string_view dst) {
+  if (!Copy(src, dst)) {
+    return false;
+  }
+  return Remove(src);
+}
+
+namespace {
+uint64_t TreeBytesOf(const Vfs& vfs, const std::string& path) {
+  uint64_t total = 0;
+  if (auto size = vfs.FileSize(path)) {
+    return *size;
+  }
+  auto children = vfs.List(path);
+  if (!children) {
+    return 0;
+  }
+  for (const std::string& name : *children) {
+    total += TreeBytesOf(vfs, path == "/" ? "/" + name : path + "/" + name);
+  }
+  return total;
+}
+
+size_t TreeCountOf(const Vfs& vfs, const std::string& path) {
+  size_t total = 1;
+  auto children = vfs.List(path);
+  if (!children) {
+    return total;
+  }
+  for (const std::string& name : *children) {
+    total += TreeCountOf(vfs, path == "/" ? "/" + name : path + "/" + name);
+  }
+  return total;
+}
+}  // namespace
+
+uint64_t Vfs::TreeBytes(std::string_view path) const {
+  if (!Exists(path)) {
+    return 0;
+  }
+  return TreeBytesOf(*this, std::string(path));
+}
+
+size_t Vfs::TreeCount(std::string_view path) const {
+  if (!Exists(path)) {
+    return 0;
+  }
+  return TreeCountOf(*this, std::string(path));
+}
+
+}  // namespace fob

@@ -1,0 +1,84 @@
+// In-memory filesystem.
+//
+// The "disk" mini-Apache serves its docroot from and the tree Midnight
+// Commander's file operations (Copy/Move/MkDir/Delete, Figure 5) manipulate.
+// Paths are '/'-separated, absolute ("/a/b/c"); "." and ".." components are
+// not interpreted (Resolve rejects them), which is also the sandboxing rule
+// the HTTP server relies on.
+
+#ifndef SRC_VFS_VFS_H_
+#define SRC_VFS_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fob {
+
+enum class VfsNodeType { kDirectory, kFile, kSymlink };
+
+class Vfs {
+ public:
+  Vfs();
+  // Deep-copying a whole filesystem is meaningful (worker "fork" images).
+  Vfs(const Vfs& other);
+  Vfs& operator=(const Vfs& other);
+  Vfs(Vfs&&) = default;
+  Vfs& operator=(Vfs&&) = default;
+
+  // All mutators create missing parent directories like `mkdir -p` when
+  // `create_parents` is true, and fail (returning false) otherwise.
+  bool MkDir(std::string_view path, bool create_parents = false);
+  bool WriteFile(std::string_view path, std::string contents, bool create_parents = false);
+  bool SymLink(std::string_view path, std::string target, bool create_parents = false);
+
+  std::optional<std::string> ReadFile(std::string_view path) const;
+  std::optional<std::string> ReadLink(std::string_view path) const;
+  bool Exists(std::string_view path) const;
+  bool IsDirectory(std::string_view path) const;
+  std::optional<uint64_t> FileSize(std::string_view path) const;
+
+  // Directory listing: child names (not full paths), sorted.
+  std::optional<std::vector<std::string>> List(std::string_view path) const;
+
+  // Recursive remove. False if the path does not exist.
+  bool Remove(std::string_view path);
+  // Recursive copy (directories deep-copied). False if src missing or dst
+  // parent missing.
+  bool Copy(std::string_view src, std::string_view dst);
+  // Copy + Remove.
+  bool Move(std::string_view src, std::string_view dst);
+
+  // Total bytes of file content under path (0 if missing).
+  uint64_t TreeBytes(std::string_view path) const;
+  // Number of nodes under (and including) path.
+  size_t TreeCount(std::string_view path) const;
+
+  // Splits a path into components; rejects empty, non-absolute, "." / ".."
+  // components. Empty vector = root.
+  static std::optional<std::vector<std::string>> SplitPath(std::string_view path);
+
+ private:
+  struct Node {
+    VfsNodeType type = VfsNodeType::kDirectory;
+    std::string contents;  // file data or symlink target
+    std::map<std::string, std::unique_ptr<Node>> children;
+
+    std::unique_ptr<Node> Clone() const;
+  };
+
+  const Node* Find(std::string_view path) const;
+  Node* Find(std::string_view path);
+  // Parent directory of path + leaf name; creates parents on demand.
+  Node* FindParent(std::string_view path, std::string* leaf, bool create_parents);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_VFS_VFS_H_

@@ -1,0 +1,126 @@
+#include "src/softmem/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace fob {
+namespace {
+
+TEST(AddressSpaceTest, UnmappedByDefault) {
+  AddressSpace space;
+  EXPECT_FALSE(space.IsMapped(0x100000, 1));
+  uint8_t byte = 0;
+  EXPECT_FALSE(space.Read(0x100000, &byte, 1));
+  EXPECT_FALSE(space.Write(0x100000, &byte, 1));
+}
+
+TEST(AddressSpaceTest, MapThenReadWrite) {
+  AddressSpace space;
+  space.Map(0x100000, 4096);
+  EXPECT_TRUE(space.IsMapped(0x100000, 4096));
+  uint32_t value = 0xdeadbeef;
+  ASSERT_TRUE(space.Write(0x100010, &value, 4));
+  uint32_t readback = 0;
+  ASSERT_TRUE(space.Read(0x100010, &readback, 4));
+  EXPECT_EQ(readback, 0xdeadbeefu);
+}
+
+TEST(AddressSpaceTest, FreshPagesAreZero) {
+  AddressSpace space;
+  space.Map(0x200000, kPageSize);
+  uint8_t buf[64];
+  std::memset(buf, 0xff, sizeof(buf));
+  ASSERT_TRUE(space.Read(0x200000, buf, sizeof(buf)));
+  for (uint8_t b : buf) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(AddressSpaceTest, NullGuardNeverMaps) {
+  AddressSpace space;
+  space.Map(0, kNullGuardSize);
+  EXPECT_FALSE(space.IsMapped(0, 1));
+  EXPECT_FALSE(space.IsMapped(kNullGuardSize - 1, 1));
+  uint8_t byte = 7;
+  EXPECT_FALSE(space.Write(0, &byte, 1));
+  EXPECT_FALSE(space.Write(8, &byte, 1));
+}
+
+TEST(AddressSpaceTest, CrossPageAccess) {
+  AddressSpace space;
+  space.Map(0x100000, 2 * kPageSize);
+  std::string data(kPageSize, 'x');
+  Addr addr = 0x100000 + kPageSize - 100;  // straddles the page boundary
+  ASSERT_TRUE(space.Write(addr, data.data(), data.size()));
+  std::string readback(kPageSize, '\0');
+  ASSERT_TRUE(space.Read(addr, readback.data(), readback.size()));
+  EXPECT_EQ(readback, data);
+}
+
+TEST(AddressSpaceTest, AccessStraddlingUnmappedPageFails) {
+  AddressSpace space;
+  space.Map(0x100000, kPageSize);  // only the first page
+  std::string data(200, 'y');
+  Addr addr = 0x100000 + kPageSize - 100;
+  EXPECT_FALSE(space.Write(addr, data.data(), data.size()));
+  EXPECT_FALSE(space.IsMapped(addr, 200));
+}
+
+TEST(AddressSpaceTest, MapIsIdempotentAndPreservesContents) {
+  AddressSpace space;
+  space.Map(0x100000, kPageSize);
+  uint8_t v = 42;
+  ASSERT_TRUE(space.Write(0x100123, &v, 1));
+  space.Map(0x100000, kPageSize);  // remap
+  uint8_t readback = 0;
+  ASSERT_TRUE(space.Read(0x100123, &readback, 1));
+  EXPECT_EQ(readback, 42);
+}
+
+TEST(AddressSpaceTest, UnmapRemovesWholePagesOnly) {
+  AddressSpace space;
+  space.Map(0x100000, 3 * kPageSize);
+  // Partial-page unmap range: only the fully covered middle page goes away.
+  space.Unmap(0x100000 + 100, 2 * kPageSize);
+  EXPECT_TRUE(space.IsMapped(0x100000, 1));
+  EXPECT_FALSE(space.IsMapped(0x100000 + kPageSize, 1));
+  EXPECT_TRUE(space.IsMapped(0x100000 + 2 * kPageSize, 1));
+}
+
+TEST(AddressSpaceTest, FillSetsBytes) {
+  AddressSpace space;
+  space.Map(0x100000, kPageSize * 2);
+  ASSERT_TRUE(space.Fill(0x100000 + kPageSize - 8, 0xab, 16));  // cross-page
+  uint8_t buf[16];
+  ASSERT_TRUE(space.Read(0x100000 + kPageSize - 8, buf, 16));
+  for (uint8_t b : buf) {
+    EXPECT_EQ(b, 0xab);
+  }
+}
+
+TEST(AddressSpaceTest, FillUnmappedFails) {
+  AddressSpace space;
+  EXPECT_FALSE(space.Fill(0x300000, 1, 4));
+}
+
+TEST(AddressSpaceTest, ZeroSizeOperations) {
+  AddressSpace space;
+  space.Map(0x100000, 0);  // no-op
+  EXPECT_EQ(space.page_count(), 0u);
+  space.Map(0x100000, 1);
+  EXPECT_EQ(space.page_count(), 1u);
+  uint8_t byte = 0;
+  EXPECT_TRUE(space.Read(0x100000, &byte, 0));
+  EXPECT_TRUE(space.Write(0x100000, &byte, 0));
+}
+
+TEST(AddressSpaceTest, MappedBytesAccounting) {
+  AddressSpace space;
+  space.Map(0x100000, kPageSize + 1);  // rounds up to two pages
+  EXPECT_EQ(space.mapped_bytes(), 2 * kPageSize);
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,125 @@
+// mini-Apache under the five policies (§4.3).
+
+#include "src/apps/apache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/workloads.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+class ApacheTest : public ::testing::Test {
+ protected:
+  ApacheTest() : docroot_(MakeApacheDocroot()) {}
+
+  std::unique_ptr<ApacheApp> MakeServer(AccessPolicy policy) {
+    return std::make_unique<ApacheApp>(policy, &docroot_, ApacheApp::DefaultConfigText());
+  }
+
+  Vfs docroot_;
+};
+
+TEST_F(ApacheTest, ServesStaticPagesEverywhere) {
+  for (AccessPolicy policy : kAllPolicies) {
+    auto apache = MakeServer(policy);
+    HttpResponse response = apache->Handle(MakeHttpGet("/index.html"));
+    EXPECT_EQ(response.status, 200) << PolicyName(policy);
+    EXPECT_GT(response.body.size(), 4000u) << PolicyName(policy);
+    HttpResponse big = apache->Handle(MakeHttpGet("/files/big.bin"));
+    EXPECT_EQ(big.status, 200) << PolicyName(policy);
+    EXPECT_EQ(big.body.size(), 830 * 1024u) << PolicyName(policy);
+  }
+}
+
+TEST_F(ApacheTest, BenignRewriteWorksEverywhere) {
+  for (AccessPolicy policy : kAllPolicies) {
+    auto apache = MakeServer(policy);
+    HttpResponse response = apache->Handle(MakeHttpGet("/project/flexc/docs"));
+    EXPECT_EQ(response.status, 200) << PolicyName(policy);
+    EXPECT_EQ(response.body, "<html><body>docs</body></html>") << PolicyName(policy);
+  }
+}
+
+TEST_F(ApacheTest, MissingFileIs404) {
+  auto apache = MakeServer(AccessPolicy::kFailureOblivious);
+  EXPECT_EQ(apache->Handle(MakeHttpGet("/no/such/file")).status, 404);
+}
+
+TEST_F(ApacheTest, NonGetRejected) {
+  auto apache = MakeServer(AccessPolicy::kFailureOblivious);
+  HttpRequest post = MakeHttpGet("/index.html");
+  post.method = "POST";
+  EXPECT_EQ(apache->Handle(post).status, 400);
+}
+
+TEST_F(ApacheTest, AttackUrlCrashesStandardChild) {
+  auto apache = MakeServer(AccessPolicy::kStandard);
+  RunResult result = RunAsProcess([&] { apache->Handle(MakeHttpGet(MakeApacheAttackUrl())); });
+  EXPECT_EQ(result.status, ExitStatus::kStackSmash);
+  EXPECT_TRUE(result.possible_code_injection);
+}
+
+TEST_F(ApacheTest, AttackUrlTerminatesBoundsCheckChild) {
+  auto apache = MakeServer(AccessPolicy::kBoundsCheck);
+  RunResult result = RunAsProcess([&] { apache->Handle(MakeHttpGet(MakeApacheAttackUrl())); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST_F(ApacheTest, AttackUrlServedCorrectlyUnderFailureOblivious) {
+  // §4.3.2: "the memory errors occur in irrelevant data structures and
+  // computations [so FO] eliminates the memory error without affecting the
+  // results of the computation at all."
+  auto apache = MakeServer(AccessPolicy::kFailureOblivious);
+  HttpResponse response;
+  RunResult result = RunAsProcess([&] { response = apache->Handle(MakeHttpGet(MakeApacheAttackUrl())); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "capture target page");
+  EXPECT_GT(apache->memory().log().write_errors(), 0u);
+  // Subsequent requests unaffected.
+  EXPECT_EQ(apache->Handle(MakeHttpGet("/index.html")).status, 200);
+}
+
+TEST_F(ApacheTest, WorkerPoolRestartsCrashedChildren) {
+  // §4.3.2: the pool keeps Standard/BoundsCheck serving despite crashes.
+  for (AccessPolicy policy : {AccessPolicy::kStandard, AccessPolicy::kBoundsCheck}) {
+    WorkerPool<ApacheApp> pool(2, [&] { return MakeServer(policy); });
+    RunResult attack = pool.Dispatch(
+        [&](ApacheApp& app) { app.Handle(MakeHttpGet(MakeApacheAttackUrl())); });
+    EXPECT_TRUE(attack.crashed()) << PolicyName(policy);
+    EXPECT_EQ(pool.restarts(), 1u) << PolicyName(policy);
+    HttpResponse response;
+    RunResult legit = pool.Dispatch(
+        [&](ApacheApp& app) { response = app.Handle(MakeHttpGet("/index.html")); });
+    EXPECT_TRUE(legit.ok()) << PolicyName(policy);
+    EXPECT_EQ(response.status, 200) << PolicyName(policy);
+  }
+}
+
+TEST_F(ApacheTest, FailureObliviousPoolNeverRestarts) {
+  WorkerPool<ApacheApp> pool(2, [&] { return MakeServer(AccessPolicy::kFailureOblivious); });
+  for (int i = 0; i < 10; ++i) {
+    RunResult result = pool.Dispatch(
+        [&](ApacheApp& app) { app.Handle(MakeHttpGet(MakeApacheAttackUrl())); });
+    EXPECT_TRUE(result.ok());
+  }
+  EXPECT_EQ(pool.restarts(), 0u);
+}
+
+TEST_F(ApacheTest, ConfigCompilesAllRules) {
+  auto apache = MakeServer(AccessPolicy::kFailureOblivious);
+  // 3 named rules + 40 filler rules.
+  EXPECT_EQ(apache->rule_count(), 43u);
+}
+
+TEST_F(ApacheTest, QueryStringStripped) {
+  auto apache = MakeServer(AccessPolicy::kFailureOblivious);
+  EXPECT_EQ(apache->Handle(MakeHttpGet("/index.html?version=2")).status, 200);
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,245 @@
+// The servers' wider API surface: the operations the stability sections
+// (§4.2.4, §4.5.4, §4.6.4) describe users performing day to day.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apache.h"
+#include "src/apps/mc.h"
+#include "src/apps/mutt.h"
+#include "src/apps/pine.h"
+#include "src/apps/sendmail.h"
+#include "src/harness/workloads.h"
+#include "src/mail/message.h"
+#include "src/net/imap.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+// ---- Pine: reply / forward ----------------------------------------------
+
+TEST(PineReplyTest, QuotesOriginalBody) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(3, false));
+  auto reply = pine.Reply(0, "thanks for this");
+  ASSERT_TRUE(reply.ok);
+  ASSERT_EQ(pine.FolderSize("sent"), 1u);
+  // The quoted lines carry "> " prefixes and the reply references Re:.
+  EXPECT_NE(reply.display.find("friend0@example.org"), std::string::npos);
+}
+
+TEST(PineReplyTest, ReplySubjectGetsRePrefix) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(2, false));
+  pine.Reply(1, "ack");
+  // Second reply to a reply-subject must not stack another Re:.
+  pine.Reply(1, "ack again");
+  EXPECT_EQ(pine.FolderSize("sent"), 2u);
+}
+
+TEST(PineReplyTest, ReplyOutOfRangeFails) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(1, false));
+  EXPECT_FALSE(pine.Reply(5, "x").ok);
+}
+
+TEST(PineForwardTest, WrapsOriginal) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(2, false));
+  auto fwd = pine.Forward(0, "third@example.org");
+  ASSERT_TRUE(fwd.ok);
+  EXPECT_EQ(pine.FolderSize("sent"), 1u);
+  EXPECT_NE(fwd.display.find("third@example.org"), std::string::npos);
+}
+
+TEST(PineReplyTest, ReplyToAttackMessageWorksUnderFailureOblivious) {
+  // §4.2.4: the stability period included replying while attack messages
+  // sat in the mailbox.
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(3, true));
+  auto reply = pine.Reply(1, "re: the strange one");  // attack sits at index 2 of 0..3
+  EXPECT_TRUE(reply.ok);
+  auto reply_to_attack = pine.Reply(2, "who are you?");
+  EXPECT_TRUE(reply_to_attack.ok);
+}
+
+// ---- Mutt: compose / forward via IMAP APPEND -------------------------------
+
+TEST(MuttComposeTest, AppendsToFolder) {
+  ImapServer imap;
+  imap.AddFolderUtf8("Sent", {});
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  auto result = mutt.Compose("Sent", "peer@example.org", "hello", "body\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(imap.Select("Sent").message_count, 1u);
+}
+
+TEST(MuttComposeTest, ComposeToMissingFolderIsHandledError) {
+  ImapServer imap;
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  auto result = mutt.Compose("Ghost", "a@b", "s", "b");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("does not exist"), std::string::npos);
+}
+
+TEST(MuttComposeTest, ComposeToAttackNamedFolderFailsGracefully) {
+  ImapServer imap;
+  imap.AddFolderUtf8("Sent", {});
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  auto result = mutt.Compose(MakeMuttAttackFolderName(), "a@b", "s", "b");
+  EXPECT_FALSE(result.ok);  // truncated name does not match any mailbox
+  EXPECT_TRUE(mutt.Compose("Sent", "a@b", "s", "b").ok);  // and we continue
+}
+
+TEST(MuttForwardTest, ForwardAppendsACopy) {
+  ImapServer imap;
+  imap.AddFolderUtf8("INBOX", {MailMessage::Make("a@b", "me", "original", "text\n")});
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  auto result = mutt.Forward("INBOX", 1, "peer@x");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(imap.Select("INBOX").message_count, 2u);
+}
+
+// ---- MC: view / extract ---------------------------------------------------
+
+TEST(McViewTest, ReadsFileThroughPager) {
+  McApp mc(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(false));
+  mc.fs().WriteFile("/notes.txt", "important notes", true);
+  auto view = mc.View("/notes.txt");
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(*view, "important notes");
+  EXPECT_FALSE(mc.View("/missing.txt").has_value());
+}
+
+TEST(McViewTest, LimitTruncatesLargeFiles) {
+  McApp mc(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(false));
+  mc.fs().WriteFile("/big.txt", std::string(10000, 'z'), true);
+  auto view = mc.View("/big.txt", 100);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->size(), 100u);
+}
+
+TEST(McExtractTest, ExtractsFileFromBenignArchive) {
+  McApp mc(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(false));
+  mc.fs().MkDir("/downloads", true);
+  ASSERT_TRUE(mc.ExtractFromTgz(MakeMcBenignTgz(), "pkg/a.txt", "/downloads"));
+  EXPECT_EQ(mc.fs().ReadFile("/downloads/a.txt"), "file a\n");
+}
+
+TEST(McExtractTest, ExtractFromAttackArchiveStillWorks) {
+  // The attack only corrupts the *browse* path; extracting a file entry
+  // from the same archive is fine under failure-oblivious execution.
+  McApp mc(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(false));
+  mc.memory().set_access_budget(10'000'000);
+  ASSERT_TRUE(mc.BrowseTgz(MakeMcAttackTgz()).ok);
+  ASSERT_TRUE(mc.ExtractFromTgz(MakeMcAttackTgz(), "pkg/readme.txt", "/tmp"));
+  EXPECT_EQ(mc.fs().ReadFile("/tmp/readme.txt"), "malicious archive\n");
+}
+
+TEST(McExtractTest, MissingEntryFails) {
+  McApp mc(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(false));
+  EXPECT_FALSE(mc.ExtractFromTgz(MakeMcBenignTgz(), "no/such/entry", "/x"));
+  EXPECT_FALSE(mc.ExtractFromTgz("garbage", "pkg/a.txt", "/x"));
+}
+
+// ---- Sendmail: VRFY / EXPN --------------------------------------------------
+
+TEST(SendmailVrfyTest, LocalAndRemoteAnswers) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  EXPECT_EQ(daemon.HandleCommand("VRFY user@localhost").substr(0, 3), "250");
+  EXPECT_EQ(daemon.HandleCommand("VRFY someone@far.example").substr(0, 3), "252");
+  EXPECT_EQ(daemon.HandleCommand("EXPN staff").substr(0, 3), "550");
+}
+
+TEST(SendmailVrfyTest, VrfyIsAnotherPathToThePrescanBug) {
+  // Standard compilation: VRFY with the attack address also smashes the
+  // stack — the bug is in the shared parser, not the MAIL handler.
+  SendmailApp standard(AccessPolicy::kStandard);
+  RunResult result = RunAsProcess(
+      [&] { standard.HandleCommand("VRFY <" + MakeSendmailAttackAddress(24) + ">"); });
+  EXPECT_EQ(result.status, ExitStatus::kStackSmash);
+  // Failure-oblivious: rejected, daemon fine.
+  SendmailApp oblivious(AccessPolicy::kFailureOblivious);
+  EXPECT_EQ(oblivious
+                .HandleCommand("VRFY <" + MakeSendmailAttackAddress(24) + ">")
+                .substr(0, 3),
+            "553");
+}
+
+// ---- Apache: HEAD + access log ----------------------------------------------
+
+TEST(ApacheHeadTest, HeadReturnsHeadersOnly) {
+  Vfs docroot = MakeApacheDocroot();
+  ApacheApp apache(AccessPolicy::kFailureOblivious, &docroot, ApacheApp::DefaultConfigText());
+  HttpRequest head = MakeHttpGet("/index.html");
+  head.method = "HEAD";
+  HttpResponse response = apache.Handle(head);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(response.body.empty());
+  // Content-Length reflects the real resource size.
+  bool found = false;
+  for (const auto& [name, value] : response.headers) {
+    if (name == "Content-Length") {
+      EXPECT_GT(std::stoul(value), 4000u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApacheLogTest, EveryRequestIsLogged) {
+  Vfs docroot = MakeApacheDocroot();
+  ApacheApp apache(AccessPolicy::kFailureOblivious, &docroot, ApacheApp::DefaultConfigText());
+  apache.Handle(MakeHttpGet("/index.html"));
+  apache.Handle(MakeHttpGet("/missing"));
+  ASSERT_EQ(apache.access_log().size(), 2u);
+  EXPECT_NE(apache.access_log()[0].find("\"GET /index.html HTTP/1.0\" 200"), std::string::npos);
+  EXPECT_NE(apache.access_log()[1].find(" 404 "), std::string::npos);
+}
+
+TEST(ApacheLogTest, AttackRequestLoggedNormallyUnderFailureOblivious) {
+  Vfs docroot = MakeApacheDocroot();
+  ApacheApp apache(AccessPolicy::kFailureOblivious, &docroot, ApacheApp::DefaultConfigText());
+  apache.Handle(MakeHttpGet(MakeApacheAttackUrl()));
+  ASSERT_EQ(apache.access_log().size(), 1u);
+  EXPECT_NE(apache.access_log()[0].find(" 200 "), std::string::npos);
+}
+
+// ---- bounded boundless store --------------------------------------------------
+
+TEST(BoundlessCapacityTest, EvictsOldestWhenFull) {
+  Memory::Config config;
+  config.policy = AccessPolicy::kBoundless;
+  config.boundless_capacity = 8;
+  Memory memory(config);
+  Ptr unit = memory.Malloc(4, "small");
+  for (int i = 0; i < 20; ++i) {
+    memory.WriteU8(unit + 100 + i, static_cast<uint8_t>(i));
+  }
+  EXPECT_LE(memory.boundless().stored_bytes(), 8u);
+  EXPECT_GE(memory.boundless().evictions(), 12u);
+  // The newest bytes survive; the oldest fall back to manufactured values.
+  EXPECT_EQ(memory.ReadU8(unit + 100 + 19), 19);
+  EXPECT_NE(memory.ReadU8(unit + 100 + 0), 0xff);  // readable, just not stored
+}
+
+TEST(BoundlessCapacityTest, UnboundedByDefault) {
+  Memory memory(AccessPolicy::kBoundless);
+  Ptr unit = memory.Malloc(4, "small");
+  for (int i = 0; i < 1000; ++i) {
+    memory.WriteU8(unit + 100 + i, 1);
+  }
+  EXPECT_EQ(memory.boundless().stored_bytes(), 1000u);
+  EXPECT_EQ(memory.boundless().evictions(), 0u);
+}
+
+TEST(BoundlessCapacityTest, RewriteDoesNotConsumeCapacity) {
+  Memory::Config config;
+  config.policy = AccessPolicy::kBoundless;
+  config.boundless_capacity = 4;
+  Memory memory(config);
+  Ptr unit = memory.Malloc(4, "small");
+  for (int i = 0; i < 100; ++i) {
+    memory.WriteU8(unit + 10, static_cast<uint8_t>(i));  // same offset
+  }
+  EXPECT_EQ(memory.boundless().stored_bytes(), 1u);
+  EXPECT_EQ(memory.ReadU8(unit + 10), 99);
+}
+
+}  // namespace
+}  // namespace fob

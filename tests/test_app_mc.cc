@@ -1,0 +1,148 @@
+// mini-Midnight Commander under the five policies (§4.5).
+
+#include "src/apps/mc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/workloads.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+std::string CleanConfig() { return McApp::DefaultConfigText(/*with_blank_lines=*/false); }
+std::string BlankyConfig() { return McApp::DefaultConfigText(/*with_blank_lines=*/true); }
+
+TEST(McConfigTest, CleanConfigParsesEverywhere) {
+  for (AccessPolicy policy : kAllPolicies) {
+    McApp mc(policy, CleanConfig());
+    EXPECT_EQ(mc.config().at("use_internal_edit"), "1") << PolicyName(policy);
+    EXPECT_EQ(mc.config().size(), 4u) << PolicyName(policy);
+  }
+}
+
+TEST(McConfigTest, BlankLineKillsBoundsCheckAtStartup) {
+  // §4.5.4: "this error completely disabled the Bounds Check version until
+  // we removed the blank lines."
+  std::unique_ptr<McApp> mc;
+  RunResult result = RunAsProcess(
+      [&] { mc = std::make_unique<McApp>(AccessPolicy::kBoundsCheck, BlankyConfig()); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(McConfigTest, BlankLineHarmlessElsewhere) {
+  for (AccessPolicy policy : {AccessPolicy::kStandard, AccessPolicy::kFailureOblivious,
+                              AccessPolicy::kBoundless, AccessPolicy::kWrap}) {
+    std::unique_ptr<McApp> mc;
+    RunResult result = RunAsProcess([&] { mc = std::make_unique<McApp>(policy, BlankyConfig()); });
+    EXPECT_TRUE(result.ok()) << PolicyName(policy);
+    EXPECT_EQ(mc->config().size(), 4u) << PolicyName(policy);
+  }
+}
+
+TEST(McConfigTest, FailureObliviousLogsTheBlankLineError) {
+  McApp mc(AccessPolicy::kFailureOblivious, BlankyConfig());
+  EXPECT_GE(mc.memory().log().read_errors(), 1u);
+}
+
+TEST(McBrowseTest, BenignArchiveListsEverywhere) {
+  for (AccessPolicy policy : kAllPolicies) {
+    McApp mc(policy, CleanConfig());
+    auto listing = mc.BrowseTgz(MakeMcBenignTgz());
+    ASSERT_TRUE(listing.ok) << PolicyName(policy);
+    EXPECT_EQ(listing.rows.size(), 4u) << PolicyName(policy);
+  }
+}
+
+TEST(McBrowseTest, CorruptArchiveRejectedGracefully) {
+  McApp mc(AccessPolicy::kFailureOblivious, CleanConfig());
+  auto listing = mc.BrowseTgz("not a gzip at all");
+  EXPECT_FALSE(listing.ok);
+  EXPECT_NE(listing.error.find("gzip"), std::string::npos);
+}
+
+TEST(McAttackTest, StandardCrashesOnMaliciousArchive) {
+  McApp mc(AccessPolicy::kStandard, CleanConfig());
+  RunResult result = RunAsProcess([&] { mc.BrowseTgz(MakeMcAttackTgz()); });
+  EXPECT_TRUE(result.crashed());
+}
+
+TEST(McAttackTest, BoundsCheckTerminatesOnMaliciousArchive) {
+  McApp mc(AccessPolicy::kBoundsCheck, CleanConfig());
+  RunResult result = RunAsProcess([&] { mc.BrowseTgz(MakeMcAttackTgz()); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(McAttackTest, FailureObliviousShowsDanglingLinksAndContinues) {
+  // §4.5.2: the lookup fails, MC "treats the symbolic link as a dangling
+  // link and displays it as such", and subsequent commands work.
+  McApp mc(AccessPolicy::kFailureOblivious, CleanConfig());
+  mc.memory().set_access_budget(5'000'000);
+  McApp::ArchiveListing listing;
+  RunResult result = RunAsProcess([&] { listing = mc.BrowseTgz(MakeMcAttackTgz()); });
+  ASSERT_TRUE(result.ok()) << result.detail;
+  ASSERT_TRUE(listing.ok);
+  EXPECT_EQ(listing.rows.size(), 6u);
+  int dangling = 0;
+  for (const std::string& row : listing.rows) {
+    if (row.find("(dangling)") != std::string::npos) {
+      ++dangling;
+    }
+  }
+  EXPECT_GT(dangling, 0);
+  EXPECT_GT(mc.memory().log().total_errors(), 0u);
+  // Subsequent file management commands.
+  MakeMcTree(mc.fs(), "/work/tree", 64 << 10);
+  EXPECT_TRUE(mc.Copy("/work/tree", "/work/copy"));
+  EXPECT_TRUE(mc.MkDir("/work/new"));
+  EXPECT_TRUE(mc.Delete("/work/copy"));
+}
+
+TEST(McAttackTest, ZeroSequenceHangsTheSlashSearch) {
+  // §3's motivating example: with a zeros-only manufactured sequence the
+  // '/'-search loop never terminates.
+  Memory::Config config;
+  config.policy = AccessPolicy::kFailureOblivious;
+  config.sequence = SequenceKind::kZeros;
+  // McApp takes a policy, not a config; replicate via the low-level check
+  // in test_memory_policies. Here, verify the app-level behaviour with the
+  // paper sequence instead: it must NOT hang.
+  McApp mc(AccessPolicy::kFailureOblivious, CleanConfig());
+  mc.memory().set_access_budget(2'000'000);
+  RunResult result = RunAsProcess([&] { mc.BrowseTgz(MakeMcAttackTgz()); });
+  EXPECT_TRUE(result.ok());  // paper sequence rescues the loop
+}
+
+TEST(McFileOpsTest, CopyMoveMkdirDeleteAcrossPolicies) {
+  for (AccessPolicy policy : {AccessPolicy::kStandard, AccessPolicy::kFailureOblivious}) {
+    McApp mc(policy, CleanConfig());
+    uint64_t bytes = MakeMcTree(mc.fs(), "/data/tree", 512 << 10);
+    EXPECT_EQ(bytes, 512u << 10);
+    EXPECT_TRUE(mc.Copy("/data/tree", "/data/copy")) << PolicyName(policy);
+    EXPECT_EQ(mc.fs().TreeBytes("/data/copy"), bytes);
+    EXPECT_TRUE(mc.Move("/data/copy", "/data/moved"));
+    EXPECT_FALSE(mc.fs().Exists("/data/copy"));
+    EXPECT_TRUE(mc.MkDir("/data/fresh"));
+    EXPECT_TRUE(mc.Delete("/data/moved"));
+    EXPECT_FALSE(mc.Delete("/data/moved"));  // second delete fails cleanly
+  }
+}
+
+TEST(McStabilityTest, RepeatedAttackBrowsesBetweenWork) {
+  // §4.5.4: open the problematic archive periodically, keep working.
+  McApp mc(AccessPolicy::kFailureOblivious, BlankyConfig());
+  mc.memory().set_access_budget(50'000'000);
+  MakeMcTree(mc.fs(), "/home/files", 128 << 10);
+  for (int round = 0; round < 10; ++round) {
+    auto listing = mc.BrowseTgz(MakeMcAttackTgz());
+    EXPECT_TRUE(listing.ok) << "round " << round;
+    std::string dst = "/home/copy" + std::to_string(round);
+    EXPECT_TRUE(mc.Copy("/home/files", dst)) << "round " << round;
+    EXPECT_TRUE(mc.Delete(dst));
+  }
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,149 @@
+// mini-Mutt under the five policies (§2, §4.6).
+
+#include "src/apps/mutt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/codec/utf7.h"
+#include "src/harness/workloads.h"
+#include "src/mail/message.h"
+#include "src/net/imap.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+ImapServer MakeImap() {
+  ImapServer imap;
+  imap.AddFolderUtf8("INBOX", {MailMessage::Make("alice@example.org", "me@here", "hi", "one\n"),
+                               MailMessage::Make("bob@example.org", "me@here", "yo", "two\n")});
+  imap.AddFolderUtf8("archive", {});
+  imap.AddFolderUtf8(MakeMuttBenignFolderName(), {});
+  return imap;
+}
+
+TEST(MuttConversionTest, PortMatchesReferenceOnAsciiNames) {
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  for (const char* raw_name : {"INBOX", "archive", "a&b", "work.2004"}) {
+    std::string name = raw_name;
+    Ptr u8 = mutt.memory().NewCString(name);
+    Ptr out = mutt.Utf8ToUtf7Port(u8, name.size());
+    ASSERT_FALSE(out.IsNull()) << name;
+    EXPECT_EQ(mutt.memory().ReadCString(out), *Utf8ToUtf7(name)) << name;
+    mutt.memory().Free(out);
+    mutt.memory().Free(u8);
+  }
+}
+
+TEST(MuttConversionTest, PortMatchesReferenceOnSafeWideNames) {
+  // Expansion < 2x: the undersized buffer happens to suffice.
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  std::string name = MakeMuttBenignFolderName();
+  Ptr u8 = mutt.memory().NewCString(name);
+  Ptr out = mutt.Utf8ToUtf7Port(u8, name.size());
+  ASSERT_FALSE(out.IsNull());
+  EXPECT_EQ(mutt.memory().ReadCString(out), *Utf8ToUtf7(name));
+  mutt.memory().Free(out);
+  mutt.memory().Free(u8);
+}
+
+TEST(MuttConversionTest, PortBailsOnInvalidUtf8LikeFigure1) {
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  for (const std::string& bad : {std::string("\xff"), std::string("abc\x80"),
+                                 std::string("\xc3")}) {
+    Ptr u8 = mutt.memory().NewCString(bad);
+    Ptr out = mutt.Utf8ToUtf7Port(u8, bad.size());
+    EXPECT_TRUE(out.IsNull());
+    mutt.memory().Free(u8);
+  }
+}
+
+TEST(MuttConversionTest, FailureObliviousTruncatesAtAllocationBoundary) {
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  std::string name = MakeMuttAttackFolderName();
+  Ptr u8 = mutt.memory().NewCString(name);
+  Ptr out = mutt.Utf8ToUtf7Port(u8, name.size());
+  ASSERT_FALSE(out.IsNull());
+  std::string truncated = mutt.memory().ReadCString(out);
+  std::string reference = *Utf8ToUtf7(name);
+  EXPECT_LT(truncated.size(), reference.size());
+  // What survived is a clean prefix of the correct conversion.
+  EXPECT_EQ(truncated, reference.substr(0, truncated.size()));
+  EXPECT_GT(mutt.memory().log().write_errors(), 0u);
+  mutt.memory().Free(out);
+  mutt.memory().Free(u8);
+}
+
+TEST(MuttConversionTest, BoundlessRecoversTheFullConversion) {
+  // §5.1: boundless memory blocks eliminate the size calculation error.
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kBoundless, &imap);
+  std::string name = MakeMuttAttackFolderName();
+  Ptr u8 = mutt.memory().NewCString(name);
+  Ptr out = mutt.Utf8ToUtf7Port(u8, name.size());
+  ASSERT_FALSE(out.IsNull());
+  EXPECT_EQ(mutt.memory().ReadCString(out, 1 << 14), *Utf8ToUtf7(name));
+  mutt.memory().Free(out);
+  mutt.memory().Free(u8);
+}
+
+TEST(MuttAttackTest, StandardCompilationCorruptsHeapAndDies) {
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kStandard, &imap);
+  RunResult result = RunAsProcess([&] { mutt.OpenFolder(MakeMuttAttackFolderName()); });
+  EXPECT_EQ(result.status, ExitStatus::kHeapCorruption);
+}
+
+TEST(MuttAttackTest, BoundsCheckTerminatesBeforeUiComesUp) {
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kBoundsCheck, &imap);
+  RunResult result = RunAsProcess([&] { mutt.OpenFolder(MakeMuttAttackFolderName()); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(MuttAttackTest, FailureObliviousGetsAnticipatedImapError) {
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  MuttApp::Result open;
+  RunResult result = RunAsProcess([&] { open = mutt.OpenFolder(MakeMuttAttackFolderName()); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(open.ok);
+  EXPECT_NE(open.error.find("does not exist"), std::string::npos);
+  // ...and the user can keep working with legitimate folders (§4.6.4).
+  auto inbox = mutt.OpenFolder("INBOX");
+  EXPECT_TRUE(inbox.ok);
+  auto read = mutt.ReadMessage("INBOX", 1);
+  EXPECT_TRUE(read.ok);
+  EXPECT_NE(read.display.find("alice@example.org"), std::string::npos);
+  auto move = mutt.MoveMessage("INBOX", 1, "archive");
+  EXPECT_TRUE(move.ok);
+}
+
+TEST(MuttBenignTest, AllPoliciesServeLegitimateFoldersIdentically) {
+  for (AccessPolicy policy : kAllPolicies) {
+    ImapServer imap = MakeImap();
+    MuttApp mutt(policy, &imap);
+    auto open = mutt.OpenFolder("INBOX");
+    EXPECT_TRUE(open.ok) << PolicyName(policy);
+    auto wide = mutt.OpenFolder(MakeMuttBenignFolderName());
+    EXPECT_TRUE(wide.ok) << PolicyName(policy);
+    auto read = mutt.ReadMessage("INBOX", 2);
+    EXPECT_TRUE(read.ok) << PolicyName(policy);
+    EXPECT_NE(read.display.find("bob@example.org"), std::string::npos);
+  }
+}
+
+TEST(MuttBenignTest, NoMemoryErrorsOnLegitimateWorkload) {
+  ImapServer imap = MakeImap();
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  mutt.OpenFolder("INBOX");
+  mutt.ReadMessage("INBOX", 1);
+  EXPECT_EQ(mutt.memory().log().total_errors(), 0u);
+}
+
+}  // namespace
+}  // namespace fob

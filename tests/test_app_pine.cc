@@ -1,0 +1,127 @@
+// mini-Pine under the five policies (§4.2).
+
+#include "src/apps/pine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/workloads.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+TEST(PineQuoteTest, BenignFromQuotedCorrectly) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(0, false));
+  EXPECT_EQ(pine.QuoteFromVulnerable("alice@example.org"), "alice@example.org");
+  EXPECT_EQ(pine.QuoteFromVulnerable("\"bob\" <b@c>"), "\\\"bob\\\" <b@c>");
+}
+
+TEST(PineQuoteTest, QuotingDoublesBackslashes) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(0, false));
+  // Two quotable chars: estimate = 4 + 1 + 1 = 6 >= needed 7? The estimate
+  // undersizes only when quotable count is large enough; small inputs pass.
+  EXPECT_EQ(pine.QuoteFromVulnerable("a\\b"), "a\\\\b");
+}
+
+TEST(PineStartupTest, LegitimateMailboxLoadsEverywhere) {
+  for (AccessPolicy policy : kAllPolicies) {
+    PineApp pine(policy, MakePineMbox(5, /*include_attack=*/false));
+    EXPECT_EQ(pine.IndexLines().size(), 5u) << PolicyName(policy);
+    EXPECT_EQ(pine.memory().log().total_errors(), 0u) << PolicyName(policy);
+  }
+}
+
+TEST(PineAttackTest, StandardCrashesDuringStartup) {
+  std::unique_ptr<PineApp> pine;
+  RunResult result = RunAsProcess(
+      [&] { pine = std::make_unique<PineApp>(AccessPolicy::kStandard, MakePineMbox(4, true)); });
+  EXPECT_EQ(result.status, ExitStatus::kHeapCorruption);
+  // "the user is unable to use Pine to read mail ... during initialization"
+}
+
+TEST(PineAttackTest, BoundsCheckTerminatesDuringStartup) {
+  std::unique_ptr<PineApp> pine;
+  RunResult result = RunAsProcess([&] {
+    pine = std::make_unique<PineApp>(AccessPolicy::kBoundsCheck, MakePineMbox(4, true));
+  });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(PineAttackTest, RestartingDoesNotHelpStandard) {
+  // §4.7: the attack message persists in the mailbox, so a restart dies the
+  // same way.
+  std::string mbox = MakePineMbox(4, true);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    RunResult result = RunAsProcess(
+        [&] { PineApp pine(AccessPolicy::kStandard, mbox); });
+    EXPECT_TRUE(result.crashed()) << "attempt " << attempt;
+  }
+}
+
+TEST(PineAttackTest, FailureObliviousLoadsAndTruncatesInvisibly) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(4, true));
+  ASSERT_EQ(pine.IndexLines().size(), 5u);
+  // The From column is capped at the index width, so the truncation is not
+  // visible as such.
+  for (const std::string& line : pine.IndexLines()) {
+    EXPECT_LE(line.size(), 120u);
+  }
+  EXPECT_GT(pine.memory().log().write_errors(), 0u);
+}
+
+TEST(PineAttackTest, SelectingAttackMessageShowsFullFrom) {
+  // §4.2.2: "a different execution path correctly translates the From
+  // field" when the message is selected.
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(4, true));
+  // The attack message was inserted mid-mailbox (index 2 of 0..4).
+  auto read = pine.ReadMessage(2);
+  ASSERT_TRUE(read.ok);
+  // The pager line-wraps at 80 columns; compare against the unwrapped text.
+  std::string unwrapped;
+  for (char c : read.display) {
+    if (c != '\n') {
+      unwrapped.push_back(c);
+    }
+  }
+  std::string from = MakePineAttackFrom();
+  EXPECT_NE(unwrapped.find(from), std::string::npos);
+}
+
+TEST(PineAttackTest, SubsequentRequestsWorkAfterError) {
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(4, true));
+  EXPECT_TRUE(pine.ReadMessage(0).ok);
+  EXPECT_TRUE(pine.Compose("x@y", "subject", "body\n").ok);
+  EXPECT_TRUE(pine.MoveMessage(0, "saved").ok);
+  EXPECT_EQ(pine.FolderSize("saved"), 1u);
+  EXPECT_EQ(pine.MessageCount(), 4u);
+}
+
+TEST(PineRequestTest, ReadComposeMoveAcrossPolicies) {
+  for (AccessPolicy policy : {AccessPolicy::kStandard, AccessPolicy::kFailureOblivious}) {
+    PineApp pine(policy, MakePineMbox(3, false));
+    auto read = pine.ReadMessage(1);
+    EXPECT_TRUE(read.ok) << PolicyName(policy);
+    EXPECT_NE(read.display.find("friend1@example.org"), std::string::npos);
+    EXPECT_TRUE(pine.Compose("a@b", "s", "b\n").ok) << PolicyName(policy);
+    EXPECT_TRUE(pine.MoveMessage(0, "sent").ok) << PolicyName(policy);
+    EXPECT_FALSE(pine.MoveMessage(99, "sent").ok);
+    EXPECT_FALSE(pine.MoveMessage(0, "nonexistent").ok);
+  }
+}
+
+TEST(PineStabilityTest, RepeatedAttackMessagesKeepWorking) {
+  // §4.2.4: "we periodically sent an email that triggered the memory
+  // error... executed successfully through all errors".
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(2, true));
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(pine.ReadMessage(0).ok);
+    // Each index rebuild re-triggers the quoting error via MoveMessage.
+    EXPECT_TRUE(pine.Compose("x@y", "s", "b\n").ok);
+  }
+  EXPECT_GT(pine.memory().log().total_errors(), 0u);
+}
+
+}  // namespace
+}  // namespace fob

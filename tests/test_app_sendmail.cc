@@ -1,0 +1,148 @@
+// mini-Sendmail under the five policies (§4.4).
+
+#include "src/apps/sendmail.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/workloads.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+TEST(SendmailInitTest, BoundsCheckDiesDuringInitialization) {
+  // §4.4.4: the daemon's wakeup path has a memory error on *every*
+  // execution, so the Bounds Check version "fails to operate at all".
+  std::unique_ptr<SendmailApp> daemon;
+  RunResult result = RunAsProcess(
+      [&] { daemon = std::make_unique<SendmailApp>(AccessPolicy::kBoundsCheck); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(SendmailInitTest, StandardAndFailureObliviousInitialize) {
+  for (AccessPolicy policy : {AccessPolicy::kStandard, AccessPolicy::kFailureOblivious,
+                              AccessPolicy::kBoundless, AccessPolicy::kWrap}) {
+    std::unique_ptr<SendmailApp> daemon;
+    RunResult result = RunAsProcess([&] { daemon = std::make_unique<SendmailApp>(policy); });
+    EXPECT_TRUE(result.ok()) << PolicyName(policy);
+  }
+}
+
+TEST(SendmailInitTest, WakeupErrorsAccumulateInLog) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  uint64_t after_init = daemon.memory().log().read_errors();
+  EXPECT_GE(after_init, 1u);  // init wakeup
+  daemon.DaemonWakeup();
+  daemon.DaemonWakeup();
+  EXPECT_EQ(daemon.memory().log().read_errors(), after_init + 2);
+}
+
+TEST(SendmailSessionTest, LegitimateDeliveryAcrossPolicies) {
+  for (AccessPolicy policy : {AccessPolicy::kStandard, AccessPolicy::kFailureOblivious}) {
+    SendmailApp daemon(policy);
+    auto responses = daemon.HandleSession(MakeSendmailSession("user@localhost", 64));
+    ASSERT_GE(responses.size(), 5u) << PolicyName(policy);
+    EXPECT_EQ(responses[0].substr(0, 3), "220");
+    EXPECT_EQ(responses.back().substr(0, 3), "221");
+    ASSERT_EQ(daemon.local_mailbox().size(), 1u) << PolicyName(policy);
+    EXPECT_EQ(daemon.local_mailbox()[0].Header("From"), "sender@client.example");
+  }
+}
+
+TEST(SendmailSessionTest, RemoteRecipientGoesToRelayQueue) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  daemon.HandleSession(MakeSendmailSession("someone@far.example", 16));
+  EXPECT_EQ(daemon.local_mailbox().size(), 0u);
+  EXPECT_EQ(daemon.relay_queue().size(), 1u);
+}
+
+TEST(SendmailSessionTest, CommandSequenceEnforced) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  EXPECT_EQ(daemon.HandleCommand("DATA").substr(0, 3), "503");
+  EXPECT_EQ(daemon.HandleCommand("MAIL FROM:bogus").substr(0, 3), "501");
+  EXPECT_EQ(daemon.HandleCommand("FROB x").substr(0, 3), "500");
+  EXPECT_EQ(daemon.HandleCommand("NOOP").substr(0, 3), "250");
+  EXPECT_EQ(daemon.HandleCommand("RSET").substr(0, 3), "250");
+}
+
+TEST(SendmailPrescanTest, NormalAddressesParse) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  std::string parsed, error;
+  ASSERT_TRUE(daemon.PrescanAddress("user@example.org", &parsed, &error));
+  EXPECT_EQ(parsed, "user@example.org");
+}
+
+TEST(SendmailPrescanTest, OverlongAddressRejected) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  std::string parsed, error;
+  EXPECT_FALSE(daemon.PrescanAddress(std::string(100, 'x'), &parsed, &error));
+  EXPECT_EQ(error.substr(0, 3), "553");
+}
+
+TEST(SendmailPrescanTest, QuotedPairCopiesEscapedChar) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  std::string parsed, error;
+  // "a\\\\b": even backslash pair copies the escaped '\' through.
+  ASSERT_TRUE(daemon.PrescanAddress("a\\\\b@x", &parsed, &error));
+  EXPECT_NE(parsed.find('\\'), std::string::npos);
+}
+
+TEST(SendmailAttackTest, StandardCorruptsStackPossibleCodeInjection) {
+  SendmailApp daemon(AccessPolicy::kStandard);
+  RunResult result =
+      RunAsProcess([&] { daemon.HandleSession(MakeSendmailAttackSession()); });
+  EXPECT_EQ(result.status, ExitStatus::kStackSmash);
+  EXPECT_TRUE(result.possible_code_injection);
+}
+
+TEST(SendmailAttackTest, FailureObliviousRejectsAddressAndContinues) {
+  // §4.4.2: FO "discards the out of bounds writes (preserving the integrity
+  // of the stack) and returns back out of the prescan... The standard error
+  // processing logic then rejects the address".
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  std::vector<std::string> responses;
+  RunResult result =
+      RunAsProcess([&] { responses = daemon.HandleSession(MakeSendmailAttackSession()); });
+  ASSERT_TRUE(result.ok());
+  bool saw_reject = false;
+  for (const std::string& r : responses) {
+    if (r.substr(0, 3) == "553") {
+      saw_reject = true;
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+  EXPECT_EQ(responses.back().substr(0, 3), "221");
+  // Subsequent commands processed correctly (§4.4.4).
+  auto legit = daemon.HandleSession(MakeSendmailSession("user@localhost", 32));
+  EXPECT_EQ(daemon.local_mailbox().size(), 1u);
+  EXPECT_EQ(legit.back().substr(0, 3), "221");
+}
+
+TEST(SendmailAttackTest, RepeatedAttacksDoNotWearTheDaemonDown) {
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  for (int i = 0; i < 25; ++i) {
+    auto responses = daemon.HandleSession(MakeSendmailAttackSession());
+    EXPECT_EQ(responses.back().substr(0, 3), "221") << "attack " << i;
+    daemon.HandleSession(MakeSendmailSession("user@localhost", 16));
+  }
+  EXPECT_EQ(daemon.local_mailbox().size(), 25u);
+  EXPECT_GT(daemon.memory().log().total_errors(), 25u);
+}
+
+TEST(SendmailAttackTest, AttackAddressShapeDrivesUncheckedStores) {
+  // White-box check of the attack mechanics: each "\\ \\ 0xff" triple
+  // produces exactly one out-of-bounds write once the buffer is full.
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  uint64_t before = daemon.memory().log().write_errors();
+  std::string parsed, error;
+  EXPECT_FALSE(daemon.PrescanAddress(MakeSendmailAttackAddress(16), &parsed, &error));
+  uint64_t oob_writes = daemon.memory().log().write_errors() - before;
+  // 63 filler chars put q at 63; the first triple writes in bounds (63),
+  // the remaining 15 write out of bounds, plus the trailing NUL.
+  EXPECT_EQ(oob_writes, 16u);
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/archive/gzip.h"
+#include "src/archive/tar.h"
+
+namespace fob {
+namespace {
+
+// ---- tar ----------------------------------------------------------------
+
+TEST(TarTest, EmptyArchiveRoundTrip) {
+  std::string bytes = WriteTar({});
+  EXPECT_EQ(bytes.size(), 1024u);  // two terminator blocks
+  auto entries = ReadTar(bytes);
+  ASSERT_TRUE(entries.has_value());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(TarTest, FileRoundTrip) {
+  auto entries = ReadTar(WriteTar({TarEntry::File("dir/hello.txt", "hello tar\n")}));
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "dir/hello.txt");
+  EXPECT_EQ((*entries)[0].type, TarEntryType::kFile);
+  EXPECT_EQ((*entries)[0].data, "hello tar\n");
+}
+
+TEST(TarTest, SymlinkRoundTrip) {
+  auto entries = ReadTar(WriteTar({TarEntry::Symlink("link", "/usr/share/target")}));
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].type, TarEntryType::kSymlink);
+  EXPECT_EQ((*entries)[0].link_target, "/usr/share/target");
+  EXPECT_TRUE((*entries)[0].data.empty());
+}
+
+TEST(TarTest, MixedEntriesPreserveOrder) {
+  std::vector<TarEntry> in = {
+      TarEntry::Directory("d/"),
+      TarEntry::File("d/a.txt", std::string(513, 'a')),  // crosses a block
+      TarEntry::Symlink("d/s", "/abs/target"),
+      TarEntry::File("d/b.txt", ""),
+  };
+  auto out = ReadTar(WriteTar(in));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 4u);
+  EXPECT_EQ((*out)[0].type, TarEntryType::kDirectory);
+  EXPECT_EQ((*out)[1].data.size(), 513u);
+  EXPECT_EQ((*out)[2].link_target, "/abs/target");
+  EXPECT_EQ((*out)[3].data, "");
+}
+
+TEST(TarTest, ChecksumValidationRejectsCorruption) {
+  std::string bytes = WriteTar({TarEntry::File("x", "data")});
+  bytes[0] ^= 0x7f;  // corrupt the name field
+  EXPECT_FALSE(ReadTar(bytes).has_value());
+}
+
+TEST(TarTest, TruncatedDataRejected) {
+  std::string bytes = WriteTar({TarEntry::File("x", std::string(600, 'q'))});
+  // Chop inside the data blocks.
+  bytes.resize(512 + 100);
+  EXPECT_FALSE(ReadTar(bytes).has_value());
+}
+
+TEST(TarTest, OverlongNamesUnsupported) {
+  EXPECT_TRUE(WriteTar({TarEntry::File(std::string(150, 'n'), "x")}).empty());
+  EXPECT_TRUE(WriteTar({TarEntry::Symlink("ok", std::string(150, 't'))}).empty());
+}
+
+// ---- gzip ----------------------------------------------------------------
+
+TEST(GzipTest, Crc32KnownVectors) {
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);  // the classic check value
+  EXPECT_EQ(Crc32("hello"), 0x3610a686u);
+}
+
+TEST(GzipTest, RoundTripSmall) {
+  for (const std::string& s :
+       {std::string(""), std::string("x"), std::string("hello gzip"), std::string(100, '\0')}) {
+    auto out = GunzipStore(GzipStore(s));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, s);
+  }
+}
+
+TEST(GzipTest, RoundTripMultiBlock) {
+  std::string big(200000, '\0');  // needs four stored blocks
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>(i * 31);
+  }
+  auto out = GunzipStore(GzipStore(big));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, big);
+}
+
+TEST(GzipTest, BadMagicReported) {
+  GunzipError error = GunzipError::kTruncated;
+  EXPECT_FALSE(GunzipStore(std::string(32, 'z'), &error).has_value());
+  EXPECT_EQ(error, GunzipError::kBadMagic);
+}
+
+TEST(GzipTest, CrcMismatchReported) {
+  std::string bytes = GzipStore("payload");
+  bytes[bytes.size() - 9] ^= 0x55;  // flip a payload byte, CRC now wrong
+  GunzipError error = GunzipError::kBadMagic;
+  EXPECT_FALSE(GunzipStore(bytes, &error).has_value());
+  EXPECT_EQ(error, GunzipError::kBadCrc);
+}
+
+TEST(GzipTest, TruncationReported) {
+  std::string bytes = GzipStore("some payload");
+  bytes.resize(bytes.size() - 6);
+  GunzipError error = GunzipError::kBadMagic;
+  EXPECT_FALSE(GunzipStore(bytes, &error).has_value());
+  EXPECT_EQ(error, GunzipError::kTruncated);
+}
+
+TEST(GzipTest, CompressedBlocksReportedAsUnsupported) {
+  std::string bytes = GzipStore("x");
+  // Force BTYPE=01 (fixed Huffman) in the first deflate block header.
+  bytes[10] = static_cast<char>(bytes[10] | 0x02);
+  GunzipError error = GunzipError::kBadMagic;
+  EXPECT_FALSE(GunzipStore(bytes, &error).has_value());
+  EXPECT_EQ(error, GunzipError::kUnsupportedCompression);
+}
+
+TEST(GzipTest, TgzRoundTrip) {
+  // The full Midnight Commander input path: tar -> gzip -> gunzip -> untar.
+  std::string tar = WriteTar({TarEntry::File("readme", "content"),
+                              TarEntry::Symlink("s", "/abs/path")});
+  auto unzipped = GunzipStore(GzipStore(tar));
+  ASSERT_TRUE(unzipped.has_value());
+  auto entries = ReadTar(*unzipped);
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[1].link_target, "/abs/path");
+}
+
+}  // namespace
+}  // namespace fob

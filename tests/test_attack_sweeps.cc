@@ -1,0 +1,171 @@
+// Attack-strength sweeps: behaviour must change monotonically and exactly
+// at the documented boundaries.
+//
+// Each vulnerable routine has a threshold below which the input is
+// legitimate and above which it is an overflow; these parameterized sweeps
+// pin the threshold (off-by-one regressions in ported bug mechanics are
+// precisely what would silently invalidate the §4 experiments).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/mutt.h"
+#include "src/apps/pine.h"
+#include "src/apps/sendmail.h"
+#include "src/codec/utf7.h"
+#include "src/codec/utf8.h"
+#include "src/harness/workloads.h"
+#include "src/mail/mbox.h"
+#include "src/net/imap.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+// ---- Pine: quotable-character threshold -------------------------------------
+
+class PineQuoteSweep : public ::testing::TestWithParam<size_t> {};
+INSTANTIATE_TEST_SUITE_P(Quotables, PineQuoteSweep, ::testing::Values(0u, 1u, 2u, 3u, 8u, 64u));
+
+TEST_P(PineQuoteSweep, OverflowExactlyWhenEstimateUndershoots) {
+  size_t quotable = GetParam();
+  // estimate = len + quotable/2 + 1; needed = len + quotable + 1.
+  bool should_overflow = quotable / 2 < quotable;  // i.e. quotable >= 1... but:
+  // quotable == 1: estimate = len + 0 + 1, needed = len + 2 -> overflow by 1.
+  PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(0, false));
+  uint64_t errors_before = pine.memory().log().write_errors();
+  std::string from = "user" + std::string(quotable, '\\') + "@x";
+  pine.QuoteFromVulnerable(from);
+  uint64_t errors = pine.memory().log().write_errors() - errors_before;
+  if (should_overflow) {
+    EXPECT_GT(errors, 0u) << "quotable=" << quotable;
+    // Overflow size is exactly the estimate shortfall: ceil(quotable/2)
+    // data bytes (plus the terminating NUL when it lands out of bounds).
+    EXPECT_LE(errors, quotable - quotable / 2 + 1) << "quotable=" << quotable;
+  } else {
+    EXPECT_EQ(errors, 0u);
+  }
+}
+
+// ---- Sendmail: triple-count threshold ---------------------------------------
+
+class SendmailPairSweep : public ::testing::TestWithParam<size_t> {};
+INSTANTIATE_TEST_SUITE_P(Pairs, SendmailPairSweep, ::testing::Values(0u, 1u, 2u, 8u, 32u, 128u));
+
+TEST_P(SendmailPairSweep, OobWritesScaleWithTriples) {
+  size_t pairs = GetParam();
+  SendmailApp daemon(AccessPolicy::kFailureOblivious);
+  uint64_t before = daemon.memory().log().write_errors();
+  std::string parsed, error;
+  bool accepted = daemon.PrescanAddress(MakeSendmailAttackAddress(pairs), &parsed, &error);
+  uint64_t oob = daemon.memory().log().write_errors() - before;
+  if (pairs == 0) {
+    // 63 filler chars fit exactly; address accepted, nothing out of bounds.
+    EXPECT_TRUE(accepted);
+    EXPECT_EQ(oob, 0u);
+  } else {
+    EXPECT_FALSE(accepted);
+    // The first triple writes the last in-bounds byte; each further triple
+    // is one OOB write; the trailing NUL is OOB once any triple landed.
+    EXPECT_EQ(oob, pairs) << "pairs=" << pairs;
+  }
+}
+
+TEST_P(SendmailPairSweep, StandardCrashesOnlyWhenCanaryReached) {
+  size_t pairs = GetParam();
+  SendmailApp daemon(AccessPolicy::kStandard);
+  RunResult result = RunAsProcess([&] {
+    std::string parsed, error;
+    daemon.PrescanAddress(MakeSendmailAttackAddress(pairs), &parsed, &error);
+  });
+  // Buffer is 64 bytes with the canary directly above it (the saved return
+  // address). q reaches 63 from the filler; the first triple's unchecked
+  // store lands at buf+63 (the last in-bounds byte) and pushes q to 64, so
+  // the trailing NUL already clobbers the canary's first byte: a single
+  // triple is enough to crash the return. With no triples everything fits.
+  if (pairs >= 1) {
+    EXPECT_EQ(result.status, ExitStatus::kStackSmash) << "pairs=" << pairs;
+  } else {
+    EXPECT_TRUE(result.ok()) << "pairs=" << pairs;
+  }
+}
+
+// ---- Mutt: expansion-ratio threshold -----------------------------------------
+
+class MuttExpansionSweep : public ::testing::TestWithParam<size_t> {};
+INSTANTIATE_TEST_SUITE_P(Blocks, MuttExpansionSweep, ::testing::Values(0u, 1u, 2u, 8u, 24u, 64u));
+
+TEST_P(MuttExpansionSweep, TruncationExactlyWhenReferenceExceedsAllocation) {
+  size_t blocks = GetParam();
+  ImapServer imap;
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  std::string name = "mail/";
+  for (size_t i = 0; i < blocks; ++i) {
+    name += '\x01';
+    name += 'a';
+  }
+  std::string reference = *Utf8ToUtf7(name);
+  size_t allocated = name.size() * 2 + 1;
+  Ptr u8 = mutt.memory().NewCString(name);
+  Ptr out = mutt.Utf8ToUtf7Port(u8, name.size());
+  ASSERT_FALSE(out.IsNull());
+  std::string produced = mutt.memory().ReadCString(out, 1 << 14);
+  if (reference.size() + 1 > allocated) {
+    EXPECT_LT(produced.size(), reference.size()) << "blocks=" << blocks;
+    EXPECT_EQ(produced, reference.substr(0, produced.size()));
+  } else {
+    EXPECT_EQ(produced, reference) << "blocks=" << blocks;
+  }
+  mutt.memory().Free(out);
+  mutt.memory().Free(u8);
+}
+
+TEST_P(MuttExpansionSweep, BoundlessAlwaysProducesTheReference) {
+  size_t blocks = GetParam();
+  ImapServer imap;
+  MuttApp mutt(AccessPolicy::kBoundless, &imap);
+  std::string name = "folder-";
+  for (size_t i = 0; i < blocks; ++i) {
+    name += '\x02';
+    name += 'b';
+  }
+  Ptr u8 = mutt.memory().NewCString(name);
+  Ptr out = mutt.Utf8ToUtf7Port(u8, name.size());
+  ASSERT_FALSE(out.IsNull());
+  EXPECT_EQ(mutt.memory().ReadCString(out, 1 << 14), *Utf8ToUtf7(name));
+  mutt.memory().Free(out);
+  mutt.memory().Free(u8);
+}
+
+// ---- UTF-7 random fuzz round-trip ---------------------------------------------
+
+TEST(Utf7FuzzTest, RandomBmpStringsRoundTrip) {
+  uint64_t state = 0x12345678;
+  auto next = [&state]() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 2685821657736338717ull;
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string utf8;
+    size_t length = 1 + next() % 20;
+    for (size_t i = 0; i < length; ++i) {
+      uint32_t cp = static_cast<uint32_t>(next() % 0xfffd) + 1;
+      if (cp >= 0xd800 && cp <= 0xdfff) {
+        cp = 0x40;  // avoid surrogates (not representable in UTF-16 units)
+      }
+      utf8 += Utf8Encode(cp);
+    }
+    auto utf7 = Utf8ToUtf7(utf8);
+    ASSERT_TRUE(utf7.has_value()) << "round " << round;
+    EXPECT_LE(utf7->size(), Utf7MaxOutputBytes(utf8.size()));
+    auto back = Utf7ToUtf8(*utf7);
+    ASSERT_TRUE(back.has_value()) << "round " << round << " utf7=" << *utf7;
+    EXPECT_EQ(*back, utf8) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/codec/base64.h"
+#include "src/codec/utf7.h"
+#include "src/codec/utf8.h"
+
+namespace fob {
+namespace {
+
+// ---- base64 ------------------------------------------------------------
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeInvertsEncode) {
+  for (const std::string& s : {std::string(""), std::string("x"), std::string("hello world"),
+                               std::string(100, '\xff'), std::string("\x00\x01\x02", 3)}) {
+    auto decoded = Base64Decode(Base64Encode(s));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, s);
+  }
+}
+
+TEST(Base64Test, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Base64Decode("a").has_value());        // bad length
+  EXPECT_FALSE(Base64Decode("!@#$").has_value());     // bad alphabet
+  EXPECT_FALSE(Base64Decode("=aaa").has_value());     // premature padding
+  EXPECT_FALSE(Base64Decode("Zg==Zg==").has_value()); // data after padding
+}
+
+TEST(Base64Test, Utf7AlphabetUsesCommaNotSlash) {
+  EXPECT_EQ(kB64Chars[63], ',');
+  EXPECT_EQ(kBase64Std[63], '/');
+  EXPECT_EQ(Base64Index(',', kB64Chars), 63);
+  EXPECT_EQ(Base64Index('/', kB64Chars), -1);
+}
+
+// ---- UTF-8 ---------------------------------------------------------------
+
+TEST(Utf8Test, AsciiRoundTrip) {
+  std::string s = "plain ascii";
+  auto cps = Utf8DecodeAll(s);
+  ASSERT_TRUE(cps.has_value());
+  EXPECT_EQ(cps->size(), s.size());
+  EXPECT_EQ(Utf8EncodeAll(*cps), s);
+}
+
+TEST(Utf8Test, MultibyteRoundTrip) {
+  for (uint32_t cp : {0x80u, 0x7ffu, 0x800u, 0xffffu, 0x10000u, 0x10ffffu, 0x1fffffu}) {
+    std::string encoded = Utf8Encode(cp);
+    size_t i = 0;
+    auto decoded = Utf8DecodeNext(encoded, i);
+    ASSERT_TRUE(decoded.has_value()) << cp;
+    EXPECT_EQ(*decoded, cp);
+    EXPECT_EQ(i, encoded.size());
+  }
+}
+
+TEST(Utf8Test, EncodedLengths) {
+  EXPECT_EQ(Utf8Encode(0x41).size(), 1u);
+  EXPECT_EQ(Utf8Encode(0xe9).size(), 2u);       // é
+  EXPECT_EQ(Utf8Encode(0x20ac).size(), 3u);     // €
+  EXPECT_EQ(Utf8Encode(0x1f600).size(), 4u);    // emoji
+}
+
+TEST(Utf8Test, RejectsBareContinuationByte) {
+  size_t i = 0;
+  EXPECT_FALSE(Utf8DecodeNext("\x80", i).has_value());
+}
+
+TEST(Utf8Test, RejectsOverlongTwoByte) {
+  // 0xC0 0x80 is overlong NUL; 0xC1 0xBF overlong 0x7F.
+  EXPECT_FALSE(Utf8Valid("\xc0\x80"));
+  EXPECT_FALSE(Utf8Valid("\xc1\xbf"));
+}
+
+TEST(Utf8Test, RejectsOverlongThreeByte) {
+  // 0xE0 0x81 0x81 encodes 0x41 in three bytes.
+  EXPECT_FALSE(Utf8Valid("\xe0\x81\x81"));
+}
+
+TEST(Utf8Test, RejectsTruncatedSequence) {
+  EXPECT_FALSE(Utf8Valid("\xe2\x82"));  // € missing the last byte
+  EXPECT_FALSE(Utf8Valid("\xc3"));
+}
+
+TEST(Utf8Test, RejectsBadContinuation) {
+  EXPECT_FALSE(Utf8Valid("\xc3\x41"));  // second byte not 10xxxxxx
+}
+
+TEST(Utf8Test, RejectsFeFf) {
+  EXPECT_FALSE(Utf8Valid("\xfe"));
+  EXPECT_FALSE(Utf8Valid("\xff"));
+}
+
+// ---- modified UTF-7 --------------------------------------------------------
+
+TEST(Utf7Test, AsciiPassesThrough) {
+  EXPECT_EQ(Utf8ToUtf7("INBOX"), "INBOX");
+  EXPECT_EQ(Utf8ToUtf7("a b.c-d"), "a b.c-d");
+}
+
+TEST(Utf7Test, AmpersandEscapes) {
+  EXPECT_EQ(Utf8ToUtf7("a&b"), "a&-b");
+  EXPECT_EQ(Utf7ToUtf8("a&-b"), "a&b");
+}
+
+TEST(Utf7Test, Rfc3501Example) {
+  // RFC 3501: "~peter/mail/台北/日本語" -> "~peter/mail/&U,BTFw-/&ZeVnLIqe-"
+  std::string utf8 = "~peter/mail/\xe5\x8f\xb0\xe5\x8c\x97/\xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e";
+  auto utf7 = Utf8ToUtf7(utf8);
+  ASSERT_TRUE(utf7.has_value());
+  EXPECT_EQ(*utf7, "~peter/mail/&U,BTFw-/&ZeVnLIqe-");
+  EXPECT_EQ(Utf7ToUtf8(*utf7), utf8);
+}
+
+TEST(Utf7Test, ControlCharactersShift) {
+  auto utf7 = Utf8ToUtf7(std::string("\x01", 1));
+  ASSERT_TRUE(utf7.has_value());
+  EXPECT_EQ(utf7->front(), '&');
+  EXPECT_EQ(utf7->back(), '-');
+  EXPECT_EQ(Utf7ToUtf8(*utf7), std::string("\x01", 1));
+}
+
+TEST(Utf7Test, InvalidUtf8Bails) {
+  EXPECT_FALSE(Utf8ToUtf7("\xff").has_value());
+  EXPECT_FALSE(Utf8ToUtf7("\xc3").has_value());
+  EXPECT_FALSE(Utf8ToUtf7("abc\x80xyz").has_value());
+}
+
+TEST(Utf7Test, RoundTripBmpCodepoints) {
+  // Deterministic sweep over BMP codepoints (excluding the surrogate range
+  // and the 0xfffe fold target).
+  for (uint32_t cp = 0x20; cp < 0xfffe; cp += 97) {
+    if (cp >= 0xd800 && cp <= 0xdfff) {
+      continue;
+    }
+    std::string utf8 = Utf8Encode(cp);
+    auto utf7 = Utf8ToUtf7(utf8);
+    ASSERT_TRUE(utf7.has_value()) << "cp=" << cp;
+    auto back = Utf7ToUtf8(*utf7);
+    ASSERT_TRUE(back.has_value()) << "cp=" << cp << " utf7=" << *utf7;
+    EXPECT_EQ(*back, utf8) << "cp=" << cp;
+  }
+}
+
+TEST(Utf7Test, AstralCodepointsFoldToFffe) {
+  // Figure 1: `if (ch & ~0xffff) ch = 0xfffe;`
+  auto utf7 = Utf8ToUtf7(Utf8Encode(0x1f600));
+  ASSERT_TRUE(utf7.has_value());
+  auto back = Utf7ToUtf8(*utf7);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, Utf8Encode(0xfffe));
+}
+
+TEST(Utf7Test, ExpansionExceedsMuttsFactorOfTwo) {
+  // §4.6.1: Mutt sizes the output buffer at 2x, but the conversion can
+  // expand more than that. Each isolated shifted character costs
+  // '&' + 3 base64 chars + '-' = 5 output bytes; alternating a control
+  // character with a printable gives ratio 3 > 2.
+  std::string utf8;
+  for (int i = 0; i < 100; ++i) {
+    utf8 += '\x01';
+    utf8 += 'a';
+  }
+  auto utf7 = Utf8ToUtf7(utf8);
+  ASSERT_TRUE(utf7.has_value());
+  double ratio = static_cast<double>(utf7->size()) / static_cast<double>(utf8.size());
+  EXPECT_GT(ratio, 2.0);  // the paper's point: 2x is not enough
+  EXPECT_LE(utf7->size(), Utf7MaxOutputBytes(utf8.size()));
+}
+
+TEST(Utf7Test, MaxOutputBoundHoldsForAdversarialMixes) {
+  // The nastiest mix: shifted one-byte chars alternating with literal '&'
+  // (2x each) reaches 3.5x — still under the Figure 1 bound of 4x+1.
+  std::string utf8;
+  for (int i = 0; i < 64; ++i) {
+    utf8 += '\x02';
+    utf8 += '&';
+  }
+  auto utf7 = Utf8ToUtf7(utf8);
+  ASSERT_TRUE(utf7.has_value());
+  EXPECT_GE(utf7->size() * 2, utf8.size() * 7);  // ratio >= 3.5
+  EXPECT_LE(utf7->size(), Utf7MaxOutputBytes(utf8.size()));
+}
+
+TEST(Utf7Test, ExpansionNeverExceedsBound) {
+  for (uint32_t cp = 0x20; cp < 0x4000; cp += 131) {
+    std::string utf8;
+    for (int i = 0; i < 17; ++i) {
+      utf8 += Utf8Encode(cp);
+    }
+    auto utf7 = Utf8ToUtf7(utf8);
+    ASSERT_TRUE(utf7.has_value());
+    EXPECT_LE(utf7->size(), Utf7MaxOutputBytes(utf8.size())) << "cp=" << cp;
+  }
+}
+
+TEST(Utf7Test, DecoderRejectsMalformed) {
+  EXPECT_FALSE(Utf7ToUtf8("&").has_value());          // unterminated shift
+  EXPECT_FALSE(Utf7ToUtf8("&!!-").has_value());       // bad base64
+  EXPECT_FALSE(Utf7ToUtf8("&AA-").has_value());       // 12 bits: no full unit
+  EXPECT_FALSE(Utf7ToUtf8(std::string("\x07", 1)).has_value());  // raw control
+}
+
+TEST(Utf7Test, ConsecutiveWideCharsShareOneShift) {
+  std::string utf8 = Utf8Encode(0x3042) + Utf8Encode(0x3044);
+  auto utf7 = Utf8ToUtf7(utf8);
+  ASSERT_TRUE(utf7.has_value());
+  // Only one '&' and one '-'.
+  EXPECT_EQ(std::count(utf7->begin(), utf7->end(), '&'), 1);
+  EXPECT_EQ(utf7->back(), '-');
+  EXPECT_EQ(Utf7ToUtf8(*utf7), utf8);
+}
+
+}  // namespace
+}  // namespace fob

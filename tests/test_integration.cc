@@ -1,0 +1,115 @@
+// End-to-end integration: the whole §4 environment in one process.
+//
+// Five failure-oblivious servers, interleaved legitimate work and attacks,
+// a regenerating Apache pool, and the administrator's error-log digest at
+// the end — the "deployed into daily use" story, compressed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/apache.h"
+#include "src/apps/mc.h"
+#include "src/apps/mutt.h"
+#include "src/apps/pine.h"
+#include "src/apps/sendmail.h"
+#include "src/harness/workloads.h"
+#include "src/mail/mbox.h"
+#include "src/net/imap.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+TEST(IntegrationTest, ADayInTheOpenSourceEnvironment) {
+  // --- the mail path: sendmail receives, pine reads -----------------------
+  SendmailApp sendmail(AccessPolicy::kFailureOblivious);
+  for (int i = 0; i < 5; ++i) {
+    sendmail.HandleSession(MakeSendmailSession("user@localhost", 128));
+    sendmail.HandleSession(MakeSendmailAttackSession());
+  }
+  ASSERT_EQ(sendmail.local_mailbox().size(), 5u);
+
+  // Hand the delivered mail (plus a crafted message) to Pine as an mbox.
+  std::vector<MailMessage> delivered = sendmail.local_mailbox();
+  delivered.push_back(
+      MailMessage::Make(MakePineAttackFrom(), "user@local", "important", "see attachment\n"));
+  PineApp pine(AccessPolicy::kFailureOblivious, SerializeMbox(delivered));
+  EXPECT_EQ(pine.IndexLines().size(), 6u);
+  EXPECT_TRUE(pine.ReadMessage(0).ok);
+  EXPECT_TRUE(pine.MoveMessage(0, "saved").ok);
+
+  // --- the web path: a pool of apache workers under mixed load -------------
+  Vfs docroot = MakeApacheDocroot();
+  WorkerPool<ApacheApp> pool(3, [&] {
+    return std::make_unique<ApacheApp>(AccessPolicy::kFailureOblivious, &docroot,
+                                       ApacheApp::DefaultConfigText());
+  });
+  int served = 0;
+  for (int i = 0; i < 30; ++i) {
+    HttpResponse response;
+    RunResult result = pool.Dispatch([&](ApacheApp& app) {
+      response = app.Handle(MakeHttpGet(i % 5 == 0 ? MakeApacheAttackUrl() : "/index.html"));
+    });
+    if (result.ok() && response.status == 200) {
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, 30);
+  EXPECT_EQ(pool.restarts(), 0u);  // failure-oblivious workers never die
+
+  // --- the file-management path -------------------------------------------
+  McApp mc(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(true));
+  mc.memory().set_access_budget(100'000'000);
+  EXPECT_TRUE(mc.BrowseTgz(MakeMcAttackTgz()).ok);
+  MakeMcTree(mc.fs(), "/home/user/docs", 256 << 10);
+  EXPECT_TRUE(mc.Copy("/home/user/docs", "/home/user/backup"));
+
+  // --- the IMAP path ---------------------------------------------------------
+  ImapServer imap;
+  imap.AddFolderUtf8("INBOX", {MailMessage::Make("a@b", "me", "s", "b\n")});
+  MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
+  EXPECT_FALSE(mutt.OpenFolder(MakeMuttAttackFolderName()).ok);
+  EXPECT_TRUE(mutt.OpenFolder("INBOX").ok);
+
+  // --- the administrator reads the logs --------------------------------------
+  for (Memory* memory : {&sendmail.memory(), &pine.memory(), &mc.memory(), &mutt.memory()}) {
+    EXPECT_GT(memory->log().total_errors(), 0u);
+    std::string summary = memory->log().Summary();
+    EXPECT_NE(summary.find("memory-error log:"), std::string::npos);
+  }
+  // The logs name the famous buffers.
+  EXPECT_NE(sendmail.memory().log().Summary().find("prescan::addr_buf"), std::string::npos);
+  EXPECT_NE(mutt.memory().log().Summary().find("utf7_buf"), std::string::npos);
+  EXPECT_NE(pine.memory().log().Summary().find("from_quote_buf"), std::string::npos);
+}
+
+TEST(IntegrationTest, BoundsCheckEnvironmentIsUnusable) {
+  // §4.7's point in one test: in the same environment, the Bounds Check
+  // versions of three of the five servers cannot even start.
+  RunResult sendmail_boot = RunAsProcess([] { SendmailApp daemon(AccessPolicy::kBoundsCheck); });
+  EXPECT_TRUE(sendmail_boot.crashed());
+
+  RunResult pine_boot = RunAsProcess(
+      [] { PineApp pine(AccessPolicy::kBoundsCheck, MakePineMbox(3, /*include_attack=*/true)); });
+  EXPECT_TRUE(pine_boot.crashed());
+
+  RunResult mc_boot = RunAsProcess(
+      [] { McApp mc(AccessPolicy::kBoundsCheck, McApp::DefaultConfigText(true)); });
+  EXPECT_TRUE(mc_boot.crashed());
+}
+
+TEST(IntegrationTest, StandardEnvironmentCrashesOnEveryAttack) {
+  Vfs docroot = MakeApacheDocroot();
+  WorkerPool<ApacheApp> pool(2, [&] {
+    return std::make_unique<ApacheApp>(AccessPolicy::kStandard, &docroot,
+                                       ApacheApp::DefaultConfigText());
+  });
+  for (int i = 0; i < 5; ++i) {
+    pool.Dispatch([&](ApacheApp& app) { app.Handle(MakeHttpGet(MakeApacheAttackUrl())); });
+  }
+  EXPECT_EQ(pool.restarts(), 5u);
+}
+
+}  // namespace
+}  // namespace fob

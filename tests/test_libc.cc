@@ -1,0 +1,203 @@
+#include "src/libc/cstring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/runtime/memory.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+class LibcTest : public ::testing::Test {
+ protected:
+  LibcTest() : m_(AccessPolicy::kFailureOblivious) {}
+  Memory m_;
+};
+
+TEST_F(LibcTest, StrLen) {
+  EXPECT_EQ(StrLen(m_, m_.NewCString("")), 0u);
+  EXPECT_EQ(StrLen(m_, m_.NewCString("a")), 1u);
+  EXPECT_EQ(StrLen(m_, m_.NewCString("hello")), 5u);
+}
+
+TEST_F(LibcTest, StrCpyCopiesIncludingNul) {
+  Ptr src = m_.NewCString("copy me");
+  Ptr dst = m_.Malloc(32, "dst");
+  StrCpy(m_, dst, src);
+  EXPECT_EQ(m_.ReadCString(dst), "copy me");
+}
+
+TEST_F(LibcTest, StrNCpyPadsWithNuls) {
+  Ptr src = m_.NewCString("ab");
+  Ptr dst = m_.Malloc(8, "dst");
+  MemSet(m_, dst, 0xff, 8);
+  StrNCpy(m_, dst, src, 6);
+  EXPECT_EQ(m_.ReadU8(dst + 0), 'a');
+  EXPECT_EQ(m_.ReadU8(dst + 1), 'b');
+  for (int i = 2; i < 6; ++i) {
+    EXPECT_EQ(m_.ReadU8(dst + i), 0) << i;
+  }
+  EXPECT_EQ(m_.ReadU8(dst + 6), 0xff);  // untouched
+}
+
+TEST_F(LibcTest, StrNCpyTruncatesWithoutNul) {
+  Ptr src = m_.NewCString("abcdef");
+  Ptr dst = m_.Malloc(8, "dst");
+  StrNCpy(m_, dst, src, 3);
+  EXPECT_EQ(m_.ReadBytesAsString(dst, 3), "abc");
+}
+
+TEST_F(LibcTest, StrCatAppends) {
+  Ptr dst = m_.Malloc(32, "dst");
+  StrCpy(m_, dst, m_.NewCString("foo"));
+  StrCat(m_, dst, m_.NewCString("bar"));
+  EXPECT_EQ(m_.ReadCString(dst), "foobar");
+}
+
+TEST_F(LibcTest, StrCatRepeatedAccumulates) {
+  // The Midnight Commander pattern: repeated strcat into one buffer.
+  Ptr dst = m_.Malloc(64, "dst");
+  m_.WriteU8(dst, 0);
+  for (int i = 0; i < 4; ++i) {
+    StrCat(m_, dst, m_.NewCString("xy"));
+  }
+  EXPECT_EQ(m_.ReadCString(dst), "xyxyxyxy");
+}
+
+TEST_F(LibcTest, StrNCatStopsAtN) {
+  Ptr dst = m_.Malloc(32, "dst");
+  StrCpy(m_, dst, m_.NewCString("a"));
+  StrNCat(m_, dst, m_.NewCString("bcdef"), 3);
+  EXPECT_EQ(m_.ReadCString(dst), "abcd");
+}
+
+TEST_F(LibcTest, StrCmpOrders) {
+  EXPECT_EQ(StrCmp(m_, m_.NewCString("abc"), m_.NewCString("abc")), 0);
+  EXPECT_LT(StrCmp(m_, m_.NewCString("abb"), m_.NewCString("abc")), 0);
+  EXPECT_GT(StrCmp(m_, m_.NewCString("abd"), m_.NewCString("abc")), 0);
+  EXPECT_LT(StrCmp(m_, m_.NewCString("ab"), m_.NewCString("abc")), 0);
+}
+
+TEST_F(LibcTest, StrNCmpStopsAtN) {
+  EXPECT_EQ(StrNCmp(m_, m_.NewCString("abcX"), m_.NewCString("abcY"), 3), 0);
+  EXPECT_NE(StrNCmp(m_, m_.NewCString("abcX"), m_.NewCString("abcY"), 4), 0);
+}
+
+TEST_F(LibcTest, MemCmp) {
+  Ptr a = m_.NewBytes(std::string("\x01\x02\x03", 3), "a");
+  Ptr b = m_.NewBytes(std::string("\x01\x02\x04", 3), "b");
+  EXPECT_EQ(MemCmp(m_, a, b, 2), 0);
+  EXPECT_LT(MemCmp(m_, a, b, 3), 0);
+}
+
+TEST_F(LibcTest, StrChrFindsFirst) {
+  Ptr s = m_.NewCString("a/b/c");
+  Ptr found = StrChr(m_, s, '/');
+  EXPECT_EQ(found - s, 1);
+  EXPECT_TRUE(StrChr(m_, s, 'z').IsNull());
+  // Searching for NUL finds the terminator.
+  Ptr nul = StrChr(m_, s, '\0');
+  EXPECT_EQ(nul - s, 5);
+}
+
+TEST_F(LibcTest, StrRChrFindsLast) {
+  Ptr s = m_.NewCString("a/b/c");
+  Ptr found = StrRChr(m_, s, '/');
+  EXPECT_EQ(found - s, 3);
+  EXPECT_TRUE(StrRChr(m_, s, 'q').IsNull());
+}
+
+TEST_F(LibcTest, MemCpyAndMemMove) {
+  Ptr src = m_.NewBytes("0123456789", "src");
+  Ptr dst = m_.Malloc(10, "dst");
+  MemCpy(m_, dst, src, 10);
+  EXPECT_EQ(m_.ReadBytesAsString(dst, 10), "0123456789");
+  // Overlapping shift with MemMove.
+  MemMove(m_, dst + 2, dst, 8);
+  EXPECT_EQ(m_.ReadBytesAsString(dst, 10), "0101234567");
+}
+
+TEST_F(LibcTest, MemSetFills) {
+  Ptr p = m_.Malloc(16, "p");
+  MemSet(m_, p, 'x', 16);
+  EXPECT_EQ(m_.ReadBytesAsString(p, 16), std::string(16, 'x'));
+}
+
+TEST_F(LibcTest, StrDupMakesIndependentCopy) {
+  Ptr s = m_.NewCString("original");
+  Ptr d = StrDup(m_, s);
+  m_.WriteU8(s, 'O');
+  EXPECT_EQ(m_.ReadCString(d), "original");
+}
+
+TEST_F(LibcTest, LargeMemCpyCrossesPages) {
+  std::string big(20000, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i % 26));
+  }
+  Ptr src = m_.NewBytes(big, "big src");
+  Ptr dst = m_.Malloc(big.size(), "big dst");
+  MemCpy(m_, dst, src, big.size());
+  EXPECT_EQ(m_.ReadBytesAsString(dst, big.size()), big);
+}
+
+// --- Overflow behaviour per policy: the heart of the paper ---
+
+TEST(LibcPolicyTest, StrCpyOverflowDiscardedUnderFailureOblivious) {
+  Memory m(AccessPolicy::kFailureOblivious);
+  Ptr small = m.Malloc(4, "small");
+  Ptr neighbor = m.NewCString("safe", "neighbor");
+  Ptr longstr = m.NewCString("0123456789");
+  RunResult result = RunAsProcess([&] { StrCpy(m, small, longstr); });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(m.ReadBytesAsString(small, 4), "0123");  // in-bounds prefix kept
+  EXPECT_EQ(m.ReadCString(neighbor), "safe");        // neighbor untouched
+  EXPECT_GT(m.log().write_errors(), 0u);
+}
+
+TEST(LibcPolicyTest, StrCpyOverflowTerminatesUnderBoundsCheck) {
+  Memory m(AccessPolicy::kBoundsCheck);
+  Ptr small = m.Malloc(4, "small");
+  Ptr longstr = m.NewCString("0123456789");
+  RunResult result = RunAsProcess([&] { StrCpy(m, small, longstr); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(LibcPolicyTest, StrCpyOverflowCorruptsUnderStandard) {
+  Memory m(AccessPolicy::kStandard);
+  Ptr small = m.Malloc(4, "small");
+  Ptr longstr = m.NewCString(std::string(64, 'A'));
+  RunResult result = RunAsProcess([&] {
+    StrCpy(m, small, longstr);
+    m.Free(small);  // allocator notices the stomped footer
+  });
+  EXPECT_EQ(result.status, ExitStatus::kHeapCorruption);
+}
+
+TEST(LibcPolicyTest, StrLenOnUnterminatedBufferTerminatesViaManufacturedNul) {
+  Memory m(AccessPolicy::kFailureOblivious);
+  m.set_access_budget(100000);
+  Ptr p = m.Malloc(4, "unterminated");
+  MemSet(m, p, 'x', 4);
+  RunResult result = RunAsProcess([&] {
+    size_t n = StrLen(m, p);
+    EXPECT_GE(n, 4u);
+    EXPECT_LE(n, 7u);  // manufactured 0 within three values
+  });
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(LibcPolicyTest, BoundlessStrCpyRoundTripsWholeString) {
+  // §5.1: with boundless memory blocks the program's logic sees the data it
+  // wrote, even past the end — size miscalculations stop mattering.
+  Memory m(AccessPolicy::kBoundless);
+  Ptr small = m.Malloc(4, "small");
+  Ptr longstr = m.NewCString("0123456789");
+  StrCpy(m, small, longstr);
+  EXPECT_EQ(m.ReadCString(small), "0123456789");
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,115 @@
+#include "src/runtime/manufactured.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace fob {
+namespace {
+
+TEST(ValueSequenceTest, PaperSequencePrefix) {
+  ValueSequence seq;
+  EXPECT_EQ(seq.Next(), 0u);
+  EXPECT_EQ(seq.Next(), 1u);
+  EXPECT_EQ(seq.Next(), 2u);
+  EXPECT_EQ(seq.Next(), 0u);
+  EXPECT_EQ(seq.Next(), 1u);
+  EXPECT_EQ(seq.Next(), 3u);
+  EXPECT_EQ(seq.Next(), 0u);
+  EXPECT_EQ(seq.Next(), 1u);
+  EXPECT_EQ(seq.Next(), 4u);
+}
+
+TEST(ValueSequenceTest, ZeroAndOneAreMostFrequent) {
+  // §3: "the sequence is designed to return these values [0 and 1] more
+  // frequently than other, less common, values."
+  ValueSequence seq;
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 3000; ++i) {
+    ++histogram[seq.Next()];
+  }
+  int zero = histogram[0];
+  int one = histogram[1];
+  for (const auto& [value, count] : histogram) {
+    if (value > 1) {
+      EXPECT_GT(zero, count) << "value " << value;
+      EXPECT_GT(one, count) << "value " << value;
+    }
+  }
+}
+
+TEST(ValueSequenceTest, IteratesThroughAllByteValues) {
+  // §3: "a sequence that iterates through all small integers" — any byte
+  // value a loop condition might need appears within one full cycle.
+  ValueSequence seq;
+  std::set<uint8_t> seen;
+  for (int i = 0; i < 3 * 256; ++i) {
+    seen.insert(static_cast<uint8_t>(seq.Next()));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(ValueSequenceTest, SlashAppearsWithinBoundedReads) {
+  // The Midnight Commander loop searches for '/' (47).
+  ValueSequence seq;
+  int reads = 0;
+  while (static_cast<uint8_t>(seq.Next()) != '/') {
+    ++reads;
+    ASSERT_LT(reads, 3 * 256);
+  }
+  EXPECT_LE(reads, 3 * 46);
+}
+
+TEST(ValueSequenceTest, ZerosSequenceIsAllZeros) {
+  ValueSequence seq(SequenceKind::kZeros);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(seq.Next(), 0u);
+  }
+}
+
+TEST(ValueSequenceTest, RandomSequenceIsDeterministic) {
+  ValueSequence a(SequenceKind::kRandom);
+  ValueSequence b(SequenceKind::kRandom);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ValueSequenceTest, ResetRestartsTheSequence) {
+  ValueSequence seq;
+  seq.Next();
+  seq.Next();
+  seq.Reset();
+  EXPECT_EQ(seq.Next(), 0u);
+  EXPECT_EQ(seq.Next(), 1u);
+  EXPECT_EQ(seq.Next(), 2u);
+}
+
+TEST(ValueSequenceTest, CountsValuesProduced) {
+  ValueSequence seq;
+  for (int i = 0; i < 42; ++i) {
+    seq.Next();
+  }
+  EXPECT_EQ(seq.values_produced(), 42u);
+}
+
+TEST(ValueSequenceTest, SmallValueCyclesWrapAround) {
+  ValueSequence seq;
+  // Consume a full cycle of the small-value slot (254 values: 2..255).
+  uint64_t last_small = 0;
+  for (int i = 0; i < 3 * 254; ++i) {
+    uint64_t v = seq.Next();
+    if (i % 3 == 2) {
+      last_small = v;
+    }
+  }
+  EXPECT_EQ(last_small, 255u);
+  // The next small value wraps back to 2.
+  seq.Next();  // 0
+  seq.Next();  // 1
+  EXPECT_EQ(seq.Next(), 2u);
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,115 @@
+#include "src/runtime/memlog.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/runtime/memory.h"
+
+namespace fob {
+namespace {
+
+MemErrorRecord MakeRecord(bool is_write, const std::string& unit_name) {
+  MemErrorRecord record;
+  record.is_write = is_write;
+  record.addr = 0x1000;
+  record.size = 1;
+  record.unit_name = unit_name;
+  record.status = PointerStatus::kOobAbove;
+  record.function = "handler";
+  record.access_index = 42;
+  return record;
+}
+
+TEST(MemLogTest, CountsReadsAndWritesSeparately) {
+  MemLog log;
+  log.Record(MakeRecord(true, "a"));
+  log.Record(MakeRecord(true, "a"));
+  log.Record(MakeRecord(false, "b"));
+  EXPECT_EQ(log.total_errors(), 3u);
+  EXPECT_EQ(log.write_errors(), 2u);
+  EXPECT_EQ(log.read_errors(), 1u);
+}
+
+TEST(MemLogTest, PerUnitHistogram) {
+  MemLog log;
+  log.Record(MakeRecord(true, "prescan::buf"));
+  log.Record(MakeRecord(true, "prescan::buf"));
+  log.Record(MakeRecord(false, "utf7_buf"));
+  EXPECT_EQ(log.errors_by_unit().at("prescan::buf"), 2u);
+  EXPECT_EQ(log.errors_by_unit().at("utf7_buf"), 1u);
+}
+
+TEST(MemLogTest, RingBufferDropsOldest) {
+  MemLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(MakeRecord(true, "u" + std::to_string(i)));
+  }
+  EXPECT_EQ(log.total_errors(), 10u);  // counters unbounded
+  EXPECT_EQ(log.recent().size(), 4u);  // records capped
+  EXPECT_EQ(log.recent().front().unit_name, "u6");
+  EXPECT_EQ(log.recent().back().unit_name, "u9");
+}
+
+TEST(MemLogTest, EchoStreamsRecordsAsTheyHappen) {
+  MemLog log;
+  std::ostringstream echo;
+  log.set_echo(&echo);
+  log.Record(MakeRecord(true, "victim"));
+  EXPECT_NE(echo.str().find("invalid write"), std::string::npos);
+  EXPECT_NE(echo.str().find("victim"), std::string::npos);
+  log.set_echo(nullptr);
+  log.Record(MakeRecord(true, "quiet"));
+  EXPECT_EQ(echo.str().find("quiet"), std::string::npos);
+}
+
+TEST(MemLogTest, RecordToStringMentionsEverything) {
+  std::string text = MakeRecord(false, "buf").ToString();
+  EXPECT_NE(text.find("invalid read"), std::string::npos);
+  EXPECT_NE(text.find("0x1000"), std::string::npos);
+  EXPECT_NE(text.find("out-of-bounds (above)"), std::string::npos);
+  EXPECT_NE(text.find("handler"), std::string::npos);
+  EXPECT_NE(text.find("#42"), std::string::npos);
+}
+
+TEST(MemLogTest, ClearResetsEverything) {
+  MemLog log;
+  log.Record(MakeRecord(true, "x"));
+  log.Clear();
+  EXPECT_EQ(log.total_errors(), 0u);
+  EXPECT_TRUE(log.recent().empty());
+  EXPECT_TRUE(log.errors_by_unit().empty());
+}
+
+TEST(MemLogIntegrationTest, LogIdentifiesTheGuiltyBufferAndFunction) {
+  // §3: "a log containing information about the program's attempts to
+  // commit memory errors" — the record names the data unit and the
+  // function, which is what an administrator reads.
+  Memory memory(AccessPolicy::kFailureOblivious);
+  {
+    Memory::Frame frame(memory, "parse_request");
+    Ptr buf = frame.Local(8, "reqbuf");
+    memory.WriteU8(buf + 9, 'X');
+  }
+  ASSERT_EQ(memory.log().recent().size(), 1u);
+  const MemErrorRecord& record = memory.log().recent().front();
+  EXPECT_EQ(record.unit_name, "parse_request::reqbuf");
+  EXPECT_EQ(record.function, "parse_request");
+  EXPECT_TRUE(record.is_write);
+  EXPECT_EQ(record.status, PointerStatus::kOobAbove);
+}
+
+TEST(OobStatsTest, RegistryCountsByStatus) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  Ptr p = memory.Malloc(8, "b");
+  (void)memory.ReadU8(p + 100);   // above
+  (void)memory.ReadU8(p - 100);   // below (may hit another unit's range; still OOB of referent)
+  memory.Free(p);
+  (void)memory.ReadU8(p);         // dangling
+  EXPECT_EQ(memory.oob().total(), 3u);
+  EXPECT_GE(memory.oob().count(PointerStatus::kOobAbove), 1u);
+  EXPECT_GE(memory.oob().count(PointerStatus::kDangling), 1u);
+}
+
+}  // namespace
+}  // namespace fob

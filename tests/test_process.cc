@@ -1,0 +1,115 @@
+#include "src/runtime/process.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/runtime/memory.h"
+
+namespace fob {
+namespace {
+
+TEST(RunAsProcessTest, OkWhenNothingThrown) {
+  RunResult result = RunAsProcess([] {});
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.crashed());
+  EXPECT_EQ(result.status, ExitStatus::kOk);
+}
+
+TEST(RunAsProcessTest, FaultBecomesExitStatus) {
+  RunResult result = RunAsProcess([] { throw Fault::Segfault(0xdead); });
+  EXPECT_EQ(result.status, ExitStatus::kSegfault);
+  EXPECT_NE(result.detail.find("dead"), std::string::npos);
+}
+
+TEST(RunAsProcessTest, NonFaultExceptionsPropagate) {
+  // Only simulated crashes are "process exits"; harness bugs must surface.
+  EXPECT_THROW(RunAsProcess([] { throw std::runtime_error("harness bug"); }),
+               std::runtime_error);
+}
+
+TEST(RunAsProcessTest, CodeInjectionFlagCarriedThrough) {
+  RunResult result = RunAsProcess([] { throw Fault::StackSmash("f", true); });
+  EXPECT_EQ(result.status, ExitStatus::kStackSmash);
+  EXPECT_TRUE(result.possible_code_injection);
+}
+
+TEST(ExitStatusTest, EveryFaultKindMapsToAStatus) {
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kSegfault), ExitStatus::kSegfault);
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kBoundsViolation), ExitStatus::kBoundsTerminated);
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kStackSmash), ExitStatus::kStackSmash);
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kHeapCorruption), ExitStatus::kHeapCorruption);
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kDoubleFree), ExitStatus::kHeapCorruption);
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kInvalidFree), ExitStatus::kHeapCorruption);
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kBudgetExhausted), ExitStatus::kBudgetExhausted);
+  EXPECT_EQ(ExitStatusFromFault(FaultKind::kStackOverflow), ExitStatus::kSegfault);
+}
+
+TEST(ExitStatusTest, NamesAreStable) {
+  EXPECT_STREQ(ExitStatusName(ExitStatus::kOk), "ok");
+  EXPECT_STREQ(ExitStatusName(ExitStatus::kSegfault), "segfault");
+  EXPECT_STREQ(ExitStatusName(ExitStatus::kBudgetExhausted), "hang (budget exhausted)");
+}
+
+// A minimal crashable app for WorkerPool tests.
+struct FlakyWorker {
+  static int constructions;
+  FlakyWorker() { ++constructions; }
+  void Work(bool crash) {
+    if (crash) {
+      throw Fault::Segfault(0x1000);
+    }
+    ++handled;
+  }
+  int handled = 0;
+};
+int FlakyWorker::constructions = 0;
+
+TEST(WorkerPoolTest, DispatchRoundRobins) {
+  FlakyWorker::constructions = 0;
+  WorkerPool<FlakyWorker> pool(3, [] { return std::make_unique<FlakyWorker>(); });
+  EXPECT_EQ(FlakyWorker::constructions, 3);
+  for (int i = 0; i < 6; ++i) {
+    pool.Dispatch([](FlakyWorker& w) { w.Work(false); });
+  }
+  EXPECT_EQ(pool.worker(0).handled, 2);
+  EXPECT_EQ(pool.worker(1).handled, 2);
+  EXPECT_EQ(pool.worker(2).handled, 2);
+  EXPECT_EQ(pool.restarts(), 0u);
+}
+
+TEST(WorkerPoolTest, CrashReplacesOnlyThatWorker) {
+  FlakyWorker::constructions = 0;
+  WorkerPool<FlakyWorker> pool(2, [] { return std::make_unique<FlakyWorker>(); });
+  pool.Dispatch([](FlakyWorker& w) { w.Work(false); });  // worker 0: handled=1
+  RunResult crash = pool.Dispatch([](FlakyWorker& w) { w.Work(true); });  // worker 1 dies
+  EXPECT_TRUE(crash.crashed());
+  EXPECT_EQ(pool.restarts(), 1u);
+  EXPECT_EQ(FlakyWorker::constructions, 3);  // 2 initial + 1 replacement
+  EXPECT_EQ(pool.worker(0).handled, 1);      // survivor kept its state
+  EXPECT_EQ(pool.worker(1).handled, 0);      // replacement is fresh
+}
+
+TEST(WorkerPoolTest, RepeatedCrashesKeepPoolAlive) {
+  WorkerPool<FlakyWorker> pool(2, [] { return std::make_unique<FlakyWorker>(); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Dispatch([](FlakyWorker& w) { w.Work(true); });
+  }
+  EXPECT_EQ(pool.restarts(), 10u);
+  RunResult ok = pool.Dispatch([](FlakyWorker& w) { w.Work(false); });
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(WorkerPoolTest, WorkResultVisibleAfterDispatch) {
+  WorkerPool<FlakyWorker> pool(1, [] { return std::make_unique<FlakyWorker>(); });
+  int sum = 0;
+  pool.Dispatch([&](FlakyWorker& w) {
+    w.Work(false);
+    sum = w.handled;
+  });
+  EXPECT_EQ(sum, 1);
+}
+
+}  // namespace
+}  // namespace fob

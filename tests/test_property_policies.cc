@@ -1,0 +1,159 @@
+// Property tests on the policy semantics themselves.
+//
+// The central § 1.1 invariants, driven by deterministic random access
+// workloads rather than hand-picked cases:
+//
+//   isolation    under every checked policy, no sequence of out-of-bounds
+//                writes to unit A ever changes the bytes of unit B (for
+//                Wrap: A's bytes may change, but only A's);
+//   boundless    reads observe exactly the bytes written, regardless of
+//                offset — the hash-table store is a faithful sparse array;
+//   wrap         accesses at offset k behave exactly like offset k mod n;
+//   manufacture  failure-oblivious reads depend only on the sequence state,
+//                never on other units' contents.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "src/runtime/memory.h"
+
+namespace fob {
+namespace {
+
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed) : state_(seed | 1) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 2685821657736338717ull;
+  }
+  int64_t Offset(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+class PolicyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<AccessPolicy, uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyPropertyTest,
+    ::testing::Combine(::testing::Values(AccessPolicy::kFailureOblivious,
+                                         AccessPolicy::kBoundless, AccessPolicy::kWrap),
+                       ::testing::Values(3u, 17u, 512u)));
+
+TEST_P(PolicyPropertyTest, RandomOobWritesNeverTouchOtherUnits) {
+  auto [policy, seed] = GetParam();
+  Memory memory(policy);
+  Ptr attacker = memory.Malloc(32, "attacker");
+  Ptr victim_before = memory.Malloc(64, "victim_before");
+  Ptr victim_after = memory.Malloc(64, "victim_after");
+  // Note: victim blocks surround the attacker in address order (before is
+  // lower by allocation order, after is higher).
+  std::string before = memory.ReadBytesAsString(victim_before, 64);
+  std::string after = memory.ReadBytesAsString(victim_after, 64);
+
+  Xorshift rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t offset = rng.Offset(-512, 512);
+    if (offset >= 0 && offset < 32) {
+      continue;  // stay out of bounds for this property
+    }
+    memory.WriteU8(attacker + offset, static_cast<uint8_t>(rng.Next()));
+  }
+  EXPECT_EQ(memory.ReadBytesAsString(victim_before, 64), before);
+  EXPECT_EQ(memory.ReadBytesAsString(victim_after, 64), after);
+}
+
+TEST_P(PolicyPropertyTest, InBoundsDataAlwaysSurvivesOobNoise) {
+  auto [policy, seed] = GetParam();
+  if (policy == AccessPolicy::kWrap) {
+    GTEST_SKIP() << "wrap redirects into the unit by design";
+  }
+  Memory memory(policy);
+  Ptr unit = memory.Malloc(128, "unit");
+  std::string payload(128, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('A' + (i % 26));
+  }
+  memory.WriteBytes(unit, payload);
+  Xorshift rng(seed * 7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t offset = rng.Offset(128, 4096);
+    memory.WriteU8(unit + offset, static_cast<uint8_t>(rng.Next()));
+  }
+  EXPECT_EQ(memory.ReadBytesAsString(unit, 128), payload);
+}
+
+TEST(BoundlessPropertyTest, SparseArraySemantics) {
+  // Writes at arbitrary offsets, positive and negative, read back exactly —
+  // the block behaves as an unbounded sparse array (§5.1).
+  Memory memory(AccessPolicy::kBoundless);
+  Ptr unit = memory.Malloc(16, "sparse");
+  Xorshift rng(2024);
+  std::map<int64_t, uint8_t> model;
+  for (int i = 0; i < 3000; ++i) {
+    int64_t offset = rng.Offset(-4096, 4096);
+    uint8_t value = static_cast<uint8_t>(rng.Next());
+    memory.WriteU8(unit + offset, value);
+    model[offset] = value;
+  }
+  for (const auto& [offset, value] : model) {
+    EXPECT_EQ(memory.ReadU8(unit + offset), value) << "offset " << offset;
+  }
+}
+
+TEST(WrapPropertyTest, EquivalentToModularArithmetic) {
+  Memory memory(AccessPolicy::kWrap);
+  constexpr int64_t kSize = 24;
+  Ptr unit = memory.Malloc(kSize, "ring");
+  uint8_t model[kSize] = {0};
+  Xorshift rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    int64_t offset = rng.Offset(-4096, 4096);
+    int64_t wrapped = ((offset % kSize) + kSize) % kSize;
+    if (rng.Next() % 2 == 0) {
+      uint8_t value = static_cast<uint8_t>(rng.Next());
+      memory.WriteU8(unit + offset, value);
+      model[wrapped] = value;
+    } else {
+      EXPECT_EQ(memory.ReadU8(unit + offset), model[wrapped])
+          << "offset " << offset << " (wraps to " << wrapped << ")";
+    }
+  }
+}
+
+TEST(ManufacturePropertyTest, OobReadsComeOnlyFromTheSequence) {
+  // Two memories with identical sequences but totally different heap
+  // contents produce identical manufactured streams.
+  Memory a(AccessPolicy::kFailureOblivious);
+  Memory b(AccessPolicy::kFailureOblivious);
+  Ptr ua = a.Malloc(8, "a");
+  a.WriteBytes(ua, "AAAAAAAA");
+  Ptr ub = b.Malloc(8, "b");
+  b.WriteBytes(ub, "ZZZZZZZZ");
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.ReadU8(ua + 100 + i), b.ReadU8(ub + 100 + i)) << i;
+  }
+}
+
+TEST(ManufacturePropertyTest, WiderReadsTruncateTheSameSequence) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  Ptr unit = memory.Malloc(8, "u");
+  // First manufactured value is 0, second 1, third 2: a 4-byte read
+  // consumes exactly one sequence value, little-endian.
+  EXPECT_EQ(memory.ReadU32(unit + 100), 0u);
+  EXPECT_EQ(memory.ReadU32(unit + 100), 1u);
+  EXPECT_EQ(memory.ReadU32(unit + 100), 2u);
+  EXPECT_EQ(memory.ReadU64(unit + 100), 0u);
+  EXPECT_EQ(memory.ReadU16(unit + 100), 1u);
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,246 @@
+#include "src/regex/regex.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/regex/rewrite.h"
+
+namespace fob {
+namespace {
+
+MatchResult Search(const std::string& pattern, const std::string& subject) {
+  auto regex = Regex::Compile(pattern);
+  EXPECT_TRUE(regex.has_value()) << pattern;
+  return regex->Search(subject);
+}
+
+TEST(RegexTest, LiteralMatch) {
+  EXPECT_TRUE(Search("abc", "abc").matched);
+  EXPECT_TRUE(Search("abc", "xxabcxx").matched);
+  EXPECT_FALSE(Search("abc", "abd").matched);
+}
+
+TEST(RegexTest, DotMatchesAnySingleByte) {
+  EXPECT_TRUE(Search("a.c", "abc").matched);
+  EXPECT_TRUE(Search("a.c", "a/c").matched);
+  EXPECT_FALSE(Search("a.c", "ac").matched);
+}
+
+TEST(RegexTest, StarQuantifier) {
+  EXPECT_TRUE(Search("ab*c", "ac").matched);
+  EXPECT_TRUE(Search("ab*c", "abbbbc").matched);
+  EXPECT_FALSE(Search("ab*c", "adc").matched);
+}
+
+TEST(RegexTest, PlusQuantifier) {
+  EXPECT_FALSE(Search("ab+c", "ac").matched);
+  EXPECT_TRUE(Search("ab+c", "abc").matched);
+  EXPECT_TRUE(Search("ab+c", "abbc").matched);
+}
+
+TEST(RegexTest, QuestionQuantifier) {
+  EXPECT_TRUE(Search("colou?r", "color").matched);
+  EXPECT_TRUE(Search("colou?r", "colour").matched);
+  EXPECT_FALSE(Search("colou?r", "colouur").matched);
+}
+
+TEST(RegexTest, BraceQuantifiers) {
+  EXPECT_TRUE(Search("a{3}", "aaa").matched);
+  EXPECT_FALSE(Search("^a{3}$", "aa").matched);
+  EXPECT_TRUE(Search("^a{2,}$", "aaaa").matched);
+  EXPECT_FALSE(Search("^a{2,}$", "a").matched);
+  EXPECT_TRUE(Search("^a{1,3}$", "aa").matched);
+  EXPECT_FALSE(Search("^a{1,3}$", "aaaa").matched);
+}
+
+TEST(RegexTest, BraceNotQuantifierIsLiteral) {
+  EXPECT_TRUE(Search("a\\{x", "a{x").matched);
+  EXPECT_TRUE(Search("^a{,3}$", "a{,3}").matched);  // not a valid brace => literal
+}
+
+TEST(RegexTest, CharacterClasses) {
+  EXPECT_TRUE(Search("[abc]+", "cab").matched);
+  EXPECT_FALSE(Search("^[abc]+$", "cabx").matched);
+  EXPECT_TRUE(Search("[a-z]+", "hello").matched);
+  EXPECT_TRUE(Search("[^0-9]+", "abc").matched);
+  EXPECT_FALSE(Search("^[^0-9]+$", "ab3c").matched);
+}
+
+TEST(RegexTest, ClassWithEscapesAndLiteralDash) {
+  EXPECT_TRUE(Search("^[\\d-]+$", "12-34").matched);
+  EXPECT_TRUE(Search("^[a-]+$", "a-a").matched);  // trailing dash literal
+}
+
+TEST(RegexTest, Shorthands) {
+  EXPECT_TRUE(Search("^\\d+$", "12345").matched);
+  EXPECT_FALSE(Search("^\\d+$", "12a45").matched);
+  EXPECT_TRUE(Search("^\\w+$", "na_me9").matched);
+  EXPECT_TRUE(Search("^\\s$", " ").matched);
+  EXPECT_TRUE(Search("^\\D$", "x").matched);
+  EXPECT_FALSE(Search("^\\D$", "5").matched);
+}
+
+TEST(RegexTest, Anchors) {
+  EXPECT_TRUE(Search("^abc", "abcdef").matched);
+  EXPECT_FALSE(Search("^bcd", "abcdef").matched);
+  EXPECT_TRUE(Search("def$", "abcdef").matched);
+  EXPECT_FALSE(Search("abc$", "abcdef").matched);
+  EXPECT_TRUE(Search("^abc$", "abc").matched);
+}
+
+TEST(RegexTest, Alternation) {
+  EXPECT_TRUE(Search("^(cat|dog)$", "cat").matched);
+  EXPECT_TRUE(Search("^(cat|dog)$", "dog").matched);
+  EXPECT_FALSE(Search("^(cat|dog)$", "cow").matched);
+  EXPECT_TRUE(Search("^a(b|c)*d$", "abcbcd").matched);
+}
+
+TEST(RegexTest, CapturesBasic) {
+  MatchResult m = Search("(\\w+)@(\\w+)", "mail me: user@host now");
+  ASSERT_TRUE(m.matched);
+  ASSERT_EQ(m.GroupCount(), 3);
+  EXPECT_EQ(m.Group("mail me: user@host now", 0), "user@host");
+  EXPECT_EQ(m.Group("mail me: user@host now", 1), "user");
+  EXPECT_EQ(m.Group("mail me: user@host now", 2), "host");
+}
+
+TEST(RegexTest, CapturesNested) {
+  MatchResult m = Search("^(a(b)c)$", "abc");
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.Group("abc", 1), "abc");
+  EXPECT_EQ(m.Group("abc", 2), "b");
+}
+
+TEST(RegexTest, UnmatchedGroupReportsMinusOne) {
+  MatchResult m = Search("^(a)|(b)$", "a");
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.groups[1].first, 0);
+  EXPECT_EQ(m.groups[2].first, -1);
+}
+
+TEST(RegexTest, GreedyWithBacktracking) {
+  MatchResult m = Search("^(a*)(a)$", "aaaa");
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.Group("aaaa", 1), "aaa");
+  EXPECT_EQ(m.Group("aaaa", 2), "a");
+}
+
+TEST(RegexTest, LeftmostSearchWins) {
+  MatchResult m = Search("o+", "foo boo");
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.groups[0].first, 1);
+  EXPECT_EQ(m.groups[0].second, 3);
+}
+
+TEST(RegexTest, MatchIsAnchoredAtStart) {
+  auto regex = Regex::Compile("abc");
+  ASSERT_TRUE(regex.has_value());
+  EXPECT_TRUE(regex->Match("abcdef").matched);
+  EXPECT_FALSE(regex->Match("xabc").matched);
+}
+
+TEST(RegexTest, ManyCaptureGroups) {
+  // The Apache attack shape: more than ten captures.
+  std::string pattern = "^";
+  std::string subject;
+  for (int i = 0; i < 12; ++i) {
+    pattern += "(\\w+)/";
+    subject += "seg" + std::to_string(i) + "/";
+  }
+  pattern += "$";
+  auto regex = Regex::Compile(pattern);
+  ASSERT_TRUE(regex.has_value());
+  EXPECT_EQ(regex->capture_count(), 12);
+  MatchResult m = regex->Search(subject);
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.Group(subject, 12), "seg11");
+}
+
+TEST(RegexTest, CompileErrors) {
+  std::string error;
+  EXPECT_FALSE(Regex::Compile("(abc", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Regex::Compile("abc)", nullptr).has_value());
+  EXPECT_FALSE(Regex::Compile("*a", nullptr).has_value());
+  EXPECT_FALSE(Regex::Compile("[abc", nullptr).has_value());
+  EXPECT_FALSE(Regex::Compile("a\\", nullptr).has_value());
+  EXPECT_FALSE(Regex::Compile("[z-a]", nullptr).has_value());
+  EXPECT_FALSE(Regex::Compile("^*", nullptr).has_value());
+}
+
+TEST(RegexTest, EscapedMetacharacters) {
+  EXPECT_TRUE(Search("^a\\.c$", "a.c").matched);
+  EXPECT_FALSE(Search("^a\\.c$", "abc").matched);
+  EXPECT_TRUE(Search("^\\(x\\)$", "(x)").matched);
+  EXPECT_TRUE(Search("^a\\|b$", "a|b").matched);
+  EXPECT_TRUE(Search("\\n", "line1\nline2").matched);
+}
+
+TEST(RegexTest, EmptyPatternMatchesEmpty) {
+  auto regex = Regex::Compile("");
+  ASSERT_TRUE(regex.has_value());
+  MatchResult m = regex->Search("anything");
+  EXPECT_TRUE(m.matched);
+  EXPECT_EQ(m.groups[0].second - m.groups[0].first, 0);
+}
+
+TEST(RegexTest, StarOfGroupWithCapture) {
+  MatchResult m = Search("^(ab)*$", "ababab");
+  ASSERT_TRUE(m.matched);
+  // Last iteration's capture wins.
+  EXPECT_EQ(m.groups[1].first, 4);
+  EXPECT_EQ(m.groups[1].second, 6);
+}
+
+// ---- rewrite rules ---------------------------------------------------------
+
+TEST(RewriteTest, BasicSubstitution) {
+  auto rule = RewriteRule::Make("^/old/(\\w+)$", "/new/$1");
+  ASSERT_TRUE(rule.has_value());
+  std::vector<RewriteRule> rules;
+  rules.push_back(std::move(*rule));
+  auto result = ApplyRules(rules, "/old/page");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, "/new/page");
+}
+
+TEST(RewriteTest, Dollar0IsWholeMatch) {
+  auto rule = RewriteRule::Make("^/x/(a)(b)$", "[$0][$1][$2]");
+  std::vector<RewriteRule> rules;
+  rules.push_back(std::move(*rule));
+  EXPECT_EQ(*ApplyRules(rules, "/x/ab"), "[/x/ab][a][b]");
+}
+
+TEST(RewriteTest, NoMatchReturnsNullopt) {
+  auto rule = RewriteRule::Make("^/only$", "/other");
+  std::vector<RewriteRule> rules;
+  rules.push_back(std::move(*rule));
+  EXPECT_FALSE(ApplyRules(rules, "/nope").has_value());
+}
+
+TEST(RewriteTest, FirstMatchingRuleWins) {
+  std::vector<RewriteRule> rules;
+  rules.push_back(*RewriteRule::Make("^/a$", "/first"));
+  rules.push_back(*RewriteRule::Make("^/a$", "/second"));
+  EXPECT_EQ(*ApplyRules(rules, "/a"), "/first");
+}
+
+TEST(RewriteTest, DollarEscapeAndUnmatchedGroup) {
+  auto rule = RewriteRule::Make("^/p/(x)?(y)$", "$$-$1-$2-$9");
+  std::vector<RewriteRule> rules;
+  rules.push_back(std::move(*rule));
+  EXPECT_EQ(*ApplyRules(rules, "/p/y"), "$--y-");
+}
+
+TEST(RewriteTest, SingleDigitReferencesOnly) {
+  // "$12" reads as capture 1 followed by literal '2' — the exact property
+  // that makes Apache's >10-capture overflow harmless to the output.
+  auto rule = RewriteRule::Make("^(a)(b)$", "$12");
+  std::vector<RewriteRule> rules;
+  rules.push_back(std::move(*rule));
+  EXPECT_EQ(*ApplyRules(rules, "ab"), "a2");
+}
+
+}  // namespace
+}  // namespace fob

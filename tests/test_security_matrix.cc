@@ -1,0 +1,80 @@
+// The paper's headline result as one parameterized matrix: every server ×
+// every compilation, on the documented attack input (§4.2-§4.6).
+//
+//   Standard           -> crash (address space corruption)
+//   Bounds Check       -> terminate (denial of service to legitimate users)
+//   Failure Oblivious  -> continue, acceptable output, subsequent requests OK
+//
+// Plus §5.1: both variants (Boundless, Wrap) also execute acceptably.
+
+#include "src/harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/runtime/policy.h"
+
+namespace fob {
+namespace {
+
+class SecurityMatrixTest
+    : public ::testing::TestWithParam<std::tuple<Server, AccessPolicy>> {};
+
+std::string MatrixName(const ::testing::TestParamInfo<std::tuple<Server, AccessPolicy>>& info) {
+  std::string server = ServerName(std::get<0>(info.param));
+  std::string policy = PolicyName(std::get<1>(info.param));
+  std::string name = server + "_" + policy;
+  std::string cleaned;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cleaned.push_back(c);
+    }
+  }
+  return cleaned;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServersAllPolicies, SecurityMatrixTest,
+                         ::testing::Combine(::testing::ValuesIn(kAllServers),
+                                            ::testing::ValuesIn(kAllPolicies)),
+                         MatrixName);
+
+TEST_P(SecurityMatrixTest, OutcomeMatchesPaper) {
+  auto [server, policy] = GetParam();
+  AttackReport report = RunAttackExperiment(server, policy);
+  switch (policy) {
+    case AccessPolicy::kStandard:
+      EXPECT_EQ(report.outcome, Outcome::kCrashed) << report.detail;
+      break;
+    case AccessPolicy::kBoundsCheck:
+      EXPECT_EQ(report.outcome, Outcome::kTerminated) << report.detail;
+      break;
+    case AccessPolicy::kFailureOblivious:
+    case AccessPolicy::kBoundless:
+    case AccessPolicy::kWrap:
+      EXPECT_EQ(report.outcome, Outcome::kContinued) << report.detail;
+      EXPECT_TRUE(report.subsequent_requests_ok);
+      EXPECT_GT(report.memory_errors_logged, 0u);
+      break;
+  }
+}
+
+TEST_P(SecurityMatrixTest, OnlyStandardExposesCodeInjection) {
+  auto [server, policy] = GetParam();
+  AttackReport report = RunAttackExperiment(server, policy);
+  if (policy != AccessPolicy::kStandard) {
+    EXPECT_FALSE(report.possible_code_injection) << report.detail;
+  }
+}
+
+TEST(SecurityMatrixSummaryTest, StandardStackAttacksAreInjectable) {
+  // The two stack-smashing attacks (Apache, Sendmail) are the classic
+  // code-injection setups under standard compilation.
+  EXPECT_TRUE(RunAttackExperiment(Server::kApache, AccessPolicy::kStandard)
+                  .possible_code_injection);
+  EXPECT_TRUE(RunAttackExperiment(Server::kSendmail, AccessPolicy::kStandard)
+                  .possible_code_injection);
+}
+
+}  // namespace
+}  // namespace fob

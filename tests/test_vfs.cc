@@ -1,0 +1,126 @@
+#include "src/vfs/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fob {
+namespace {
+
+TEST(VfsTest, RootExists) {
+  Vfs fs;
+  EXPECT_TRUE(fs.Exists("/"));
+  EXPECT_TRUE(fs.IsDirectory("/"));
+  EXPECT_TRUE(fs.List("/")->empty());
+}
+
+TEST(VfsTest, MkDirAndList) {
+  Vfs fs;
+  EXPECT_TRUE(fs.MkDir("/a"));
+  EXPECT_TRUE(fs.MkDir("/a/b"));
+  EXPECT_FALSE(fs.MkDir("/a"));        // already exists
+  EXPECT_FALSE(fs.MkDir("/x/y"));      // parent missing
+  EXPECT_TRUE(fs.MkDir("/x/y", true)); // mkdir -p
+  auto names = fs.List("/");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "x"}));
+}
+
+TEST(VfsTest, WriteAndReadFile) {
+  Vfs fs;
+  EXPECT_TRUE(fs.WriteFile("/f.txt", "hello"));
+  EXPECT_EQ(fs.ReadFile("/f.txt"), "hello");
+  EXPECT_EQ(fs.FileSize("/f.txt"), 5u);
+  EXPECT_TRUE(fs.WriteFile("/f.txt", "rewritten"));
+  EXPECT_EQ(fs.ReadFile("/f.txt"), "rewritten");
+}
+
+TEST(VfsTest, WriteFileCannotReplaceDirectory) {
+  Vfs fs;
+  fs.MkDir("/d");
+  EXPECT_FALSE(fs.WriteFile("/d", "nope"));
+}
+
+TEST(VfsTest, SymlinkStoresTarget) {
+  Vfs fs;
+  EXPECT_TRUE(fs.SymLink("/link", "/target/elsewhere"));
+  EXPECT_EQ(fs.ReadLink("/link"), "/target/elsewhere");
+  EXPECT_FALSE(fs.ReadFile("/link").has_value());
+}
+
+TEST(VfsTest, PathValidation) {
+  Vfs fs;
+  EXPECT_FALSE(fs.MkDir("relative"));
+  EXPECT_FALSE(fs.MkDir(""));
+  EXPECT_FALSE(fs.MkDir("/a/../b", true));
+  EXPECT_FALSE(fs.MkDir("/a/./b", true));
+  EXPECT_TRUE(fs.MkDir("/trailing/", true));  // trailing slash tolerated
+  EXPECT_TRUE(fs.Exists("/trailing"));
+}
+
+TEST(VfsTest, RemoveIsRecursive) {
+  Vfs fs;
+  fs.MkDir("/tree", true);
+  fs.WriteFile("/tree/a", "1", true);
+  fs.WriteFile("/tree/sub/b", "2", true);
+  EXPECT_TRUE(fs.Remove("/tree"));
+  EXPECT_FALSE(fs.Exists("/tree"));
+  EXPECT_FALSE(fs.Remove("/tree"));  // already gone
+}
+
+TEST(VfsTest, CopyTree) {
+  Vfs fs;
+  fs.WriteFile("/src/d/a.txt", "A", true);
+  fs.WriteFile("/src/b.txt", "B", true);
+  EXPECT_TRUE(fs.Copy("/src", "/dst"));
+  EXPECT_EQ(fs.ReadFile("/dst/d/a.txt"), "A");
+  EXPECT_EQ(fs.ReadFile("/dst/b.txt"), "B");
+  // Deep copy: mutating the copy leaves the source alone.
+  fs.WriteFile("/dst/b.txt", "B2");
+  EXPECT_EQ(fs.ReadFile("/src/b.txt"), "B");
+}
+
+TEST(VfsTest, CopyRejectsBadTargets) {
+  Vfs fs;
+  fs.WriteFile("/a", "x");
+  EXPECT_FALSE(fs.Copy("/missing", "/b"));
+  EXPECT_FALSE(fs.Copy("/a", "/nodir/b"));
+  fs.WriteFile("/b", "y");
+  EXPECT_FALSE(fs.Copy("/a", "/b"));  // destination exists
+}
+
+TEST(VfsTest, MoveRemovesSource) {
+  Vfs fs;
+  fs.WriteFile("/src/f", "data", true);
+  EXPECT_TRUE(fs.Move("/src", "/dst"));
+  EXPECT_FALSE(fs.Exists("/src"));
+  EXPECT_EQ(fs.ReadFile("/dst/f"), "data");
+}
+
+TEST(VfsTest, TreeAccounting) {
+  Vfs fs;
+  fs.WriteFile("/t/a", std::string(100, 'x'), true);
+  fs.WriteFile("/t/d/b", std::string(50, 'y'), true);
+  EXPECT_EQ(fs.TreeBytes("/t"), 150u);
+  EXPECT_EQ(fs.TreeCount("/t"), 4u);  // t, a, d, b
+  EXPECT_EQ(fs.TreeBytes("/missing"), 0u);
+}
+
+TEST(VfsTest, DeepCopyConstructor) {
+  Vfs fs;
+  fs.WriteFile("/data", "original");
+  Vfs clone(fs);
+  clone.WriteFile("/data", "changed");
+  EXPECT_EQ(fs.ReadFile("/data"), "original");
+  EXPECT_EQ(clone.ReadFile("/data"), "changed");
+}
+
+TEST(VfsTest, ListMissingDirectory) {
+  Vfs fs;
+  EXPECT_FALSE(fs.List("/nope").has_value());
+  fs.WriteFile("/file", "x");
+  EXPECT_FALSE(fs.List("/file").has_value());  // not a directory
+}
+
+}  // namespace
+}  // namespace fob
