@@ -1,0 +1,170 @@
+// Span fast path vs byte-at-a-time loops, per policy.
+//
+// Measures the tentpole claim of the handler/cursor refactor: a sequential
+// workload that resolves its data unit once (AccessCursor / ReadSpan) should
+// pay close to the Standard policy's per-access cost, while the same
+// workload through per-byte Memory::ReadU8/WriteU8 pays the Jones-Kelly
+// table search on every byte. Three representative loops: strcpy, memcpy,
+// and UTF-8 decode. Arg(0) selects the policy (index into kAllPolicies);
+// run_bench.sh folds the JSON output into the perf trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/codec/utf8.h"
+#include "src/libc/cstring.h"
+#include "src/runtime/access_cursor.h"
+#include "src/runtime/memory.h"
+
+namespace fob {
+namespace {
+
+constexpr size_t kLen = 2048;
+
+AccessPolicy PolicyArg(const benchmark::State& state) {
+  return kAllPolicies[static_cast<size_t>(state.range(0))];
+}
+
+void SetPolicyLabel(benchmark::State& state) {
+  state.SetLabel(PolicyName(PolicyArg(state)));
+}
+
+std::string MakeAscii() { return std::string(kLen - 1, 'a'); }
+
+// Multi-byte-heavy input: alternating ASCII and 3-byte CJK-style sequences.
+std::string MakeUtf8() {
+  std::string out;
+  while (out.size() + 4 < kLen) {
+    out += "x\xe6\x97\xa5";
+  }
+  return out;
+}
+
+// The pre-refactor client idiom: one checked access per byte.
+void BM_StrCpyByteLoop(benchmark::State& state) {
+  Memory memory(PolicyArg(state));
+  SetPolicyLabel(state);
+  Ptr src = memory.NewCString(MakeAscii(), "src");
+  Ptr dst = memory.Malloc(kLen, "dst");
+  for (auto _ : state) {
+    for (int64_t i = 0;; ++i) {
+      uint8_t c = memory.ReadU8(src + i);
+      memory.WriteU8(dst + i, c);
+      if (c == 0) {
+        break;
+      }
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
+}
+BENCHMARK(BM_StrCpyByteLoop)->DenseRange(0, 4);
+
+void BM_StrCpySpanPath(benchmark::State& state) {
+  Memory memory(PolicyArg(state));
+  SetPolicyLabel(state);
+  Ptr src = memory.NewCString(MakeAscii(), "src");
+  Ptr dst = memory.Malloc(kLen, "dst");
+  for (auto _ : state) {
+    StrCpy(memory, dst, src);  // cursor-based since the refactor
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
+}
+BENCHMARK(BM_StrCpySpanPath)->DenseRange(0, 4);
+
+void BM_MemCpyByteLoop(benchmark::State& state) {
+  Memory memory(PolicyArg(state));
+  SetPolicyLabel(state);
+  Ptr src = memory.Malloc(kLen, "src");
+  Ptr dst = memory.Malloc(kLen, "dst");
+  for (auto _ : state) {
+    for (size_t i = 0; i < kLen; ++i) {
+      memory.WriteU8(dst + static_cast<int64_t>(i),
+                     memory.ReadU8(src + static_cast<int64_t>(i)));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
+}
+BENCHMARK(BM_MemCpyByteLoop)->DenseRange(0, 4);
+
+void BM_MemCpySpanPath(benchmark::State& state) {
+  Memory memory(PolicyArg(state));
+  SetPolicyLabel(state);
+  Ptr src = memory.Malloc(kLen, "src");
+  Ptr dst = memory.Malloc(kLen, "dst");
+  uint8_t staged[kLen];
+  for (auto _ : state) {
+    memory.ReadSpan(src, staged, kLen);
+    memory.WriteSpan(dst, staged, kLen);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
+}
+BENCHMARK(BM_MemCpySpanPath)->DenseRange(0, 4);
+
+// Per-byte UTF-8 decode, the shape of the Figure 1 loop.
+void BM_Utf8DecodeByteLoop(benchmark::State& state) {
+  Memory memory(PolicyArg(state));
+  SetPolicyLabel(state);
+  std::string text = MakeUtf8();
+  Ptr buf = memory.NewBytes(text, "utf8");
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    size_t i = 0;
+    while (i < text.size()) {
+      uint8_t c = memory.ReadU8(buf + static_cast<int64_t>(i));
+      uint32_t ch;
+      int n;
+      if (c < 0x80) {
+        ch = c;
+        n = 0;
+      } else if (c < 0xe0) {
+        ch = c & 0x1f;
+        n = 1;
+      } else if (c < 0xf0) {
+        ch = c & 0x0f;
+        n = 2;
+      } else {
+        ch = c & 0x07;
+        n = 3;
+      }
+      ++i;
+      for (int k = 0; k < n && i < text.size(); ++k, ++i) {
+        ch = (ch << 6) | (memory.ReadU8(buf + static_cast<int64_t>(i)) & 0x3f);
+      }
+      sink += ch;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Utf8DecodeByteLoop)->DenseRange(0, 4);
+
+void BM_Utf8DecodeSpanPath(benchmark::State& state) {
+  Memory memory(PolicyArg(state));
+  SetPolicyLabel(state);
+  std::string text = MakeUtf8();
+  Ptr buf = memory.NewBytes(text, "utf8");
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    AccessCursor cursor(memory);
+    size_t i = 0;
+    while (i < text.size()) {
+      auto cp = Utf8DecodeNext(cursor, buf, text.size(), i);
+      if (!cp) {
+        break;
+      }
+      sink += *cp;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Utf8DecodeSpanPath)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace fob
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory microbenchmarks and records their JSON output.
+#
+#   bench/run_bench.sh [build_dir] [out_dir]
+#
+# build_dir defaults to ./build (the tier-1 configure location), out_dir to
+# the repository root. Produces:
+#   BENCH_overhead.json   — checked-access primitives, Standard vs FO,
+#                           byte loops vs cursor/span fast path
+#   BENCH_span_path.json  — strcpy/memcpy/UTF-8 decode, byte loop vs span,
+#                           under all five policies
+#
+# Both files are google-benchmark JSON; compare runs with
+# benchmark/tools/compare.py or by diffing real_time per benchmark name.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root}"
+
+if [[ ! -x "$build_dir/bench_overhead" ]]; then
+  echo "bench binaries not found in $build_dir; configure and build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+min_time="${BENCH_MIN_TIME:-0.05}"
+
+run() {
+  local binary="$1" out="$2"
+  echo "== $binary -> $out"
+  "$build_dir/$binary" \
+    --benchmark_format=json \
+    --benchmark_min_time="$min_time" \
+    >"$out_dir/$out"
+}
+
+run bench_overhead BENCH_overhead.json
+run bench_span_path BENCH_span_path.json
+
+echo "done; wrote $out_dir/BENCH_overhead.json and $out_dir/BENCH_span_path.json"

@@ -2,7 +2,17 @@
 
 #include <cstdint>
 
+#include "src/runtime/memory.h"
+
 namespace fob {
+
+std::string Base64Encode(Memory& memory, Ptr data, size_t size) {
+  return Base64Encode(memory.ReadSpanAsString(data, size));
+}
+
+std::optional<std::string> Base64Decode(Memory& memory, Ptr text, size_t size) {
+  return Base64Decode(memory.ReadSpanAsString(text, size));
+}
 
 const char kBase64Std[65] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 const char kB64Chars[65] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+,";

@@ -8,11 +8,16 @@
 #ifndef SRC_CODEC_BASE64_H_
 #define SRC_CODEC_BASE64_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "src/runtime/ptr.h"
+
 namespace fob {
+
+class Memory;
 
 // RFC 4648.
 extern const char kBase64Std[65];
@@ -23,6 +28,14 @@ extern const char kB64Chars[65];
 std::string Base64Encode(std::string_view data);
 // Returns nullopt on any character outside the alphabet or bad padding.
 std::optional<std::string> Base64Decode(std::string_view text);
+
+// The same codecs over a buffer in checked memory: the input is staged out
+// through Memory::ReadSpan (per-byte policy semantics, amortized checks) and
+// run through the host codec. A size that overruns the unit therefore decodes
+// whatever the policy continues with — manufactured bytes under Failure
+// Oblivious, stored bytes under Boundless — instead of crashing.
+std::string Base64Encode(Memory& memory, Ptr data, size_t size);
+std::optional<std::string> Base64Decode(Memory& memory, Ptr text, size_t size);
 
 // Index of c in the given alphabet, or -1.
 int Base64Index(char c, const char* alphabet);

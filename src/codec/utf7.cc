@@ -5,6 +5,7 @@
 
 #include "src/codec/base64.h"
 #include "src/codec/utf8.h"
+#include "src/runtime/access_cursor.h"
 
 namespace fob {
 
@@ -16,57 +17,100 @@ size_t Utf7MaxOutputBytes(size_t utf8_len) {
   return utf8_len * 4 + 1;
 }
 
+namespace {
+
+// The Figure 1 shift-encoder state machine, shared by both overloads: feed
+// it codepoints, then Finish() to close an open shifted section.
+class Utf7Encoder {
+ public:
+  explicit Utf7Encoder(size_t utf8_len) { out_.reserve(Utf7MaxOutputBytes(utf8_len)); }
+
+  void Append(uint32_t ch) {
+    if (ch < 0x20 || ch >= 0x7f) {
+      if (!base64_) {
+        out_.push_back('&');
+        base64_ = true;
+        b_ = 0;
+        k_ = 10;
+      }
+      if (ch & ~0xffffu) {
+        ch = 0xfffe;  // Figure 1 folds astral codepoints to U+FFFE
+      }
+      out_.push_back(kB64Chars[b_ | (ch >> k_)]);
+      k_ -= 6;
+      for (; k_ >= 0; k_ -= 6) {
+        out_.push_back(kB64Chars[(ch >> k_) & 0x3f]);
+      }
+      b_ = static_cast<int>((ch << (-k_)) & 0x3f);
+      k_ += 16;
+    } else {
+      if (base64_) {
+        FlushShifted();
+      }
+      out_.push_back(static_cast<char>(ch));
+      if (ch == '&') {
+        out_.push_back('-');
+      }
+    }
+  }
+
+  std::string Finish() {
+    if (base64_) {
+      FlushShifted();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void FlushShifted() {
+    if (k_ > 10) {
+      out_.push_back(kB64Chars[b_]);
+    }
+    out_.push_back('-');
+    base64_ = false;
+  }
+
+  std::string out_;
+  int b_ = 0;        // carry bits
+  int k_ = 0;        // bits pending in the carry
+  bool base64_ = false;
+};
+
+}  // namespace
+
 std::optional<std::string> Utf8ToUtf7(std::string_view utf8) {
-  std::string out;
-  out.reserve(Utf7MaxOutputBytes(utf8.size()));
+  Utf7Encoder encoder(utf8.size());
   size_t i = 0;
-  int b = 0;        // carry bits
-  int k = 0;        // bits pending in the carry
-  bool base64 = false;
   while (i < utf8.size()) {
     auto decoded = Utf8DecodeNext(utf8, i);
     if (!decoded) {
       return std::nullopt;  // Figure 1: goto bail
     }
-    uint32_t ch = *decoded;
-    if (ch < 0x20 || ch >= 0x7f) {
-      if (!base64) {
-        out.push_back('&');
-        base64 = true;
-        b = 0;
-        k = 10;
-      }
-      if (ch & ~0xffffu) {
-        ch = 0xfffe;  // Figure 1 folds astral codepoints to U+FFFE
-      }
-      out.push_back(kB64Chars[b | (ch >> k)]);
-      k -= 6;
-      for (; k >= 0; k -= 6) {
-        out.push_back(kB64Chars[(ch >> k) & 0x3f]);
-      }
-      b = static_cast<int>((ch << (-k)) & 0x3f);
-      k += 16;
-    } else {
-      if (base64) {
-        if (k > 10) {
-          out.push_back(kB64Chars[b]);
-        }
-        out.push_back('-');
-        base64 = false;
-      }
-      out.push_back(static_cast<char>(ch));
-      if (ch == '&') {
-        out.push_back('-');
-      }
-    }
+    encoder.Append(*decoded);
   }
-  if (base64) {
-    if (k > 10) {
-      out.push_back(kB64Chars[b]);
+  return encoder.Finish();
+}
+
+Ptr Utf8ToUtf7(Memory& memory, Ptr u8, size_t u8len) {
+  // Decode through the cursor (one bounds resolution per run of the input
+  // unit), building the converted name host-side with the shared encoder.
+  AccessCursor cursor(memory);
+  Utf7Encoder encoder(u8len);
+  size_t i = 0;
+  while (i < u8len) {
+    auto decoded = Utf8DecodeNext(cursor, u8, u8len, i);
+    if (!decoded) {
+      return kNullPtr;
     }
-    out.push_back('-');
+    encoder.Append(*decoded);
   }
-  return out;
+  std::string out = encoder.Finish();
+  Ptr buf = memory.Malloc(out.size() + 1, "utf7_buf");
+  if (buf.IsNull()) {
+    return kNullPtr;
+  }
+  memory.WriteSpan(buf, out.c_str(), out.size() + 1);  // includes the NUL
+  return buf;
 }
 
 std::optional<std::string> Utf7ToUtf8(std::string_view utf7) {

@@ -20,7 +20,11 @@
 #include <string>
 #include <string_view>
 
+#include "src/runtime/ptr.h"
+
 namespace fob {
+
+class Memory;
 
 // Ratio the paper cites for sizing: output <= kUtf7WorstCaseNumerator/
 // kUtf7WorstCaseDenominator * input + small constant.
@@ -29,6 +33,14 @@ inline constexpr int kUtf7WorstCaseDenominator = 3;
 
 // nullopt on invalid UTF-8 (the Figure 1 "bail" paths).
 std::optional<std::string> Utf8ToUtf7(std::string_view utf8);
+
+// The correctly sized conversion over checked memory: reads the UTF-8 input
+// out of the simulated image through an AccessCursor (the span fast path),
+// converts, and heap-allocates the NUL-terminated result with the
+// Utf7MaxOutputBytes bound Figure 1 should have used. Returns kNullPtr on
+// invalid UTF-8 or allocation failure. Contrast with MuttApp::Utf8ToUtf7Port,
+// which keeps the paper's undersized `u8len*2+1` buffer and byte loop.
+Ptr Utf8ToUtf7(Memory& memory, Ptr u8, size_t u8len);
 
 // Inverse transform; nullopt on malformed modified-UTF-7.
 std::optional<std::string> Utf7ToUtf8(std::string_view utf7);

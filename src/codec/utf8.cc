@@ -1,12 +1,19 @@
 #include "src/codec/utf8.h"
 
+#include "src/runtime/access_cursor.h"
+
 namespace fob {
 
-std::optional<uint32_t> Utf8DecodeNext(std::string_view s, size_t& i) {
-  if (i >= s.size()) {
+namespace {
+
+// One decoder, two byte sources (host string_view and checked-memory
+// cursor). read(i) returns the byte at index i of the buffer.
+template <typename ReadByte>
+std::optional<uint32_t> DecodeNext(ReadByte&& read, size_t size, size_t& i) {
+  if (i >= size) {
     return std::nullopt;
   }
-  uint8_t c = static_cast<uint8_t>(s[i]);
+  uint8_t c = read(i);
   uint32_t ch;
   int n;
   // The lead-byte ladder from Figure 1.
@@ -34,11 +41,11 @@ std::optional<uint32_t> Utf8DecodeNext(std::string_view s, size_t& i) {
     return std::nullopt;
   }
   ++i;
-  if (static_cast<size_t>(n) > s.size() - i) {
+  if (static_cast<size_t>(n) > size - i) {
     return std::nullopt;  // truncated
   }
   for (int k = 0; k < n; ++k) {
-    uint8_t cont = static_cast<uint8_t>(s[i + static_cast<size_t>(k)]);
+    uint8_t cont = read(i + static_cast<size_t>(k));
     if ((cont & 0xc0) != 0x80) {
       return std::nullopt;
     }
@@ -52,6 +59,32 @@ std::optional<uint32_t> Utf8DecodeNext(std::string_view s, size_t& i) {
   // The 2-byte overlong case is already excluded by rejecting c < 0xc2.
   i += static_cast<size_t>(n);
   return ch;
+}
+
+}  // namespace
+
+std::optional<uint32_t> Utf8DecodeNext(std::string_view s, size_t& i) {
+  return DecodeNext([&](size_t k) { return static_cast<uint8_t>(s[k]); }, s.size(), i);
+}
+
+std::optional<uint32_t> Utf8DecodeNext(AccessCursor& cursor, Ptr s, size_t size,
+                                       size_t& i) {
+  return DecodeNext([&](size_t k) { return cursor.ReadU8(s + static_cast<int64_t>(k)); },
+                    size, i);
+}
+
+std::optional<std::vector<uint32_t>> Utf8DecodeAll(Memory& memory, Ptr s, size_t size) {
+  AccessCursor cursor(memory);
+  std::vector<uint32_t> cps;
+  size_t i = 0;
+  while (i < size) {
+    auto cp = Utf8DecodeNext(cursor, s, size, i);
+    if (!cp) {
+      return std::nullopt;
+    }
+    cps.push_back(*cp);
+  }
+  return cps;
 }
 
 void Utf8Encode(uint32_t cp, std::string& out) {

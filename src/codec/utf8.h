@@ -15,12 +15,28 @@
 #include <string_view>
 #include <vector>
 
+#include "src/runtime/ptr.h"
+
 namespace fob {
+
+class AccessCursor;
+class Memory;
 
 // Decodes the codepoint starting at s[i]; advances i past it. Returns
 // nullopt (i unspecified) on invalid input — lead byte 0x80..0xc1 or >=
 // 0xfe, truncated sequence, bad continuation byte, or overlong encoding.
 std::optional<uint32_t> Utf8DecodeNext(std::string_view s, size_t& i);
+
+// The same decoder over checked memory: bytes are read through the cursor,
+// so sequential decoding pays the object-table search once per buffer run
+// instead of once per byte, and out-of-bounds bytes follow the Memory's
+// policy (a manufactured continuation byte can legitimately extend a
+// sequence under Failure Oblivious).
+std::optional<uint32_t> Utf8DecodeNext(AccessCursor& cursor, Ptr s, size_t size,
+                                       size_t& i);
+
+// Whole-buffer helper over checked memory; nullopt on any invalid sequence.
+std::optional<std::vector<uint32_t>> Utf8DecodeAll(Memory& memory, Ptr s, size_t size);
 
 // Appends the UTF-8 encoding of cp (up to 6 bytes, 31-bit range) to out.
 void Utf8Encode(uint32_t cp, std::string& out);

@@ -4,21 +4,34 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/access_cursor.h"
+
 namespace fob {
 
+// Every scanning loop here walks through an AccessCursor: the first byte
+// resolves the operand's data unit, the rest of the run skips the per-access
+// object-table search. Semantics are unchanged — an out-of-bounds byte falls
+// back to the full per-byte policy path, so strcat through a
+// failure-oblivious Memory still silently truncates, through a bounds-check
+// Memory still terminates, through a standard Memory still smashes what lies
+// beyond.
+
 size_t StrLen(Memory& m, Ptr s) {
+  AccessCursor cursor(m);
   size_t n = 0;
-  while (m.ReadU8(s + static_cast<int64_t>(n)) != 0) {
+  while (cursor.ReadU8(s + static_cast<int64_t>(n)) != 0) {
     ++n;
   }
   return n;
 }
 
 Ptr StrCpy(Memory& m, Ptr dst, Ptr src) {
+  AccessCursor in(m);
+  AccessCursor out(m);
   int64_t i = 0;
   for (;; ++i) {
-    uint8_t c = m.ReadU8(src + i);
-    m.WriteU8(dst + i, c);
+    uint8_t c = in.ReadU8(src + i);
+    out.WriteU8(dst + i, c);
     if (c == 0) {
       break;
     }
@@ -27,27 +40,31 @@ Ptr StrCpy(Memory& m, Ptr dst, Ptr src) {
 }
 
 Ptr StrNCpy(Memory& m, Ptr dst, Ptr src, size_t n) {
+  AccessCursor in(m);
+  AccessCursor out(m);
   size_t i = 0;
   for (; i < n; ++i) {
-    uint8_t c = m.ReadU8(src + static_cast<int64_t>(i));
-    m.WriteU8(dst + static_cast<int64_t>(i), c);
+    uint8_t c = in.ReadU8(src + static_cast<int64_t>(i));
+    out.WriteU8(dst + static_cast<int64_t>(i), c);
     if (c == 0) {
       ++i;
       break;
     }
   }
   for (; i < n; ++i) {
-    m.WriteU8(dst + static_cast<int64_t>(i), 0);
+    out.WriteU8(dst + static_cast<int64_t>(i), 0);
   }
   return dst;
 }
 
 Ptr StrCat(Memory& m, Ptr dst, Ptr src) {
+  AccessCursor in(m);
+  AccessCursor out(m);
   int64_t offset = static_cast<int64_t>(StrLen(m, dst));
   int64_t i = 0;
   for (;; ++i) {
-    uint8_t c = m.ReadU8(src + i);
-    m.WriteU8(dst + offset + i, c);
+    uint8_t c = in.ReadU8(src + i);
+    out.WriteU8(dst + offset + i, c);
     if (c == 0) {
       break;
     }
@@ -56,40 +73,46 @@ Ptr StrCat(Memory& m, Ptr dst, Ptr src) {
 }
 
 Ptr StrNCat(Memory& m, Ptr dst, Ptr src, size_t n) {
+  AccessCursor in(m);
+  AccessCursor out(m);
   int64_t offset = static_cast<int64_t>(StrLen(m, dst));
   size_t i = 0;
   for (; i < n; ++i) {
-    uint8_t c = m.ReadU8(src + static_cast<int64_t>(i));
+    uint8_t c = in.ReadU8(src + static_cast<int64_t>(i));
     if (c == 0) {
       break;
     }
-    m.WriteU8(dst + offset + static_cast<int64_t>(i), c);
+    out.WriteU8(dst + offset + static_cast<int64_t>(i), c);
   }
-  m.WriteU8(dst + offset + static_cast<int64_t>(i), 0);
+  out.WriteU8(dst + offset + static_cast<int64_t>(i), 0);
   return dst;
 }
 
 int StrCmp(Memory& m, Ptr a, Ptr b) {
+  AccessCursor ca(m);
+  AccessCursor cb(m);
   for (int64_t i = 0;; ++i) {
-    uint8_t ca = m.ReadU8(a + i);
-    uint8_t cb = m.ReadU8(b + i);
-    if (ca != cb) {
-      return ca < cb ? -1 : 1;
+    uint8_t va = ca.ReadU8(a + i);
+    uint8_t vb = cb.ReadU8(b + i);
+    if (va != vb) {
+      return va < vb ? -1 : 1;
     }
-    if (ca == 0) {
+    if (va == 0) {
       return 0;
     }
   }
 }
 
 int StrNCmp(Memory& m, Ptr a, Ptr b, size_t n) {
+  AccessCursor ca(m);
+  AccessCursor cb(m);
   for (size_t i = 0; i < n; ++i) {
-    uint8_t ca = m.ReadU8(a + static_cast<int64_t>(i));
-    uint8_t cb = m.ReadU8(b + static_cast<int64_t>(i));
-    if (ca != cb) {
-      return ca < cb ? -1 : 1;
+    uint8_t va = ca.ReadU8(a + static_cast<int64_t>(i));
+    uint8_t vb = cb.ReadU8(b + static_cast<int64_t>(i));
+    if (va != vb) {
+      return va < vb ? -1 : 1;
     }
-    if (ca == 0) {
+    if (va == 0) {
       return 0;
     }
   }
@@ -97,19 +120,22 @@ int StrNCmp(Memory& m, Ptr a, Ptr b, size_t n) {
 }
 
 int MemCmp(Memory& m, Ptr a, Ptr b, size_t n) {
+  AccessCursor ca(m);
+  AccessCursor cb(m);
   for (size_t i = 0; i < n; ++i) {
-    uint8_t ca = m.ReadU8(a + static_cast<int64_t>(i));
-    uint8_t cb = m.ReadU8(b + static_cast<int64_t>(i));
-    if (ca != cb) {
-      return ca < cb ? -1 : 1;
+    uint8_t va = ca.ReadU8(a + static_cast<int64_t>(i));
+    uint8_t vb = cb.ReadU8(b + static_cast<int64_t>(i));
+    if (va != vb) {
+      return va < vb ? -1 : 1;
     }
   }
   return 0;
 }
 
 Ptr StrChr(Memory& m, Ptr s, char c) {
+  AccessCursor cursor(m);
   for (int64_t i = 0;; ++i) {
-    uint8_t v = m.ReadU8(s + i);
+    uint8_t v = cursor.ReadU8(s + i);
     if (v == static_cast<uint8_t>(c)) {
       return s + i;
     }
@@ -120,9 +146,10 @@ Ptr StrChr(Memory& m, Ptr s, char c) {
 }
 
 Ptr StrRChr(Memory& m, Ptr s, char c) {
+  AccessCursor cursor(m);
   Ptr found = kNullPtr;
   for (int64_t i = 0;; ++i) {
-    uint8_t v = m.ReadU8(s + i);
+    uint8_t v = cursor.ReadU8(s + i);
     if (v == static_cast<uint8_t>(c)) {
       found = s + i;
     }
@@ -174,8 +201,10 @@ Ptr StrDup(Memory& m, Ptr s, const char* name) {
   if (copy.IsNull()) {
     return copy;
   }
+  AccessCursor in(m);
+  AccessCursor out(m);
   for (size_t i = 0; i <= n; ++i) {
-    m.WriteU8(copy + static_cast<int64_t>(i), m.ReadU8(s + static_cast<int64_t>(i)));
+    out.WriteU8(copy + static_cast<int64_t>(i), in.ReadU8(s + static_cast<int64_t>(i)));
   }
   return copy;
 }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/runtime/memory.h"
+
 namespace fob {
 
 namespace {
@@ -48,6 +50,10 @@ std::vector<MailMessage> ParseMbox(std::string_view text) {
   }
   flush();
   return messages;
+}
+
+std::vector<MailMessage> ParseMbox(Memory& memory, Ptr text, size_t size) {
+  return ParseMbox(memory.ReadSpanAsString(text, size));
 }
 
 std::string SerializeMbox(const std::vector<MailMessage>& messages) {

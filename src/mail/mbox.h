@@ -11,11 +11,20 @@
 #include <vector>
 
 #include "src/mail/message.h"
+#include "src/runtime/ptr.h"
 
 namespace fob {
 
+class Memory;
+
 std::vector<MailMessage> ParseMbox(std::string_view text);
 std::string SerializeMbox(const std::vector<MailMessage>& messages);
+
+// Parses a folder that lives in the simulated image (the mail server's
+// spool buffer): the text is staged out through Memory::ReadSpan, so a size
+// that overruns the spool unit parses whatever the policy continues with
+// rather than crashing the server.
+std::vector<MailMessage> ParseMbox(Memory& memory, Ptr text, size_t size);
 
 }  // namespace fob
 

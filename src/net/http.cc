@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/runtime/memory.h"
+
 namespace fob {
 
 namespace {
@@ -71,6 +73,10 @@ std::optional<HttpRequest> HttpRequest::Parse(std::string_view text) {
                                  std::string(TrimView(line.substr(colon + 1))));
   }
   return request;
+}
+
+std::optional<HttpRequest> HttpRequest::Parse(Memory& memory, Ptr text, size_t size) {
+  return Parse(memory.ReadSpanAsString(text, size));
 }
 
 std::string HttpRequest::Serialize() const {

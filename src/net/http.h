@@ -8,7 +8,11 @@
 #include <string_view>
 #include <vector>
 
+#include "src/runtime/ptr.h"
+
 namespace fob {
+
+class Memory;
 
 struct HttpRequest {
   std::string method = "GET";
@@ -19,6 +23,12 @@ struct HttpRequest {
   // Parses "METHOD SP path SP version CRLF (header CRLF)* CRLF". Returns
   // nullopt on a malformed request line.
   static std::optional<HttpRequest> Parse(std::string_view text);
+
+  // Parses a request sitting in the server's connection buffer inside the
+  // simulated image. The bytes are staged out through Memory::ReadSpan, so
+  // an over-read of the buffer unit yields policy-continued bytes (and a
+  // likely 400) instead of killing the worker.
+  static std::optional<HttpRequest> Parse(Memory& memory, Ptr text, size_t size);
   std::string Serialize() const;
   std::string Header(std::string_view name) const;  // empty if absent
 };

@@ -1,0 +1,80 @@
+#include "src/runtime/handlers/boundless.h"
+
+#include <cassert>
+
+namespace fob {
+
+void BoundlessHandler::OnInvalidWrite(Ptr p, const void* src, size_t n,
+                                      const Memory::CheckResult& check) {
+  if (check.unit == nullptr || !check.unit->live) {
+    return;  // wild/dangling writes are discarded
+  }
+  const uint8_t* bytes = static_cast<const uint8_t*>(src);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t offset =
+        static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
+    // In-bounds bytes of a straddling access still land in the unit.
+    if (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) {
+      bool ok = space().Write(p.addr + i, &bytes[i], 1);
+      assert(ok);
+      (void)ok;
+    } else {
+      boundless().StoreByte(check.unit->id, offset, bytes[i]);
+    }
+  }
+}
+
+void BoundlessHandler::OnInvalidRead(Ptr p, void* dst, size_t n,
+                                     const Memory::CheckResult& check) {
+  if (check.unit == nullptr || !check.unit->live) {
+    ManufactureRead(dst, n);
+    return;
+  }
+  // Return stored bytes where the program previously wrote out of bounds;
+  // manufacture the rest. If nothing is stored this degenerates to exactly
+  // the failure-oblivious manufactured value.
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  bool any_stored = false;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t offset =
+        static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
+    if (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) {
+      bool ok = space().Read(p.addr + i, &out[i], 1);
+      assert(ok);
+      (void)ok;
+      any_stored = true;
+    } else if (auto stored = boundless().LoadByte(check.unit->id, offset)) {
+      out[i] = *stored;
+      any_stored = true;
+    } else {
+      out[i] = 0xa5;  // placeholder, replaced below if nothing stored
+    }
+  }
+  if (!any_stored) {
+    ManufactureRead(dst, n);
+    return;
+  }
+  // Fill any placeholder bytes from the sequence.
+  for (size_t i = 0; i < n; ++i) {
+    int64_t offset =
+        static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
+    bool covered = (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) ||
+                   boundless().LoadByte(check.unit->id, offset).has_value();
+    if (!covered) {
+      out[i] = sequence().NextByte();
+    }
+  }
+}
+
+void BoundlessHandler::OnReallocGrow(UnitId old_unit, Addr fresh, size_t old_size,
+                                     size_t new_size) {
+  for (size_t offset = old_size; offset < new_size; ++offset) {
+    if (auto stored = boundless().LoadByte(old_unit, static_cast<int64_t>(offset))) {
+      bool ok = space().Write(fresh + offset, &*stored, 1);
+      assert(ok);
+      (void)ok;
+    }
+  }
+}
+
+}  // namespace fob

@@ -1,0 +1,33 @@
+// Boundless memory blocks (§5.1): out-of-bounds writes are stored in a hash
+// table keyed by (data unit, offset); the corresponding out-of-bounds reads
+// return the stored values.
+
+#ifndef SRC_RUNTIME_HANDLERS_BOUNDLESS_H_
+#define SRC_RUNTIME_HANDLERS_BOUNDLESS_H_
+
+#include "src/runtime/handlers/policy_handler.h"
+
+namespace fob {
+
+class BoundlessHandler : public CheckedPolicyHandler {
+ public:
+  using CheckedPolicyHandler::CheckedPolicyHandler;
+
+  AccessPolicy policy() const override { return AccessPolicy::kBoundless; }
+
+  // Growing a block materializes the bytes the program wrote past the old
+  // end — they are part of the block's logical contents (this is what lets
+  // Mutt's `safe_realloc(buf, p - buf)` recover the full converted string).
+  void OnReallocGrow(UnitId old_unit, Addr fresh, size_t old_size,
+                     size_t new_size) override;
+
+ protected:
+  void OnInvalidRead(Ptr p, void* dst, size_t n,
+                     const Memory::CheckResult& check) override;
+  void OnInvalidWrite(Ptr p, const void* src, size_t n,
+                      const Memory::CheckResult& check) override;
+};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_HANDLERS_BOUNDLESS_H_

@@ -1,0 +1,91 @@
+// Per-policy continuation strategies.
+//
+// Each AccessPolicy's behaviour — both how an access is checked and what
+// happens when the check fails — is one PolicyHandler implementation,
+// constructed once per Memory. Memory::Read/Write charge the access budget
+// and delegate the whole access to the handler, so the hot path pays one
+// virtual dispatch instead of a per-access switch over the configuration,
+// and a new failure-oblivious variant (the search-space sweeps of Durieux et
+// al. and the context-aware policies of Rigger et al. motivate many) is a
+// new subclass plus a factory case, with no change to the runtime core.
+//
+// See README.md in this directory for how to add a policy.
+
+#ifndef SRC_RUNTIME_HANDLERS_POLICY_HANDLER_H_
+#define SRC_RUNTIME_HANDLERS_POLICY_HANDLER_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "src/runtime/memory.h"
+
+namespace fob {
+
+class PolicyHandler {
+ public:
+  explicit PolicyHandler(Memory& memory) : mem_(memory) {}
+  virtual ~PolicyHandler() = default;
+
+  virtual AccessPolicy policy() const = 0;
+
+  // One whole n-byte access: classification plus continuation. Called from
+  // Memory::Read/Write after the access budget has been charged.
+  virtual void Read(Ptr p, void* dst, size_t n) = 0;
+  virtual void Write(Ptr p, const void* src, size_t n) = 0;
+
+  // True when this policy runs the Jones-Kelly check on every access
+  // (everything but Standard). The span fast path only caches unit bounds
+  // for checked policies.
+  virtual bool checked() const { return true; }
+
+  // True when an invalid free/realloc is a logged no-op rather than fatal
+  // (the continuing policies: failure-oblivious, boundless, wrap).
+  virtual bool continues_on_error() const { return true; }
+
+  // Called by Memory::Realloc under a continuing policy after the block
+  // grew, before the old unit's out-of-bounds state is dropped. Boundless
+  // materializes previously captured out-of-bounds bytes here.
+  virtual void OnReallocGrow(UnitId old_unit, Addr fresh, size_t old_size,
+                             size_t new_size);
+
+ protected:
+  // Memory grants friendship to the base class only; subclasses reach the
+  // runtime internals through these.
+  AddressSpace& space() { return mem_.space_; }
+  const ObjectTable& table() const { return mem_.table_; }
+  BoundlessStore& boundless() { return mem_.boundless_; }
+  ValueSequence& sequence() { return mem_.sequence_; }
+  Memory::CheckResult Check(Ptr p, size_t n) const { return mem_.CheckAccess(p, n); }
+  void LogError(bool is_write, Ptr p, size_t n, const Memory::CheckResult& check) {
+    mem_.LogError(is_write, p, n, check);
+  }
+
+  // Fills dst with the policy's manufactured-value sequence (§3): one
+  // sequence value for accesses up to 8 bytes, per-byte values beyond.
+  void ManufactureRead(void* dst, size_t n);
+
+  Memory& mem_;
+};
+
+// Shared checking code for every policy that classifies accesses: raw access
+// when in bounds, otherwise log one record and delegate the continuation.
+class CheckedPolicyHandler : public PolicyHandler {
+ public:
+  using PolicyHandler::PolicyHandler;
+
+  void Read(Ptr p, void* dst, size_t n) final;
+  void Write(Ptr p, const void* src, size_t n) final;
+
+ protected:
+  virtual void OnInvalidRead(Ptr p, void* dst, size_t n,
+                             const Memory::CheckResult& check) = 0;
+  virtual void OnInvalidWrite(Ptr p, const void* src, size_t n,
+                              const Memory::CheckResult& check) = 0;
+};
+
+// The one place that maps AccessPolicy to its handler implementation.
+std::unique_ptr<PolicyHandler> MakePolicyHandler(AccessPolicy policy, Memory& memory);
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_HANDLERS_POLICY_HANDLER_H_

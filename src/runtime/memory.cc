@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cstring>
 #include <exception>
-#include <sstream>
+
+#include "src/runtime/access_cursor.h"
+#include "src/runtime/handlers/policy_handler.h"
 
 namespace fob {
 
@@ -14,12 +16,15 @@ Memory::Memory(const Config& config)
       sequence_(config.sequence),
       log_(config.log_capacity),
       boundless_(config.boundless_capacity) {
+  handler_ = MakePolicyHandler(config_.policy, *this);
   heap_ = std::make_unique<Heap>(space_, table_, kHeapBase, config_.heap_bytes);
   stack_ = std::make_unique<Stack>(space_, table_, kStackLow, config_.stack_bytes);
   space_.Map(kGlobalBase, config_.global_bytes);
   global_cursor_ = kGlobalBase;
   global_end_ = kGlobalBase + config_.global_bytes;
 }
+
+Memory::~Memory() = default;
 
 // ---- Allocation -----------------------------------------------------------
 
@@ -35,71 +40,48 @@ void Memory::Free(Ptr p) {
   if (p.IsNull()) {
     return;  // free(NULL) is a no-op in every libc
   }
-  switch (config_.policy) {
-    case AccessPolicy::kStandard:
-    case AccessPolicy::kBoundsCheck:
-      // Both configurations die here: Standard with the allocator's own
-      // abort, BoundsCheck with its terminate-on-error behaviour.
-      heap_->Free(p.addr);
-      return;
-    case AccessPolicy::kFailureOblivious:
-    case AccessPolicy::kBoundless:
-    case AccessPolicy::kWrap:
-      // Continuing policies treat an invalid free like an invalid write:
-      // log it and discard the operation.
-      if (heap_->BlockSize(p.addr) == 0) {
-        CheckResult check = CheckAccess(p, 1);
-        LogError(/*is_write=*/true, p, 0, check);
-        return;
-      }
-      boundless_.DropUnit(heap_->BlockUnit(p.addr));
-      heap_->Free(p.addr);
-      return;
+  if (!handler_->continues_on_error()) {
+    // Both non-continuing configurations die here: Standard with the
+    // allocator's own abort, BoundsCheck with its terminate-on-error
+    // behaviour.
+    heap_->Free(p.addr);
+    return;
   }
+  // Continuing policies treat an invalid free like an invalid write: log it
+  // and discard the operation.
+  if (heap_->BlockSize(p.addr) == 0) {
+    CheckResult check = CheckAccess(p, 1);
+    LogError(/*is_write=*/true, p, 0, check);
+    return;
+  }
+  boundless_.DropUnit(heap_->BlockUnit(p.addr));
+  heap_->Free(p.addr);
 }
 
 Ptr Memory::Realloc(Ptr p, size_t new_size) {
   if (p.IsNull()) {
     return Malloc(new_size, "realloc");
   }
-  switch (config_.policy) {
-    case AccessPolicy::kStandard:
-    case AccessPolicy::kBoundsCheck: {
-      Addr fresh = heap_->Realloc(p.addr, new_size);
-      return fresh == 0 ? kNullPtr : Ptr(fresh, heap_->BlockUnit(fresh));
-    }
-    case AccessPolicy::kFailureOblivious:
-    case AccessPolicy::kBoundless:
-    case AccessPolicy::kWrap: {
-      size_t old_size = heap_->BlockSize(p.addr);
-      if (old_size == 0) {
-        CheckResult check = CheckAccess(p, 1);
-        LogError(/*is_write=*/true, p, 0, check);
-        return p;  // leave the program with its pointer; best effort
-      }
-      UnitId old_unit = heap_->BlockUnit(p.addr);
-      Addr fresh = heap_->Realloc(p.addr, new_size);
-      if (fresh == 0) {
-        return kNullPtr;
-      }
-      if (config_.policy == AccessPolicy::kBoundless && new_size > old_size) {
-        // Boundless semantics: bytes the program wrote past the old end are
-        // part of the block's logical contents; growing the block
-        // materializes them (this is what lets Mutt's
-        // `safe_realloc(buf, p - buf)` recover the full converted string).
-        for (size_t offset = old_size; offset < new_size; ++offset) {
-          if (auto stored = boundless_.LoadByte(old_unit, static_cast<int64_t>(offset))) {
-            bool ok = space_.Write(fresh + offset, &*stored, 1);
-            assert(ok);
-            (void)ok;
-          }
-        }
-      }
-      boundless_.DropUnit(old_unit);
-      return Ptr(fresh, heap_->BlockUnit(fresh));
-    }
+  if (!handler_->continues_on_error()) {
+    Addr fresh = heap_->Realloc(p.addr, new_size);
+    return fresh == 0 ? kNullPtr : Ptr(fresh, heap_->BlockUnit(fresh));
   }
-  return kNullPtr;
+  size_t old_size = heap_->BlockSize(p.addr);
+  if (old_size == 0) {
+    CheckResult check = CheckAccess(p, 1);
+    LogError(/*is_write=*/true, p, 0, check);
+    return p;  // leave the program with its pointer; best effort
+  }
+  UnitId old_unit = heap_->BlockUnit(p.addr);
+  Addr fresh = heap_->Realloc(p.addr, new_size);
+  if (fresh == 0) {
+    return kNullPtr;
+  }
+  if (new_size > old_size) {
+    handler_->OnReallocGrow(old_unit, fresh, old_size, new_size);
+  }
+  boundless_.DropUnit(old_unit);
+  return Ptr(fresh, heap_->BlockUnit(fresh));
 }
 
 Ptr Memory::AllocGlobal(size_t size, std::string name) {
@@ -176,171 +158,24 @@ void Memory::LogError(bool is_write, Ptr p, size_t n, const CheckResult& check) 
   log_.Record(std::move(record));
 }
 
-void Memory::ManufactureRead(void* dst, size_t n) {
-  uint8_t* out = static_cast<uint8_t*>(dst);
-  if (n <= 8) {
-    uint64_t value = sequence_.Next();
-    for (size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<uint8_t>(value >> (8 * i));
-    }
-    return;
-  }
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = sequence_.NextByte();
-  }
-}
-
-void Memory::WrapWrite(const DataUnit& unit, Ptr p, const uint8_t* src, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    int64_t offset = static_cast<int64_t>(p.addr + i - unit.base);
-    int64_t size = static_cast<int64_t>(unit.size);
-    int64_t wrapped = ((offset % size) + size) % size;
-    bool ok = space_.Write(unit.base + static_cast<uint64_t>(wrapped), &src[i], 1);
-    assert(ok);
-    (void)ok;
-  }
-}
-
-void Memory::WrapRead(const DataUnit& unit, Ptr p, uint8_t* dst, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    int64_t offset = static_cast<int64_t>(p.addr + i - unit.base);
-    int64_t size = static_cast<int64_t>(unit.size);
-    int64_t wrapped = ((offset % size) + size) % size;
-    bool ok = space_.Read(unit.base + static_cast<uint64_t>(wrapped), &dst[i], 1);
-    assert(ok);
-    (void)ok;
-  }
-}
-
 void Memory::Write(Ptr p, const void* src, size_t n) {
   BumpAccess();
-  if (config_.policy == AccessPolicy::kStandard) {
-    // No checks: the write lands wherever the address points. Unmapped
-    // memory is a segmentation violation.
-    if (!space_.Write(p.addr, src, n)) {
-      throw Fault::Segfault(p.addr);
-    }
-    return;
-  }
-  CheckResult check = CheckAccess(p, n);
-  if (check.in_bounds) {
-    bool ok = space_.Write(p.addr, src, n);
-    assert(ok && "in-bounds unit memory must be mapped");
-    (void)ok;
-    return;
-  }
-  LogError(/*is_write=*/true, p, n, check);
-  switch (config_.policy) {
-    case AccessPolicy::kBoundsCheck: {
-      std::ostringstream os;
-      os << "illegal write of " << n << " bytes, referent "
-         << (check.unit != nullptr ? check.unit->name : "<unknown>");
-      throw Fault::BoundsViolation(os.str());
-    }
-    case AccessPolicy::kFailureOblivious:
-      return;  // discard
-    case AccessPolicy::kBoundless: {
-      if (check.unit != nullptr && check.unit->live) {
-        const uint8_t* bytes = static_cast<const uint8_t*>(src);
-        for (size_t i = 0; i < n; ++i) {
-          int64_t offset = static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
-          // In-bounds bytes of a straddling access still land in the unit.
-          if (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) {
-            bool ok = space_.Write(p.addr + i, &bytes[i], 1);
-            assert(ok);
-            (void)ok;
-          } else {
-            boundless_.StoreByte(check.unit->id, offset, bytes[i]);
-          }
-        }
-      }
-      return;  // wild/dangling writes are discarded
-    }
-    case AccessPolicy::kWrap:
-      if (check.unit != nullptr && check.unit->live && check.unit->size > 0) {
-        WrapWrite(*check.unit, p, static_cast<const uint8_t*>(src), n);
-      }
-      return;
-    case AccessPolicy::kStandard:
-      break;  // unreachable
-  }
+  handler_->Write(p, src, n);
 }
 
 void Memory::Read(Ptr p, void* dst, size_t n) {
   BumpAccess();
-  if (config_.policy == AccessPolicy::kStandard) {
-    if (!space_.Read(p.addr, dst, n)) {
-      throw Fault::Segfault(p.addr);
-    }
-    return;
-  }
-  CheckResult check = CheckAccess(p, n);
-  if (check.in_bounds) {
-    bool ok = space_.Read(p.addr, dst, n);
-    assert(ok && "in-bounds unit memory must be mapped");
-    (void)ok;
-    return;
-  }
-  LogError(/*is_write=*/false, p, n, check);
-  switch (config_.policy) {
-    case AccessPolicy::kBoundsCheck: {
-      std::ostringstream os;
-      os << "illegal read of " << n << " bytes, referent "
-         << (check.unit != nullptr ? check.unit->name : "<unknown>");
-      throw Fault::BoundsViolation(os.str());
-    }
-    case AccessPolicy::kFailureOblivious:
-      ManufactureRead(dst, n);
-      return;
-    case AccessPolicy::kBoundless: {
-      if (check.unit == nullptr || !check.unit->live) {
-        ManufactureRead(dst, n);
-        return;
-      }
-      // Return stored bytes where the program previously wrote out of
-      // bounds; manufacture the rest. If nothing is stored this degenerates
-      // to exactly the failure-oblivious manufactured value.
-      uint8_t* out = static_cast<uint8_t*>(dst);
-      bool any_stored = false;
-      for (size_t i = 0; i < n; ++i) {
-        int64_t offset = static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
-        if (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) {
-          bool ok = space_.Read(p.addr + i, &out[i], 1);
-          assert(ok);
-          (void)ok;
-          any_stored = true;
-        } else if (auto stored = boundless_.LoadByte(check.unit->id, offset)) {
-          out[i] = *stored;
-          any_stored = true;
-        } else {
-          out[i] = 0xa5;  // placeholder, replaced below if nothing stored
-        }
-      }
-      if (!any_stored) {
-        ManufactureRead(dst, n);
-        return;
-      }
-      // Fill any placeholder bytes from the sequence.
-      for (size_t i = 0; i < n; ++i) {
-        int64_t offset = static_cast<int64_t>(p.addr + i) - static_cast<int64_t>(check.unit->base);
-        bool covered = (offset >= 0 && static_cast<uint64_t>(offset) < check.unit->size) ||
-                       boundless_.LoadByte(check.unit->id, offset).has_value();
-        if (!covered) {
-          out[i] = sequence_.NextByte();
-        }
-      }
-      return;
-    }
-    case AccessPolicy::kWrap:
-      if (check.unit != nullptr && check.unit->live && check.unit->size > 0) {
-        WrapRead(*check.unit, p, static_cast<uint8_t*>(dst), n);
-      } else {
-        ManufactureRead(dst, n);
-      }
-      return;
-    case AccessPolicy::kStandard:
-      break;  // unreachable
-  }
+  handler_->Read(p, dst, n);
+}
+
+void Memory::ReadSpan(Ptr p, void* dst, size_t n) {
+  AccessCursor cursor(*this);
+  cursor.Read(p, dst, n);
+}
+
+void Memory::WriteSpan(Ptr p, const void* src, size_t n) {
+  AccessCursor cursor(*this);
+  cursor.Write(p, src, n);
 }
 
 uint8_t Memory::ReadU8(Ptr p) {
@@ -397,8 +232,9 @@ Ptr Memory::NewBytes(std::string_view bytes, std::string name) {
 
 std::string Memory::ReadCString(Ptr p, size_t limit) {
   std::string out;
+  AccessCursor cursor(*this);
   for (size_t i = 0; i < limit; ++i) {
-    uint8_t c = ReadU8(p + static_cast<int64_t>(i));
+    uint8_t c = cursor.ReadU8(p + static_cast<int64_t>(i));
     if (c == 0) {
       break;
     }
@@ -411,6 +247,14 @@ std::string Memory::ReadBytesAsString(Ptr p, size_t n) {
   std::string out(n, '\0');
   if (n > 0) {
     Read(p, out.data(), n);
+  }
+  return out;
+}
+
+std::string Memory::ReadSpanAsString(Ptr p, size_t n) {
+  std::string out(n, '\0');
+  if (n > 0) {
+    ReadSpan(p, out.data(), n);
   }
   return out;
 }

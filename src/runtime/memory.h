@@ -13,6 +13,12 @@
 //     (kFailureOblivious, §3), store-and-return out-of-bounds bytes
 //     (kBoundless, §5.1), or wrap offsets back into the unit (kWrap, §5.1).
 //
+// The continuation code lives outside this class: each policy is a
+// PolicyHandler strategy (src/runtime/handlers/) selected once at
+// construction, so the hot access path is one virtual dispatch instead of a
+// per-access switch over the configuration, and new continuation policies
+// can be added without touching the runtime core.
+//
 // The Standard policy skips the object-table search entirely and touches the
 // page map only, so the measured gap between Standard and the checked
 // policies reproduces the cost profile of inserting dynamic checks.
@@ -42,6 +48,9 @@
 
 namespace fob {
 
+class AccessCursor;
+class PolicyHandler;
+
 class Memory {
  public:
   struct Config {
@@ -62,10 +71,21 @@ class Memory {
 
   explicit Memory(AccessPolicy policy);
   explicit Memory(const Config& config);
+  ~Memory();
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
 
   AccessPolicy policy() const { return config_.policy; }
+
+  // What the checking code learned about one access: whether it may proceed,
+  // how the pointer relates to its intended referent, and the referent
+  // itself. Produced by CheckAccess, consumed by the PolicyHandler
+  // continuation implementations (src/runtime/handlers/).
+  struct CheckResult {
+    bool in_bounds = false;
+    PointerStatus status = PointerStatus::kWild;
+    const DataUnit* unit = nullptr;  // intended referent (may be dead)
+  };
 
   // ---- Allocation -------------------------------------------------------
 
@@ -103,8 +123,20 @@ class Memory {
 
   // ---- Checked access ----------------------------------------------------
 
+  // One n-byte access: a single budget charge and a single classification;
+  // an invalid access produces one log record covering all n bytes.
   void Read(Ptr p, void* dst, size_t n);
   void Write(Ptr p, const void* src, size_t n);
+
+  // Span access: observably identical to the ReadU8/WriteU8 loop over
+  // [p, p+n) — per-byte budget charges, per-byte error records and per-byte
+  // continuation for out-of-bounds bytes — but in-bounds runs within one
+  // data unit are executed as a single block copy with the object-table
+  // search hoisted out (the runtime analogue of the paper's compiler
+  // hoisting checks out of loops). For sequential clients that keep state
+  // across calls, construct an AccessCursor instead.
+  void ReadSpan(Ptr p, void* dst, size_t n);
+  void WriteSpan(Ptr p, const void* src, size_t n);
 
   uint8_t ReadU8(Ptr p);
   int8_t ReadI8(Ptr p) { return static_cast<int8_t>(ReadU8(p)); }
@@ -129,6 +161,11 @@ class Memory {
   // terminate it); stops at limit as a harness safety net.
   std::string ReadCString(Ptr p, size_t limit = 1 << 16);
   std::string ReadBytesAsString(Ptr p, size_t n);
+  // Span-path staging: reads n bytes with ReadSpan semantics (per-byte
+  // policy continuation, amortized checks) into a host string. The shared
+  // entry point for parsers that stage simulated buffers out (codec, mbox,
+  // http).
+  std::string ReadSpanAsString(Ptr p, size_t n);
   void WriteBytes(Ptr p, std::string_view bytes);
 
   // ---- Introspection ------------------------------------------------------
@@ -153,20 +190,15 @@ class Memory {
   static constexpr Addr kStackLow = 0x00007fffff000000ull;
 
  private:
-  struct CheckResult {
-    bool in_bounds = false;
-    PointerStatus status = PointerStatus::kWild;
-    const DataUnit* unit = nullptr;  // intended referent (may be dead)
-  };
+  friend class PolicyHandler;
+  friend class AccessCursor;
 
   void BumpAccess();
   CheckResult CheckAccess(Ptr p, size_t n) const;
   void LogError(bool is_write, Ptr p, size_t n, const CheckResult& check);
-  void WrapWrite(const DataUnit& unit, Ptr p, const uint8_t* src, size_t n);
-  void WrapRead(const DataUnit& unit, Ptr p, uint8_t* dst, size_t n);
-  void ManufactureRead(void* dst, size_t n);
 
   Config config_;
+  std::unique_ptr<PolicyHandler> handler_;
   AddressSpace space_;
   ObjectTable table_;
   std::unique_ptr<Heap> heap_;

@@ -36,14 +36,19 @@ void AddressSpace::Unmap(Addr base, size_t size) {
   for (Addr page = first;; page += kPageSize) {
     // Only unmap pages fully inside the range.
     if (page >= base && page + kPageSize <= base + size) {
+      // Drop the TLB entry with the page it points into: a later Map of the
+      // same page allocates fresh storage, and serving reads or writes
+      // through the stale cached pointer would touch freed memory.
+      if (page == cached_page_) {
+        cached_page_ = ~static_cast<Addr>(0);
+        cached_data_ = nullptr;
+      }
       pages_.erase(page);
     }
     if (page == last) {
       break;
     }
   }
-  cached_page_ = ~static_cast<Addr>(0);
-  cached_data_ = nullptr;
 }
 
 bool AddressSpace::IsMapped(Addr addr, size_t size) const {

@@ -38,6 +38,7 @@ void ObjectTable::Retire(UnitId id) {
     return;
   }
   unit.live = false;
+  ++retire_epoch_;
   auto it = by_base_.find(unit.base);
   // Several dead units may have shared a base over time, but only one live
   // unit can; make sure we erase exactly the one being retired.

@@ -74,9 +74,16 @@ class ObjectTable {
   size_t live_count() const { return by_base_.size(); }
   size_t total_registered() const { return units_.size(); }
 
+  // Bumped every time a unit is retired. A cached resolution of a live
+  // unit's bounds (src/runtime/access_cursor.h) stays valid exactly as long
+  // as this counter does not move: units never resize or change base, ids
+  // are never reused, so only retirement can invalidate cached bounds.
+  uint64_t retire_epoch() const { return retire_epoch_; }
+
  private:
   std::vector<DataUnit> units_;     // units_[id - 1]
   std::map<Addr, UnitId> by_base_;  // live units ordered by base address
+  uint64_t retire_epoch_ = 0;
 };
 
 }  // namespace fob

@@ -122,5 +122,45 @@ TEST(AddressSpaceTest, MappedBytesAccounting) {
   EXPECT_EQ(space.mapped_bytes(), 2 * kPageSize);
 }
 
+// Regression: the 1-slot TLB must not serve accesses through a page pointer
+// that Unmap freed. Remapping the same page allocates fresh zeroed storage;
+// a stale cache entry would instead read the old (freed) data — or worse.
+TEST(AddressSpaceTest, UnmapInvalidatesTranslationCache) {
+  AddressSpace space;
+  constexpr Addr kBase = 0x100000;
+  space.Map(kBase, kPageSize);
+  uint8_t value = 0x5a;
+  ASSERT_TRUE(space.Write(kBase + 17, &value, 1));  // warms the cache
+  space.Unmap(kBase, kPageSize);
+  // The unmapped page must not be readable through the cache.
+  uint8_t out = 0;
+  EXPECT_FALSE(space.Read(kBase + 17, &out, 1));
+  EXPECT_FALSE(space.Write(kBase + 17, &value, 1));
+  // A fresh mapping of the same page is zero filled; a stale cache entry
+  // would leak the 0x5a through the old allocation.
+  space.Map(kBase, kPageSize);
+  ASSERT_TRUE(space.Read(kBase + 17, &out, 1));
+  EXPECT_EQ(out, 0);
+}
+
+// Unmapping one page must not drop translations for other pages, and an
+// unmap that only partially covers a page must leave it readable.
+TEST(AddressSpaceTest, UnmapIsPreciseAboutOtherPages) {
+  AddressSpace space;
+  constexpr Addr kBase = 0x100000;
+  space.Map(kBase, kPageSize * 2);
+  uint8_t value = 0x7f;
+  ASSERT_TRUE(space.Write(kBase + kPageSize + 5, &value, 1));  // cache page 2
+  space.Unmap(kBase, kPageSize);  // page 1 only
+  uint8_t out = 0;
+  ASSERT_TRUE(space.Read(kBase + kPageSize + 5, &out, 1));
+  EXPECT_EQ(out, 0x7f);
+  // Partial coverage: no page is fully inside [base+1, base+kPageSize), so
+  // nothing is unmapped.
+  space.Map(kBase, kPageSize);
+  space.Unmap(kBase + 1, kPageSize - 2);
+  EXPECT_TRUE(space.IsMapped(kBase, kPageSize));
+}
+
 }  // namespace
 }  // namespace fob

@@ -6,6 +6,7 @@
 #include "src/codec/base64.h"
 #include "src/codec/utf7.h"
 #include "src/codec/utf8.h"
+#include "src/runtime/memory.h"
 
 namespace fob {
 namespace {
@@ -221,6 +222,54 @@ TEST(Utf7Test, ConsecutiveWideCharsShareOneShift) {
   EXPECT_EQ(std::count(utf7->begin(), utf7->end(), '&'), 1);
   EXPECT_EQ(utf7->back(), '-');
   EXPECT_EQ(Utf7ToUtf8(*utf7), utf8);
+}
+
+// ---- checked-memory (span path) entry points ----------------------------
+
+TEST(CodecMemoryTest, Base64RoundTripsThroughCheckedMemory) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  const std::string data = "span-path base64 payload \x01\x02\xff";
+  Ptr p = memory.NewBytes(data, "b64_input");
+  std::string encoded = Base64Encode(memory, p, data.size());
+  EXPECT_EQ(encoded, Base64Encode(data));
+  Ptr q = memory.NewBytes(encoded, "b64_text");
+  auto decoded = Base64Decode(memory, q, encoded.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+  EXPECT_EQ(memory.log().total_errors(), 0u);
+}
+
+TEST(CodecMemoryTest, Utf8DecodeAllMatchesHostDecoder) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  const std::string utf8 = "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e!";
+  Ptr p = memory.NewBytes(utf8, "utf8_buf");
+  auto mem_cps = Utf8DecodeAll(memory, p, utf8.size());
+  auto host_cps = Utf8DecodeAll(utf8);
+  ASSERT_TRUE(mem_cps.has_value());
+  ASSERT_TRUE(host_cps.has_value());
+  EXPECT_EQ(*mem_cps, *host_cps);
+}
+
+TEST(CodecMemoryTest, CheckedUtf8ToUtf7MatchesReferenceAndStaysInBounds) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  const std::string utf8 = "Entw\xc3\xbcrfe & notes";
+  Ptr in = memory.NewBytes(utf8, "folder_name");
+  Ptr out = Utf8ToUtf7(memory, in, utf8.size());
+  ASSERT_FALSE(out.IsNull());
+  auto reference = Utf8ToUtf7(std::string_view(utf8));
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(memory.ReadCString(out), *reference);
+  // Unlike the Figure 1 port, the correctly sized conversion commits no
+  // memory errors.
+  EXPECT_EQ(memory.log().total_errors(), 0u);
+  memory.Free(out);
+}
+
+TEST(CodecMemoryTest, CheckedUtf8ToUtf7BailsOnInvalidInput) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  const std::string bad = "ok\xfe_then_bad";
+  Ptr in = memory.NewBytes(bad, "folder_name");
+  EXPECT_TRUE(Utf8ToUtf7(memory, in, bad.size()).IsNull());
 }
 
 }  // namespace

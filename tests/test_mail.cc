@@ -4,6 +4,7 @@
 
 #include "src/mail/mbox.h"
 #include "src/mail/message.h"
+#include "src/runtime/memory.h"
 
 namespace fob {
 namespace {
@@ -114,6 +115,31 @@ TEST(MboxTest, GarbageBeforeFirstFromIgnored) {
   std::vector<MailMessage> out = ParseMbox("junk preamble\nFrom x\nFrom: a@b\n\nbody\n");
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].From(), "a@b");
+}
+
+TEST(MboxTest, ParsesFromCheckedMemorySpool) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  std::vector<MailMessage> folder = {MailMessage::Make("a@b", "c@d", "one", "first\n"),
+                                     MailMessage::Make("e@f", "g@h", "two", "second\n")};
+  std::string spool = SerializeMbox(folder);
+  Ptr p = memory.NewBytes(spool, "spool");
+  std::vector<MailMessage> out = ParseMbox(memory, p, spool.size());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].Subject(), "one");
+  EXPECT_EQ(out[1].Subject(), "two");
+  EXPECT_EQ(memory.log().total_errors(), 0u);
+}
+
+TEST(MboxTest, SpoolOverreadContinuesUnderFailureOblivious) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  std::string spool = SerializeMbox({MailMessage::Make("a@b", "c@d", "s", "body\n")});
+  Ptr p = memory.NewBytes(spool, "spool");
+  // A size-calculation bug reads past the spool: the parse consumes
+  // manufactured bytes instead of crashing the mail server.
+  std::vector<MailMessage> out = ParseMbox(memory, p, spool.size() + 64);
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_EQ(out[0].Subject(), "s");
+  EXPECT_GT(memory.log().total_errors(), 0u);
 }
 
 }  // namespace

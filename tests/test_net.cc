@@ -8,6 +8,7 @@
 #include "src/net/http.h"
 #include "src/net/imap.h"
 #include "src/net/smtp.h"
+#include "src/runtime/memory.h"
 
 namespace fob {
 namespace {
@@ -175,6 +176,30 @@ TEST(ImapTest, AppendToFolder) {
   EXPECT_TRUE(imap.Append("Sent", MailMessage::Make("me@here", "you@there", "s", "b")));
   EXPECT_FALSE(imap.Append("Ghost", MailMessage::Make("a", "b", "c", "d")));
   EXPECT_EQ(imap.Select("Sent").message_count, 1u);
+}
+
+TEST(HttpTest, ParsesRequestFromCheckedConnectionBuffer) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  const std::string wire = "GET /index.html HTTP/1.0\r\nHost: example.org\r\n\r\n";
+  Ptr conn = memory.NewBytes(wire, "conn_buf");
+  auto request = HttpRequest::Parse(memory, conn, wire.size());
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/index.html");
+  EXPECT_EQ(request->Header("Host"), "example.org");
+  EXPECT_EQ(memory.log().total_errors(), 0u);
+}
+
+TEST(HttpTest, ConnectionBufferOverreadSurvivesUnderFailureOblivious) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  const std::string wire = "GET / HTTP/1.0\r\n\r\n";
+  Ptr conn = memory.NewBytes(wire, "conn_buf");
+  // A worker that trusts a bad Content-Length reads past the buffer; the
+  // request still parses and the server answers instead of dying.
+  auto request = HttpRequest::Parse(memory, conn, wire.size() + 32);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->path, "/");
+  EXPECT_GT(memory.log().total_errors(), 0u);
 }
 
 }  // namespace
