@@ -1,61 +1,77 @@
-// Ablation: what drives the cost of the dynamic checks (DESIGN.md §5).
+// Checked-access cost vs live-object population (google-benchmark; CI
+// records BENCH_check_cost.json in the perf trajectory).
 //
 // The Jones-Kelly checker searches the object table on every access, so the
-// checked policies' per-access cost grows with the program's live-object
-// population while the Standard (unchecked) cost does not. This bench
-// sweeps the resident heap size and reports ns/access for byte reads —
-// explaining why the interactive, allocation-heavy servers (Pine, Sendmail,
-// Mutt) see the paper's largest slowdowns while block-I/O servers (Apache,
-// MC) see almost none.
+// checked policies' per-access cost depends on the table search — now a
+// binary search over a sorted interval vector (src/softmem/object_table.cc)
+// — and grows with the program's live-object population, while the Standard
+// (unchecked) cost does not. This curve explains why the interactive,
+// allocation-heavy servers (Pine, Sendmail, Mutt) see the paper's largest
+// slowdowns while block-I/O servers (Apache, MC) see almost none; tracking
+// it per push is how table-search changes (map -> interval vector -> ...)
+// land in the measured trajectory.
+//
+// Args: {policy-checked?, live-blocks}. Output unit: ns per byte access.
 
-#include <cstdio>
+#include <benchmark/benchmark.h>
+
+#include <string>
 #include <vector>
 
 #include "src/apps/resident.h"
-#include "src/harness/stats.h"
-#include "src/harness/table.h"
 #include "src/runtime/memory.h"
 
 namespace fob {
 namespace {
 
-double NsPerAccess(AccessPolicy policy, size_t resident_blocks) {
-  Memory memory(policy);
-  std::vector<Ptr> resident = PopulateResidentHeap(memory, resident_blocks, 48, "resident");
+constexpr int kAccesses = 4096;
+
+// Shared measurement loop: hot-buffer byte reads against a resident heap of
+// state.range(0) live blocks; only the Memory's policy spec differs per
+// benchmark.
+void RunByteReads(benchmark::State& state, Memory& memory, const std::string& label) {
+  size_t blocks = static_cast<size_t>(state.range(0));
+  std::vector<Ptr> resident = PopulateResidentHeap(memory, blocks, 48, "resident");
   Ptr buf = memory.Malloc(4096, "hot");
   uint64_t sink = 0;
-  constexpr int kAccesses = 4096;
-  TimingStats stats = MeasureMs(
-      [&] {
-        for (int i = 0; i < kAccesses; ++i) {
-          sink += memory.ReadU8(buf + i);
-        }
-      },
-      15);
-  if (sink == 0xdeadbeef) {
-    std::printf("impossible\n");
+  for (auto _ : state) {
+    for (int i = 0; i < kAccesses; ++i) {
+      sink += memory.ReadU8(buf + i);
+    }
   }
-  return stats.mean_ms * 1e6 / kAccesses;
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kAccesses);
+  std::string full_label = label;
+  full_label.append(", ").append(std::to_string(blocks)).append(" live");
+  state.SetLabel(full_label);
 }
 
-void Run() {
-  std::printf("Ablation: checked-access cost vs live-object population (ns per byte read)\n");
-  Table table({"Live objects", "Standard", "Failure Oblivious", "Check overhead"});
-  for (size_t blocks : {16u, 256u, 1024u, 8192u}) {
-    double standard = NsPerAccess(AccessPolicy::kStandard, blocks);
-    double oblivious = NsPerAccess(AccessPolicy::kFailureOblivious, blocks);
-    table.AddRow({std::to_string(blocks), Table::Num(standard), Table::Num(oblivious),
-                  Table::Num(oblivious / standard) + "x"});
-  }
-  std::printf("%s", table.ToString().c_str());
-  std::printf("Standard stays flat (no table search); checked cost grows with the live\n"
-              "set — the reproduction analog of CRED's splay-tree lookup per access.\n");
+void BM_CheckCostStandard(benchmark::State& state) {
+  Memory memory(AccessPolicy::kStandard);
+  RunByteReads(state, memory, PolicyName(AccessPolicy::kStandard));
 }
+
+void BM_CheckCostFailureOblivious(benchmark::State& state) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  RunByteReads(state, memory, PolicyName(AccessPolicy::kFailureOblivious));
+}
+
+// The same curve through the per-site dispatch path: a mixed spec always
+// runs the check, so this measures what context-aware per-site resolution
+// adds on top of the uniform checked cost (it should be ~nothing for
+// in-bounds traffic — sites are only resolved for invalid accesses).
+void BM_CheckCostMixedSpec(benchmark::State& state) {
+  PolicySpec spec(AccessPolicy::kFailureOblivious);
+  spec.Set(MakeSiteId("resident", "", AccessKind::kWrite), AccessPolicy::kBoundsCheck);
+  Memory memory(spec);
+  RunByteReads(state, memory, "mixed spec");
+}
+
+BENCHMARK(BM_CheckCostStandard)->Arg(16)->Arg(256)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_CheckCostFailureOblivious)->Arg(16)->Arg(256)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_CheckCostMixedSpec)->Arg(16)->Arg(256)->Arg(1024)->Arg(8192);
 
 }  // namespace
 }  // namespace fob
 
-int main() {
-  fob::Run();
-  return 0;
-}
+BENCHMARK_MAIN();

@@ -59,7 +59,7 @@ void BM_StrCpyByteLoop(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
 }
-BENCHMARK(BM_StrCpyByteLoop)->DenseRange(0, 4);
+BENCHMARK(BM_StrCpyByteLoop)->DenseRange(0, 6);
 
 void BM_StrCpySpanPath(benchmark::State& state) {
   Memory memory(PolicyArg(state));
@@ -71,7 +71,7 @@ void BM_StrCpySpanPath(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
 }
-BENCHMARK(BM_StrCpySpanPath)->DenseRange(0, 4);
+BENCHMARK(BM_StrCpySpanPath)->DenseRange(0, 6);
 
 void BM_MemCpyByteLoop(benchmark::State& state) {
   Memory memory(PolicyArg(state));
@@ -86,7 +86,7 @@ void BM_MemCpyByteLoop(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
 }
-BENCHMARK(BM_MemCpyByteLoop)->DenseRange(0, 4);
+BENCHMARK(BM_MemCpyByteLoop)->DenseRange(0, 6);
 
 void BM_MemCpySpanPath(benchmark::State& state) {
   Memory memory(PolicyArg(state));
@@ -100,7 +100,7 @@ void BM_MemCpySpanPath(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
 }
-BENCHMARK(BM_MemCpySpanPath)->DenseRange(0, 4);
+BENCHMARK(BM_MemCpySpanPath)->DenseRange(0, 6);
 
 // Per-byte UTF-8 decode, the shape of the Figure 1 loop.
 void BM_Utf8DecodeByteLoop(benchmark::State& state) {
@@ -139,7 +139,7 @@ void BM_Utf8DecodeByteLoop(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(text.size()));
 }
-BENCHMARK(BM_Utf8DecodeByteLoop)->DenseRange(0, 4);
+BENCHMARK(BM_Utf8DecodeByteLoop)->DenseRange(0, 6);
 
 void BM_Utf8DecodeSpanPath(benchmark::State& state) {
   Memory memory(PolicyArg(state));
@@ -162,7 +162,7 @@ void BM_Utf8DecodeSpanPath(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(text.size()));
 }
-BENCHMARK(BM_Utf8DecodeSpanPath)->DenseRange(0, 4);
+BENCHMARK(BM_Utf8DecodeSpanPath)->DenseRange(0, 6);
 
 }  // namespace
 }  // namespace fob

@@ -1,0 +1,62 @@
+// Search-space sweep driver: enumerates per-site policy assignments over
+// one §4 server's attack workload and prints the ranked table
+// (src/harness/sweep.h). CI runs this as the sweep smoke job and uploads
+// the table next to the BENCH_*.json perf artifacts.
+//
+//   bench_sweep [server] [max_combinations] [max_sites]
+//
+// server: pine | apache | sendmail | mc | mutt (default apache)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/harness/sweep.h"
+
+namespace fob {
+namespace {
+
+bool ParseServer(const char* name, Server* server) {
+  struct Entry {
+    const char* name;
+    Server server;
+  };
+  static constexpr Entry kEntries[] = {
+      {"pine", Server::kPine}, {"apache", Server::kApache},   {"sendmail", Server::kSendmail},
+      {"mc", Server::kMc},     {"mutt", Server::kMutt},
+  };
+  for (const Entry& entry : kEntries) {
+    if (std::strcmp(name, entry.name) == 0) {
+      *server = entry.server;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Run(int argc, char** argv) {
+  Server server = Server::kApache;
+  SweepOptions options;
+  options.max_combinations = 64;
+  if (argc > 1 && !ParseServer(argv[1], &server)) {
+    std::fprintf(stderr, "unknown server '%s' (pine|apache|sendmail|mc|mutt)\n", argv[1]);
+    return 2;
+  }
+  if (argc > 2) {
+    options.max_combinations = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  }
+  if (argc > 3) {
+    options.max_sites = static_cast<size_t>(std::strtoull(argv[3], nullptr, 10));
+  }
+  SweepResult result = RunPolicySweep(server, options);
+  std::printf("%s", result.ToTableString().c_str());
+  // Exit nonzero when no assignment achieved acceptable continuation — the
+  // smoke job's pass criterion.
+  return result.acceptable_count() > 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fob
+
+int main(int argc, char** argv) { return fob::Run(argc, argv); }

@@ -5,12 +5,14 @@
 #
 # build_dir defaults to ./build (the tier-1 configure location), out_dir to
 # the repository root. Produces:
-#   BENCH_overhead.json   — checked-access primitives, Standard vs FO,
-#                           byte loops vs cursor/span fast path
-#   BENCH_span_path.json  — strcpy/memcpy/UTF-8 decode, byte loop vs span,
-#                           under all five policies
+#   BENCH_overhead.json    — checked-access primitives, Standard vs FO,
+#                            byte loops vs cursor/span fast path
+#   BENCH_span_path.json   — strcpy/memcpy/UTF-8 decode, byte loop vs span,
+#                            under all seven policies
+#   BENCH_check_cost.json  — object-table search cost vs live-object
+#                            population (Standard vs checked vs mixed spec)
 #
-# Both files are google-benchmark JSON; compare runs with
+# All files are google-benchmark JSON; compare runs with
 # benchmark/tools/compare.py or by diffing real_time per benchmark name.
 
 set -euo pipefail
@@ -38,5 +40,6 @@ run() {
 
 run bench_overhead BENCH_overhead.json
 run bench_span_path BENCH_span_path.json
+run bench_check_cost BENCH_check_cost.json
 
-echo "done; wrote $out_dir/BENCH_overhead.json and $out_dir/BENCH_span_path.json"
+echo "done; wrote $out_dir/BENCH_overhead.json, $out_dir/BENCH_span_path.json and $out_dir/BENCH_check_cost.json"

@@ -2,10 +2,12 @@
 
 #include <sstream>
 
+#include "src/runtime/access_cursor.h"
+
 namespace fob {
 
-ApacheApp::ApacheApp(AccessPolicy policy, const Vfs* docroot, const std::string& config_text)
-    : memory_(policy), docroot_(docroot) {
+ApacheApp::ApacheApp(const PolicySpec& spec, const Vfs* docroot, const std::string& config_text)
+    : memory_(spec), docroot_(docroot) {
   // Server initialization: parse the config and compile every rewrite rule.
   // This is the work a worker restart repeats.
   std::istringstream config(config_text);
@@ -26,11 +28,14 @@ ApacheApp::ApacheApp(AccessPolicy policy, const Vfs* docroot, const std::string&
       rules_.push_back(std::move(*rule));
     }
   }
-  // Startup also allocates the request-pool arenas in program memory.
+  // Startup also allocates the request-pool arenas in program memory. The
+  // touch loop stays inside one unit, so a cursor hoists the per-touch
+  // object-table search (byte-loop-identical semantics).
   Memory::Frame frame(memory_, "server_init");
   Ptr arena = memory_.Malloc(64 << 10, "request_pool");
+  AccessCursor cursor(memory_);
   for (int i = 0; i < (64 << 10); i += 512) {
-    memory_.WriteU8(arena + i, 0);
+    cursor.WriteU8(arena + i, 0);
   }
   memory_.Free(arena);
 }

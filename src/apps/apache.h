@@ -45,7 +45,7 @@ class ApacheApp {
   // `docroot` must outlive the app (it is the parent's mmap'd content).
   // config_text holds "RewriteRule <pattern> <replacement>" lines; parsing
   // and compiling it is the startup cost a worker restart pays.
-  ApacheApp(AccessPolicy policy, const Vfs* docroot, const std::string& config_text);
+  ApacheApp(const PolicySpec& spec, const Vfs* docroot, const std::string& config_text);
 
   HttpResponse Handle(const HttpRequest& request);
 

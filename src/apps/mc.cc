@@ -9,16 +9,16 @@
 namespace fob {
 
 namespace {
-Memory::Config McConfig(AccessPolicy policy, SequenceKind sequence) {
+Memory::Config McConfig(const PolicySpec& spec, SequenceKind sequence) {
   Memory::Config config;
-  config.policy = policy;
+  config.policy = spec;
   config.sequence = sequence;
   return config;
 }
 }  // namespace
 
-McApp::McApp(AccessPolicy policy, const std::string& config_text, SequenceKind sequence)
-    : memory_(McConfig(policy, sequence)) {
+McApp::McApp(const PolicySpec& spec, const std::string& config_text, SequenceKind sequence)
+    : memory_(McConfig(spec, sequence)) {
   ParseConfigVulnerable(config_text);
 }
 

@@ -49,7 +49,7 @@ class McApp {
   // `sequence` selects the manufactured-value sequence (§3); the zeros
   // baseline hangs the symlink '/'-search on attack archives, which is the
   // ablation bench_manufacture runs.
-  McApp(AccessPolicy policy, const std::string& config_text,
+  McApp(const PolicySpec& spec, const std::string& config_text,
         SequenceKind sequence = SequenceKind::kPaper);
 
   struct ArchiveListing {

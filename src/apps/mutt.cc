@@ -2,11 +2,12 @@
 
 #include "src/apps/resident.h"
 #include "src/codec/base64.h"
+#include "src/runtime/access_cursor.h"
 
 namespace fob {
 
-MuttApp::MuttApp(AccessPolicy policy, ImapServer* imap)
-    : memory_(policy), imap_(imap) {
+MuttApp::MuttApp(const PolicySpec& spec, ImapServer* imap)
+    : memory_(spec), imap_(imap) {
   // Figure 1 indexes a global B64Chars table; load it into the simulated
   // image like the compiler would.
   b64chars_ = memory_.AllocGlobal(64, "B64Chars");
@@ -141,20 +142,26 @@ std::string MuttApp::QuoteConvertedName(Ptr name) {
   Memory::Frame frame(memory_, "imap_quote_string");
   std::string raw = memory_.ReadCString(name, 4096);
   Ptr quoted = memory_.Malloc(raw.size() * 2 + 3, "quoted_name");
+  // The quoting loop always fits its (worst-case sized) buffer, so the
+  // sequential stores go through a cursor: same per-byte semantics, one
+  // bounds resolution instead of one table search per store. The vulnerable
+  // conversion loop above (Utf8ToUtf7Port) deliberately keeps per-access
+  // stores — hoisting there would change the reproduced bug's pattern.
+  AccessCursor cursor(memory_);
   Ptr q = quoted;
-  memory_.WriteU8(q, '"');
+  cursor.WriteU8(q, '"');
   ++q;
   for (char c : raw) {
     if (c == '"' || c == '\\') {
-      memory_.WriteU8(q, '\\');
+      cursor.WriteU8(q, '\\');
       ++q;
     }
-    memory_.WriteU8(q, static_cast<uint8_t>(c));
+    cursor.WriteU8(q, static_cast<uint8_t>(c));
     ++q;
   }
-  memory_.WriteU8(q, '"');
+  cursor.WriteU8(q, '"');
   ++q;
-  memory_.WriteU8(q, '\0');
+  cursor.WriteU8(q, '\0');
   std::string result = memory_.ReadCString(quoted, 8192);
   memory_.Free(quoted);
   // Strip the wire quotes for the in-memory IMAP call.

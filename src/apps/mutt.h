@@ -43,7 +43,7 @@ class MuttApp {
   };
 
   // `imap` must outlive the app.
-  MuttApp(AccessPolicy policy, ImapServer* imap);
+  MuttApp(const PolicySpec& spec, ImapServer* imap);
 
   // Opens a mailbox by its configured UTF-8 name: converts the name with
   // the vulnerable Figure 1 procedure and SELECTs it on the IMAP server.

@@ -5,7 +5,7 @@
 
 namespace fob {
 
-PineApp::PineApp(AccessPolicy policy, const std::string& mbox_text) : memory_(policy) {
+PineApp::PineApp(const PolicySpec& spec, const std::string& mbox_text) : memory_(spec) {
   inbox_ = ParseMbox(mbox_text);
   folders_["sent"] = {};
   folders_["saved"] = {};

@@ -47,7 +47,7 @@ class PineApp {
 
   // Startup: parses the mbox and builds the index — the vulnerable path.
   // Under Standard/BoundsCheck an attack mailbox faults out of here.
-  PineApp(AccessPolicy policy, const std::string& mbox_text);
+  PineApp(const PolicySpec& spec, const std::string& mbox_text);
 
   // The index screen: one line per message.
   const std::vector<std::string>& IndexLines() const { return index_lines_; }

@@ -5,7 +5,7 @@
 
 namespace fob {
 
-SendmailApp::SendmailApp(AccessPolicy policy) : memory_(policy) {
+SendmailApp::SendmailApp(const PolicySpec& spec) : memory_(spec) {
   work_queue_ = memory_.Malloc(static_cast<size_t>(kQueueSlots) * 4, "work_queue");
   for (int i = 0; i < kQueueSlots; ++i) {
     memory_.WriteI32(work_queue_ + static_cast<int64_t>(i) * 4, 0);

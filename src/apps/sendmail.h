@@ -47,7 +47,7 @@ class SendmailApp {
 
   // Daemon initialization runs the first queue wakeup — the path with the
   // everyday memory error that disables the Bounds Check version outright.
-  explicit SendmailApp(AccessPolicy policy);
+  explicit SendmailApp(const PolicySpec& spec);
 
   // Feeds a full SMTP session (client lines, CRLF stripped) and returns the
   // server's responses, one per processed line (plus the greeting first).

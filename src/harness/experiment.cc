@@ -1,5 +1,7 @@
 #include "src/harness/experiment.h"
 
+#include <algorithm>
+#include <tuple>
 #include <memory>
 
 #include "src/apps/apache.h"
@@ -66,23 +68,36 @@ namespace {
 constexpr uint64_t kHangBudget = 5'000'000;
 
 AttackReport ReportFrom(const RunResult& result, bool output_acceptable, bool subsequent_ok,
-                        uint64_t errors_logged) {
+                        const MemLog* log) {
   AttackReport report;
   report.outcome = ClassifyOutcome(result, output_acceptable);
   report.subsequent_requests_ok = result.ok() && subsequent_ok;
   report.possible_code_injection = result.possible_code_injection;
-  report.memory_errors_logged = errors_logged;
   report.detail = result.detail;
+  if (log != nullptr) {
+    report.memory_errors_logged = log->total_errors();
+    for (const auto& [site, stat] : log->sites()) {
+      report.error_sites.push_back(stat);
+    }
+    std::sort(report.error_sites.begin(), report.error_sites.end(),
+              [](const MemSiteStat& a, const MemSiteStat& b) {
+                if (a.count != b.count) {
+                  return a.count > b.count;
+                }
+                return std::tie(a.unit_name, a.function, a.is_write) <
+                       std::tie(b.unit_name, b.function, b.is_write);
+              });
+  }
   return report;
 }
 
-AttackReport RunPine(AccessPolicy policy) {
+AttackReport RunPine(const PolicySpec& spec) {
   std::unique_ptr<PineApp> pine;
   bool output_acceptable = false;
   bool subsequent_ok = false;
   RunResult result = RunAsProcess([&] {
     // The attack message is *in the mailbox*: startup itself is the attack.
-    pine = std::make_unique<PineApp>(policy, MakePineMbox(6, /*include_attack=*/true));
+    pine = std::make_unique<PineApp>(spec, MakePineMbox(6, /*include_attack=*/true));
     pine->memory().set_access_budget(kHangBudget);
     // Acceptability: the index came up with every message listed.
     output_acceptable = pine->IndexLines().size() == 7;
@@ -92,17 +107,17 @@ AttackReport RunPine(AccessPolicy policy) {
     auto move = pine->MoveMessage(0, "saved");
     subsequent_ok = read.ok && compose.ok && move.ok && pine->FolderSize("saved") == 1;
   });
-  uint64_t errors = pine != nullptr ? pine->memory().log().total_errors() : 0;
-  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+  const MemLog* log = pine != nullptr ? &pine->memory().log() : nullptr;
+  return ReportFrom(result, output_acceptable, subsequent_ok, log);
 }
 
-AttackReport RunApache(AccessPolicy policy) {
+AttackReport RunApache(const PolicySpec& spec) {
   Vfs docroot = MakeApacheDocroot();
   std::unique_ptr<ApacheApp> apache;
   bool output_acceptable = false;
   bool subsequent_ok = false;
   RunResult result = RunAsProcess([&] {
-    apache = std::make_unique<ApacheApp>(policy, &docroot, ApacheApp::DefaultConfigText());
+    apache = std::make_unique<ApacheApp>(spec, &docroot, ApacheApp::DefaultConfigText());
     apache->memory().set_access_budget(kHangBudget);
     HttpResponse attack = apache->Handle(MakeHttpGet(MakeApacheAttackUrl()));
     // Acceptable: the attack request got a well-formed HTTP response (under
@@ -114,17 +129,17 @@ AttackReport RunApache(AccessPolicy policy) {
     HttpResponse legit = apache->Handle(MakeHttpGet("/index.html"));
     subsequent_ok = legit.status == 200 && legit.body.size() > 4000;
   });
-  uint64_t errors = apache != nullptr ? apache->memory().log().total_errors() : 0;
-  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+  const MemLog* log = apache != nullptr ? &apache->memory().log() : nullptr;
+  return ReportFrom(result, output_acceptable, subsequent_ok, log);
 }
 
-AttackReport RunSendmail(AccessPolicy policy) {
+AttackReport RunSendmail(const PolicySpec& spec) {
   std::unique_ptr<SendmailApp> sendmail;
   bool output_acceptable = false;
   bool subsequent_ok = false;
   RunResult result = RunAsProcess([&] {
     // Daemon init runs the first wakeup — already fatal for Bounds Check.
-    sendmail = std::make_unique<SendmailApp>(policy);
+    sendmail = std::make_unique<SendmailApp>(spec);
     sendmail->memory().set_access_budget(kHangBudget);
     auto attack_responses = sendmail->HandleSession(MakeSendmailAttackSession());
     // Acceptable: the attack MAIL command was *rejected* (553), session
@@ -142,18 +157,18 @@ AttackReport RunSendmail(AccessPolicy policy) {
                     legit.back().substr(0, 3) == "221";
     sendmail->DaemonWakeup();  // the everyday error keeps happening
   });
-  uint64_t errors = sendmail != nullptr ? sendmail->memory().log().total_errors() : 0;
-  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+  const MemLog* log = sendmail != nullptr ? &sendmail->memory().log() : nullptr;
+  return ReportFrom(result, output_acceptable, subsequent_ok, log);
 }
 
-AttackReport RunMc(AccessPolicy policy) {
+AttackReport RunMc(const PolicySpec& spec) {
   std::unique_ptr<McApp> mc;
   bool output_acceptable = false;
   bool subsequent_ok = false;
   RunResult result = RunAsProcess([&] {
     // Config has the blank line (the everyday error): fatal for BoundsCheck
     // at startup, like the paper found.
-    mc = std::make_unique<McApp>(policy, McApp::DefaultConfigText(/*with_blank_lines=*/true));
+    mc = std::make_unique<McApp>(spec, McApp::DefaultConfigText(/*with_blank_lines=*/true));
     mc->memory().set_access_budget(kHangBudget);
     auto listing = mc->BrowseTgz(MakeMcAttackTgz());
     // Acceptable: the browse returned a listing (symlinks shown dangling is
@@ -167,11 +182,11 @@ AttackReport RunMc(AccessPolicy policy) {
     bool deleted = mc->Delete("/home/user/tree3");
     subsequent_ok = copied && made && moved && deleted;
   });
-  uint64_t errors = mc != nullptr ? mc->memory().log().total_errors() : 0;
-  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+  const MemLog* log = mc != nullptr ? &mc->memory().log() : nullptr;
+  return ReportFrom(result, output_acceptable, subsequent_ok, log);
 }
 
-AttackReport RunMutt(AccessPolicy policy) {
+AttackReport RunMutt(const PolicySpec& spec) {
   ImapServer imap;
   imap.AddFolderUtf8("INBOX", {MailMessage::Make("a@b", "me@here", "hello", "body\n"),
                                MailMessage::Make("c@d", "me@here", "again", "more\n")});
@@ -180,7 +195,7 @@ AttackReport RunMutt(AccessPolicy policy) {
   bool output_acceptable = false;
   bool subsequent_ok = false;
   RunResult result = RunAsProcess([&] {
-    mutt = std::make_unique<MuttApp>(policy, &imap);
+    mutt = std::make_unique<MuttApp>(spec, &imap);
     mutt->memory().set_access_budget(kHangBudget);
     // Mutt is configured to open the attack folder at startup (§4.6.4).
     auto open = mutt->OpenFolder(MakeMuttAttackFolderName());
@@ -193,24 +208,24 @@ AttackReport RunMutt(AccessPolicy policy) {
     auto move = mutt->MoveMessage("INBOX", 1, "archive");
     subsequent_ok = inbox.ok && read.ok && move.ok;
   });
-  uint64_t errors = mutt != nullptr ? mutt->memory().log().total_errors() : 0;
-  return ReportFrom(result, output_acceptable, subsequent_ok, errors);
+  const MemLog* log = mutt != nullptr ? &mutt->memory().log() : nullptr;
+  return ReportFrom(result, output_acceptable, subsequent_ok, log);
 }
 
 }  // namespace
 
-AttackReport RunAttackExperiment(Server server, AccessPolicy policy) {
+AttackReport RunAttackExperiment(Server server, const PolicySpec& spec) {
   switch (server) {
     case Server::kPine:
-      return RunPine(policy);
+      return RunPine(spec);
     case Server::kApache:
-      return RunApache(policy);
+      return RunApache(spec);
     case Server::kSendmail:
-      return RunSendmail(policy);
+      return RunSendmail(spec);
     case Server::kMc:
-      return RunMc(policy);
+      return RunMc(spec);
     case Server::kMutt:
-      return RunMutt(policy);
+      return RunMutt(spec);
   }
   return AttackReport{};
 }

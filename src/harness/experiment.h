@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/memlog.h"
 #include "src/runtime/policy.h"
+#include "src/runtime/policy_spec.h"
 #include "src/runtime/process.h"
 
 namespace fob {
@@ -41,11 +43,18 @@ struct AttackReport {
   bool possible_code_injection = false;
   uint64_t memory_errors_logged = 0;
   std::string detail;
+  // Distinct error sites observed during the run, most errors first (ties
+  // broken by site label for determinism). A baseline run's sites are the
+  // axes the search-space sweep (src/harness/sweep.h) enumerates over.
+  std::vector<MemSiteStat> error_sites;
 };
 
-// Runs server × policy on its §4 attack workload followed by legitimate
-// requests, with an access budget so nontermination classifies as kHang.
-AttackReport RunAttackExperiment(Server server, AccessPolicy policy);
+// Runs server × policy spec on its §4 attack workload followed by
+// legitimate requests, with an access budget so nontermination classifies
+// as kHang. A bare AccessPolicy converts to the uniform spec, reproducing
+// the paper's whole-program configurations; a spec with per-site overrides
+// runs one point of the search space.
+AttackReport RunAttackExperiment(Server server, const PolicySpec& spec);
 
 }  // namespace fob
 

@@ -1,0 +1,181 @@
+#include "src/harness/sweep.h"
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <sstream>
+
+#include "src/harness/table.h"
+
+namespace fob {
+
+bool SweepEntry::mixed() const {
+  for (size_t i = 1; i < assignment.size(); ++i) {
+    if (assignment[i] != assignment[0]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t SweepResult::acceptable_count() const {
+  size_t count = 0;
+  for (const SweepEntry& entry : entries) {
+    if (entry.acceptable()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+// candidates^sites, saturating at SIZE_MAX so huge spaces never overflow.
+size_t SaturatingSpaceSize(size_t site_count, size_t candidate_count) {
+  if (candidate_count == 0 || site_count == 0) {
+    return 0;
+  }
+  size_t space = 1;
+  for (size_t i = 0; i < site_count; ++i) {
+    if (space > SIZE_MAX / candidate_count) {
+      return SIZE_MAX;
+    }
+    space *= candidate_count;
+  }
+  return space;
+}
+
+}  // namespace
+
+std::vector<std::vector<AccessPolicy>> EnumerateAssignments(
+    size_t site_count, const std::vector<AccessPolicy>& candidates, size_t max_combinations) {
+  std::vector<std::vector<AccessPolicy>> assignments;
+  if (candidates.empty() || site_count == 0) {
+    return assignments;
+  }
+  size_t count = std::min(SaturatingSpaceSize(site_count, candidates.size()), max_combinations);
+  assignments.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    std::vector<AccessPolicy> assignment(site_count);
+    size_t digits = k;
+    for (size_t i = 0; i < site_count; ++i) {
+      assignment[i] = candidates[digits % candidates.size()];
+      digits /= candidates.size();
+    }
+    assignments.push_back(std::move(assignment));
+  }
+  return assignments;
+}
+
+namespace {
+
+// Rank for sorting: acceptable first, then by outcome quality, then fewer
+// errors, then the enumeration order (stable sort keeps it deterministic).
+int OutcomeRank(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kContinued:
+      return 0;
+    case Outcome::kWrongOutput:
+      return 1;
+    case Outcome::kTerminated:
+      return 2;
+    case Outcome::kHang:
+      return 3;
+    case Outcome::kCrashed:
+      return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+SweepResult RunPolicySweep(Server server, const SweepOptions& options) {
+  SweepResult result;
+  result.server = server;
+  result.options = options;
+
+  // 1. Baseline run discovers the error sites.
+  result.baseline_report = RunAttackExperiment(server, options.baseline);
+  result.sites = result.baseline_report.error_sites;
+  if (result.sites.size() > options.max_sites) {
+    result.sites.resize(options.max_sites);
+  }
+
+  // 2-3. Enumerate and classify.
+  size_t space = SaturatingSpaceSize(result.sites.size(), options.candidates.size());
+  std::vector<std::vector<AccessPolicy>> assignments =
+      EnumerateAssignments(result.sites.size(), options.candidates, options.max_combinations);
+  result.combinations_skipped = space > assignments.size() ? space - assignments.size() : 0;
+
+  for (std::vector<AccessPolicy>& assignment : assignments) {
+    PolicySpec spec(options.fallback);
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      spec.Set(result.sites[i].site, assignment[i]);
+    }
+    SweepEntry entry;
+    entry.assignment = std::move(assignment);
+    entry.report = RunAttackExperiment(server, spec);
+    result.entries.push_back(std::move(entry));
+  }
+
+  // 4. Rank.
+  std::stable_sort(result.entries.begin(), result.entries.end(),
+                   [](const SweepEntry& a, const SweepEntry& b) {
+                     if (a.acceptable() != b.acceptable()) {
+                       return a.acceptable();
+                     }
+                     int ra = OutcomeRank(a.report.outcome);
+                     int rb = OutcomeRank(b.report.outcome);
+                     if (ra != rb) {
+                       return ra < rb;
+                     }
+                     return a.report.memory_errors_logged < b.report.memory_errors_logged;
+                   });
+  return result;
+}
+
+std::string SweepResult::ToTableString() const {
+  std::ostringstream os;
+  os << "Search-space sweep: " << ServerName(server) << " (§4 attack workload)\n";
+  os << "baseline " << PolicyName(options.baseline) << ": "
+     << OutcomeName(baseline_report.outcome) << ", "
+     << baseline_report.memory_errors_logged << " memory errors, "
+     << baseline_report.error_sites.size() << " distinct error sites\n";
+  for (size_t i = 0; i < sites.size(); ++i) {
+    os << "  site " << i << ": " << sites[i].Label() << " (" << sites[i].count
+       << " baseline errors)\n";
+  }
+  if (sites.empty()) {
+    os << "  (no error sites observed; nothing to sweep)\n";
+    return os.str();
+  }
+
+  std::vector<std::string> headers = {"#"};
+  for (size_t i = 0; i < sites.size(); ++i) {
+    headers.push_back("site " + std::to_string(i));
+  }
+  headers.insert(headers.end(), {"outcome", "subsequent ok", "errors", "acceptable"});
+  Table table(std::move(headers));
+  size_t rank = 1;
+  for (const SweepEntry& entry : entries) {
+    std::vector<std::string> row = {std::to_string(rank++)};
+    for (AccessPolicy policy : entry.assignment) {
+      row.push_back(PolicyName(policy));
+    }
+    row.push_back(OutcomeName(entry.report.outcome));
+    row.push_back(entry.report.subsequent_requests_ok ? "yes" : "no");
+    row.push_back(std::to_string(entry.report.memory_errors_logged));
+    row.push_back(entry.acceptable() ? "ACCEPTABLE" : "-");
+    table.AddRow(std::move(row));
+  }
+  os << table.ToString();
+  os << acceptable_count() << "/" << entries.size()
+     << " assignments acceptable (continued + subsequent requests OK)";
+  if (combinations_skipped > 0) {
+    os << "; " << combinations_skipped << " combinations beyond the bound not run";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace fob

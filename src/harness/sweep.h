@@ -1,0 +1,91 @@
+// Search-space sweep over per-site continuation policies.
+//
+// Durieux et al. ("Exhaustive Exploration of the Failure-oblivious Computing
+// Search Space") showed that the interesting object is not one policy but
+// the space of per-error-site policy assignments: for a given workload, some
+// assignments yield correct continuation and some do not, and enumerating
+// them is cheap because real workloads exhibit few distinct error sites.
+//
+// RunPolicySweep drives that exploration over one §4 server attack
+// workload:
+//
+//   1. Baseline: run the attack under a uniform baseline policy and harvest
+//      the distinct error sites from the memory-error log (MemLog::sites()).
+//   2. Enumerate: walk every assignment of candidate policies to the top
+//      sites (mixed-radix order, site 0 as the least-significant digit —
+//      deterministic and resumable), bounded by max_combinations.
+//   3. Classify: run each assignment as a PolicySpec through
+//      RunAttackExperiment and classify with the existing Outcome machinery.
+//   4. Rank: acceptable continuations (kContinued + subsequent requests OK)
+//      first; render the ranked table via harness/table.
+
+#ifndef SRC_HARNESS_SWEEP_H_
+#define SRC_HARNESS_SWEEP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/policy_spec.h"
+
+namespace fob {
+
+struct SweepOptions {
+  // Uniform policy for the site-discovery run. Must be a continuing policy,
+  // or the run stops at the first error site and observes nothing else.
+  AccessPolicy baseline = AccessPolicy::kFailureOblivious;
+  // Policy for error sites outside the enumerated set (and for sites the
+  // attack reaches that the baseline did not).
+  AccessPolicy fallback = AccessPolicy::kFailureOblivious;
+  // Per-site alternatives; the search space is candidates^sites.
+  std::vector<AccessPolicy> candidates{kSweepCandidates.begin(), kSweepCandidates.end()};
+  // Sites are capped (most baseline errors first) before enumeration.
+  size_t max_sites = 3;
+  // Hard bound on experiment runs; assignments beyond it are counted as
+  // skipped, never silently dropped.
+  size_t max_combinations = 256;
+};
+
+struct SweepEntry {
+  // Policy per observed site, parallel to SweepResult::sites.
+  std::vector<AccessPolicy> assignment;
+  AttackReport report;
+
+  // Durieux's acceptance criterion: the attack request was survived with
+  // acceptable output AND subsequent legitimate requests still succeed.
+  bool acceptable() const {
+    return report.outcome == Outcome::kContinued && report.subsequent_requests_ok;
+  }
+  bool mixed() const;  // at least two distinct policies among the sites
+};
+
+struct SweepResult {
+  Server server = Server::kApache;
+  SweepOptions options;
+  AttackReport baseline_report;
+  // The enumerated axes: distinct baseline error sites, most errors first.
+  std::vector<MemSiteStat> sites;
+  // Ranked: acceptable assignments first, then by outcome, then by fewer
+  // logged errors.
+  std::vector<SweepEntry> entries;
+  size_t combinations_skipped = 0;
+
+  size_t acceptable_count() const;
+  // The paper-style ranked ASCII table (harness/table).
+  std::string ToTableString() const;
+};
+
+// The deterministic enumeration order used by RunPolicySweep, exposed for
+// tests and for resuming a bounded sweep: assignment k maps site i to
+// candidates[(k / candidates.size()^i) % candidates.size()], for k in
+// [0, min(candidates^sites, max_combinations)).
+std::vector<std::vector<AccessPolicy>> EnumerateAssignments(
+    size_t site_count, const std::vector<AccessPolicy>& candidates, size_t max_combinations);
+
+SweepResult RunPolicySweep(Server server, const SweepOptions& options = {});
+
+}  // namespace fob
+
+#endif  // SRC_HARNESS_SWEEP_H_

@@ -7,7 +7,11 @@
 namespace fob {
 
 AccessCursor::AccessCursor(Memory& memory)
-    : memory_(memory), checked_(memory.handler_->checked()) {}
+    // Mixed policy specs always run the checking code — only the
+    // continuation is per-site — so the cursor may cache unit bounds exactly
+    // as it does for any uniform checked policy.
+    : memory_(memory),
+      checked_(memory.uniform_ ? memory.handler_->checked() : true) {}
 
 void AccessCursor::Invalidate() {
   valid_ = false;

@@ -8,7 +8,9 @@
 #include "src/runtime/handlers/bounds_check.h"
 #include "src/runtime/handlers/failure_oblivious.h"
 #include "src/runtime/handlers/standard.h"
+#include "src/runtime/handlers/threshold.h"
 #include "src/runtime/handlers/wrap.h"
+#include "src/runtime/handlers/zero_manufacture.h"
 
 namespace fob {
 
@@ -70,6 +72,10 @@ std::unique_ptr<PolicyHandler> MakePolicyHandler(AccessPolicy policy, Memory& me
       return std::make_unique<BoundlessHandler>(memory);
     case AccessPolicy::kWrap:
       return std::make_unique<WrapHandler>(memory);
+    case AccessPolicy::kZeroManufacture:
+      return std::make_unique<ZeroManufactureHandler>(memory);
+    case AccessPolicy::kThreshold:
+      return std::make_unique<ThresholdHandler>(memory);
   }
   // A policy with no registered handler is a substrate bug (a new enum value
   // whose factory case was forgotten); failing loudly beats silently running

@@ -2,12 +2,15 @@
 //
 // Each AccessPolicy's behaviour — both how an access is checked and what
 // happens when the check fails — is one PolicyHandler implementation,
-// constructed once per Memory. Memory::Read/Write charge the access budget
-// and delegate the whole access to the handler, so the hot path pays one
-// virtual dispatch instead of a per-access switch over the configuration,
-// and a new failure-oblivious variant (the search-space sweeps of Durieux et
-// al. and the context-aware policies of Rigger et al. motivate many) is a
-// new subclass plus a factory case, with no change to the runtime core.
+// constructed per Memory (via its PolicyTable handler bank). Under a uniform
+// PolicySpec, Memory::Read/Write charge the access budget and delegate the
+// whole access to the fallback handler, so the hot path pays one virtual
+// dispatch instead of a per-access switch over the configuration. Under a
+// mixed spec, the runtime core performs the classification itself and calls
+// ContinueInvalidRead/Write on the handler the access's SiteId resolves to —
+// the context-aware dispatch of Rigger et al. and the per-site assignments
+// of Durieux et al.'s search-space sweep. A new failure-oblivious variant is
+// a new subclass plus a factory case, with no change to the runtime core.
 //
 // See README.md in this directory for how to add a policy.
 
@@ -29,9 +32,18 @@ class PolicyHandler {
   virtual AccessPolicy policy() const = 0;
 
   // One whole n-byte access: classification plus continuation. Called from
-  // Memory::Read/Write after the access budget has been charged.
+  // Memory::Read/Write (uniform specs) after the access budget has been
+  // charged.
   virtual void Read(Ptr p, void* dst, size_t n) = 0;
   virtual void Write(Ptr p, const void* src, size_t n) = 0;
+
+  // Continuation-only entry points for the per-site dispatch path: the
+  // runtime core has already classified the access as invalid and written
+  // the error-log record; the handler only decides how execution continues.
+  virtual void ContinueInvalidRead(Ptr p, void* dst, size_t n,
+                                   const Memory::CheckResult& check) = 0;
+  virtual void ContinueInvalidWrite(Ptr p, const void* src, size_t n,
+                                    const Memory::CheckResult& check) = 0;
 
   // True when this policy runs the Jones-Kelly check on every access
   // (everything but Standard). The span fast path only caches unit bounds
@@ -39,7 +51,8 @@ class PolicyHandler {
   virtual bool checked() const { return true; }
 
   // True when an invalid free/realloc is a logged no-op rather than fatal
-  // (the continuing policies: failure-oblivious, boundless, wrap).
+  // (the continuing policies: failure-oblivious, boundless, wrap, and the
+  // search-space variants).
   virtual bool continues_on_error() const { return true; }
 
   // Called by Memory::Realloc under a continuing policy after the block
@@ -55,6 +68,7 @@ class PolicyHandler {
   const ObjectTable& table() const { return mem_.table_; }
   BoundlessStore& boundless() { return mem_.boundless_; }
   ValueSequence& sequence() { return mem_.sequence_; }
+  const Memory::Config& config() const { return mem_.config_; }
   Memory::CheckResult Check(Ptr p, size_t n) const { return mem_.CheckAccess(p, n); }
   void LogError(bool is_write, Ptr p, size_t n, const Memory::CheckResult& check) {
     mem_.LogError(is_write, p, n, check);
@@ -75,6 +89,15 @@ class CheckedPolicyHandler : public PolicyHandler {
 
   void Read(Ptr p, void* dst, size_t n) final;
   void Write(Ptr p, const void* src, size_t n) final;
+
+  void ContinueInvalidRead(Ptr p, void* dst, size_t n,
+                           const Memory::CheckResult& check) final {
+    OnInvalidRead(p, dst, n, check);
+  }
+  void ContinueInvalidWrite(Ptr p, const void* src, size_t n,
+                            const Memory::CheckResult& check) final {
+    OnInvalidWrite(p, src, n, check);
+  }
 
  protected:
   virtual void OnInvalidRead(Ptr p, void* dst, size_t n,

@@ -16,4 +16,16 @@ void StandardHandler::Write(Ptr p, const void* src, size_t n) {
   }
 }
 
+void StandardHandler::ContinueInvalidRead(Ptr p, void* dst, size_t n,
+                                          const Memory::CheckResult& check) {
+  (void)check;
+  Read(p, dst, n);
+}
+
+void StandardHandler::ContinueInvalidWrite(Ptr p, const void* src, size_t n,
+                                           const Memory::CheckResult& check) {
+  (void)check;
+  Write(p, src, n);
+}
+
 }  // namespace fob

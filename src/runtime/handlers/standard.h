@@ -22,6 +22,14 @@ class StandardHandler : public PolicyHandler {
 
   void Read(Ptr p, void* dst, size_t n) override;
   void Write(Ptr p, const void* src, size_t n) override;
+
+  // Per-site dispatch: Standard at an error site means the raw access is
+  // performed unchecked (and unlogged) — the whole access IS the
+  // continuation.
+  void ContinueInvalidRead(Ptr p, void* dst, size_t n,
+                           const Memory::CheckResult& check) override;
+  void ContinueInvalidWrite(Ptr p, const void* src, size_t n,
+                            const Memory::CheckResult& check) override;
 };
 
 }  // namespace fob

@@ -1,0 +1,23 @@
+#include "src/runtime/handlers/zero_manufacture.h"
+
+#include <cstring>
+
+namespace fob {
+
+void ZeroManufactureHandler::OnInvalidRead(Ptr p, void* dst, size_t n,
+                                           const Memory::CheckResult& check) {
+  (void)p;
+  (void)check;
+  std::memset(dst, 0, n);
+}
+
+void ZeroManufactureHandler::OnInvalidWrite(Ptr p, const void* src, size_t n,
+                                            const Memory::CheckResult& check) {
+  // Discard.
+  (void)p;
+  (void)src;
+  (void)n;
+  (void)check;
+}
+
+}  // namespace fob

@@ -21,6 +21,15 @@ std::string MemErrorRecord::ToString() const {
   return os.str();
 }
 
+std::string MemSiteStat::Label() const {
+  std::ostringstream os;
+  os << (is_write ? "write " : "read ") << (unit_name.empty() ? "<wild>" : unit_name);
+  if (!function.empty()) {
+    os << " @ " << function;
+  }
+  return os.str();
+}
+
 void MemLog::Record(MemErrorRecord record) {
   ++total_;
   if (record.is_write) {
@@ -30,6 +39,16 @@ void MemLog::Record(MemErrorRecord record) {
   }
   if (!record.unit_name.empty()) {
     ++by_unit_[record.unit_name];
+  }
+  if (record.site != kInvalidSite) {
+    MemSiteStat& stat = sites_[record.site];
+    if (stat.count == 0) {
+      stat.site = record.site;
+      stat.unit_name = record.unit_name;
+      stat.function = record.function;
+      stat.is_write = record.is_write;
+    }
+    ++stat.count;
   }
   if (echo_ != nullptr) {
     *echo_ << record.ToString() << "\n";
@@ -58,6 +77,7 @@ void MemLog::Clear() {
   recent_.clear();
   total_ = read_errors_ = write_errors_ = 0;
   by_unit_.clear();
+  sites_.clear();
 }
 
 }  // namespace fob

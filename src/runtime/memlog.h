@@ -18,6 +18,7 @@
 #include <ostream>
 #include <string>
 
+#include "src/runtime/policy_spec.h"
 #include "src/softmem/address_space.h"
 #include "src/softmem/object_table.h"
 #include "src/softmem/oob_registry.h"
@@ -33,8 +34,25 @@ struct MemErrorRecord {
   PointerStatus status = PointerStatus::kInBounds;
   std::string function;  // innermost simulated stack frame
   uint64_t access_index = 0;
+  // Stable error-site identity: MakeSiteId(unit_name, function, kind).
+  SiteId site = kInvalidSite;
 
   std::string ToString() const;
+};
+
+// Per-site error statistics. Unlike the bounded `recent()` ring, the site
+// index is unbounded (distinct sites are few even when errors are many), so
+// a baseline run's full error-site set survives for the search-space sweep
+// to enumerate over.
+struct MemSiteStat {
+  SiteId site = kInvalidSite;
+  std::string unit_name;
+  std::string function;
+  bool is_write = false;
+  uint64_t count = 0;
+
+  // Human-readable site label, e.g. "write capture_offsets @ try_rewrite".
+  std::string Label() const;
 };
 
 class MemLog {
@@ -50,6 +68,8 @@ class MemLog {
   uint64_t write_errors() const { return write_errors_; }
   // Errors per data-unit name, e.g. "prescan::buf" -> 37.
   const std::map<std::string, uint64_t>& errors_by_unit() const { return by_unit_; }
+  // Errors per site id (unbounded; see MemSiteStat).
+  const std::map<SiteId, MemSiteStat>& sites() const { return sites_; }
   const std::deque<MemErrorRecord>& recent() const { return recent_; }
 
   // When set, every record is also printed to the stream as it happens.
@@ -70,6 +90,7 @@ class MemLog {
   uint64_t read_errors_ = 0;
   uint64_t write_errors_ = 0;
   std::map<std::string, uint64_t> by_unit_;
+  std::map<SiteId, MemSiteStat> sites_;
   std::ostream* echo_ = nullptr;
 };
 

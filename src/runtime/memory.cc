@@ -6,17 +6,30 @@
 
 #include "src/runtime/access_cursor.h"
 #include "src/runtime/handlers/policy_handler.h"
+#include "src/runtime/policy_table.h"
 
 namespace fob {
 
-Memory::Memory(AccessPolicy policy) : Memory(Config{.policy = policy}) {}
+namespace {
+Memory::Config ConfigFromSpec(const PolicySpec& spec) {
+  Memory::Config config;
+  config.policy = spec;
+  return config;
+}
+}  // namespace
+
+Memory::Memory(AccessPolicy policy) : Memory(PolicySpec(policy)) {}
+
+Memory::Memory(const PolicySpec& spec) : Memory(ConfigFromSpec(spec)) {}
 
 Memory::Memory(const Config& config)
     : config_(config),
       sequence_(config.sequence),
       log_(config.log_capacity),
       boundless_(config.boundless_capacity) {
-  handler_ = MakePolicyHandler(config_.policy, *this);
+  policy_table_ = std::make_unique<PolicyTable>(*this, config_.policy);
+  handler_ = &policy_table_->fallback_handler();
+  uniform_ = policy_table_->uniform();
   heap_ = std::make_unique<Heap>(space_, table_, kHeapBase, config_.heap_bytes);
   stack_ = std::make_unique<Stack>(space_, table_, kStackLow, config_.stack_bytes);
   space_.Map(kGlobalBase, config_.global_bytes);
@@ -36,11 +49,20 @@ Ptr Memory::Malloc(size_t size, std::string name) {
   return Ptr(payload, heap_->BlockUnit(payload));
 }
 
+PolicyHandler& Memory::ResolveAllocHandler(Ptr p, std::optional<CheckResult>& check) {
+  check = CheckAccess(p, 1);
+  // Free/realloc errors are logged as writes, so the site resolves with the
+  // write kind — one policy governs everything that mutates a block.
+  return policy_table_->ResolveSite(SiteOf(*check, AccessKind::kWrite));
+}
+
 void Memory::Free(Ptr p) {
   if (p.IsNull()) {
     return;  // free(NULL) is a no-op in every libc
   }
-  if (!handler_->continues_on_error()) {
+  std::optional<CheckResult> check;
+  PolicyHandler& handler = uniform_ ? *handler_ : ResolveAllocHandler(p, check);
+  if (!handler.continues_on_error()) {
     // Both non-continuing configurations die here: Standard with the
     // allocator's own abort, BoundsCheck with its terminate-on-error
     // behaviour.
@@ -50,8 +72,10 @@ void Memory::Free(Ptr p) {
   // Continuing policies treat an invalid free like an invalid write: log it
   // and discard the operation.
   if (heap_->BlockSize(p.addr) == 0) {
-    CheckResult check = CheckAccess(p, 1);
-    LogError(/*is_write=*/true, p, 0, check);
+    if (!check.has_value()) {
+      check = CheckAccess(p, 1);
+    }
+    LogError(/*is_write=*/true, p, 0, *check);
     return;
   }
   boundless_.DropUnit(heap_->BlockUnit(p.addr));
@@ -62,14 +86,18 @@ Ptr Memory::Realloc(Ptr p, size_t new_size) {
   if (p.IsNull()) {
     return Malloc(new_size, "realloc");
   }
-  if (!handler_->continues_on_error()) {
+  std::optional<CheckResult> check;
+  PolicyHandler& handler = uniform_ ? *handler_ : ResolveAllocHandler(p, check);
+  if (!handler.continues_on_error()) {
     Addr fresh = heap_->Realloc(p.addr, new_size);
     return fresh == 0 ? kNullPtr : Ptr(fresh, heap_->BlockUnit(fresh));
   }
   size_t old_size = heap_->BlockSize(p.addr);
   if (old_size == 0) {
-    CheckResult check = CheckAccess(p, 1);
-    LogError(/*is_write=*/true, p, 0, check);
+    if (!check.has_value()) {
+      check = CheckAccess(p, 1);
+    }
+    LogError(/*is_write=*/true, p, 0, *check);
     return p;  // leave the program with its pointer; best effort
   }
   UnitId old_unit = heap_->BlockUnit(p.addr);
@@ -78,7 +106,7 @@ Ptr Memory::Realloc(Ptr p, size_t new_size) {
     return kNullPtr;
   }
   if (new_size > old_size) {
-    handler_->OnReallocGrow(old_unit, fresh, old_size, new_size);
+    handler.OnReallocGrow(old_unit, fresh, old_size, new_size);
   }
   boundless_.DropUnit(old_unit);
   return Ptr(fresh, heap_->BlockUnit(fresh));
@@ -144,7 +172,16 @@ Memory::CheckResult Memory::CheckAccess(Ptr p, size_t n) const {
   return result;
 }
 
-void Memory::LogError(bool is_write, Ptr p, size_t n, const CheckResult& check) {
+SiteId Memory::SiteOf(const CheckResult& check, AccessKind kind) const {
+  return MakeSiteId(check.unit != nullptr ? std::string_view(check.unit->name) : std::string_view(),
+                    stack_->current_function(), kind);
+}
+
+SiteId Memory::SiteForAccess(Ptr p, AccessKind kind) const {
+  return SiteOf(CheckAccess(p, 1), kind);
+}
+
+void Memory::LogError(bool is_write, Ptr p, size_t n, const CheckResult& check, SiteId site) {
   oob_.Note(check.status);
   MemErrorRecord record;
   record.is_write = is_write;
@@ -155,17 +192,63 @@ void Memory::LogError(bool is_write, Ptr p, size_t n, const CheckResult& check) 
   record.status = check.status;
   record.function = stack_->current_function();
   record.access_index = accesses_;
+  record.site = site != kInvalidSite
+                    ? site
+                    : MakeSiteId(record.unit_name, record.function,
+                                 is_write ? AccessKind::kWrite : AccessKind::kRead);
   log_.Record(std::move(record));
+}
+
+void Memory::SiteDispatchRead(Ptr p, void* dst, size_t n) {
+  CheckResult check = CheckAccess(p, n);
+  if (check.in_bounds) {
+    bool ok = space_.Read(p.addr, dst, n);
+    assert(ok && "in-bounds unit memory must be mapped");
+    (void)ok;
+    return;
+  }
+  SiteId site = SiteOf(check, AccessKind::kRead);
+  PolicyHandler& handler = policy_table_->ResolveSite(site);
+  // Unchecked (Standard) sites get no error record — the raw access landing
+  // or segfaulting IS the continuation; see StandardHandler::Continue*.
+  if (handler.checked()) {
+    LogError(/*is_write=*/false, p, n, check, site);
+  }
+  handler.ContinueInvalidRead(p, dst, n, check);
+}
+
+void Memory::SiteDispatchWrite(Ptr p, const void* src, size_t n) {
+  CheckResult check = CheckAccess(p, n);
+  if (check.in_bounds) {
+    bool ok = space_.Write(p.addr, src, n);
+    assert(ok && "in-bounds unit memory must be mapped");
+    (void)ok;
+    return;
+  }
+  SiteId site = SiteOf(check, AccessKind::kWrite);
+  PolicyHandler& handler = policy_table_->ResolveSite(site);
+  if (handler.checked()) {
+    LogError(/*is_write=*/true, p, n, check, site);
+  }
+  handler.ContinueInvalidWrite(p, src, n, check);
 }
 
 void Memory::Write(Ptr p, const void* src, size_t n) {
   BumpAccess();
-  handler_->Write(p, src, n);
+  if (uniform_) {
+    handler_->Write(p, src, n);
+    return;
+  }
+  SiteDispatchWrite(p, src, n);
 }
 
 void Memory::Read(Ptr p, void* dst, size_t n) {
   BumpAccess();
-  handler_->Read(p, dst, n);
+  if (uniform_) {
+    handler_->Read(p, dst, n);
+    return;
+  }
+  SiteDispatchRead(p, dst, n);
 }
 
 void Memory::ReadSpan(Ptr p, void* dst, size_t n) {

@@ -3,21 +3,28 @@
 // Memory is what the code emitted by a failure-oblivious compiler would link
 // against: it owns a simulated process image (address space, heap, call
 // stack, globals, Jones-Kelly object table) and mediates every load and
-// store according to an AccessPolicy.
+// store according to a PolicySpec.
 //
 //   * checking code: classify the access against the pointer's intended
 //     referent (src/softmem/oob_registry.h);
-//   * continuation code: for invalid accesses, do what the policy says —
-//     crash (kStandard, by actually performing/faulting the raw access),
-//     terminate (kBoundsCheck), discard-writes/manufacture-reads
+//   * continuation code: for invalid accesses, do what the resolved policy
+//     says — crash (kStandard, by actually performing/faulting the raw
+//     access), terminate (kBoundsCheck), discard-writes/manufacture-reads
 //     (kFailureOblivious, §3), store-and-return out-of-bounds bytes
-//     (kBoundless, §5.1), or wrap offsets back into the unit (kWrap, §5.1).
+//     (kBoundless, §5.1), wrap offsets back into the unit (kWrap, §5.1),
+//     manufacture zeros only (kZeroManufacture), or continue until an error
+//     budget is spent (kThreshold).
 //
-// The continuation code lives outside this class: each policy is a
-// PolicyHandler strategy (src/runtime/handlers/) selected once at
-// construction, so the hot access path is one virtual dispatch instead of a
-// per-access switch over the configuration, and new continuation policies
-// can be added without touching the runtime core.
+// Policy selection is per *site* (src/runtime/policy_spec.h): the PolicySpec
+// in Config maps SiteId -> AccessPolicy with a default fallback, resolved
+// through the PolicyTable (src/runtime/policy_table.h) to PolicyHandler
+// strategies (src/runtime/handlers/). A uniform spec — the common case, and
+// what the legacy Memory(AccessPolicy) constructor builds — binds one
+// handler at construction so the hot access path stays a single virtual
+// dispatch, exactly as before per-site resolution existed. A mixed spec
+// routes only *invalid* accesses through site resolution: in-bounds accesses
+// are policy-independent, so the per-site machinery costs nothing until the
+// checking code actually fails.
 //
 // The Standard policy skips the object-table search entirely and touches the
 // page map only, so the measured gap between Standard and the checked
@@ -31,6 +38,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -38,6 +46,7 @@
 #include "src/runtime/manufactured.h"
 #include "src/runtime/memlog.h"
 #include "src/runtime/policy.h"
+#include "src/runtime/policy_spec.h"
 #include "src/runtime/ptr.h"
 #include "src/softmem/address_space.h"
 #include "src/softmem/fault.h"
@@ -50,11 +59,15 @@ namespace fob {
 
 class AccessCursor;
 class PolicyHandler;
+class PolicyTable;
 
 class Memory {
  public:
   struct Config {
-    AccessPolicy policy = AccessPolicy::kFailureOblivious;
+    // Which continuation runs where: a uniform spec (assignable from a bare
+    // AccessPolicy) reproduces the paper's whole-program policies; a spec
+    // with per-site overrides enables the Durieux-style search-space sweep.
+    PolicySpec policy = AccessPolicy::kFailureOblivious;
     SequenceKind sequence = SequenceKind::kPaper;
     size_t heap_bytes = 16 << 20;
     size_t global_bytes = 1 << 20;
@@ -67,15 +80,22 @@ class Memory {
     // unbounded); bounds attacker-driven memory growth per the ACSAC
     // variant.
     size_t boundless_capacity = 0;
+    // How many invalid accesses the Threshold policy continues through
+    // before terminating the program.
+    uint64_t error_threshold = 4096;
   };
 
+  // Thin compatibility constructor: a uniform spec over one policy.
   explicit Memory(AccessPolicy policy);
+  explicit Memory(const PolicySpec& spec);
   explicit Memory(const Config& config);
   ~Memory();
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
 
-  AccessPolicy policy() const { return config_.policy; }
+  // The fallback (whole-program) policy; per-site overrides live in spec().
+  AccessPolicy policy() const { return config_.policy.fallback(); }
+  const PolicySpec& spec() const { return config_.policy; }
 
   // What the checking code learned about one access: whether it may proceed,
   // how the pointer relates to its intended referent, and the referent
@@ -90,8 +110,8 @@ class Memory {
   // ---- Allocation -------------------------------------------------------
 
   // malloc/free/realloc over the simulated heap. Free/Realloc of a bad
-  // pointer follow the policy: Standard and BoundsCheck fault, the
-  // continuing policies log and ignore.
+  // pointer follow the policy resolved for the block's site: Standard and
+  // BoundsCheck fault, the continuing policies log and ignore.
   Ptr Malloc(size_t size, std::string name = "alloc");
   void Free(Ptr p);
   Ptr Realloc(Ptr p, size_t new_size);
@@ -184,6 +204,11 @@ class Memory {
   const OobRegistry& oob() const { return oob_; }
   const BoundlessStore& boundless() const { return boundless_; }
 
+  // The site id the *next* invalid access through p would resolve to, given
+  // the current stack frame. What the sweep and the tests use to name sites
+  // without replaying a whole workload.
+  SiteId SiteForAccess(Ptr p, AccessKind kind) const;
+
   // Region layout (fixed; tests rely on the ordering globals < heap < stack).
   static constexpr Addr kGlobalBase = 0x0000000000100000ull;
   static constexpr Addr kHeapBase = 0x0000000010000000ull;
@@ -195,10 +220,27 @@ class Memory {
 
   void BumpAccess();
   CheckResult CheckAccess(Ptr p, size_t n) const;
-  void LogError(bool is_write, Ptr p, size_t n, const CheckResult& check);
+  // Records one invalid access. `site` is the access's already-derived
+  // SiteId when the caller resolved it (the mixed-spec dispatch path, which
+  // must log exactly the site it resolved the handler for); kInvalidSite
+  // means derive it here.
+  void LogError(bool is_write, Ptr p, size_t n, const CheckResult& check,
+                SiteId site = kInvalidSite);
+  SiteId SiteOf(const CheckResult& check, AccessKind kind) const;
+
+  // The mixed-spec access path: classification in the core, continuation
+  // via the site-resolved handler.
+  void SiteDispatchRead(Ptr p, void* dst, size_t n);
+  void SiteDispatchWrite(Ptr p, const void* src, size_t n);
+  // The handler governing free/realloc of p under a mixed spec; fills
+  // `check` with the classification it resolved the site from, so error
+  // paths can log without a second table search.
+  PolicyHandler& ResolveAllocHandler(Ptr p, std::optional<CheckResult>& check);
 
   Config config_;
-  std::unique_ptr<PolicyHandler> handler_;
+  std::unique_ptr<PolicyTable> policy_table_;
+  PolicyHandler* handler_ = nullptr;  // fallback handler, owned by the table
+  bool uniform_ = true;
   AddressSpace space_;
   ObjectTable table_;
   std::unique_ptr<Heap> heap_;

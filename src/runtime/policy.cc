@@ -14,6 +14,10 @@ const char* PolicyName(AccessPolicy policy) {
       return "Boundless";
     case AccessPolicy::kWrap:
       return "Wrap";
+    case AccessPolicy::kZeroManufacture:
+      return "Zero Manufacture";
+    case AccessPolicy::kThreshold:
+      return "Threshold";
   }
   return "?";
 }

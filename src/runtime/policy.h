@@ -1,9 +1,11 @@
-// Compilation policies evaluated in the paper plus the §5.1 variants.
+// Compilation policies evaluated in the paper plus the §5.1 variants and the
+// search-space continuation policies (Durieux et al.).
 
 #ifndef SRC_RUNTIME_POLICY_H_
 #define SRC_RUNTIME_POLICY_H_
 
 #include <array>
+#include <cstddef>
 
 namespace fob {
 
@@ -24,14 +26,32 @@ enum class AccessPolicy {
   // §5.1 variant: redirect out-of-bounds accesses back into the accessed
   // data unit at the offset modulo the unit size.
   kWrap,
+  // Search-space variant: discard invalid writes, manufacture *zero* for
+  // every invalid read (no value sequence). The conservative end of the
+  // manufactured-value spectrum Durieux et al. enumerate: value-seeking
+  // loops that need a nonzero byte never get one.
+  kZeroManufacture,
+  // Search-space variant: behave failure-obliviously until
+  // Memory::Config::error_threshold invalid accesses have been continued,
+  // then terminate like Bounds Check. Bounds the damage an error-looping
+  // site can do while preserving availability for bounded error bursts.
+  kThreshold,
 };
 
 const char* PolicyName(AccessPolicy policy);
 
+// Number of AccessPolicy values; sized for dense per-policy arrays.
+inline constexpr size_t kPolicyCount = 7;
+
+inline constexpr size_t PolicyIndex(AccessPolicy policy) {
+  return static_cast<size_t>(policy);
+}
+
 // All policies, handy for parameterized tests and experiment sweeps.
-inline constexpr std::array<AccessPolicy, 5> kAllPolicies = {
-    AccessPolicy::kStandard,    AccessPolicy::kBoundsCheck, AccessPolicy::kFailureOblivious,
-    AccessPolicy::kBoundless,   AccessPolicy::kWrap,
+inline constexpr std::array<AccessPolicy, kPolicyCount> kAllPolicies = {
+    AccessPolicy::kStandard,        AccessPolicy::kBoundsCheck, AccessPolicy::kFailureOblivious,
+    AccessPolicy::kBoundless,       AccessPolicy::kWrap,        AccessPolicy::kZeroManufacture,
+    AccessPolicy::kThreshold,
 };
 
 // The three configurations the paper's tables compare.
@@ -39,6 +59,17 @@ inline constexpr std::array<AccessPolicy, 3> kPaperPolicies = {
     AccessPolicy::kStandard,
     AccessPolicy::kBoundsCheck,
     AccessPolicy::kFailureOblivious,
+};
+
+// The default per-site candidate set for the Durieux-style search-space
+// sweep (src/harness/sweep.h): every continuation strategy plus per-site
+// termination. Standard is excluded — an unchecked site cannot be combined
+// with checked sites in one address space without changing what the other
+// sites observe.
+inline constexpr std::array<AccessPolicy, 5> kSweepCandidates = {
+    AccessPolicy::kFailureOblivious, AccessPolicy::kZeroManufacture,
+    AccessPolicy::kBoundless,        AccessPolicy::kWrap,
+    AccessPolicy::kBoundsCheck,
 };
 
 }  // namespace fob

@@ -1,0 +1,39 @@
+#include "src/runtime/policy_spec.h"
+
+namespace fob {
+
+const char* AccessKindName(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+namespace {
+
+inline uint64_t Fnv1a(uint64_t hash, std::string_view bytes) {
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+SiteId MakeSiteId(std::string_view unit_name, std::string_view function, AccessKind kind) {
+  uint64_t hash = 14695981039346656037ull;
+  hash = Fnv1a(hash, unit_name);
+  hash ^= 0xff;  // separator outside both strings' alphabets
+  hash *= 1099511628211ull;
+  hash = Fnv1a(hash, function);
+  hash ^= static_cast<uint8_t>(kind) + 1;
+  hash *= 1099511628211ull;
+  // Reserve kInvalidSite for "no site".
+  return hash == kInvalidSite ? 1 : hash;
+}
+
+}  // namespace fob

@@ -37,6 +37,10 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest, ::testing::ValuesIn(kAllPolici
                                return "Boundless";
                              case AccessPolicy::kWrap:
                                return "Wrap";
+                             case AccessPolicy::kZeroManufacture:
+                               return "ZeroManufacture";
+                             case AccessPolicy::kThreshold:
+                               return "Threshold";
                            }
                            return "Unknown";
                          });

@@ -5,7 +5,12 @@
 //   Bounds Check       -> terminate (denial of service to legitimate users)
 //   Failure Oblivious  -> continue, acceptable output, subsequent requests OK
 //
-// Plus §5.1: both variants (Boundless, Wrap) also execute acceptably.
+// Plus §5.1: both variants (Boundless, Wrap) also execute acceptably. The
+// search-space policies differentiate: Threshold (budget far above the §4
+// error counts) continues everywhere, while Zero Manufacture hangs exactly
+// the one server whose continuation depends on a nonzero manufactured value
+// (Midnight Commander's '/'-seeking scan, §4.5) — the policy space is
+// genuinely non-uniform, which is what the per-site sweep exploits.
 
 #include "src/harness/experiment.h"
 
@@ -52,8 +57,20 @@ TEST_P(SecurityMatrixTest, OutcomeMatchesPaper) {
     case AccessPolicy::kFailureOblivious:
     case AccessPolicy::kBoundless:
     case AccessPolicy::kWrap:
+    case AccessPolicy::kThreshold:
       EXPECT_EQ(report.outcome, Outcome::kContinued) << report.detail;
       EXPECT_TRUE(report.subsequent_requests_ok);
+      EXPECT_GT(report.memory_errors_logged, 0u);
+      break;
+    case AccessPolicy::kZeroManufacture:
+      if (server == Server::kMc) {
+        // The tar symlink scan seeks a manufactured '/' that never arrives.
+        EXPECT_EQ(report.outcome, Outcome::kHang) << report.detail;
+        EXPECT_FALSE(report.subsequent_requests_ok);
+      } else {
+        EXPECT_EQ(report.outcome, Outcome::kContinued) << report.detail;
+        EXPECT_TRUE(report.subsequent_requests_ok);
+      }
       EXPECT_GT(report.memory_errors_logged, 0u);
       break;
   }

@@ -1,0 +1,135 @@
+// The search-space sweep harness (src/harness/sweep.h): deterministic
+// enumeration, end-to-end classification over a §4 server, and the
+// headline property — at least one per-site assignment achieves acceptable
+// continuation (kContinued + subsequent requests OK), and per-site
+// assignments genuinely differ from uniform ones.
+
+#include "src/harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fob {
+namespace {
+
+// ---- Enumeration ------------------------------------------------------------
+
+TEST(SweepEnumerationTest, MixedRadixOrderIsExactAndDeterministic) {
+  std::vector<AccessPolicy> candidates = {AccessPolicy::kFailureOblivious,
+                                          AccessPolicy::kBoundsCheck};
+  auto assignments = EnumerateAssignments(2, candidates, 100);
+  ASSERT_EQ(assignments.size(), 4u);
+  // Site 0 is the least-significant digit.
+  using P = AccessPolicy;
+  EXPECT_EQ(assignments[0], (std::vector<P>{P::kFailureOblivious, P::kFailureOblivious}));
+  EXPECT_EQ(assignments[1], (std::vector<P>{P::kBoundsCheck, P::kFailureOblivious}));
+  EXPECT_EQ(assignments[2], (std::vector<P>{P::kFailureOblivious, P::kBoundsCheck}));
+  EXPECT_EQ(assignments[3], (std::vector<P>{P::kBoundsCheck, P::kBoundsCheck}));
+  // Re-enumeration yields the identical order.
+  EXPECT_EQ(assignments, EnumerateAssignments(2, candidates, 100));
+}
+
+TEST(SweepEnumerationTest, BoundTruncatesThePrefixOfTheSameOrder) {
+  std::vector<AccessPolicy> candidates{kSweepCandidates.begin(), kSweepCandidates.end()};
+  auto full = EnumerateAssignments(3, candidates, 1000);
+  ASSERT_EQ(full.size(), 125u);
+  auto bounded = EnumerateAssignments(3, candidates, 17);
+  ASSERT_EQ(bounded.size(), 17u);
+  for (size_t i = 0; i < bounded.size(); ++i) {
+    EXPECT_EQ(bounded[i], full[i]) << "assignment " << i;
+  }
+}
+
+TEST(SweepEnumerationTest, DegenerateInputs) {
+  EXPECT_TRUE(EnumerateAssignments(0, {AccessPolicy::kWrap}, 10).empty());
+  EXPECT_TRUE(EnumerateAssignments(3, {}, 10).empty());
+}
+
+// ---- End-to-end over a §4 server --------------------------------------------
+
+TEST(SweepEndToEndTest, MuttSweepRanksAcceptableAssignmentsFirst) {
+  SweepOptions options;
+  options.candidates = {AccessPolicy::kFailureOblivious, AccessPolicy::kZeroManufacture,
+                        AccessPolicy::kBoundsCheck};
+  options.max_sites = 2;
+  options.max_combinations = 16;
+  SweepResult result = RunPolicySweep(Server::kMutt, options);
+
+  // The baseline observed the utf7_buf overflow site.
+  ASSERT_FALSE(result.sites.empty());
+  EXPECT_EQ(result.sites[0].unit_name, "utf7_buf");
+  EXPECT_TRUE(result.sites[0].is_write);
+
+  // At least one assignment achieves acceptable continuation, and the
+  // per-site kBoundsCheck assignment terminates — the policy choice at this
+  // single site decides availability.
+  ASSERT_FALSE(result.entries.empty());
+  EXPECT_GT(result.acceptable_count(), 0u);
+  bool saw_terminated = false;
+  for (const SweepEntry& entry : result.entries) {
+    if (entry.assignment[0] == AccessPolicy::kBoundsCheck) {
+      EXPECT_EQ(entry.report.outcome, Outcome::kTerminated);
+      saw_terminated = true;
+    }
+  }
+  EXPECT_TRUE(saw_terminated);
+
+  // Ranking: every acceptable entry precedes every unacceptable one.
+  bool seen_unacceptable = false;
+  for (const SweepEntry& entry : result.entries) {
+    if (!entry.acceptable()) {
+      seen_unacceptable = true;
+    } else {
+      EXPECT_FALSE(seen_unacceptable) << "acceptable entry ranked below an unacceptable one";
+    }
+  }
+
+  // The table renders with one row per enumerated assignment.
+  std::string table = result.ToTableString();
+  EXPECT_NE(table.find("utf7_buf"), std::string::npos);
+  EXPECT_NE(table.find("ACCEPTABLE"), std::string::npos);
+}
+
+TEST(SweepEndToEndTest, PineTwoSiteSweepFindsAcceptableMixedAssignment) {
+  // Pine's attack exhibits two sites (the overflow writes and the read-back
+  // of the truncated quote buffer); candidates without kBoundsCheck make
+  // every combination survivable, so genuinely *mixed* acceptable
+  // assignments must appear — the headline of the per-site API.
+  SweepOptions options;
+  options.candidates = {AccessPolicy::kFailureOblivious, AccessPolicy::kZeroManufacture};
+  options.max_sites = 2;
+  options.max_combinations = 8;
+  SweepResult result = RunPolicySweep(Server::kPine, options);
+  ASSERT_EQ(result.sites.size(), 2u);
+  ASSERT_EQ(result.entries.size(), 4u);
+  EXPECT_EQ(result.combinations_skipped, 0u);
+
+  bool mixed_acceptable = false;
+  for (const SweepEntry& entry : result.entries) {
+    if (entry.mixed() && entry.acceptable()) {
+      mixed_acceptable = true;
+    }
+  }
+  EXPECT_TRUE(mixed_acceptable)
+      << "no mixed per-site assignment achieved acceptable continuation";
+}
+
+TEST(SweepEndToEndTest, UniformAssignmentReproducesTheUniformExperiment) {
+  // The all-fallback assignment in the sweep must classify exactly like the
+  // plain uniform experiment: per-site machinery with a uniform outcome is
+  // still the paper's configuration.
+  SweepOptions options;
+  options.candidates = {AccessPolicy::kFailureOblivious};
+  options.max_sites = 1;
+  options.max_combinations = 2;
+  SweepResult result = RunPolicySweep(Server::kApache, options);
+  ASSERT_EQ(result.entries.size(), 1u);
+  AttackReport uniform = RunAttackExperiment(Server::kApache, AccessPolicy::kFailureOblivious);
+  EXPECT_EQ(result.entries[0].report.outcome, uniform.outcome);
+  EXPECT_EQ(result.entries[0].report.subsequent_requests_ok, uniform.subsequent_requests_ok);
+  EXPECT_EQ(result.entries[0].report.memory_errors_logged, uniform.memory_errors_logged);
+}
+
+}  // namespace
+}  // namespace fob
