@@ -1,30 +1,28 @@
-// §4.3.2: Apache throughput under attack.
+// §4.3.2: Apache throughput under attack, through the Frontend.
 //
 // Several attacker clients hammer the server with requests that trigger the
-// rewrite memory error while a legitimate client fetches the home page; we
-// measure the legitimate client's throughput. The paper's result: the
-// Failure Oblivious version delivers ~5.7x the Bounds Check version's
-// throughput and ~4.8x the Standard version's — the crashing versions pay a
-// full child-process restart per attack.
+// rewrite memory error while a legitimate client fetches pages; all of them
+// are multiplexed over LineChannels onto the regenerating WorkerPool by the
+// Frontend, and we measure the legitimate client's throughput. The paper's
+// result: the Failure Oblivious version delivers ~5.7x the Bounds Check
+// version's throughput and ~4.8x the Standard version's — the crashing
+// versions pay a full child-process restart per attack, and at batch sizes
+// > 1 additionally pay the re-queue of every batch the attack aborts.
 //
 // The FO advantage factor is set by the restart-cost : request-cost ratio.
-// On the paper's testbed a request took ~44 ms (network/kernel bound) and a
-// fork+exec+init restart ~7 request-times, which with a 3:1 attack:legit mix
-// yields ~5.7x. We report two regimes:
-//   calibrated — worker init trimmed until restart ~= 7 request-times,
-//                matching the paper's testbed ratio (expect ~5x);
-//   full-init  — the complete 43-rule config, where a restart costs far
-//                more than an in-memory request (the factor grows, same
-//                shape, further from the paper's constants).
+// We report two regimes:
+//   calibrated — heavyweight (830 KB) fetches, so a restart costs a few
+//                request-times, matching the paper's testbed ratio;
+//   full-init  — in-memory 5 KB fetches, where a restart costs far more
+//                than a request (the factor grows, same shape).
 
 #include <cstdio>
 #include <string>
 
-#include "src/apps/apache.h"
 #include "src/harness/stats.h"
 #include "src/harness/table.h"
 #include "src/harness/workloads.h"
-#include "src/runtime/process.h"
+#include "src/net/frontend.h"
 
 namespace fob {
 namespace {
@@ -34,53 +32,62 @@ struct ThroughputResult {
   uint64_t restarts = 0;
 };
 
-ThroughputResult MeasureThroughput(AccessPolicy policy, const Vfs& docroot,
-                                   const std::string& config, const std::string& legit_path,
+ServerRequest Get(const std::string& path, RequestTag tag) {
+  return MakeRequest(tag, "get", path);
+}
+
+ThroughputResult MeasureThroughput(AccessPolicy policy, const std::string& legit_path,
                                    double duration_ms) {
-  WorkerPool<ApacheApp> pool(4, [&] {
-    return std::make_unique<ApacheApp>(policy, &docroot, config);
-  });
-  HttpRequest attack = MakeHttpGet(MakeApacheAttackUrl());
-  HttpRequest legit = MakeHttpGet(legit_path);
+  Frontend frontend([policy] { return MakeServerApp(Server::kApache, policy); },
+                    Frontend::Options{.workers = 4, .batch = 4});
+  // Three attacker connections and one legitimate client (3:1 mix).
+  LineChannel* attackers[3] = {&frontend.Connect(1), &frontend.Connect(2),
+                               &frontend.Connect(3)};
+  LineChannel& legit = frontend.Connect(4);
+  std::string attack_line = Get(MakeApacheAttackUrl(), RequestTag::kAttack).Serialize();
+  std::string legit_line = Get(legit_path, RequestTag::kLegit).Serialize();
   uint64_t legit_ok = 0;
   Stopwatch watch;
   while (watch.ElapsedMs() < duration_ms) {
-    // The attack load: several local machines sending trigger requests
-    // (three attack requests per legitimate fetch).
-    for (int i = 0; i < 3; ++i) {
-      pool.Dispatch([&](ApacheApp& app) { app.Handle(attack); });
+    for (LineChannel* attacker : attackers) {
+      attacker->ClientSend(attack_line);
     }
-    HttpResponse response;
-    RunResult result = pool.Dispatch([&](ApacheApp& app) { response = app.Handle(legit); });
-    if (result.ok() && response.status == 200) {
-      ++legit_ok;
+    legit.ClientSend(legit_line);
+    frontend.Pump();
+    while (auto line = legit.ClientReceive()) {
+      auto response = ServerResponse::Deserialize(*line);
+      if (response && response->status == 200) {
+        ++legit_ok;
+      }
+    }
+    for (LineChannel* attacker : attackers) {
+      attacker->ClientReceiveAll();  // drain
     }
   }
   ThroughputResult result;
   result.legit_per_second = 1000.0 * static_cast<double>(legit_ok) / watch.ElapsedMs();
-  result.restarts = pool.restarts();
+  result.restarts = frontend.restarts();
   return result;
 }
 
-double MeasureRestartToRequestRatio(const Vfs& docroot, const std::string& config,
-                                    const std::string& legit_path) {
-  HttpRequest legit = MakeHttpGet(legit_path);
-  ApacheApp probe(AccessPolicy::kStandard, &docroot, config);
-  TimingStats request = MeasureMs([&] { probe.Handle(legit); }, 30);
+double MeasureRestartToRequestRatio(const std::string& legit_path) {
+  auto probe = MakeServerApp(Server::kApache, AccessPolicy::kStandard);
+  ServerRequest legit = Get(legit_path, RequestTag::kLegit);
+  TimingStats request = MeasureMs([&] { probe->Handle(legit); }, 30);
+  // A restart re-runs the factory: full config parse + regex compilation.
   TimingStats restart = MeasureMs(
-      [&] { ApacheApp worker(AccessPolicy::kStandard, &docroot, config); }, 30);
+      [&] { auto worker = MakeServerApp(Server::kApache, AccessPolicy::kStandard); }, 30);
   return request.mean_ms > 0 ? restart.mean_ms / request.mean_ms : 0;
 }
 
-void RunRegime(const char* name, const std::string& config, const Vfs& docroot,
-               const std::string& legit_path, double duration_ms) {
-  double ratio = MeasureRestartToRequestRatio(docroot, config, legit_path);
-  ThroughputResult oblivious = MeasureThroughput(AccessPolicy::kFailureOblivious, docroot,
-                                                 config, legit_path, duration_ms);
+void RunRegime(const char* name, const std::string& legit_path, double duration_ms) {
+  double ratio = MeasureRestartToRequestRatio(legit_path);
+  ThroughputResult oblivious =
+      MeasureThroughput(AccessPolicy::kFailureOblivious, legit_path, duration_ms);
   ThroughputResult bounds =
-      MeasureThroughput(AccessPolicy::kBoundsCheck, docroot, config, legit_path, duration_ms);
+      MeasureThroughput(AccessPolicy::kBoundsCheck, legit_path, duration_ms);
   ThroughputResult standard =
-      MeasureThroughput(AccessPolicy::kStandard, docroot, config, legit_path, duration_ms);
+      MeasureThroughput(AccessPolicy::kStandard, legit_path, duration_ms);
 
   std::printf("Regime: %s (restart costs %.1f request-times)\n", name, ratio);
   Table table({"Version", "Legit req/s", "Worker restarts", "FO advantage"});
@@ -97,18 +104,9 @@ void RunRegime(const char* name, const std::string& config, const Vfs& docroot,
 
 void Run() {
   std::printf("Section 4.3.2: Apache throughput under attack (legitimate requests/second)\n");
-  Vfs docroot = MakeApacheDocroot();
-  // Calibrated regime: heavyweight (830 KB) legitimate fetches, so a worker
-  // restart costs a small number of request-times — the paper's testbed
-  // regime, where requests were 44 ms of mostly network/kernel time and a
-  // fork+exec restart a handful of request-times. Expect a factor near the
-  // paper's 4.8-5.7x.
   RunRegime("restart ~ a few request-times (large fetches, the paper's regime)",
-            ApacheApp::DefaultConfigText(), docroot, "/files/big.bin", 1200);
-  // In-memory regime: microsecond page fetches make each restart cost
-  // hundreds of request-times; same shape, much larger factor.
-  RunRegime("restart >> request (in-memory 5KB fetches)", ApacheApp::DefaultConfigText(),
-            docroot, "/index.html", 600);
+            "/files/big.bin", 1200);
+  RunRegime("restart >> request (in-memory 5KB fetches)", "/index.html", 600);
   std::printf("Paper reported: FO ~= 5.7x Bounds Check, ~= 4.8x Standard\n");
   std::printf("(shape: FO >> crashing versions; factor grows with restart:request cost ratio)\n");
 }

@@ -1,0 +1,86 @@
+// Batched-Frontend serving throughput: requests/sec vs worker count x
+// batch size, per policy.
+//
+// The scale-layer counterpart of bench_apache_throughput: a 3:1
+// attack:legit Apache traffic mix from four multiplexed clients is pushed
+// through the Frontend and served by a WorkerPool in batches. Batch size
+// amortizes the per-request process-entry cost; under crashing policies it
+// also sets how much work an attack aborts (the batch remainder re-queues
+// after the restart), so the FO : crashing gap widens with batch size.
+//
+// Args: (policy index into kAllPolicies, workers, batch). run_bench.sh
+// folds the JSON output into BENCH_throughput.json and CI uploads it with
+// the other perf artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/workloads.h"
+#include "src/net/frontend.h"
+
+namespace fob {
+namespace {
+
+AccessPolicy PolicyArg(const benchmark::State& state) {
+  return kAllPolicies[static_cast<size_t>(state.range(0))];
+}
+
+// One serving round: 4 clients (3 attackers + 1 legitimate), 16 requests,
+// already serialized.
+struct Round {
+  std::vector<std::pair<uint64_t, std::string>> lines;  // client id, wire line
+  size_t requests = 0;
+};
+
+Round MakeRound() {
+  Round round;
+  ServerRequest attack = MakeRequest(RequestTag::kAttack, "get", MakeApacheAttackUrl());
+  ServerRequest legit = MakeRequest(RequestTag::kLegit, "get", "/index.html");
+  for (int rep = 0; rep < 4; ++rep) {
+    for (uint64_t attacker = 1; attacker <= 3; ++attacker) {
+      round.lines.emplace_back(attacker, attack.Serialize());
+    }
+    round.lines.emplace_back(4, legit.Serialize());
+  }
+  round.requests = round.lines.size();
+  return round;
+}
+
+void BM_FrontendThroughput(benchmark::State& state) {
+  AccessPolicy policy = PolicyArg(state);
+  state.SetLabel(std::string(PolicyName(policy)) + "/workers:" +
+                 std::to_string(state.range(1)) + "/batch:" + std::to_string(state.range(2)));
+  Frontend frontend([policy] { return MakeServerApp(Server::kApache, policy); },
+                    Frontend::Options{.workers = static_cast<size_t>(state.range(1)),
+                                      .batch = static_cast<size_t>(state.range(2))});
+  for (uint64_t client = 1; client <= 4; ++client) {
+    frontend.Connect(client);
+  }
+  Round round = MakeRound();
+  uint64_t served = 0;
+  for (auto _ : state) {
+    for (const auto& [client, line] : round.lines) {
+      frontend.Connect(client).ClientSend(line);
+    }
+    served += frontend.Pump();
+    for (uint64_t client = 1; client <= 4; ++client) {
+      frontend.Connect(client).ClientReceiveAll();  // drain responses
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(served));
+  state.counters["restarts"] =
+      benchmark::Counter(static_cast<double>(frontend.restarts()));
+}
+
+// Policies: FailureOblivious (2), BoundsCheck (1), Standard (0) — the three
+// paper configurations; workers {1,2,4} x batch {1,4,16}.
+BENCHMARK(BM_FrontendThroughput)
+    ->ArgsProduct({{2, 1, 0}, {1, 2, 4}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fob
+
+BENCHMARK_MAIN();

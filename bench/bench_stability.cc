@@ -3,28 +3,33 @@
 // into the legitimate workload.
 //
 // Scaled-down equivalents of the paper's deployments (months of mail /
-// web / file management): each server processes a long request stream with
-// every Nth request an attack, and must finish with zero crashes, zero
-// hangs, and every legitimate request served. Pine and Mutt also process a
-// large folder (the paper used one with over 100,000 messages).
+// web / file management): every server processes a long seeded
+// TrafficStream with every Nth request an attack, driven through the
+// uniform ServerApp session API — one loop for all five servers, no
+// per-server glue — and must finish with zero crashes, zero hangs, and
+// every legitimate request served.
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
-#include "src/apps/apache.h"
-#include "src/apps/mc.h"
-#include "src/apps/mutt.h"
-#include "src/apps/pine.h"
-#include "src/apps/sendmail.h"
-#include "src/harness/stats.h"
+#include "src/harness/experiment.h"
 #include "src/harness/table.h"
 #include "src/harness/workloads.h"
-#include "src/mail/mbox.h"
-#include "src/net/imap.h"
 #include "src/runtime/process.h"
 
 namespace fob {
 namespace {
+
+struct StabilityConfig {
+  Server server;
+  StreamOptions stream;
+  ServerSetup setup;
+  // Non-empty: run this stream instead of MakeTrafficStream(stream) — the
+  // hook for scaled one-off passes like Pine's large folder.
+  TrafficStream explicit_stream;
+  const char* label = nullptr;  // row label override (default: ServerName)
+};
 
 struct StabilityRow {
   std::string server;
@@ -35,135 +40,71 @@ struct StabilityRow {
   bool crashed = false;
 };
 
-StabilityRow RunPine() {
-  StabilityRow row{.server = "Pine"};
+StabilityRow RunServer(const StabilityConfig& config) {
+  StabilityRow row{.server = config.label != nullptr ? config.label
+                                                     : ServerName(config.server)};
+  TrafficStream stream = config.explicit_stream.requests.empty()
+                             ? MakeTrafficStream(config.server, config.stream)
+                             : config.explicit_stream;
+  std::unique_ptr<ServerApp> app;
   RunResult result = RunAsProcess([&] {
-    PineApp pine(AccessPolicy::kFailureOblivious, MakePineMbox(40, /*include_attack=*/true));
-    pine.memory().set_access_budget(500'000'000);
-    for (int round = 0; round < 150; ++round) {
-      ++row.legit_total;
-      bool ok = pine.ReadMessage(static_cast<size_t>(round) % 20).ok &&
-                pine.Compose("peer@example.org", "ping", "pong\n").ok;
-      row.legit_ok += ok ? 1 : 0;
+    app = MakeServerApp(config.server, AccessPolicy::kFailureOblivious, config.setup);
+    app->memory().set_access_budget(2'000'000'000ull);
+    for (const ServerRequest& request : stream.requests) {
+      ServerResponse response = app->Handle(request);
+      if (request.tag == RequestTag::kAttack) {
+        ++row.attacks;
+      } else if (request.tag == RequestTag::kLegit) {
+        ++row.legit_total;
+        row.legit_ok += response.acceptable ? 1 : 0;
+      }
     }
-    // The large-folder pass (paper: >100,000 messages; scaled to 20,000).
-    std::string large = MakePineMbox(20'000, /*include_attack=*/true);
-    PineApp big(AccessPolicy::kFailureOblivious, large);
-    ++row.legit_total;
-    row.legit_ok += big.IndexLines().size() == 20'001 ? 1 : 0;
-    row.attacks = 151;
-    row.errors_logged = pine.memory().log().total_errors() + big.memory().log().total_errors();
   });
   row.crashed = result.crashed();
-  return row;
-}
-
-StabilityRow RunApache() {
-  StabilityRow row{.server = "Apache"};
-  RunResult outer = RunAsProcess([&] {
-    Vfs docroot = MakeApacheDocroot();
-    ApacheApp apache(AccessPolicy::kFailureOblivious, &docroot,
-                     ApacheApp::DefaultConfigText());
-    apache.memory().set_access_budget(2'000'000'000ull);
-    HttpRequest attack = MakeHttpGet(MakeApacheAttackUrl());
-    for (int round = 0; round < 400; ++round) {
-      if (round % 10 == 0) {
-        ++row.attacks;
-        apache.Handle(attack);
-        continue;
-      }
-      ++row.legit_total;
-      HttpResponse response = apache.Handle(
-          MakeHttpGet(round % 3 == 0 ? "/files/big.bin" : "/index.html"));
-      row.legit_ok += response.status == 200 ? 1 : 0;
-    }
-    row.errors_logged = apache.memory().log().total_errors();
-  });
-  row.crashed = outer.crashed();
-  return row;
-}
-
-StabilityRow RunSendmail() {
-  StabilityRow row{.server = "Sendmail"};
-  RunResult outer = RunAsProcess([&] {
-    SendmailApp daemon(AccessPolicy::kFailureOblivious);
-    daemon.memory().set_access_budget(2'000'000'000ull);
-    auto legit = MakeSendmailSession("user@localhost", 512);
-    auto attack = MakeSendmailAttackSession();
-    for (int round = 0; round < 300; ++round) {
-      daemon.DaemonWakeup();  // the everyday error, every round
-      if (round % 8 == 0) {
-        ++row.attacks;
-        daemon.HandleSession(attack);
-        continue;
-      }
-      ++row.legit_total;
-      auto responses = daemon.HandleSession(legit);
-      row.legit_ok += responses.back().substr(0, 3) == "221" ? 1 : 0;
-    }
-    row.errors_logged = daemon.memory().log().total_errors();
-  });
-  row.crashed = outer.crashed();
-  return row;
-}
-
-StabilityRow RunMc() {
-  StabilityRow row{.server = "Midnight Commander"};
-  RunResult outer = RunAsProcess([&] {
-    McApp mc(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(true));
-    mc.memory().set_access_budget(2'000'000'000ull);
-    MakeMcTree(mc.fs(), "/home/files", 1 << 20);
-    std::string attack_tgz = MakeMcAttackTgz();
-    for (int round = 0; round < 120; ++round) {
-      if (round % 6 == 0) {
-        ++row.attacks;
-        mc.BrowseTgz(attack_tgz);
-        continue;
-      }
-      ++row.legit_total;
-      std::string dst = "/home/copy" + std::to_string(round);
-      bool ok = mc.Copy("/home/files", dst) && mc.Delete(dst);
-      row.legit_ok += ok ? 1 : 0;
-    }
-    row.errors_logged = mc.memory().log().total_errors();
-  });
-  row.crashed = outer.crashed();
-  return row;
-}
-
-StabilityRow RunMutt() {
-  StabilityRow row{.server = "Mutt"};
-  RunResult outer = RunAsProcess([&] {
-    ImapServer imap;
-    std::vector<MailMessage> inbox;
-    for (int i = 0; i < 200; ++i) {
-      inbox.push_back(MailMessage::Make("peer@example.org", "me@here", "m", "b\n"));
-    }
-    imap.AddFolderUtf8("INBOX", inbox);
-    imap.AddFolderUtf8("archive", {});
-    MuttApp mutt(AccessPolicy::kFailureOblivious, &imap);
-    mutt.memory().set_access_budget(2'000'000'000ull);
-    std::string attack = MakeMuttAttackFolderName();
-    for (int round = 0; round < 200; ++round) {
-      if (round % 5 == 0) {
-        ++row.attacks;
-        mutt.OpenFolder(attack);  // the configured trigger (§4.6.4)
-        continue;
-      }
-      ++row.legit_total;
-      bool ok = mutt.OpenFolder("INBOX").ok && mutt.ReadMessage("INBOX", 1).ok;
-      row.legit_ok += ok ? 1 : 0;
-    }
-    row.errors_logged = mutt.memory().log().total_errors();
-  });
-  row.crashed = outer.crashed();
+  if (app != nullptr) {
+    row.errors_logged = app->memory().log().total_errors();
+  }
   return row;
 }
 
 void Run() {
   std::printf("Stability: Failure Oblivious versions under sustained attack-laced load\n");
+  // Per-server scale knobs only — the request construction itself is the
+  // shared TrafficStream machinery. Startup configs keep the paper's
+  // everyday triggers in place (Pine's attack mail in the mailbox, MC's
+  // blank config line).
+  // The large-folder pass (paper: >100,000 messages; scaled to 20,000):
+  // startup with the attack mail in the big mailbox is itself the attack;
+  // the one legit-tagged request checks the index lists every message.
+  TrafficStream pine_large;
+  pine_large.server = Server::kPine;
+  ServerRequest big_index = MakeRequest(RequestTag::kLegit, "index");
+  big_index.expect = "20001";
+  pine_large.requests.push_back(std::move(big_index));
+
+  const StabilityConfig kConfigs[] = {
+      {Server::kPine,
+       {.requests = 300, .attack_period = 4, .seed = 11},
+       {.pine_mbox_legit = 40, .pine_mbox_attack = true},
+       {},
+       nullptr},
+      {Server::kPine,
+       {},
+       {.pine_mbox_legit = 20'000, .pine_mbox_attack = true},
+       pine_large,
+       "Pine (large folder)"},
+      {Server::kApache, {.requests = 400, .attack_period = 10, .seed = 12}, {}, {}, nullptr},
+      {Server::kSendmail, {.requests = 300, .attack_period = 8, .seed = 13}, {}, {}, nullptr},
+      {Server::kMc, {.requests = 120, .attack_period = 6, .seed = 14}, {}, {}, nullptr},
+      {Server::kMutt,
+       {.requests = 200, .attack_period = 5, .seed = 15},
+       {.mutt_inbox_messages = 200},
+       {},
+       nullptr},
+  };
   Table table({"Server", "Legit OK", "Attacks absorbed", "Errors logged", "Crash/hang"});
-  for (StabilityRow row : {RunPine(), RunApache(), RunSendmail(), RunMc(), RunMutt()}) {
+  for (const StabilityConfig& config : kConfigs) {
+    StabilityRow row = RunServer(config);
     table.AddRow({row.server,
                   std::to_string(row.legit_ok) + "/" + std::to_string(row.legit_total),
                   std::to_string(row.attacks), std::to_string(row.errors_logged),

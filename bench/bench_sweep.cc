@@ -1,11 +1,14 @@
 // Search-space sweep driver: enumerates per-site policy assignments over
-// one §4 server's attack workload and prints the ranked table
-// (src/harness/sweep.h). CI runs this as the sweep smoke job and uploads
-// the table next to the BENCH_*.json perf artifacts.
+// one §4 server's attack workload — or its multi-attack stream, where
+// assignments interact with stream composition — and prints the ranked
+// table (src/harness/sweep.h). CI runs this as the sweep smoke job and
+// uploads the tables next to the BENCH_*.json perf artifacts.
 //
-//   bench_sweep [server] [max_combinations] [max_sites]
+//   bench_sweep [server] [max_combinations] [max_sites] [single|multi]
 //
 // server: pine | apache | sendmail | mc | mutt (default apache)
+// multi sweeps over MakeMultiAttackStream(server) instead of the §4
+// single-attack stream.
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +51,14 @@ int Run(int argc, char** argv) {
   }
   if (argc > 3) {
     options.max_sites = static_cast<size_t>(std::strtoull(argv[3], nullptr, 10));
+  }
+  if (argc > 4) {
+    if (std::strcmp(argv[4], "multi") == 0) {
+      options.stream = MakeMultiAttackStream(server);
+    } else if (std::strcmp(argv[4], "single") != 0) {
+      std::fprintf(stderr, "unknown stream mode '%s' (single|multi)\n", argv[4]);
+      return 2;
+    }
   }
   SweepResult result = RunPolicySweep(server, options);
   std::printf("%s", result.ToTableString().c_str());

@@ -11,6 +11,9 @@
 #                            under all seven policies
 #   BENCH_check_cost.json  — object-table search cost vs live-object
 #                            population (Standard vs checked vs mixed spec)
+#   BENCH_throughput.json  — batched-Frontend serving throughput,
+#                            requests/sec vs worker count x batch size,
+#                            per policy (FO vs Bounds Check vs Standard)
 #
 # All files are google-benchmark JSON; compare runs with
 # benchmark/tools/compare.py or by diffing real_time per benchmark name.
@@ -41,5 +44,7 @@ run() {
 run bench_overhead BENCH_overhead.json
 run bench_span_path BENCH_span_path.json
 run bench_check_cost BENCH_check_cost.json
+run bench_frontend_throughput BENCH_throughput.json
 
-echo "done; wrote $out_dir/BENCH_overhead.json, $out_dir/BENCH_span_path.json and $out_dir/BENCH_check_cost.json"
+echo "done; wrote $out_dir/BENCH_overhead.json, $out_dir/BENCH_span_path.json," 
+echo "$out_dir/BENCH_check_cost.json and $out_dir/BENCH_throughput.json"

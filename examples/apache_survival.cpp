@@ -1,55 +1,69 @@
-// Apache under attack (Section 4.3): three compilations, one attack URL.
+// Apache under attack (Section 4.3): three compilations, one attack URL,
+// served through the multiplexed Frontend.
 //
-// Shows the worker-pool dynamics: Standard and Bounds Check children die on
-// every attack request and get re-forked (paying initialization each time);
-// the Failure Oblivious server discards the out-of-bounds offset writes and
-// serves the exact same response a correct server would.
+// Two clients — an attacker and a legitimate user — write serialized
+// ServerRequests onto their LineChannels; the Frontend batches them onto a
+// regenerating WorkerPool. Standard and Bounds Check children die on every
+// attack request and get re-forked (paying initialization each time, plus
+// the re-queue of whatever shared their batch); the Failure Oblivious
+// server discards the out-of-bounds offset writes and serves the exact
+// same response a correct server would.
 //
 // Build & run:  ./build/examples/apache_survival
 
 #include <cstdio>
 
-#include "src/apps/apache.h"
 #include "src/harness/workloads.h"
-#include "src/runtime/process.h"
+#include "src/net/frontend.h"
 
 int main() {
   using namespace fob;
 
-  Vfs docroot = MakeApacheDocroot();
-  HttpRequest attack = MakeHttpGet(MakeApacheAttackUrl());
-  HttpRequest legit = MakeHttpGet("/index.html");
-  std::printf("attack URL: %s\n", attack.path.c_str());
+  ServerRequest attack = MakeRequest(RequestTag::kAttack, "get", MakeApacheAttackUrl());
+  ServerRequest legit = MakeRequest(RequestTag::kLegit, "get", "/index.html");
+  std::printf("attack URL: %s\n", attack.target.c_str());
   std::printf("(matches a rewrite rule with 12 captures; the offsets buffer holds 10)\n\n");
 
   for (AccessPolicy policy : kPaperPolicies) {
     std::printf("=== %s ===\n", PolicyName(policy));
-    WorkerPool<ApacheApp> pool(2, [&] {
-      return std::make_unique<ApacheApp>(policy, &docroot, ApacheApp::DefaultConfigText());
-    });
-    int attack_ok = 0;
-    int legit_ok = 0;
+    Frontend frontend([policy] { return MakeServerApp(Server::kApache, policy); },
+                      Frontend::Options{.workers = 2, .batch = 2});
+    LineChannel& attacker = frontend.Connect(1);
+    LineChannel& user = frontend.Connect(2);
     for (int round = 0; round < 5; ++round) {
-      HttpResponse response;
-      RunResult a = pool.Dispatch([&](ApacheApp& app) { response = app.Handle(attack); });
-      if (a.ok()) {
+      attacker.ClientSend(attack.Serialize());
+      user.ClientSend(legit.Serialize());
+    }
+    attacker.ClientClose();
+    user.ClientClose();
+    frontend.Run();
+
+    int attack_ok = 0;
+    for (const std::string& line : attacker.ClientReceiveAll()) {
+      auto response = ServerResponse::Deserialize(line);
+      if (response && response->status == 200) {
         ++attack_ok;
-        std::printf("  attack request -> %d, body \"%s\"\n", response.status,
-                    response.body.c_str());
-      } else {
-        std::printf("  attack request -> child died (%s)%s\n", ExitStatusName(a.status),
-                    a.possible_code_injection ? " [code-injection risk]" : "");
+        std::printf("  attack request -> %d, body \"%s\"\n", response->status,
+                    response->body.c_str());
+      } else if (response) {
+        std::printf("  attack request -> child died (%s)\n", response->error.c_str());
       }
-      RunResult l = pool.Dispatch([&](ApacheApp& app) { response = app.Handle(legit); });
-      if (l.ok() && response.status == 200) {
+    }
+    int legit_ok = 0;
+    for (const std::string& line : user.ClientReceiveAll()) {
+      auto response = ServerResponse::Deserialize(line);
+      if (response && response->status == 200) {
         ++legit_ok;
       }
     }
-    std::printf("  attacks answered: %d/5, legit served: %d/5, child restarts: %llu\n\n",
-                attack_ok, legit_ok, static_cast<unsigned long long>(pool.restarts()));
+    std::printf("  attacks answered: %d/5, legit served: %d/5, child restarts: %llu, "
+                "batch remainders re-queued: %llu\n\n",
+                attack_ok, legit_ok, static_cast<unsigned long long>(frontend.restarts()),
+                static_cast<unsigned long long>(frontend.stats().requeued));
   }
   std::printf("The regenerating pool keeps the crashing versions alive, but every\n"
-              "attack costs a re-fork — the throughput experiment (bench_apache_throughput)\n"
-              "quantifies what that does under load.\n");
+              "attack costs a re-fork plus its batch's re-queue — the throughput\n"
+              "experiments (bench_apache_throughput, bench_frontend_throughput)\n"
+              "quantify what that does under load.\n");
   return 0;
 }

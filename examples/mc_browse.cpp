@@ -1,48 +1,68 @@
 // Midnight Commander's malicious archive (Section 4.5) and the
 // manufactured-value sequence (Section 3).
 //
-// Browses a crafted .tgz whose absolute symlinks overflow the link-name
-// buffer, under the three compilations — and then repeats the
-// failure-oblivious browse with a zeros-only manufactured sequence to show
-// the hang the paper's 0,1,k sequence is designed to avoid.
+// Drives the §4.5 attack stream — browse the crafted .tgz whose absolute
+// symlinks overflow the link-name buffer, then go back to file management —
+// through the uniform ServerApp session API under the three compilations,
+// and then repeats the failure-oblivious browse with a zeros-only
+// manufactured sequence to show the hang the paper's 0,1,k sequence is
+// designed to avoid.
 //
 // Build & run:  ./build/examples/mc_browse
 
 #include <cstdio>
+#include <memory>
 
-#include "src/apps/mc.h"
 #include "src/harness/workloads.h"
 #include "src/runtime/process.h"
 
 int main() {
   using namespace fob;
 
-  std::string tgz = MakeMcAttackTgz();
-  std::printf("malicious archive: %zu bytes (tar.gz, 4 absolute symlinks)\n\n", tgz.size());
+  TrafficStream stream = MakeAttackStream(Server::kMc);
+  std::printf("malicious archive: %zu bytes (tar.gz, 4 absolute symlinks)\n\n",
+              stream.requests[0].payload.size());
+
+  // The legacy demo used a clean config; keep that here so only the archive
+  // is the attack (the blank-line startup bug is §4.5.4's story).
+  ServerSetup setup;
+  setup.mc_config_blank_lines = false;
 
   for (AccessPolicy policy : kPaperPolicies) {
     std::printf("=== %s ===\n", PolicyName(policy));
-    McApp mc(policy, McApp::DefaultConfigText(/*with_blank_lines=*/false));
-    mc.memory().set_access_budget(5'000'000);
-    McApp::ArchiveListing listing;
-    RunResult result = RunAsProcess([&] { listing = mc.BrowseTgz(tgz); });
-    if (result.crashed()) {
-      std::printf("  mc died opening the archive: %s\n\n", ExitStatusName(result.status));
-      continue;
+    std::unique_ptr<ServerApp> mc = MakeServerApp(Server::kMc, policy, setup);
+    mc->memory().set_access_budget(5'000'000);
+    bool died = false;
+    for (const ServerRequest& request : stream.requests) {
+      ServerResponse response;
+      RunResult result = RunAsProcess([&] { response = mc->Handle(request); });
+      if (result.crashed()) {
+        std::printf("  mc died on %s %s: %s\n\n", RequestTagName(request.tag),
+                    request.op.c_str(), ExitStatusName(result.status));
+        died = true;
+        break;
+      }
+      if (request.op == "browse") {
+        for (const std::string& row : response.lines) {
+          std::printf("  %s\n", row.c_str());
+        }
+      } else if (request.tag == RequestTag::kLegit) {
+        std::printf("  back to work: %s %s -> %s\n", request.op.c_str(),
+                    request.target.c_str(), response.ok ? "done" : "FAILED");
+      }
     }
-    for (const std::string& row : listing.rows) {
-      std::printf("  %s\n", row.c_str());
+    if (!died) {
+      std::printf("\n");
     }
-    MakeMcTree(mc.fs(), "/home/me/project", 64 << 10);
-    bool ok = mc.Copy("/home/me/project", "/home/me/backup");
-    std::printf("  back to work: copy project -> backup: %s\n\n", ok ? "done" : "FAILED");
   }
 
   std::printf("=== Failure Oblivious, zeros-only manufactured values (Section 3 ablation) ===\n");
-  McApp naive(AccessPolicy::kFailureOblivious, McApp::DefaultConfigText(false),
-              SequenceKind::kZeros);
-  naive.memory().set_access_budget(2'000'000);
-  RunResult result = RunAsProcess([&] { naive.BrowseTgz(tgz); });
+  ServerSetup zeros = setup;
+  zeros.mc_sequence = SequenceKind::kZeros;
+  std::unique_ptr<ServerApp> naive =
+      MakeServerApp(Server::kMc, AccessPolicy::kFailureOblivious, zeros);
+  naive->memory().set_access_budget(2'000'000);
+  RunResult result = RunAsProcess([&] { naive->Handle(stream.requests[0]); });
   std::printf("  outcome: %s\n", ExitStatusName(result.status));
   std::printf("  (the '/'-search loop never sees a '/', exactly the hang the paper's\n"
               "   0,1,2,0,1,3,... sequence exists to prevent)\n");

@@ -1,57 +1,58 @@
 // The paper's running example (Section 2, Figure 1): Mutt's utf8_to_utf7.
 //
-// Walks the exact scenario of the paper: a mail folder whose UTF-8 name
-// expands by more than 2x when converted to modified UTF-7 overflows the
-// undersized conversion buffer. Under failure-oblivious compilation the
-// writes beyond the buffer are discarded, the truncated name is sent to the
-// IMAP server, the server answers "NO Mailbox does not exist", Mutt's
-// standard error handling reports it — and the user goes on reading mail
-// from legitimate folders.
+// Drives the §4.6 attack stream — open a folder whose UTF-8 name expands by
+// more than 2x in the undersized conversion buffer, then keep reading mail
+// — through the uniform ServerApp session API. Under failure-oblivious
+// compilation the writes beyond the buffer are discarded, the truncated
+// name is sent to the IMAP server, the server answers "NO Mailbox does not
+// exist", Mutt's standard error handling reports it — and the user goes on
+// reading mail from legitimate folders.
 //
 // Build & run:  ./build/examples/mutt_utf7_demo
 
 #include <cstdio>
+#include <memory>
 
-#include "src/apps/mutt.h"
 #include "src/codec/utf7.h"
 #include "src/harness/workloads.h"
-#include "src/mail/message.h"
-#include "src/net/imap.h"
 #include "src/runtime/process.h"
 
 int main() {
   using namespace fob;
 
-  ImapServer imap;
-  imap.AddFolderUtf8("INBOX", {MailMessage::Make("alice@example.org", "me", "status",
-                                                 "the deployment is green\n"),
-                               MailMessage::Make("bob@example.org", "me", "lunch?", "noon?\n")});
-  imap.AddFolderUtf8("archive", {});
-
-  std::string attack = MakeMuttAttackFolderName();
+  TrafficStream stream = MakeAttackStream(Server::kMutt);
+  const std::string& attack = stream.requests[0].target;
   std::printf("attack folder name: %zu UTF-8 bytes\n", attack.size());
   std::printf("correct UTF-7 form: %zu bytes (Mutt allocates only %zu)\n\n",
               Utf8ToUtf7(attack)->size(), attack.size() * 2 + 1);
 
   for (AccessPolicy policy : kPaperPolicies) {
     std::printf("=== %s ===\n", PolicyName(policy));
-    MuttApp mutt(policy, &imap);
-    MuttApp::Result open;
-    RunResult result = RunAsProcess([&] { open = mutt.OpenFolder(attack); });
-    if (result.crashed()) {
-      std::printf("  mutt died before the UI came up: %s\n", ExitStatusName(result.status));
-      std::printf("  (the user cannot read any mail at all)\n\n");
-      continue;
+    std::unique_ptr<ServerApp> mutt = MakeServerApp(Server::kMutt, policy);
+    bool died = false;
+    for (const ServerRequest& request : stream.requests) {
+      ServerResponse response;
+      RunResult result = RunAsProcess([&] { response = mutt->Handle(request); });
+      if (result.crashed()) {
+        std::printf("  mutt died before the UI came up: %s\n", ExitStatusName(result.status));
+        std::printf("  (the user cannot read any mail at all)\n\n");
+        died = true;
+        break;
+      }
+      if (request.tag == RequestTag::kAttack) {
+        std::printf("  folder open failed gracefully: %s\n", response.error.c_str());
+      } else if (request.op == "read") {
+        std::printf("  reading message %s:\n    %.60s...\n", request.arg.c_str(),
+                    response.body.c_str());
+      } else {
+        std::printf("  %s %s: %s\n", request.op.c_str(), request.target.c_str(),
+                    response.ok ? response.body.c_str() : response.error.c_str());
+      }
     }
-    std::printf("  folder open failed gracefully: %s\n", open.error.c_str());
-    auto inbox = mutt.OpenFolder("INBOX");
-    std::printf("  subsequent request: %s\n", inbox.display.c_str());
-    auto read = mutt.ReadMessage("INBOX", 1);
-    std::printf("  reading message 1:\n    %.60s...\n", read.display.c_str());
-    auto move = mutt.MoveMessage("INBOX", 1, "archive");
-    std::printf("  moving it to archive: %s\n", move.display.c_str());
-    std::printf("  memory errors executed through: %llu\n\n",
-                static_cast<unsigned long long>(mutt.memory().log().total_errors()));
+    if (!died) {
+      std::printf("  memory errors executed through: %llu\n\n",
+                  static_cast<unsigned long long>(mutt->memory().log().total_errors()));
+    }
   }
   return 0;
 }

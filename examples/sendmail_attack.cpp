@@ -1,30 +1,31 @@
 // Sendmail's prescan bug (Section 4.4): an SMTP transcript.
 //
-// Replays the attack session against the three compilations and prints the
-// actual SMTP dialogue. Under failure-oblivious execution the crafted
-// address turns into an *anticipated* error — "553 address too long" — and
-// the session, and the daemon, keep going.
+// Replays the §4.4 attack stream through the uniform ServerApp session API
+// against the three compilations and prints the actual SMTP dialogue.
+// Under failure-oblivious execution the crafted address turns into an
+// *anticipated* error — "553 address too long" — and the session, and the
+// daemon, keep going.
 //
 // Build & run:  ./build/examples/sendmail_attack
 
 #include <cstdio>
 #include <memory>
 
-#include "src/apps/sendmail.h"
 #include "src/harness/workloads.h"
 #include "src/runtime/process.h"
 
 int main() {
   using namespace fob;
 
-  auto attack_session = MakeSendmailAttackSession(/*pairs=*/24);
+  TrafficStream stream = MakeAttackStream(Server::kSendmail);
   std::printf("attack MAIL FROM address: %zu bytes of filler + \\ \\ 0xff triples\n\n",
-              attack_session[1].size());
+              stream.requests[0].lines[1].size());
 
   for (AccessPolicy policy : kPaperPolicies) {
     std::printf("=== %s ===\n", PolicyName(policy));
-    std::unique_ptr<SendmailApp> daemon;
-    RunResult boot = RunAsProcess([&] { daemon = std::make_unique<SendmailApp>(policy); });
+    std::unique_ptr<ServerApp> daemon;
+    RunResult boot =
+        RunAsProcess([&] { daemon = MakeServerApp(Server::kSendmail, policy); });
     if (boot.crashed()) {
       // §4.4.4: the daemon's own wakeup path has a memory error on every
       // run — the Bounds Check version never even starts.
@@ -32,22 +33,27 @@ int main() {
       std::printf("  (the queue-scan memory error fires on every wakeup)\n\n");
       continue;
     }
-    std::vector<std::string> responses;
-    RunResult session =
-        RunAsProcess([&] { responses = daemon->HandleSession(attack_session); });
-    if (session.crashed()) {
-      std::printf("  session crashed the daemon: %s%s\n", ExitStatusName(session.status),
-                  session.possible_code_injection ? " [attacker bytes reached the return address]"
-                                                  : "");
-    } else {
-      for (size_t i = 0; i < responses.size(); ++i) {
-        std::printf("  S: %s\n", responses[i].c_str());
+    for (const ServerRequest& request : stream.requests) {
+      ServerResponse response;
+      RunResult step = RunAsProcess([&] { response = daemon->Handle(request); });
+      if (step.crashed()) {
+        std::printf("  %s request crashed the daemon: %s%s\n", RequestTagName(request.tag),
+                    ExitStatusName(step.status),
+                    step.possible_code_injection
+                        ? " [attacker bytes reached the return address]"
+                        : "");
+        break;
       }
-    }
-    if (!session.crashed()) {
-      auto delivery = daemon->HandleSession(MakeSendmailSession("user@localhost", 64));
-      std::printf("  follow-up delivery: %s (mailbox now %zu messages)\n",
-                  delivery.back().c_str(), daemon->local_mailbox().size());
+      if (request.op == "session") {
+        std::printf("  [%s session]\n", RequestTagName(request.tag));
+        for (const std::string& line : response.lines) {
+          std::printf("  S: %s\n", line.c_str());
+        }
+        if (request.tag == RequestTag::kLegit) {
+          std::printf("  follow-up delivery %s\n",
+                      response.acceptable ? "delivered to the mailbox" : "FAILED");
+        }
+      }
     }
     std::printf("\n");
   }

@@ -5,6 +5,7 @@
 #include "src/archive/gzip.h"
 #include "src/archive/tar.h"
 #include "src/libc/cstring.h"
+#include "src/runtime/access_cursor.h"
 
 namespace fob {
 
@@ -113,9 +114,14 @@ McApp::ArchiveListing McApp::BrowseTgz(const std::string& tgz_bytes) {
       ++cursor;
     }
     // Extract this link's accumulated name and look it up in the archive.
+    // A sequential scan, so it runs on a cursor (the span fast path): for
+    // the in-bounds prefix the table search is hoisted; once the scan runs
+    // past the end of the overflowed buffer the cursor falls back to the
+    // per-byte continuation path — byte-loop-identical either way.
+    AccessCursor name_scan(memory_);
     std::string relative;
     for (Ptr p = linkbuf + static_cast<int64_t>(start);; ++p) {
-      uint8_t c = memory_.ReadU8(p);
+      uint8_t c = name_scan.ReadU8(p);
       if (c == 0 || relative.size() > kLinkBufSize * 4) {
         break;
       }

@@ -2,6 +2,7 @@
 
 #include "src/libc/cstring.h"
 #include "src/mail/mbox.h"
+#include "src/runtime/access_cursor.h"
 
 namespace fob {
 
@@ -93,21 +94,26 @@ PineApp::Result PineApp::ReadMessage(size_t index) {
                      "\nSubject: " + message.Subject() + "\n\n" + message.body;
   Ptr raw = memory_.NewCString(text, "view_raw");
   Ptr view = memory_.Malloc(text.size() * 2 + 16, "view_buf");
+  // The pager walks both buffers strictly sequentially and always in
+  // bounds (view_buf is worst-case sized), so the scan runs on cursors:
+  // byte-loop-identical semantics, one bounds resolution per buffer.
+  AccessCursor in(memory_);
+  AccessCursor pager(memory_);
   int64_t out = 0;
   int column = 0;
   for (int64_t i = 0; i < static_cast<int64_t>(text.size()); ++i) {
-    uint8_t c = memory_.ReadU8(raw + i);
-    memory_.WriteU8(view + out, c);
+    uint8_t c = in.ReadU8(raw + i);
+    pager.WriteU8(view + out, c);
     ++out;
     if (c == '\n') {
       column = 0;
     } else if (++column >= 80) {
-      memory_.WriteU8(view + out, '\n');
+      pager.WriteU8(view + out, '\n');
       ++out;
       column = 0;
     }
   }
-  memory_.WriteU8(view + out, 0);
+  pager.WriteU8(view + out, 0);
   result.display = memory_.ReadCString(view, static_cast<size_t>(out) + 1);
   memory_.Free(view);
   memory_.Free(raw);
@@ -128,10 +134,14 @@ PineApp::Result PineApp::Compose(const std::string& to, const std::string& subje
                       "\n--------\n" + body + kSignature;
   Ptr raw = memory_.NewCString(draft, "draft_raw");
   Ptr edit = memory_.Malloc(draft.size() + 1, "edit_buf");
+  // Sequential in-bounds transfer: the edit buffer is exactly sized, so the
+  // copy loop runs on cursors (span fast path, same per-byte semantics).
+  AccessCursor in(memory_);
+  AccessCursor out(memory_);
   for (int64_t i = 0; i < static_cast<int64_t>(draft.size()); ++i) {
-    memory_.WriteU8(edit + i, memory_.ReadU8(raw + i));
+    out.WriteU8(edit + i, in.ReadU8(raw + i));
   }
-  memory_.WriteU8(edit + static_cast<int64_t>(draft.size()), 0);
+  out.WriteU8(edit + static_cast<int64_t>(draft.size()), 0);
   std::string draft_back = memory_.ReadCString(edit, draft.size() + 1);
   memory_.Free(edit);
   memory_.Free(raw);
@@ -155,24 +165,29 @@ PineApp::Result PineApp::Reply(size_t index, const std::string& body) {
   Memory::Frame frame(memory_, "reply_quote");
   Ptr raw = memory_.NewCString(original.body, "reply_raw");
   Ptr edit = memory_.Malloc(original.body.size() * 2 + 64, "reply_edit");
+  // The "> " quoting loop writes at most 2 bytes per input byte plus the
+  // final pair, always inside the worst-case-sized edit buffer: cursors
+  // hoist the per-byte table search without changing a single access.
+  AccessCursor in(memory_);
+  AccessCursor quote(memory_);
   int64_t out = 0;
   bool at_line_start = true;
   for (int64_t i = 0; i < static_cast<int64_t>(original.body.size()); ++i) {
-    uint8_t c = memory_.ReadU8(raw + i);
+    uint8_t c = in.ReadU8(raw + i);
     if (at_line_start) {
-      memory_.WriteU8(edit + out, '>');
+      quote.WriteU8(edit + out, '>');
       ++out;
-      memory_.WriteU8(edit + out, ' ');
+      quote.WriteU8(edit + out, ' ');
       ++out;
       at_line_start = false;
     }
-    memory_.WriteU8(edit + out, c);
+    quote.WriteU8(edit + out, c);
     ++out;
     if (c == '\n') {
       at_line_start = true;
     }
   }
-  memory_.WriteU8(edit + out, 0);
+  quote.WriteU8(edit + out, 0);
   std::string quoted = memory_.ReadCString(edit, static_cast<size_t>(out) + 1);
   memory_.Free(edit);
   memory_.Free(raw);

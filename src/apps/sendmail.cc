@@ -2,6 +2,7 @@
 
 #include "src/apps/resident.h"
 #include "src/net/smtp.h"
+#include "src/runtime/access_cursor.h"
 
 namespace fob {
 
@@ -47,13 +48,20 @@ bool SendmailApp::PrescanAddress(const std::string& address, std::string* parsed
   int backslash_run = 0;
   bool too_long = false;
 
+  // The *input* side of prescan scans the wire copy sequentially and always
+  // in bounds, so those reads go through a cursor (span fast path). The
+  // vulnerable *stores* into addr_buf below deliberately stay per-access —
+  // hoisting them would change the reproduced bug's pattern.
+  AccessCursor wire(memory_);
   while (i < len) {
-    int c = memory_.ReadI8(in + static_cast<int64_t>(i));  // sign extension: 0xff -> -1
+    // sign extension: 0xff -> -1
+    int c = static_cast<int8_t>(wire.ReadU8(in + static_cast<int64_t>(i)));
     ++i;
     if (c == '\\') {
       ++backslash_run;
       bool odd_backslash = (backslash_run % 2) == 1;
-      int lookahead = i < len ? memory_.ReadI8(in + static_cast<int64_t>(i)) : -1;
+      int lookahead =
+          i < len ? static_cast<int8_t>(wire.ReadU8(in + static_cast<int64_t>(i))) : -1;
       if (lookahead == -1 || odd_backslash) {
         // The branch that skips the checked store — and with it the only
         // bounds check on q.

@@ -1,0 +1,215 @@
+#include "src/apps/server_app.h"
+
+#include <sstream>
+
+namespace fob {
+
+const char* ServerName(Server server) {
+  switch (server) {
+    case Server::kPine:
+      return "Pine";
+    case Server::kApache:
+      return "Apache";
+    case Server::kSendmail:
+      return "Sendmail";
+    case Server::kMc:
+      return "Midnight Commander";
+    case Server::kMutt:
+      return "Mutt";
+  }
+  return "?";
+}
+
+const char* RequestTagName(RequestTag tag) {
+  switch (tag) {
+    case RequestTag::kLegit:
+      return "legit";
+    case RequestTag::kAttack:
+      return "attack";
+    case RequestTag::kMaintenance:
+      return "maintenance";
+  }
+  return "?";
+}
+
+namespace {
+
+// Percent-escapes tabs, newlines, '%' and non-printable bytes so any field
+// — including raw archive bytes — survives the one-line wire form.
+std::string Escape(const std::string& s) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == '%' || c == '\t' || c == '\n' || c == '\r' || c < 0x20 || c >= 0x7f) {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  return -1;
+}
+
+std::optional<std::string> Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return std::nullopt;
+    }
+    int hi = HexNibble(s[i + 1]);
+    int lo = HexNibble(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return std::nullopt;
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string joined;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) {
+      joined.push_back('\n');
+    }
+    joined += lines[i];
+  }
+  return joined;
+}
+
+std::vector<std::string> SplitJoined(const std::string& joined) {
+  if (joined.empty()) {
+    return {};
+  }
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (true) {
+    size_t nl = joined.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(joined.substr(start));
+      return lines;
+    }
+    lines.push_back(joined.substr(start, nl - start));
+    start = nl + 1;
+  }
+}
+
+}  // namespace
+
+std::string ServerRequest::Serialize() const {
+  std::ostringstream os;
+  os << "REQ\t" << static_cast<int>(tag) << '\t' << client_id << '\t' << Escape(op) << '\t'
+     << Escape(target) << '\t' << Escape(arg) << '\t' << Escape(arg2) << '\t'
+     << Escape(JoinLines(lines)) << '\t' << Escape(payload) << '\t' << Escape(expect);
+  return os.str();
+}
+
+std::optional<ServerRequest> ServerRequest::Deserialize(const std::string& line) {
+  std::vector<std::string> fields = SplitTabs(line);
+  if (fields.size() != 10 || fields[0] != "REQ") {
+    return std::nullopt;
+  }
+  int tag_value = 0;
+  try {
+    tag_value = std::stoi(fields[1]);
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (tag_value < 0 || tag_value > static_cast<int>(RequestTag::kMaintenance)) {
+    return std::nullopt;
+  }
+  ServerRequest request;
+  request.tag = static_cast<RequestTag>(tag_value);
+  try {
+    request.client_id = std::stoull(fields[2]);
+  } catch (...) {
+    return std::nullopt;
+  }
+  auto op = Unescape(fields[3]);
+  auto target = Unescape(fields[4]);
+  auto arg = Unescape(fields[5]);
+  auto arg2 = Unescape(fields[6]);
+  auto lines_joined = Unescape(fields[7]);
+  auto payload = Unescape(fields[8]);
+  auto expect = Unescape(fields[9]);
+  if (!op || !target || !arg || !arg2 || !lines_joined || !payload || !expect) {
+    return std::nullopt;
+  }
+  request.op = std::move(*op);
+  request.target = std::move(*target);
+  request.arg = std::move(*arg);
+  request.arg2 = std::move(*arg2);
+  request.lines = SplitJoined(*lines_joined);
+  request.payload = std::move(*payload);
+  request.expect = std::move(*expect);
+  return request;
+}
+
+std::string ServerResponse::Serialize() const {
+  std::ostringstream os;
+  os << "RSP\t" << (ok ? 1 : 0) << '\t' << (acceptable ? 1 : 0) << '\t' << status << '\t'
+     << Escape(body) << '\t' << Escape(error) << '\t' << Escape(JoinLines(lines));
+  return os.str();
+}
+
+std::optional<ServerResponse> ServerResponse::Deserialize(const std::string& line) {
+  std::vector<std::string> fields = SplitTabs(line);
+  if (fields.size() != 7 || fields[0] != "RSP") {
+    return std::nullopt;
+  }
+  ServerResponse response;
+  response.ok = fields[1] == "1";
+  response.acceptable = fields[2] == "1";
+  try {
+    response.status = std::stoi(fields[3]);
+  } catch (...) {
+    return std::nullopt;
+  }
+  auto body = Unescape(fields[4]);
+  auto error = Unescape(fields[5]);
+  auto lines_joined = Unescape(fields[6]);
+  if (!body || !error || !lines_joined) {
+    return std::nullopt;
+  }
+  response.body = std::move(*body);
+  response.error = std::move(*error);
+  response.lines = SplitJoined(*lines_joined);
+  return response;
+}
+
+}  // namespace fob

@@ -2,15 +2,6 @@
 
 #include <algorithm>
 #include <tuple>
-#include <memory>
-
-#include "src/apps/apache.h"
-#include "src/apps/mc.h"
-#include "src/apps/mutt.h"
-#include "src/apps/pine.h"
-#include "src/apps/sendmail.h"
-#include "src/harness/workloads.h"
-#include "src/net/imap.h"
 
 namespace fob {
 
@@ -26,22 +17,6 @@ const char* OutcomeName(Outcome outcome) {
       return "hang";
     case Outcome::kWrongOutput:
       return "continued (WRONG output)";
-  }
-  return "?";
-}
-
-const char* ServerName(Server server) {
-  switch (server) {
-    case Server::kPine:
-      return "Pine";
-    case Server::kApache:
-      return "Apache";
-    case Server::kSendmail:
-      return "Sendmail";
-    case Server::kMc:
-      return "Midnight Commander";
-    case Server::kMutt:
-      return "Mutt";
   }
   return "?";
 }
@@ -91,143 +66,41 @@ AttackReport ReportFrom(const RunResult& result, bool output_acceptable, bool su
   return report;
 }
 
-AttackReport RunPine(const PolicySpec& spec) {
-  std::unique_ptr<PineApp> pine;
-  bool output_acceptable = false;
-  bool subsequent_ok = false;
-  RunResult result = RunAsProcess([&] {
-    // The attack message is *in the mailbox*: startup itself is the attack.
-    pine = std::make_unique<PineApp>(spec, MakePineMbox(6, /*include_attack=*/true));
-    pine->memory().set_access_budget(kHangBudget);
-    // Acceptability: the index came up with every message listed.
-    output_acceptable = pine->IndexLines().size() == 7;
-    // Subsequent requests: read a legitimate message, compose, move.
-    auto read = pine->ReadMessage(0);
-    auto compose = pine->Compose("friend0@example.org", "re: message 0", "thanks!\n");
-    auto move = pine->MoveMessage(0, "saved");
-    subsequent_ok = read.ok && compose.ok && move.ok && pine->FolderSize("saved") == 1;
-  });
-  const MemLog* log = pine != nullptr ? &pine->memory().log() : nullptr;
-  return ReportFrom(result, output_acceptable, subsequent_ok, log);
-}
-
-AttackReport RunApache(const PolicySpec& spec) {
-  Vfs docroot = MakeApacheDocroot();
-  std::unique_ptr<ApacheApp> apache;
-  bool output_acceptable = false;
-  bool subsequent_ok = false;
-  RunResult result = RunAsProcess([&] {
-    apache = std::make_unique<ApacheApp>(spec, &docroot, ApacheApp::DefaultConfigText());
-    apache->memory().set_access_budget(kHangBudget);
-    HttpResponse attack = apache->Handle(MakeHttpGet(MakeApacheAttackUrl()));
-    // Acceptable: the attack request got a well-formed HTTP response (under
-    // Failure Oblivious it is even byte-identical to the correct one — the
-    // app tests check that stronger property; under Wrap the redirected
-    // writes may degrade the attack request's own response to a 404, which
-    // still leaves every legitimate user unaffected).
-    output_acceptable = attack.status == 200 || attack.status == 404;
-    HttpResponse legit = apache->Handle(MakeHttpGet("/index.html"));
-    subsequent_ok = legit.status == 200 && legit.body.size() > 4000;
-  });
-  const MemLog* log = apache != nullptr ? &apache->memory().log() : nullptr;
-  return ReportFrom(result, output_acceptable, subsequent_ok, log);
-}
-
-AttackReport RunSendmail(const PolicySpec& spec) {
-  std::unique_ptr<SendmailApp> sendmail;
-  bool output_acceptable = false;
-  bool subsequent_ok = false;
-  RunResult result = RunAsProcess([&] {
-    // Daemon init runs the first wakeup — already fatal for Bounds Check.
-    sendmail = std::make_unique<SendmailApp>(spec);
-    sendmail->memory().set_access_budget(kHangBudget);
-    auto attack_responses = sendmail->HandleSession(MakeSendmailAttackSession());
-    // Acceptable: the attack MAIL command was *rejected* (553), session
-    // continued to QUIT.
-    bool rejected = false;
-    for (const std::string& response : attack_responses) {
-      if (response.substr(0, 3) == "553") {
-        rejected = true;
-      }
-    }
-    output_acceptable = rejected && attack_responses.back().substr(0, 3) == "221";
-    // Subsequent legitimate delivery must work.
-    auto legit = sendmail->HandleSession(MakeSendmailSession("user@localhost", 64));
-    subsequent_ok = sendmail->local_mailbox().size() == 1 &&
-                    legit.back().substr(0, 3) == "221";
-    sendmail->DaemonWakeup();  // the everyday error keeps happening
-  });
-  const MemLog* log = sendmail != nullptr ? &sendmail->memory().log() : nullptr;
-  return ReportFrom(result, output_acceptable, subsequent_ok, log);
-}
-
-AttackReport RunMc(const PolicySpec& spec) {
-  std::unique_ptr<McApp> mc;
-  bool output_acceptable = false;
-  bool subsequent_ok = false;
-  RunResult result = RunAsProcess([&] {
-    // Config has the blank line (the everyday error): fatal for BoundsCheck
-    // at startup, like the paper found.
-    mc = std::make_unique<McApp>(spec, McApp::DefaultConfigText(/*with_blank_lines=*/true));
-    mc->memory().set_access_budget(kHangBudget);
-    auto listing = mc->BrowseTgz(MakeMcAttackTgz());
-    // Acceptable: the browse returned a listing (symlinks shown dangling is
-    // the anticipated case).
-    output_acceptable = listing.ok && listing.rows.size() == 6;
-    // Subsequent file management must work.
-    MakeMcTree(mc->fs(), "/home/user/tree", 256 << 10);
-    bool copied = mc->Copy("/home/user/tree", "/home/user/tree2");
-    bool made = mc->MkDir("/home/user/newdir");
-    bool moved = mc->Move("/home/user/tree2", "/home/user/tree3");
-    bool deleted = mc->Delete("/home/user/tree3");
-    subsequent_ok = copied && made && moved && deleted;
-  });
-  const MemLog* log = mc != nullptr ? &mc->memory().log() : nullptr;
-  return ReportFrom(result, output_acceptable, subsequent_ok, log);
-}
-
-AttackReport RunMutt(const PolicySpec& spec) {
-  ImapServer imap;
-  imap.AddFolderUtf8("INBOX", {MailMessage::Make("a@b", "me@here", "hello", "body\n"),
-                               MailMessage::Make("c@d", "me@here", "again", "more\n")});
-  imap.AddFolderUtf8("archive", {});
-  std::unique_ptr<MuttApp> mutt;
-  bool output_acceptable = false;
-  bool subsequent_ok = false;
-  RunResult result = RunAsProcess([&] {
-    mutt = std::make_unique<MuttApp>(spec, &imap);
-    mutt->memory().set_access_budget(kHangBudget);
-    // Mutt is configured to open the attack folder at startup (§4.6.4).
-    auto open = mutt->OpenFolder(MakeMuttAttackFolderName());
-    // Acceptable: the open *failed* with the server's "does not exist"
-    // error, handled by Mutt's standard error logic.
-    output_acceptable = !open.ok && open.error.find("does not exist") != std::string::npos;
-    // Subsequent requests on legitimate folders.
-    auto inbox = mutt->OpenFolder("INBOX");
-    auto read = mutt->ReadMessage("INBOX", 1);
-    auto move = mutt->MoveMessage("INBOX", 1, "archive");
-    subsequent_ok = inbox.ok && read.ok && move.ok;
-  });
-  const MemLog* log = mutt != nullptr ? &mutt->memory().log() : nullptr;
-  return ReportFrom(result, output_acceptable, subsequent_ok, log);
-}
-
 }  // namespace
 
+AttackReport RunStreamExperiment(const ServerFactory& factory, const TrafficStream& stream) {
+  std::unique_ptr<ServerApp> app;
+  bool output_acceptable = true;
+  bool subsequent_ok = true;
+  RunResult result = RunAsProcess([&] {
+    // Construction is server startup — for Pine and MC, already part of
+    // the attack (the trigger is in the mailbox / config).
+    app = factory();
+    app->memory().set_access_budget(kHangBudget);
+    std::vector<uint64_t> sessions;  // client ids with an open session
+    for (const ServerRequest& request : stream.requests) {
+      if (std::find(sessions.begin(), sessions.end(), request.client_id) == sessions.end()) {
+        sessions.push_back(request.client_id);
+        app->BeginSession(request.client_id);
+      }
+      ServerResponse response = app->Handle(request);
+      if (request.tag == RequestTag::kAttack) {
+        output_acceptable = output_acceptable && response.acceptable;
+      } else if (request.tag == RequestTag::kLegit) {
+        subsequent_ok = subsequent_ok && response.acceptable;
+      }
+    }
+    for (uint64_t client : sessions) {
+      app->EndSession(client);
+    }
+  });
+  const MemLog* log = app != nullptr ? &app->memory().log() : nullptr;
+  return ReportFrom(result, output_acceptable, subsequent_ok, log);
+}
+
 AttackReport RunAttackExperiment(Server server, const PolicySpec& spec) {
-  switch (server) {
-    case Server::kPine:
-      return RunPine(spec);
-    case Server::kApache:
-      return RunApache(spec);
-    case Server::kSendmail:
-      return RunSendmail(spec);
-    case Server::kMc:
-      return RunMc(spec);
-    case Server::kMutt:
-      return RunMutt(spec);
-  }
-  return AttackReport{};
+  return RunStreamExperiment([&] { return MakeAttackServer(server, spec); },
+                             MakeAttackStream(server));
 }
 
 }  // namespace fob

@@ -1,13 +1,23 @@
 // Experiment runner: the Security & Resilience matrix and outcome
 // classification shared by tests and benches.
+//
+// Since the ServerApp redesign there is exactly one execution engine:
+// RunStreamExperiment drives any server through any TrafficStream and
+// classifies what happened. RunAttackExperiment is the §4 configuration of
+// it — the server's attack stream against its attack-configured factory —
+// and reproduces the paper's outcome matrix byte-identically to the old
+// per-server glue (tests/test_server_app.cc pins the equivalence).
 
 #ifndef SRC_HARNESS_EXPERIMENT_H_
 #define SRC_HARNESS_EXPERIMENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/apps/server_app.h"
+#include "src/harness/workloads.h"
 #include "src/runtime/memlog.h"
 #include "src/runtime/policy.h"
 #include "src/runtime/policy_spec.h"
@@ -29,12 +39,6 @@ const char* OutcomeName(Outcome outcome);
 // Classifies a RunResult plus an output-acceptability verdict.
 Outcome ClassifyOutcome(const RunResult& result, bool output_acceptable);
 
-// The five servers of §4.
-enum class Server { kPine, kApache, kSendmail, kMc, kMutt };
-const char* ServerName(Server server);
-inline constexpr Server kAllServers[] = {Server::kPine, Server::kApache, Server::kSendmail,
-                                         Server::kMc, Server::kMutt};
-
 struct AttackReport {
   Outcome outcome = Outcome::kWrongOutput;
   // Did the server keep serving *subsequent legitimate requests* correctly
@@ -49,11 +53,21 @@ struct AttackReport {
   std::vector<MemSiteStat> error_sites;
 };
 
-// Runs server × policy spec on its §4 attack workload followed by
-// legitimate requests, with an access budget so nontermination classifies
-// as kHang. A bare AccessPolicy converts to the uniform spec, reproducing
-// the paper's whole-program configurations; a spec with per-site overrides
-// runs one point of the search space.
+// Builds one server instance per run; a restartable unit of server
+// construction (also what a WorkerPool factory is).
+using ServerFactory = std::function<std::unique_ptr<ServerApp>()>;
+
+// The engine: constructs the server (startup may itself be the attack),
+// arms the hang budget, drives every request of the stream through the
+// session API, and classifies. Attack-tagged responses fold into the
+// output-acceptability verdict, legit-tagged ones into the
+// subsequent-requests verdict; maintenance requests count toward neither.
+AttackReport RunStreamExperiment(const ServerFactory& factory, const TrafficStream& stream);
+
+// Runs server × policy spec on its §4 attack stream. A bare AccessPolicy
+// converts to the uniform spec, reproducing the paper's whole-program
+// configurations; a spec with per-site overrides runs one point of the
+// search space.
 AttackReport RunAttackExperiment(Server server, const PolicySpec& spec);
 
 }  // namespace fob

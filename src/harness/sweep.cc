@@ -93,9 +93,16 @@ SweepResult RunPolicySweep(Server server, const SweepOptions& options) {
   SweepResult result;
   result.server = server;
   result.options = options;
+  if (result.options.stream.requests.empty()) {
+    result.options.stream = MakeAttackStream(server);
+  }
+  const TrafficStream& stream = result.options.stream;
+  auto classify = [&](const PolicySpec& spec) {
+    return RunStreamExperiment([&] { return MakeAttackServer(server, spec); }, stream);
+  };
 
   // 1. Baseline run discovers the error sites.
-  result.baseline_report = RunAttackExperiment(server, options.baseline);
+  result.baseline_report = classify(options.baseline);
   result.sites = result.baseline_report.error_sites;
   if (result.sites.size() > options.max_sites) {
     result.sites.resize(options.max_sites);
@@ -114,7 +121,7 @@ SweepResult RunPolicySweep(Server server, const SweepOptions& options) {
     }
     SweepEntry entry;
     entry.assignment = std::move(assignment);
-    entry.report = RunAttackExperiment(server, spec);
+    entry.report = classify(spec);
     result.entries.push_back(std::move(entry));
   }
 
@@ -136,7 +143,9 @@ SweepResult RunPolicySweep(Server server, const SweepOptions& options) {
 
 std::string SweepResult::ToTableString() const {
   std::ostringstream os;
-  os << "Search-space sweep: " << ServerName(server) << " (§4 attack workload)\n";
+  os << "Search-space sweep: " << ServerName(server) << " ("
+     << options.stream.requests.size() << " requests, "
+     << options.stream.CountTag(RequestTag::kAttack) << " attack-tagged)\n";
   os << "baseline " << PolicyName(options.baseline) << ": "
      << OutcomeName(baseline_report.outcome) << ", "
      << baseline_report.memory_errors_logged << " memory errors, "

@@ -6,16 +6,20 @@
 // assignments yield correct continuation and some do not, and enumerating
 // them is cheap because real workloads exhibit few distinct error sites.
 //
-// RunPolicySweep drives that exploration over one §4 server attack
-// workload:
+// RunPolicySweep drives that exploration over one server's TrafficStream —
+// by default the §4 single-attack workload, or any caller-supplied stream
+// (multi-attack streams in particular: assignments interact with stream
+// composition, most visibly for count-based policies like kThreshold,
+// whose per-site error budget a long stream exhausts where a single attack
+// never would):
 //
-//   1. Baseline: run the attack under a uniform baseline policy and harvest
+//   1. Baseline: run the stream under a uniform baseline policy and harvest
 //      the distinct error sites from the memory-error log (MemLog::sites()).
 //   2. Enumerate: walk every assignment of candidate policies to the top
 //      sites (mixed-radix order, site 0 as the least-significant digit —
 //      deterministic and resumable), bounded by max_combinations.
 //   3. Classify: run each assignment as a PolicySpec through
-//      RunAttackExperiment and classify with the existing Outcome machinery.
+//      RunStreamExperiment and classify with the existing Outcome machinery.
 //   4. Rank: acceptable continuations (kContinued + subsequent requests OK)
 //      first; render the ranked table via harness/table.
 
@@ -46,6 +50,10 @@ struct SweepOptions {
   // Hard bound on experiment runs; assignments beyond it are counted as
   // skipped, never silently dropped.
   size_t max_combinations = 256;
+  // The workload to sweep over. Empty (no requests) means the server's §4
+  // single-attack stream; MakeMultiAttackStream(server) explores the
+  // stream/assignment interactions.
+  TrafficStream stream;
 };
 
 struct SweepEntry {

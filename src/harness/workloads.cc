@@ -1,13 +1,323 @@
 #include "src/harness/workloads.h"
 
 #include <sstream>
+#include <utility>
 
+#include "src/apps/apache.h"
+#include "src/apps/mc.h"
+#include "src/apps/server_adapters.h"
 #include "src/archive/gzip.h"
 #include "src/archive/tar.h"
 #include "src/codec/utf8.h"
 #include "src/mail/mbox.h"
 
 namespace fob {
+
+size_t TrafficStream::CountTag(RequestTag tag) const {
+  size_t count = 0;
+  for (const ServerRequest& request : requests) {
+    if (request.tag == tag) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+ServerRequest MakeRequest(RequestTag tag, std::string op, std::string target,
+                          std::string arg, std::string arg2) {
+  ServerRequest request;
+  request.tag = tag;
+  request.op = std::move(op);
+  request.target = std::move(target);
+  request.arg = std::move(arg);
+  request.arg2 = std::move(arg2);
+  return request;
+}
+
+namespace {
+
+// Shorthand keeps the stream definitions readable.
+ServerRequest Req(RequestTag tag, std::string op, std::string target = "",
+                  std::string arg = "", std::string arg2 = "") {
+  return MakeRequest(tag, std::move(op), std::move(target), std::move(arg), std::move(arg2));
+}
+
+ServerRequest& Expect(ServerRequest& request, size_t value) {
+  request.expect = std::to_string(value);
+  return request;
+}
+
+// xorshift64: deterministic, seedable, good enough to shuffle op choices
+// and client ids.
+class StreamRng {
+ public:
+  explicit StreamRng(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  uint64_t Next(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace
+
+TrafficStream MakeAttackStream(Server server) {
+  TrafficStream stream;
+  stream.server = server;
+  auto add = [&stream](ServerRequest request) { stream.requests.push_back(std::move(request)); };
+  switch (server) {
+    case Server::kPine: {
+      // The attack message is *in the mailbox*: startup itself is the
+      // attack; the index must still come up with every message listed.
+      ServerRequest index = Req(RequestTag::kAttack, "index");
+      add(Expect(index, 7));
+      add(Req(RequestTag::kLegit, "read", "0"));
+      ServerRequest compose = Req(RequestTag::kLegit, "compose", "friend0@example.org",
+                                  "re: message 0");
+      compose.payload = "thanks!\n";
+      add(compose);
+      ServerRequest move = Req(RequestTag::kLegit, "move", "0", "saved");
+      add(Expect(move, 1));
+      break;
+    }
+    case Server::kApache: {
+      add(Req(RequestTag::kAttack, "get", MakeApacheAttackUrl()));
+      ServerRequest legit = Req(RequestTag::kLegit, "get", "/index.html");
+      add(Expect(legit, 4000));
+      break;
+    }
+    case Server::kSendmail: {
+      ServerRequest attack = Req(RequestTag::kAttack, "session");
+      attack.lines = MakeSendmailAttackSession();
+      add(attack);
+      ServerRequest legit = Req(RequestTag::kLegit, "session");
+      legit.lines = MakeSendmailSession("user@localhost", 64);
+      add(Expect(legit, 1));
+      add(Req(RequestTag::kMaintenance, "wakeup"));  // the everyday error
+      break;
+    }
+    case Server::kMc: {
+      ServerRequest browse = Req(RequestTag::kAttack, "browse");
+      browse.payload = MakeMcAttackTgz();
+      add(Expect(browse, 6));
+      add(Req(RequestTag::kMaintenance, "mktree", "/home/user/tree",
+              std::to_string(256 << 10)));
+      add(Req(RequestTag::kLegit, "copy", "/home/user/tree", "/home/user/tree2"));
+      add(Req(RequestTag::kLegit, "mkdir", "/home/user/newdir"));
+      add(Req(RequestTag::kLegit, "move", "/home/user/tree2", "/home/user/tree3"));
+      add(Req(RequestTag::kLegit, "delete", "/home/user/tree3"));
+      break;
+    }
+    case Server::kMutt: {
+      // Mutt is configured to open the attack folder at startup (§4.6.4).
+      add(Req(RequestTag::kAttack, "open", MakeMuttAttackFolderName()));
+      add(Req(RequestTag::kLegit, "open", "INBOX"));
+      add(Req(RequestTag::kLegit, "read", "INBOX", "1"));
+      add(Req(RequestTag::kLegit, "move", "INBOX", "1", "archive"));
+      break;
+    }
+  }
+  return stream;
+}
+
+TrafficStream MakeMultiAttackStream(Server server) {
+  TrafficStream stream;
+  stream.server = server;
+  auto add = [&stream](ServerRequest request) { stream.requests.push_back(std::move(request)); };
+  switch (server) {
+    case Server::kPine: {
+      // Every move rebuilds the index with the attack message still in the
+      // inbox, so each one re-runs the §4.2 overflow: three error bursts in
+      // one session (startup + two moves).
+      ServerRequest index = Req(RequestTag::kAttack, "index");
+      add(Expect(index, 7));
+      ServerRequest move1 = Req(RequestTag::kAttack, "move", "1", "saved");
+      add(Expect(move1, 1));
+      ServerRequest move2 = Req(RequestTag::kAttack, "move", "1", "saved");
+      add(Expect(move2, 2));
+      add(Req(RequestTag::kLegit, "read", "0"));
+      ServerRequest compose = Req(RequestTag::kLegit, "compose", "friend0@example.org",
+                                  "re: message 0");
+      compose.payload = "thanks!\n";
+      add(compose);
+      break;
+    }
+    case Server::kApache: {
+      for (int i = 0; i < 3; ++i) {
+        add(Req(RequestTag::kAttack, "get", MakeApacheAttackUrl()));
+      }
+      ServerRequest small = Req(RequestTag::kLegit, "get", "/index.html");
+      add(Expect(small, 4000));
+      add(Req(RequestTag::kLegit, "get", "/files/big.bin"));
+      break;
+    }
+    case Server::kSendmail: {
+      // Four long attack sessions: ~6000 invalid stores at the prescan
+      // site, enough to take a per-site kThreshold assignment over its
+      // error budget — which a single §4 attack session never does. That
+      // is the stream/assignment interaction the multi-attack sweep pins.
+      for (int i = 0; i < 4; ++i) {
+        ServerRequest attack = Req(RequestTag::kAttack, "session");
+        attack.lines = MakeSendmailAttackSession(/*pairs=*/1500);
+        add(attack);
+        add(Req(RequestTag::kMaintenance, "wakeup"));
+      }
+      ServerRequest legit = Req(RequestTag::kLegit, "session");
+      legit.lines = MakeSendmailSession("user@localhost", 64);
+      add(Expect(legit, 1));
+      break;
+    }
+    case Server::kMc: {
+      for (int i = 0; i < 2; ++i) {
+        ServerRequest browse = Req(RequestTag::kAttack, "browse");
+        browse.payload = MakeMcAttackTgz();
+        add(Expect(browse, 6));
+      }
+      add(Req(RequestTag::kMaintenance, "mktree", "/home/user/tree",
+              std::to_string(128 << 10)));
+      add(Req(RequestTag::kLegit, "copy", "/home/user/tree", "/home/user/tree2"));
+      add(Req(RequestTag::kLegit, "delete", "/home/user/tree2"));
+      break;
+    }
+    case Server::kMutt: {
+      add(Req(RequestTag::kAttack, "open", MakeMuttAttackFolderName()));
+      add(Req(RequestTag::kAttack, "open", MakeMuttAttackFolderName(/*blocks=*/40)));
+      add(Req(RequestTag::kLegit, "open", "INBOX"));
+      add(Req(RequestTag::kLegit, "read", "INBOX", "1"));
+      break;
+    }
+  }
+  return stream;
+}
+
+TrafficStream MakeTrafficStream(Server server, const StreamOptions& options) {
+  TrafficStream stream;
+  stream.server = server;
+  StreamRng rng(options.seed);
+  std::string mc_pending_copy;  // generator state: a copy awaiting deletion
+  bool mc_tree_made = false;
+  for (size_t round = 0; round < options.requests; ++round) {
+    uint64_t client = options.clients == 0 ? 0 : rng.Next(options.clients);
+    bool attack = options.attack_period > 0 &&
+                  (round % options.attack_period) < options.attacks_per_period;
+    RequestTag tag = attack ? RequestTag::kAttack : RequestTag::kLegit;
+    ServerRequest request;
+    switch (server) {
+      case Server::kPine: {
+        if (attack) {
+          // The per-request form of the §4.2 trigger: quoting an attack
+          // From field through the undersized index buffer.
+          request = Req(tag, "quote", MakePineAttackFrom());
+        } else if (rng.Next(3) == 0) {
+          request = Req(tag, "compose", "peer@example.org", "ping");
+          request.payload = "pong\n";
+        } else {
+          request = Req(tag, "read", std::to_string(rng.Next(5)));
+        }
+        break;
+      }
+      case Server::kApache: {
+        request = Req(tag, "get", attack ? MakeApacheAttackUrl()
+                                         : (rng.Next(3) == 0 ? "/files/big.bin"
+                                                             : "/index.html"));
+        break;
+      }
+      case Server::kSendmail: {
+        // The daemon wakes up every round — the everyday error (§4.4.4).
+        ServerRequest wakeup = Req(RequestTag::kMaintenance, "wakeup");
+        wakeup.client_id = client;
+        stream.requests.push_back(std::move(wakeup));
+        request = Req(tag, "session");
+        request.lines = attack ? MakeSendmailAttackSession()
+                               : MakeSendmailSession("user@localhost",
+                                                     64 + rng.Next(3) * 128);
+        break;
+      }
+      case Server::kMc: {
+        if (!mc_tree_made) {
+          ServerRequest mktree = Req(RequestTag::kMaintenance, "mktree", "/home/files",
+                                     std::to_string(256 << 10));
+          mktree.client_id = client;
+          stream.requests.push_back(std::move(mktree));
+          mc_tree_made = true;
+        }
+        if (attack) {
+          request = Req(tag, "browse");
+          request.payload = MakeMcAttackTgz();
+          request.expect = "6";
+        } else if (mc_pending_copy.empty()) {
+          mc_pending_copy = "/home/copy" + std::to_string(round);
+          request = Req(tag, "copy", "/home/files", mc_pending_copy);
+        } else {
+          request = Req(tag, "delete", mc_pending_copy);
+          mc_pending_copy.clear();
+        }
+        break;
+      }
+      case Server::kMutt: {
+        if (attack) {
+          request = Req(tag, "open", MakeMuttAttackFolderName());
+        } else if (rng.Next(2) == 0) {
+          request = Req(tag, "open", "INBOX");
+        } else {
+          request = Req(tag, "read", "INBOX", "1");
+        }
+        break;
+      }
+    }
+    request.client_id = client;
+    stream.requests.push_back(std::move(request));
+  }
+  return stream;
+}
+
+std::unique_ptr<ServerApp> MakeServerApp(Server server, const PolicySpec& spec,
+                                         const ServerSetup& setup) {
+  switch (server) {
+    case Server::kPine:
+      return std::make_unique<PineServer>(
+          spec, MakePineMbox(setup.pine_mbox_legit, setup.pine_mbox_attack,
+                             setup.pine_body_bytes));
+    case Server::kApache:
+      return std::make_unique<ApacheServer>(
+          spec, MakeApacheDocroot(), ApacheApp::DefaultConfigText(setup.apache_filler_rules));
+    case Server::kSendmail:
+      return std::make_unique<SendmailServer>(spec);
+    case Server::kMc:
+      return std::make_unique<McServer>(
+          spec, McApp::DefaultConfigText(setup.mc_config_blank_lines), setup.mc_sequence);
+    case Server::kMutt: {
+      std::vector<std::pair<std::string, std::vector<MailMessage>>> folders;
+      if (setup.mutt_inbox_messages == 2) {
+        // The exact §4.6 INBOX pair, so the attack experiment's pager
+        // renders byte-identical content to the legacy direct-call setup.
+        folders.emplace_back(
+            "INBOX", std::vector<MailMessage>{
+                         MailMessage::Make("a@b", "me@here", "hello", "body\n"),
+                         MailMessage::Make("c@d", "me@here", "again", "more\n")});
+      } else {
+        std::vector<MailMessage> inbox;
+        inbox.reserve(setup.mutt_inbox_messages);
+        for (size_t i = 0; i < setup.mutt_inbox_messages; ++i) {
+          inbox.push_back(MailMessage::Make("peer@example.org", "me@here", "m", "b\n"));
+        }
+        folders.emplace_back("INBOX", std::move(inbox));
+      }
+      folders.emplace_back("archive", std::vector<MailMessage>{});
+      return std::make_unique<MuttServer>(spec, std::move(folders));
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ServerApp> MakeAttackServer(Server server, const PolicySpec& spec) {
+  return MakeServerApp(server, spec, ServerSetup{});
+}
 
 // ---- Pine ----------------------------------------------------------------
 
@@ -139,18 +449,7 @@ std::string MakeMcBenignTgz() {
 }
 
 uint64_t MakeMcTree(Vfs& fs, const std::string& root, uint64_t bytes) {
-  fs.MkDir(root, true);
-  uint64_t written = 0;
-  size_t file_index = 0;
-  std::string chunk(64 << 10, 'd');
-  while (written < bytes) {
-    std::string dir = root + "/d" + std::to_string(file_index / 16);
-    size_t take = static_cast<size_t>(std::min<uint64_t>(chunk.size(), bytes - written));
-    fs.WriteFile(dir + "/f" + std::to_string(file_index) + ".dat", chunk.substr(0, take), true);
-    written += take;
-    ++file_index;
-  }
-  return written;
+  return PopulateTree(fs, root, bytes);
 }
 
 // ---- Mutt ---------------------------------------------------------------------

@@ -1,18 +1,100 @@
-// Workload generators: the attack inputs from §4 and legitimate request
-// streams for the performance/stability experiments.
+// Workload generators: the attack inputs from §4, and TrafficStreams — the
+// uniform request sequences every harness drives servers with.
+//
+// A TrafficStream is a deterministic, seedable sequence of tagged
+// ServerRequests (attack / legitimate / maintenance, per client id) that
+// any server consumes through the ServerApp session API: the same stream
+// machinery produces the §4 single-attack workloads (MakeAttackStream, the
+// exact op sequence the paper's outcome matrix classifies), multi-attack
+// streams that hit several error sites in one run (MakeMultiAttackStream,
+// the Durieux-style interaction case), and sustained mixed traffic for the
+// stability and throughput experiments (MakeTrafficStream).
+//
+// MakeServerApp is the matching construction side: it builds the ServerApp
+// adapter for one server — which is also exactly the work a WorkerPool
+// restart re-runs.
 
 #ifndef SRC_HARNESS_WORKLOADS_H_
 #define SRC_HARNESS_WORKLOADS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/apps/server_app.h"
 #include "src/mail/message.h"
 #include "src/net/http.h"
+#include "src/runtime/manufactured.h"
+#include "src/runtime/policy_spec.h"
 #include "src/vfs/vfs.h"
 
 namespace fob {
+
+// ---- Traffic streams ----------------------------------------------------
+
+struct TrafficStream {
+  Server server = Server::kApache;
+  std::vector<ServerRequest> requests;
+
+  size_t CountTag(RequestTag tag) const;
+};
+
+// Builds one tagged request — the shared constructor for benches, examples
+// and tests that compose their own streams (lines/payload/expect are set on
+// the returned value when an op needs them).
+ServerRequest MakeRequest(RequestTag tag, std::string op, std::string target = "",
+                          std::string arg = "", std::string arg2 = "");
+
+// The §4 attack workload as a stream: the documented attack input followed
+// by the legitimate requests the paper's availability criterion checks —
+// the exact op sequence RunAttackExperiment classifies.
+TrafficStream MakeAttackStream(Server server);
+
+// A stream that reaches the server's error sites several times / in
+// combination within one run. Per-site policy assignments interact with
+// stream composition (count-based policies like kThreshold most visibly),
+// which is what the multi-attack sweep explores.
+TrafficStream MakeMultiAttackStream(Server server);
+
+// Sustained mixed traffic: `requests` rounds interleaved across `clients`
+// client ids, with every round r satisfying (r % attack_period) <
+// attacks_per_period attack-tagged (attack_period == 0 disables attacks).
+// Deterministic from `seed`: the same options always yield the same
+// stream, byte for byte.
+struct StreamOptions {
+  size_t requests = 100;
+  size_t clients = 1;
+  size_t attack_period = 0;
+  size_t attacks_per_period = 1;
+  uint64_t seed = 1;
+};
+TrafficStream MakeTrafficStream(Server server, const StreamOptions& options = {});
+
+// ---- Server construction -------------------------------------------------
+
+// What MakeServerApp builds each server with. The defaults are the §4
+// attack configurations (startup is part of the attack where the paper says
+// so: Pine's trigger sits in the mailbox, MC's blank config line fires at
+// parse time). Serving setups override them (benign mailbox, clean config)
+// so workers under crashing policies can at least start.
+struct ServerSetup {
+  size_t pine_mbox_legit = 6;
+  bool pine_mbox_attack = true;
+  size_t pine_body_bytes = 48;
+  int apache_filler_rules = 40;
+  bool mc_config_blank_lines = true;
+  SequenceKind mc_sequence = SequenceKind::kPaper;
+  // 2 reproduces the exact §4.6 INBOX pair; other values fill generically.
+  size_t mutt_inbox_messages = 2;
+};
+
+std::unique_ptr<ServerApp> MakeServerApp(Server server, const PolicySpec& spec,
+                                         const ServerSetup& setup = {});
+
+// The §4 attack configuration — what RunAttackExperiment and the sweep
+// construct per run.
+std::unique_ptr<ServerApp> MakeAttackServer(Server server, const PolicySpec& spec);
 
 // ---- Pine -------------------------------------------------------------
 
@@ -50,7 +132,8 @@ std::string MakeMcAttackTgz();
 // A benign .tgz with files and resolvable-shaped symlinks.
 std::string MakeMcBenignTgz();
 // Populates `fs` with a directory tree of roughly `bytes` at `root` (the
-// 31 MB tree Figure 5 copies). Returns the actual byte count.
+// 31 MB tree Figure 5 copies). Returns the actual byte count. Thin alias
+// for PopulateTree (src/vfs/vfs.h), kept for the benches' vocabulary.
 uint64_t MakeMcTree(Vfs& fs, const std::string& root, uint64_t bytes);
 
 // ---- Mutt ------------------------------------------------------------------

@@ -1,0 +1,139 @@
+#include "src/net/frontend.h"
+
+#include <utility>
+#include <vector>
+
+namespace fob {
+
+namespace {
+
+Frontend::Factory WithBudget(Frontend::Factory factory, uint64_t budget) {
+  if (budget == 0) {
+    return factory;
+  }
+  return [factory = std::move(factory), budget]() {
+    std::unique_ptr<ServerApp> app = factory();
+    app->memory().set_access_budget(budget);
+    return app;
+  };
+}
+
+}  // namespace
+
+Frontend::Frontend(Factory factory, const Options& options)
+    : options_(options),
+      pool_(options.workers == 0 ? 1 : options.workers,
+            WithBudget(std::move(factory), options.worker_access_budget)) {}
+
+LineChannel& Frontend::Connect(uint64_t client_id) {
+  std::unique_ptr<LineChannel>& slot = clients_[client_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<LineChannel>();
+  }
+  return *slot;
+}
+
+void Frontend::Ingest() {
+  // Fair sweep: take at most one line per client per round, so a chatty
+  // client cannot starve the others — its requests interleave.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [client_id, channel] : clients_) {
+      LineChannel::Recv recv = channel->ServerReceiveLine();
+      if (!recv.has_line()) {
+        continue;  // kNoInput or kClosed: nothing to read from this client
+      }
+      progress = true;
+      auto request = ServerRequest::Deserialize(recv.line);
+      if (!request) {
+        ++stats_.rejected;
+        ServerResponse malformed;
+        malformed.error = "malformed request line";
+        Respond(client_id, malformed);
+        continue;
+      }
+      request->client_id = client_id;  // the connection authenticates the id
+      pending_.push_back(Pending{client_id, std::move(*request)});
+    }
+  }
+}
+
+void Frontend::Respond(uint64_t client_id, const ServerResponse& response) {
+  auto it = clients_.find(client_id);
+  if (it != clients_.end()) {
+    it->second->ServerSend(response.Serialize());
+  }
+  ++stats_.served;
+}
+
+void Frontend::ServePending() {
+  size_t batch_limit = options_.batch == 0 ? 1 : options_.batch;
+  while (!pending_.empty()) {
+    size_t count = std::min(batch_limit, pending_.size());
+    std::vector<Pending> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    std::vector<ServerResponse> responses(count);
+    ++stats_.batches;
+    BatchOutcome outcome = pool_.DispatchBatch(
+        count, [&](ServerApp& app, size_t i) { responses[i] = app.Handle(batch[i].request); });
+    for (size_t i = 0; i < outcome.completed; ++i) {
+      Respond(batch[i].client_id, responses[i]);
+    }
+    if (!outcome.crashed) {
+      continue;
+    }
+    // The worker died at batch[completed]: that request is lost (its client
+    // sees the failure), the rest of the batch re-queues onto the
+    // replacement worker, oldest first.
+    ServerResponse failure;
+    failure.status = 500;
+    failure.error = "worker crashed: " + outcome.failure.detail;
+    Respond(batch[outcome.completed].client_id, failure);
+    ++stats_.failed;
+    for (size_t i = count; i > outcome.completed + 1; --i) {
+      pending_.push_front(std::move(batch[i - 1]));
+      ++stats_.requeued;
+    }
+  }
+}
+
+size_t Frontend::Pump() {
+  uint64_t served_before = stats_.served;
+  Ingest();
+  ServePending();
+  return static_cast<size_t>(stats_.served - served_before);
+}
+
+bool Frontend::Idle() const {
+  if (!pending_.empty()) {
+    return false;
+  }
+  for (const auto& [client_id, channel] : clients_) {
+    if (!channel->ServerAtEof()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t Frontend::Run() {
+  size_t served = 0;
+  while (!Idle()) {
+    size_t this_pump = Pump();
+    served += this_pump;
+    if (this_pump == 0 && pending_.empty()) {
+      // No progress and nothing queued: the remaining channels are open but
+      // idle — in this single-threaded simulation no further input can
+      // arrive, so waiting would spin forever.
+      break;
+    }
+  }
+  return served;
+}
+
+}  // namespace fob

@@ -1,0 +1,104 @@
+// Frontend: multiplexes N interleaved client sessions onto a WorkerPool.
+//
+// Each client holds a LineChannel (src/net/channel.h) and writes serialized
+// ServerRequests; the Frontend polls the channels fairly (one line per
+// client per sweep, so no client can starve the others), gathers requests
+// into batches, and dispatches each batch to a pool of crash-isolated
+// ServerApp workers in ONE simulated process entry
+// (WorkerPool::DispatchBatch) — amortizing the per-request entry cost
+// across the batch, which is the request-batching scale item from the
+// roadmap.
+//
+// Crash handling reproduces the §4.3.2 worker-pool dynamics at batch
+// granularity: when a worker dies mid-batch, the requests already served
+// keep their responses, the request that killed the worker is answered
+// with an error (that client's request is lost, exactly like a child
+// segfaulting mid-connection), the worker is replaced (paying full
+// re-initialization), and the unserved batch remainder is re-queued at the
+// front of the pending queue — so a crashing policy pays restart + re-batch
+// latency while a failure-oblivious pool streams on.
+//
+// Workers are stateless between requests (the PCRAFT-style capacity model):
+// any worker can serve any client's request, which is what lets one pool
+// absorb interleaved sessions from many clients.
+
+#ifndef SRC_NET_FRONTEND_H_
+#define SRC_NET_FRONTEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/apps/server_app.h"
+#include "src/net/channel.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+
+class Frontend {
+ public:
+  struct Options {
+    size_t workers = 2;
+    // Requests dispatched per process entry. 1 degenerates to the legacy
+    // per-request Dispatch behavior.
+    size_t batch = 8;
+    // Applied to every worker (and every replacement): nonzero turns a
+    // hung worker into a kBudgetExhausted crash the pool recovers from.
+    uint64_t worker_access_budget = 0;
+  };
+
+  struct Stats {
+    uint64_t served = 0;     // responses written, error responses included
+    uint64_t failed = 0;     // requests whose worker died serving them
+    uint64_t requeued = 0;   // batch-remainder requests re-queued after a crash
+    uint64_t batches = 0;    // process entries used
+    uint64_t rejected = 0;   // lines that did not parse as a ServerRequest
+  };
+
+  using Factory = WorkerPool<ServerApp>::Factory;
+
+  Frontend(Factory factory, const Options& options);
+
+  // Attaches a client connection. The returned channel is owned by the
+  // Frontend and stable for its lifetime; the client writes serialized
+  // requests with ClientSend and half-closes with ClientClose when done.
+  LineChannel& Connect(uint64_t client_id);
+
+  // Ingests every line currently readable across all channels (fair,
+  // round-robin) and serves the pending queue in batches. Returns the
+  // number of responses written this pump.
+  size_t Pump();
+
+  // Pumps until every connected channel is closed and drained and no
+  // requests are pending. Returns total responses written.
+  size_t Run();
+
+  // True when nothing is pending and every channel has reached EOF.
+  bool Idle() const;
+
+  const Stats& stats() const { return stats_; }
+  uint64_t restarts() const { return pool_.restarts(); }
+  WorkerPool<ServerApp>& pool() { return pool_; }
+
+ private:
+  struct Pending {
+    uint64_t client_id = 0;
+    ServerRequest request;
+  };
+
+  void Ingest();
+  void ServePending();
+  void Respond(uint64_t client_id, const ServerResponse& response);
+
+  Options options_;
+  WorkerPool<ServerApp> pool_;
+  std::map<uint64_t, std::unique_ptr<LineChannel>> clients_;
+  std::deque<Pending> pending_;
+  Stats stats_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_NET_FRONTEND_H_

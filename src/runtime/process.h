@@ -48,6 +48,19 @@ struct RunResult {
 // the harness, not a simulated crash).
 RunResult RunAsProcess(const std::function<void()>& body);
 
+// What happened to one batch handed to WorkerPool::DispatchBatch.
+struct BatchOutcome {
+  // The prefix [0, completed) ran to completion. When `crashed`, entry
+  // `completed` is the one that took the worker down; entries beyond it
+  // never ran — the caller decides whether to re-dispatch that remainder
+  // (the Frontend re-queues it onto the replacement worker).
+  size_t completed = 0;
+  bool crashed = false;
+  RunResult failure;  // the faulting entry's exit, meaningful when crashed
+
+  bool all_completed(size_t count) const { return !crashed && completed == count; }
+};
+
 // A pool of crash-isolated workers.
 template <typename App>
 class WorkerPool {
@@ -73,6 +86,37 @@ class WorkerPool {
       workers_[index] = factory_();
     }
     return result;
+  }
+
+  // Batched dispatch: runs work(app, i) for i in [0, count) on ONE worker
+  // inside a single simulated process entry, amortizing the per-request
+  // entry cost (the fork/try/catch boundary) across the batch. A fault at
+  // entry i replaces the worker and stops the batch: [0, i) completed,
+  // entry i failed, (i, count) never ran. Progress is guaranteed for
+  // callers that re-dispatch the remainder — every crash consumes the entry
+  // that caused it.
+  template <typename Fn>
+  BatchOutcome DispatchBatch(size_t count, Fn&& work) {
+    BatchOutcome outcome;
+    if (count == 0) {
+      return outcome;
+    }
+    size_t index = next_++ % workers_.size();
+    App* app = workers_[index].get();
+    size_t i = 0;
+    RunResult result = RunAsProcess([&] {
+      for (; i < count; ++i) {
+        work(*app, i);
+      }
+    });
+    outcome.completed = i;
+    if (result.crashed()) {
+      ++restarts_;
+      workers_[index] = factory_();
+      outcome.crashed = true;
+      outcome.failure = result;
+    }
+    return outcome;
   }
 
   uint64_t restarts() const { return restarts_; }

@@ -256,4 +256,19 @@ size_t Vfs::TreeCount(std::string_view path) const {
   return TreeCountOf(*this, std::string(path));
 }
 
+uint64_t PopulateTree(Vfs& fs, const std::string& root, uint64_t bytes) {
+  fs.MkDir(root, true);
+  uint64_t written = 0;
+  size_t file_index = 0;
+  std::string chunk(64 << 10, 'd');
+  while (written < bytes) {
+    std::string dir = root + "/d" + std::to_string(file_index / 16);
+    size_t take = static_cast<size_t>(std::min<uint64_t>(chunk.size(), bytes - written));
+    fs.WriteFile(dir + "/f" + std::to_string(file_index) + ".dat", chunk.substr(0, take), true);
+    written += take;
+    ++file_index;
+  }
+  return written;
+}
+
 }  // namespace fob

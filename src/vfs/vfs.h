@@ -79,6 +79,13 @@ class Vfs {
   std::unique_ptr<Node> root_;
 };
 
+// Populates `fs` with a directory tree of roughly `bytes` of file content
+// under `root` (64 KiB files, 16 per directory) and returns the actual byte
+// count. The tree Figure 5's file-management requests operate on; exposed
+// here so both the workload generators and MC's "mktree" setup op build the
+// same shape.
+uint64_t PopulateTree(Vfs& fs, const std::string& root, uint64_t bytes);
+
 }  // namespace fob
 
 #endif  // SRC_VFS_VFS_H_

@@ -1,0 +1,246 @@
+// The serving substrate: LineChannel close/EOF semantics, ServerRequest/
+// ServerResponse wire serialization, and the Frontend's multiplexed,
+// batched dispatch onto a WorkerPool — including the crash path (failed
+// request answered with an error, batch remainder re-queued onto the
+// replacement worker).
+
+#include "src/net/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/workloads.h"
+#include "src/net/channel.h"
+
+namespace fob {
+namespace {
+
+// ---- LineChannel close/EOF --------------------------------------------------
+
+TEST(LineChannelEofTest, ReceiveDistinguishesNoInputFromClosed) {
+  LineChannel channel;
+  EXPECT_EQ(channel.ServerReceiveLine().status, LineChannel::RecvStatus::kNoInput);
+  channel.ClientSend("hello");
+  channel.ClientClose();
+  // Queued lines drain before EOF is reported.
+  LineChannel::Recv recv = channel.ServerReceiveLine();
+  ASSERT_TRUE(recv.has_line());
+  EXPECT_EQ(recv.line, "hello");
+  EXPECT_EQ(channel.ServerReceiveLine().status, LineChannel::RecvStatus::kClosed);
+  EXPECT_TRUE(channel.ServerAtEof());
+}
+
+TEST(LineChannelEofTest, SendAfterCloseIsDropped) {
+  LineChannel channel;
+  channel.ClientClose();
+  channel.ClientSend("too late");
+  EXPECT_FALSE(channel.ServerHasInput());
+  EXPECT_TRUE(channel.ServerAtEof());
+}
+
+TEST(LineChannelEofTest, ServerSideCloseMirrors) {
+  LineChannel channel;
+  channel.ServerSend("bye");
+  channel.ServerClose();
+  EXPECT_EQ(channel.ClientReceiveLine().line, "bye");
+  EXPECT_TRUE(channel.ClientReceiveLine().closed());
+  EXPECT_TRUE(channel.ClientAtEof());
+}
+
+TEST(LineChannelEofTest, LegacyOptionalApiStillConflates) {
+  LineChannel channel;
+  EXPECT_FALSE(channel.ServerReceive().has_value());  // no input yet
+  channel.ClientClose();
+  EXPECT_FALSE(channel.ServerReceive().has_value());  // closed: same nullopt
+}
+
+// ---- Wire serialization -----------------------------------------------------
+
+TEST(ServerWireTest, RequestRoundTripsThroughOneLine) {
+  ServerRequest request;
+  request.tag = RequestTag::kAttack;
+  request.client_id = 42;
+  request.op = "browse";
+  request.target = "/a\tb";  // field separator must be escaped
+  request.arg = "x%y";
+  request.arg2 = "z";
+  request.lines = {"HELO one", "MAIL FROM:<a@b>"};
+  request.payload = std::string("\x1f\x8b\x00\xff binary", 12);
+  request.expect = "6";
+
+  std::string line = request.Serialize();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto back = ServerRequest::Deserialize(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tag, request.tag);
+  EXPECT_EQ(back->client_id, request.client_id);
+  EXPECT_EQ(back->op, request.op);
+  EXPECT_EQ(back->target, request.target);
+  EXPECT_EQ(back->arg, request.arg);
+  EXPECT_EQ(back->arg2, request.arg2);
+  EXPECT_EQ(back->lines, request.lines);
+  EXPECT_EQ(back->payload, request.payload);
+  EXPECT_EQ(back->expect, request.expect);
+}
+
+TEST(ServerWireTest, ResponseRoundTripsThroughOneLine) {
+  ServerResponse response;
+  response.ok = true;
+  response.acceptable = true;
+  response.status = 200;
+  response.body = "<html>\npage\n</html>";
+  response.error = "";
+  response.lines = {"220 ready", "221 bye"};
+
+  auto back = ServerResponse::Deserialize(response.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ok, response.ok);
+  EXPECT_EQ(back->acceptable, response.acceptable);
+  EXPECT_EQ(back->status, response.status);
+  EXPECT_EQ(back->body, response.body);
+  EXPECT_EQ(back->lines, response.lines);
+}
+
+TEST(ServerWireTest, MalformedLinesAreRejected) {
+  EXPECT_FALSE(ServerRequest::Deserialize("").has_value());
+  EXPECT_FALSE(ServerRequest::Deserialize("RSP\t1").has_value());
+  EXPECT_FALSE(ServerRequest::Deserialize("REQ\t9\t0\tget").has_value());
+  EXPECT_FALSE(ServerResponse::Deserialize("REQ\t0\t0\t0\t\t\t").has_value());
+}
+
+// ---- Frontend ----------------------------------------------------------------
+
+ServerRequest Get(const std::string& path, RequestTag tag = RequestTag::kLegit) {
+  return MakeRequest(tag, "get", path);
+}
+
+Frontend::Factory ApacheFactory(AccessPolicy policy) {
+  return [policy] { return MakeServerApp(Server::kApache, policy); };
+}
+
+TEST(FrontendTest, MultiplexesInterleavedClientsOntoThePool) {
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 2, .batch = 3});
+  LineChannel& a = frontend.Connect(1);
+  LineChannel& b = frontend.Connect(2);
+  LineChannel& c = frontend.Connect(3);
+  a.ClientSend(Get("/index.html").Serialize());
+  b.ClientSend(Get("/docs/flexc.html").Serialize());
+  a.ClientSend(Get("/index.html").Serialize());
+  c.ClientSend(Get("/files/big.bin").Serialize());
+  a.ClientClose();
+  b.ClientClose();
+  c.ClientClose();
+
+  EXPECT_EQ(frontend.Run(), 4u);
+  EXPECT_TRUE(frontend.Idle());
+
+  // Each client got exactly its own responses, in order.
+  std::vector<std::string> a_lines = a.ClientReceiveAll();
+  ASSERT_EQ(a_lines.size(), 2u);
+  for (const std::string& line : a_lines) {
+    auto response = ServerResponse::Deserialize(line);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+    EXPECT_NE(response->body.find("research project"), std::string::npos);
+  }
+  auto b_response = ServerResponse::Deserialize(b.ClientReceiveAll().at(0));
+  ASSERT_TRUE(b_response.has_value());
+  EXPECT_NE(b_response->body.find("docs"), std::string::npos);
+  auto c_response = ServerResponse::Deserialize(c.ClientReceiveAll().at(0));
+  ASSERT_TRUE(c_response.has_value());
+  EXPECT_EQ(c_response->body.size(), 830 * 1024u);
+  EXPECT_EQ(frontend.restarts(), 0u);
+}
+
+TEST(FrontendTest, CrashMidBatchRequeuesTheRemainder) {
+  // Standard compilation: the attack GET smashes the worker's stack. The
+  // fair ingest sweep interleaves the two clients, so the batch is
+  // [victim:index, bystander:index, victim:attack, bystander:docs]: the two
+  // requests before the attack keep their responses, the attack request is
+  // answered with an error, and the one behind it is re-queued onto the
+  // replacement worker.
+  Frontend frontend(ApacheFactory(AccessPolicy::kStandard),
+                    Frontend::Options{.workers = 1, .batch = 4});
+  LineChannel& victim = frontend.Connect(1);
+  LineChannel& bystander = frontend.Connect(2);
+  victim.ClientSend(Get("/index.html").Serialize());
+  victim.ClientSend(Get(MakeApacheAttackUrl(), RequestTag::kAttack).Serialize());
+  bystander.ClientSend(Get("/index.html").Serialize());
+  bystander.ClientSend(Get("/docs/flexc.html").Serialize());
+  victim.ClientClose();
+  bystander.ClientClose();
+
+  EXPECT_EQ(frontend.Run(), 4u);  // every request got *some* response
+  EXPECT_EQ(frontend.stats().failed, 1u);
+  EXPECT_EQ(frontend.stats().requeued, 1u);
+  EXPECT_EQ(frontend.stats().batches, 2u);  // crashed batch + re-queued remainder
+  EXPECT_EQ(frontend.restarts(), 1u);
+
+  std::vector<std::string> victim_lines = victim.ClientReceiveAll();
+  ASSERT_EQ(victim_lines.size(), 2u);
+  EXPECT_EQ(ServerResponse::Deserialize(victim_lines[0])->status, 200);
+  auto crash_response = ServerResponse::Deserialize(victim_lines[1]);
+  EXPECT_EQ(crash_response->status, 500);
+  EXPECT_NE(crash_response->error.find("worker crashed"), std::string::npos);
+
+  // The bystander's requests — behind the attack in the same batch — were
+  // re-queued and served by the replacement worker.
+  std::vector<std::string> bystander_lines = bystander.ClientReceiveAll();
+  ASSERT_EQ(bystander_lines.size(), 2u);
+  EXPECT_EQ(ServerResponse::Deserialize(bystander_lines[0])->status, 200);
+  EXPECT_EQ(ServerResponse::Deserialize(bystander_lines[1])->status, 200);
+}
+
+TEST(FrontendTest, FailureObliviousPoolAbsorbsTheSameMixWithoutRestarts) {
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 1, .batch = 4});
+  LineChannel& client = frontend.Connect(1);
+  client.ClientSend(Get("/index.html").Serialize());
+  client.ClientSend(Get(MakeApacheAttackUrl(), RequestTag::kAttack).Serialize());
+  client.ClientSend(Get("/index.html").Serialize());
+  client.ClientClose();
+
+  EXPECT_EQ(frontend.Run(), 3u);
+  EXPECT_EQ(frontend.restarts(), 0u);
+  EXPECT_EQ(frontend.stats().failed, 0u);
+  for (const std::string& line : client.ClientReceiveAll()) {
+    EXPECT_EQ(ServerResponse::Deserialize(line)->status, 200);
+  }
+}
+
+TEST(FrontendTest, BatchSizeOneDegeneratesToPerRequestDispatch) {
+  Frontend frontend(ApacheFactory(AccessPolicy::kStandard),
+                    Frontend::Options{.workers = 2, .batch = 1});
+  LineChannel& client = frontend.Connect(7);
+  for (int i = 0; i < 3; ++i) {
+    client.ClientSend(Get(MakeApacheAttackUrl(), RequestTag::kAttack).Serialize());
+    client.ClientSend(Get("/index.html").Serialize());
+  }
+  client.ClientClose();
+  EXPECT_EQ(frontend.Run(), 6u);
+  // Per-request batches: every attack kills exactly one worker, nothing is
+  // ever re-queued.
+  EXPECT_EQ(frontend.restarts(), 3u);
+  EXPECT_EQ(frontend.stats().failed, 3u);
+  EXPECT_EQ(frontend.stats().requeued, 0u);
+}
+
+TEST(FrontendTest, MalformedLineGetsAnErrorResponse) {
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 1, .batch = 2});
+  LineChannel& client = frontend.Connect(1);
+  client.ClientSend("not a request");
+  client.ClientClose();
+  EXPECT_EQ(frontend.Run(), 1u);
+  EXPECT_EQ(frontend.stats().rejected, 1u);
+  auto response = ServerResponse::Deserialize(client.ClientReceiveAll().at(0));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->ok);
+  EXPECT_NE(response->error.find("malformed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fob

@@ -165,6 +165,73 @@ TEST(WorkloadTest, MuttAttackNameExpandsPastTwoX) {
   EXPECT_GT(controls, name.size() / 4);
 }
 
+// ---- traffic streams -------------------------------------------------------------
+
+TEST(TrafficStreamTest, AttackStreamsCarryTheSection4Shape) {
+  for (Server server : kAllServers) {
+    TrafficStream stream = MakeAttackStream(server);
+    EXPECT_EQ(stream.server, server);
+    ASSERT_FALSE(stream.requests.empty()) << ServerName(server);
+    // Every §4 stream opens with the attack and follows with legitimate
+    // requests (the availability criterion needs both).
+    EXPECT_EQ(stream.requests.front().tag, RequestTag::kAttack) << ServerName(server);
+    EXPECT_GT(stream.CountTag(RequestTag::kLegit), 0u) << ServerName(server);
+  }
+}
+
+TEST(TrafficStreamTest, MultiAttackStreamsHitMoreThanOneAttack) {
+  for (Server server : kAllServers) {
+    TrafficStream stream = MakeMultiAttackStream(server);
+    EXPECT_GT(stream.CountTag(RequestTag::kAttack), 1u) << ServerName(server);
+  }
+}
+
+TEST(TrafficStreamTest, SameSeedSameStreamByteForByte) {
+  StreamOptions options;
+  options.requests = 60;
+  options.clients = 4;
+  options.attack_period = 5;
+  options.seed = 77;
+  for (Server server : kAllServers) {
+    TrafficStream a = MakeTrafficStream(server, options);
+    TrafficStream b = MakeTrafficStream(server, options);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i) {
+      EXPECT_EQ(a.requests[i].Serialize(), b.requests[i].Serialize())
+          << ServerName(server) << " request " << i;
+    }
+  }
+}
+
+TEST(TrafficStreamTest, DifferentSeedsDiffer) {
+  StreamOptions a_options{.requests = 40, .clients = 4, .seed = 1};
+  StreamOptions b_options{.requests = 40, .clients = 4, .seed = 2};
+  TrafficStream a = MakeTrafficStream(Server::kMutt, a_options);
+  TrafficStream b = MakeTrafficStream(Server::kMutt, b_options);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    if (a.requests[i].Serialize() != b.requests[i].Serialize()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TrafficStreamTest, AttackPeriodTagsTheRequestedMix) {
+  StreamOptions options{.requests = 40, .attack_period = 4, .attacks_per_period = 3};
+  TrafficStream stream = MakeTrafficStream(Server::kApache, options);
+  EXPECT_EQ(stream.CountTag(RequestTag::kAttack), 30u);
+  EXPECT_EQ(stream.CountTag(RequestTag::kLegit), 10u);
+}
+
+TEST(TrafficStreamTest, ClientIdsStayWithinTheRequestedCount) {
+  StreamOptions options{.requests = 50, .clients = 3, .seed = 9};
+  TrafficStream stream = MakeTrafficStream(Server::kPine, options);
+  for (const ServerRequest& request : stream.requests) {
+    EXPECT_LT(request.client_id, 3u);
+  }
+}
+
 // ---- experiment classification ---------------------------------------------------
 
 TEST(OutcomeTest, Classification) {

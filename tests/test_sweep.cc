@@ -115,6 +115,61 @@ TEST(SweepEndToEndTest, PineTwoSiteSweepFindsAcceptableMixedAssignment) {
       << "no mixed per-site assignment achieved acceptable continuation";
 }
 
+// ---- Multi-attack streams ---------------------------------------------------
+
+TEST(SweepMultiAttackTest, BestAssignmentDiffersBetweenSingleAndMultiAttackStreams) {
+  // Durieux's point that per-site assignments interact with the workload,
+  // pinned end to end: kThreshold continues through a bounded error burst
+  // and terminates past Config::error_threshold (4096), so the *stream*
+  // decides which assignment wins. The §4 single attack logs ~32 invalid
+  // stores at the prescan site — every threshold assignment survives and
+  // the all-threshold one ranks best (damage-bounding for free). The
+  // multi-attack stream drives ~6000 stores through the same site: now any
+  // assignment with threshold on the hot site terminates mid-stream, and
+  // the best assignment moves threshold off it.
+  SweepOptions options;
+  options.candidates = {AccessPolicy::kThreshold, AccessPolicy::kFailureOblivious};
+  options.max_sites = 2;
+  options.max_combinations = 8;
+
+  SweepResult single = RunPolicySweep(Server::kSendmail, options);
+
+  SweepOptions multi_options = options;
+  multi_options.stream = MakeMultiAttackStream(Server::kSendmail);
+  SweepResult multi = RunPolicySweep(Server::kSendmail, multi_options);
+
+  // Both baselines observe the same two sites, prescan's buffer first.
+  ASSERT_EQ(single.sites.size(), 2u);
+  ASSERT_EQ(multi.sites.size(), 2u);
+  EXPECT_EQ(single.sites[0].site, multi.sites[0].site);
+  EXPECT_NE(single.sites[0].unit_name.find("addr_buf"), std::string::npos);
+  EXPECT_TRUE(single.sites[0].is_write);
+
+  ASSERT_EQ(single.entries.size(), 4u);
+  ASSERT_EQ(multi.entries.size(), 4u);
+
+  // Single attack: everything survives; all-threshold ranks best.
+  EXPECT_EQ(single.acceptable_count(), 4u);
+  EXPECT_TRUE(single.entries[0].acceptable());
+  EXPECT_EQ(single.entries[0].assignment[0], AccessPolicy::kThreshold);
+
+  // Multi attack: threshold-on-hot-site assignments terminate...
+  for (const SweepEntry& entry : multi.entries) {
+    if (entry.assignment[0] == AccessPolicy::kThreshold) {
+      EXPECT_EQ(entry.report.outcome, Outcome::kTerminated);
+      EXPECT_FALSE(entry.acceptable());
+    } else {
+      EXPECT_EQ(entry.report.outcome, Outcome::kContinued);
+      EXPECT_TRUE(entry.acceptable());
+    }
+  }
+  // ...so the best multi-attack assignment differs from the single-attack
+  // best: threshold moves off the hot site.
+  EXPECT_TRUE(multi.entries[0].acceptable());
+  EXPECT_EQ(multi.entries[0].assignment[0], AccessPolicy::kFailureOblivious);
+  EXPECT_NE(multi.entries[0].assignment, single.entries[0].assignment);
+}
+
 TEST(SweepEndToEndTest, UniformAssignmentReproducesTheUniformExperiment) {
   // The all-fallback assignment in the sweep must classify exactly like the
   // plain uniform experiment: per-site machinery with a uniform outcome is
