@@ -1,20 +1,26 @@
-// Batched-Frontend serving throughput: requests/sec vs worker count x
-// batch size, per policy.
+// Parallel-Frontend serving throughput: requests/sec vs worker-thread count
+// x batch size, per policy.
 //
 // The scale-layer counterpart of bench_apache_throughput: a 3:1
-// attack:legit Apache traffic mix from four multiplexed clients is pushed
-// through the Frontend and served by a WorkerPool in batches. Batch size
+// attack:legit Apache traffic mix from eight multiplexed clients is pushed
+// through the Frontend and served by a WorkerPool whose lanes dispatch on
+// real std::threads — the workers axis IS the thread axis (workers=1 is the
+// single-threaded baseline), so the FO rows show near-linear scaling with
+// worker count while the crashing policies stay restart-bound. Batch size
 // amortizes the per-request process-entry cost; under crashing policies it
 // also sets how much work an attack aborts (the batch remainder re-queues
 // after the restart), so the FO : crashing gap widens with batch size.
 //
-// Args: (policy index into kAllPolicies, workers, batch). run_bench.sh
-// folds the JSON output into BENCH_throughput.json and CI uploads it with
-// the other perf artifacts.
+// Args: (policy index into kAllPolicies, worker threads, batch).
+// run_bench.sh folds the JSON output into BENCH_throughput.json and CI
+// uploads it with the other perf artifacts. The JSON context records the
+// worker-thread axis and the machine's hardware concurrency so trajectory
+// comparisons across machines stay honest.
 
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/harness/workloads.h"
@@ -27,22 +33,26 @@ AccessPolicy PolicyArg(const benchmark::State& state) {
   return kAllPolicies[static_cast<size_t>(state.range(0))];
 }
 
-// One serving round: 4 clients (3 attackers + 1 legitimate), 16 requests,
-// already serialized.
+// One serving round: 8 clients (6 attackers + 2 legitimate), 32 requests,
+// already serialized. Sticky affinity spreads the 8 clients round robin
+// over the worker lanes, so every lane has work at up to 8 workers.
 struct Round {
   std::vector<std::pair<uint64_t, std::string>> lines;  // client id, wire line
   size_t requests = 0;
 };
+
+constexpr uint64_t kClients = 8;
 
 Round MakeRound() {
   Round round;
   ServerRequest attack = MakeRequest(RequestTag::kAttack, "get", MakeApacheAttackUrl());
   ServerRequest legit = MakeRequest(RequestTag::kLegit, "get", "/index.html");
   for (int rep = 0; rep < 4; ++rep) {
-    for (uint64_t attacker = 1; attacker <= 3; ++attacker) {
-      round.lines.emplace_back(attacker, attack.Serialize());
+    for (uint64_t client = 1; client <= kClients; ++client) {
+      // Clients 4 and 8 are the legitimate users; the other six attack.
+      const ServerRequest& request = (client % 4 == 0) ? legit : attack;
+      round.lines.emplace_back(client, request.Serialize());
     }
-    round.lines.emplace_back(4, legit.Serialize());
   }
   round.requests = round.lines.size();
   return round;
@@ -50,12 +60,12 @@ Round MakeRound() {
 
 void BM_FrontendThroughput(benchmark::State& state) {
   AccessPolicy policy = PolicyArg(state);
-  state.SetLabel(std::string(PolicyName(policy)) + "/workers:" +
+  state.SetLabel(std::string(PolicyName(policy)) + "/threads:" +
                  std::to_string(state.range(1)) + "/batch:" + std::to_string(state.range(2)));
-  Frontend frontend([policy] { return MakeServerApp(Server::kApache, policy); },
+  Frontend frontend(MakeServerAppFactory(Server::kApache, policy),
                     Frontend::Options{.workers = static_cast<size_t>(state.range(1)),
                                       .batch = static_cast<size_t>(state.range(2))});
-  for (uint64_t client = 1; client <= 4; ++client) {
+  for (uint64_t client = 1; client <= kClients; ++client) {
     frontend.Connect(client);
   }
   Round round = MakeRound();
@@ -65,22 +75,37 @@ void BM_FrontendThroughput(benchmark::State& state) {
       frontend.Connect(client).ClientSend(line);
     }
     served += frontend.Pump();
-    for (uint64_t client = 1; client <= 4; ++client) {
+    for (uint64_t client = 1; client <= kClients; ++client) {
       frontend.Connect(client).ClientReceiveAll();  // drain responses
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(served));
   state.counters["restarts"] =
       benchmark::Counter(static_cast<double>(frontend.restarts()));
+  state.counters["worker_threads"] =
+      benchmark::Counter(static_cast<double>(state.range(1)));
 }
 
 // Policies: FailureOblivious (2), BoundsCheck (1), Standard (0) — the three
-// paper configurations; workers {1,2,4} x batch {1,4,16}.
+// paper configurations; worker threads {1,2,4,8} x batch {1,4,16}. Real
+// time, not main-thread CPU time: the lanes run on worker threads.
 BENCHMARK(BM_FrontendThroughput)
-    ->ArgsProduct({{2, 1, 0}, {1, 2, 4}, {1, 4, 16}})
+    ->ArgsProduct({{2, 1, 0}, {1, 2, 4, 8}, {1, 4, 16}})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fob
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("worker_threads_axis", "1,2,4,8");
+  benchmark::AddCustomContext("hardware_concurrency",
+                              std::to_string(std::thread::hardware_concurrency()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,12 +11,18 @@
 #                            under all seven policies
 #   BENCH_check_cost.json  — object-table search cost vs live-object
 #                            population (Standard vs checked vs mixed spec)
-#   BENCH_throughput.json  — batched-Frontend serving throughput,
-#                            requests/sec vs worker count x batch size,
-#                            per policy (FO vs Bounds Check vs Standard)
+#   BENCH_throughput.json  — parallel-Frontend serving throughput,
+#                            requests/sec vs worker-thread count x batch
+#                            size, per policy (FO vs Bounds Check vs
+#                            Standard); worker threads are real std::threads
+#                            over per-worker shards
 #
 # All files are google-benchmark JSON; compare runs with
 # benchmark/tools/compare.py or by diffing real_time per benchmark name.
+# Every file's "context" object records the machine's hardware concurrency
+# (and, for the throughput bench, the worker-thread axis) so per-machine
+# trajectory comparisons stay honest: a 1-core container cannot show
+# multi-threaded scaling that a 4-core CI runner will.
 
 set -euo pipefail
 
@@ -31,19 +37,24 @@ if [[ ! -x "$build_dir/bench_overhead" ]]; then
 fi
 
 min_time="${BENCH_MIN_TIME:-0.05}"
+hw_threads="$(nproc)"
 
 run() {
   local binary="$1" out="$2"
+  shift 2
   echo "== $binary -> $out"
   "$build_dir/$binary" \
     --benchmark_format=json \
     --benchmark_min_time="$min_time" \
+    "$@" \
     >"$out_dir/$out"
 }
 
-run bench_overhead BENCH_overhead.json
-run bench_span_path BENCH_span_path.json
-run bench_check_cost BENCH_check_cost.json
+run bench_overhead BENCH_overhead.json --benchmark_context=hardware_concurrency="$hw_threads"
+run bench_span_path BENCH_span_path.json --benchmark_context=hardware_concurrency="$hw_threads"
+run bench_check_cost BENCH_check_cost.json --benchmark_context=hardware_concurrency="$hw_threads"
+# bench_frontend_throughput bakes worker_threads_axis + hardware_concurrency
+# into its JSON context itself (see its main), so direct runs are covered too.
 run bench_frontend_throughput BENCH_throughput.json
 
 echo "done; wrote $out_dir/BENCH_overhead.json, $out_dir/BENCH_span_path.json," 

@@ -94,6 +94,12 @@ struct ServerResponse {
 // client's interaction (stateless adapters keep the defaults); Handle
 // processes one request; memory() exposes the simulated image for budgets
 // and the error log — the outcome-relevant state probes the harness needs.
+//
+// Ownership under parallel serving: one worker = one ServerApp = one Memory
+// = one Shard (src/runtime/shard.h). An adapter and its substrate (docroot,
+// IMAP store) are private to its worker thread; nothing behind memory() is
+// shared between two ServerApp instances, which is what lets the Frontend
+// dispatch worker lanes concurrently with no locking.
 class ServerApp {
  public:
   virtual ~ServerApp() = default;

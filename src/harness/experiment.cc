@@ -1,7 +1,11 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
 #include <tuple>
+#include <utility>
 
 namespace fob {
 
@@ -101,6 +105,47 @@ AttackReport RunStreamExperiment(const ServerFactory& factory, const TrafficStre
 AttackReport RunAttackExperiment(Server server, const PolicySpec& spec) {
   return RunStreamExperiment([&] { return MakeAttackServer(server, spec); },
                              MakeAttackStream(server));
+}
+
+FrontendReport RunFrontendExperiment(const ServerFactory& factory, const TrafficStream& stream,
+                                     const Frontend::Options& options) {
+  Frontend frontend(factory, options);
+  std::vector<uint64_t> clients;  // distinct ids, first-seen order
+  std::set<uint64_t> seen;
+  for (const ServerRequest& request : stream.requests) {
+    if (seen.insert(request.client_id).second) {
+      clients.push_back(request.client_id);
+    }
+    frontend.Connect(request.client_id).ClientSend(request.Serialize());
+  }
+  for (uint64_t client : clients) {
+    frontend.Connect(client).ClientClose();
+  }
+  frontend.Run();
+
+  // Reassemble stream order from the per-client FIFOs.
+  std::map<uint64_t, std::deque<std::string>> lines;
+  for (uint64_t client : clients) {
+    std::vector<std::string> received = frontend.Connect(client).ClientReceiveAll();
+    lines[client] = std::deque<std::string>(received.begin(), received.end());
+  }
+  FrontendReport report;
+  report.responses.reserve(stream.requests.size());
+  for (const ServerRequest& request : stream.requests) {
+    std::deque<std::string>& queue = lines[request.client_id];
+    ServerResponse response;  // default-constructed if the channel ran dry
+    if (!queue.empty()) {
+      if (auto parsed = ServerResponse::Deserialize(queue.front())) {
+        response = std::move(*parsed);
+      }
+      queue.pop_front();
+    }
+    report.responses.push_back(std::move(response));
+  }
+  report.stats = frontend.stats();
+  report.restarts = frontend.restarts();
+  report.merged_log = frontend.MergedLog();
+  return report;
 }
 
 }  // namespace fob

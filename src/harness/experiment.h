@@ -18,6 +18,7 @@
 
 #include "src/apps/server_app.h"
 #include "src/harness/workloads.h"
+#include "src/net/frontend.h"
 #include "src/runtime/memlog.h"
 #include "src/runtime/policy.h"
 #include "src/runtime/policy_spec.h"
@@ -69,6 +70,28 @@ AttackReport RunStreamExperiment(const ServerFactory& factory, const TrafficStre
 // configurations; a spec with per-site overrides runs one point of the
 // search space.
 AttackReport RunAttackExperiment(Server server, const PolicySpec& spec);
+
+// What a parallel Frontend run produced, merged deterministically.
+//
+// `responses` is indexed like `stream.requests` (the i-th entry answers the
+// i-th request), reassembled from the per-client channels — well defined
+// because responses on one channel arrive in that client's request order
+// (sticky lane affinity). `merged_log` folds the per-worker shard logs in
+// ascending shard-id order. Both are identical for identical (stream,
+// factory) inputs regardless of worker count or thread interleaving when
+// per-request handling is shard-history independent — the concurrency
+// determinism property tests/test_shard.cc pins.
+struct FrontendReport {
+  std::vector<ServerResponse> responses;
+  Frontend::Stats stats;
+  uint64_t restarts = 0;
+  MemLog merged_log;
+};
+
+// Drives `stream` through a Frontend (factory per worker shard, options as
+// given), runs it to completion, and merges the outcome.
+FrontendReport RunFrontendExperiment(const ServerFactory& factory, const TrafficStream& stream,
+                                     const Frontend::Options& options);
 
 }  // namespace fob
 

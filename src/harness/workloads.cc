@@ -315,6 +315,12 @@ std::unique_ptr<ServerApp> MakeServerApp(Server server, const PolicySpec& spec,
   return nullptr;
 }
 
+std::function<std::unique_ptr<ServerApp>()> MakeServerAppFactory(Server server,
+                                                                 const PolicySpec& spec,
+                                                                 const ServerSetup& setup) {
+  return [server, spec, setup] { return MakeServerApp(server, spec, setup); };
+}
+
 std::unique_ptr<ServerApp> MakeAttackServer(Server server, const PolicySpec& spec) {
   return MakeServerApp(server, spec, ServerSetup{});
 }

@@ -18,6 +18,7 @@
 #define SRC_HARNESS_WORKLOADS_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -91,6 +92,14 @@ struct ServerSetup {
 
 std::unique_ptr<ServerApp> MakeServerApp(Server server, const PolicySpec& spec,
                                          const ServerSetup& setup = {});
+
+// The reusable construction recipe for pool layers: what a WorkerPool runs
+// to build one worker's adapter + shard, and re-runs on the crashing lane's
+// own thread to replace it. Captures its configuration by value, so it is
+// safe to invoke concurrently — the contract parallel dispatch relies on
+// (src/net/README.md).
+std::function<std::unique_ptr<ServerApp>()> MakeServerAppFactory(
+    Server server, const PolicySpec& spec, const ServerSetup& setup = {});
 
 // The §4 attack configuration — what RunAttackExperiment and the sweep
 // construct per run.

@@ -1,5 +1,8 @@
 #include "src/net/frontend.h"
 
+#include <algorithm>
+#include <exception>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -7,13 +10,17 @@ namespace fob {
 
 namespace {
 
-Frontend::Factory WithBudget(Frontend::Factory factory, uint64_t budget) {
-  if (budget == 0) {
-    return factory;
-  }
-  return [factory = std::move(factory), budget]() {
+// Wraps the caller's factory into the pool's index-aware form: every worker
+// (and every crash replacement for it) gets the access budget applied and
+// its shard stamped with the stable worker index — the identity the
+// deterministic log merge orders by.
+WorkerPool<ServerApp>::IndexedFactory PerShard(Frontend::Factory factory, uint64_t budget) {
+  return [factory = std::move(factory), budget](size_t index) {
     std::unique_ptr<ServerApp> app = factory();
-    app->memory().set_access_budget(budget);
+    if (budget != 0) {
+      app->memory().set_access_budget(budget);
+    }
+    app->memory().set_shard_id(static_cast<uint32_t>(index));
     return app;
   };
 }
@@ -23,7 +30,7 @@ Frontend::Factory WithBudget(Frontend::Factory factory, uint64_t budget) {
 Frontend::Frontend(Factory factory, const Options& options)
     : options_(options),
       pool_(options.workers == 0 ? 1 : options.workers,
-            WithBudget(std::move(factory), options.worker_access_budget)) {}
+            PerShard(std::move(factory), options.worker_access_budget)) {}
 
 LineChannel& Frontend::Connect(uint64_t client_id) {
   std::unique_ptr<LineChannel>& slot = clients_[client_id];
@@ -31,6 +38,14 @@ LineChannel& Frontend::Connect(uint64_t client_id) {
     slot = std::make_unique<LineChannel>();
   }
   return *slot;
+}
+
+size_t Frontend::LaneOf(uint64_t client_id) {
+  auto [it, inserted] = affinity_.try_emplace(client_id, next_lane_);
+  if (inserted) {
+    next_lane_ = (next_lane_ + 1) % pool_.size();
+  }
+  return it->second;
 }
 
 void Frontend::Ingest() {
@@ -68,36 +83,120 @@ void Frontend::Respond(uint64_t client_id, const ServerResponse& response) {
 }
 
 void Frontend::ServePending() {
-  size_t batch_limit = options_.batch == 0 ? 1 : options_.batch;
+  const size_t batch_limit = options_.batch == 0 ? 1 : options_.batch;
+  const size_t lane_count = pool_.size();
+  // Partition the backlog once: each request moves to its client's sticky
+  // lane queue, preserving arrival order (a client never spans lanes, so
+  // per-client order is per-lane order).
+  std::vector<std::deque<Pending>> lanes(lane_count);
   while (!pending_.empty()) {
-    size_t count = std::min(batch_limit, pending_.size());
-    std::vector<Pending> batch;
-    batch.reserve(count);
-    for (size_t i = 0; i < count; ++i) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
+    Pending item = std::move(pending_.front());
+    pending_.pop_front();
+    lanes[LaneOf(item.client_id)].push_back(std::move(item));
+  }
+
+  // Each active lane drains its whole queue on its own thread against its
+  // own worker/shard — batch by batch, crash remainders re-queued at the
+  // front of the lane's own queue, so a crashing lane pays restart +
+  // re-batch latency while the other lanes stream on. A lane thread writes
+  // only its own LaneResult slot; the main thread reads the slots after the
+  // join — the only other cross-thread state is the pool's atomic restart
+  // counter.
+  struct LaneResult {
+    // (client id, response) in serve order, crash error responses included.
+    std::vector<std::pair<uint64_t, ServerResponse>> responses;
+    uint64_t failed = 0;
+    uint64_t requeued = 0;
+    uint64_t batches = 0;
+    // A non-Fault exception that escaped the lane (a harness bug, not a
+    // simulated crash): captured here and rethrown on the main thread, so
+    // it stays as catchable as it was under single-threaded dispatch.
+    std::exception_ptr error;
+  };
+  std::vector<LaneResult> results(lane_count);
+  auto serve_lane = [&](size_t lane) {
+    LaneResult& result = results[lane];
+    try {
+      std::deque<Pending>& queue = lanes[lane];
+      while (!queue.empty()) {
+        size_t count = std::min(batch_limit, queue.size());
+        std::vector<Pending> batch;
+        batch.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+          batch.push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+        std::vector<ServerResponse> out(count);
+        ++result.batches;
+        BatchOutcome outcome = pool_.DispatchBatchOn(
+            lane, count, [&](ServerApp& app, size_t i) { out[i] = app.Handle(batch[i].request); });
+        for (size_t i = 0; i < outcome.completed; ++i) {
+          result.responses.emplace_back(batch[i].client_id, std::move(out[i]));
+        }
+        if (!outcome.crashed) {
+          continue;
+        }
+        // The worker died at batch[completed]: that request is lost (its
+        // client sees the failure), the rest of the batch re-queues onto
+        // the replacement worker, oldest first.
+        ServerResponse failure;
+        failure.status = 500;
+        failure.error = "worker crashed: " + outcome.failure.detail;
+        result.responses.emplace_back(batch[outcome.completed].client_id, std::move(failure));
+        ++result.failed;
+        for (size_t i = count; i > outcome.completed + 1; --i) {
+          queue.push_front(std::move(batch[i - 1]));
+          ++result.requeued;
+        }
+      }
+    } catch (...) {
+      result.error = std::current_exception();
     }
-    std::vector<ServerResponse> responses(count);
-    ++stats_.batches;
-    BatchOutcome outcome = pool_.DispatchBatch(
-        count, [&](ServerApp& app, size_t i) { responses[i] = app.Handle(batch[i].request); });
-    for (size_t i = 0; i < outcome.completed; ++i) {
-      Respond(batch[i].client_id, responses[i]);
+  };
+
+  std::vector<size_t> active;
+  for (size_t lane = 0; lane < lane_count; ++lane) {
+    if (!lanes[lane].empty()) {
+      active.push_back(lane);
     }
-    if (!outcome.crashed) {
-      continue;
+  }
+  if (active.size() == 1) {
+    serve_lane(active.front());  // one lane: skip the thread round trip
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(active.size());
+    for (size_t lane : active) {
+      threads.emplace_back(serve_lane, lane);
     }
-    // The worker died at batch[completed]: that request is lost (its client
-    // sees the failure), the rest of the batch re-queues onto the
-    // replacement worker, oldest first.
-    ServerResponse failure;
-    failure.status = 500;
-    failure.error = "worker crashed: " + outcome.failure.detail;
-    Respond(batch[outcome.completed].client_id, failure);
-    ++stats_.failed;
-    for (size_t i = count; i > outcome.completed + 1; --i) {
-      pending_.push_front(std::move(batch[i - 1]));
-      ++stats_.requeued;
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  // Post-join, single-threaded, in stable lane order: write responses to
+  // the client channels and fold the per-lane accounting — then surface the
+  // first escaped harness exception exactly where single-threaded dispatch
+  // would have thrown it.
+  for (size_t lane : active) {
+    for (auto& [client_id, response] : results[lane].responses) {
+      Respond(client_id, response);
+    }
+    stats_.failed += results[lane].failed;
+    stats_.requeued += results[lane].requeued;
+    stats_.batches += results[lane].batches;
+  }
+  // A lane that threw left its queue partially drained; hand whatever is
+  // unserved back to pending_ (lane order — per-client order is unaffected,
+  // one client maps to one lane) so a caller that catches the rethrow below
+  // and pumps again loses nothing. A clean round leaves every queue empty.
+  for (std::deque<Pending>& queue : lanes) {
+    for (Pending& item : queue) {
+      pending_.push_back(std::move(item));
+    }
+  }
+  for (size_t lane : active) {
+    if (results[lane].error) {
+      std::rethrow_exception(results[lane].error);
     }
   }
 }
@@ -128,12 +227,27 @@ size_t Frontend::Run() {
     served += this_pump;
     if (this_pump == 0 && pending_.empty()) {
       // No progress and nothing queued: the remaining channels are open but
-      // idle — in this single-threaded simulation no further input can
-      // arrive, so waiting would spin forever.
+      // idle — no further input can arrive between pumps, so waiting would
+      // spin forever.
       break;
     }
   }
   return served;
+}
+
+MemLog Frontend::MergedLog() {
+  // Size the merged detail ring to hold every shard's ring, so merging
+  // cannot silently drop records the shards still hold (aggregates are
+  // exact either way).
+  size_t capacity = 0;
+  for (size_t index = 0; index < pool_.size(); ++index) {
+    capacity += pool_.worker(index).memory().log().capacity();
+  }
+  MemLog merged(capacity);
+  for (size_t index = 0; index < pool_.size(); ++index) {
+    merged.Merge(pool_.worker(index).memory().log());
+  }
+  return merged;
 }
 
 }  // namespace fob

@@ -1,26 +1,38 @@
-// Frontend: multiplexes N interleaved client sessions onto a WorkerPool.
+// Frontend: multiplexes N interleaved client sessions onto a WorkerPool of
+// shard-isolated workers, dispatching batches on real threads.
 //
 // Each client holds a LineChannel (src/net/channel.h) and writes serialized
 // ServerRequests; the Frontend polls the channels fairly (one line per
-// client per sweep, so no client can starve the others), gathers requests
-// into batches, and dispatches each batch to a pool of crash-isolated
-// ServerApp workers in ONE simulated process entry
-// (WorkerPool::DispatchBatch) — amortizing the per-request entry cost
-// across the batch, which is the request-batching scale item from the
-// roadmap.
+// client per sweep, so no client can starve the others) and gathers requests
+// into per-worker *lanes*. Lane assignment is sticky session affinity: the
+// first request from a client id binds it to a worker (round robin over the
+// pool), and every later request from that client is served by the same
+// worker/shard — which both preserves per-client request ordering under
+// parallel dispatch and keeps whatever per-shard state a client's requests
+// accumulate (error-log history, heap layout) on one worker.
+//
+// Dispatch is truly parallel: each pump, every lane with pending work
+// drains its queue batch-by-batch (WorkerPool::DispatchBatchOn) on its own
+// std::thread against its own worker — N workers, N shards
+// (src/runtime/shard.h), no shared mutable state between lanes except the
+// per-lane result slots the main thread reads after joining and the pool's
+// atomic restart counter. Responses are written to the client channels
+// after the join, in stable lane order, so the outcome of a run is
+// deterministic no matter how the threads interleaved on the wall clock.
 //
 // Crash handling reproduces the §4.3.2 worker-pool dynamics at batch
-// granularity: when a worker dies mid-batch, the requests already served
-// keep their responses, the request that killed the worker is answered
-// with an error (that client's request is lost, exactly like a child
-// segfaulting mid-connection), the worker is replaced (paying full
-// re-initialization), and the unserved batch remainder is re-queued at the
-// front of the pending queue — so a crashing policy pays restart + re-batch
-// latency while a failure-oblivious pool streams on.
+// granularity, per lane: when a worker dies mid-batch, the requests already
+// served keep their responses, the request that killed the worker is
+// answered with an error (that client's request is lost, exactly like a
+// child segfaulting mid-connection), the worker is replaced on its own lane
+// thread (paying full re-initialization there while other lanes stream on),
+// and the unserved batch remainder is re-queued ahead of the backlog — so a
+// crashing policy pays restart + re-batch latency while a failure-oblivious
+// pool streams on.
 //
-// Workers are stateless between requests (the PCRAFT-style capacity model):
-// any worker can serve any client's request, which is what lets one pool
-// absorb interleaved sessions from many clients.
+// Per-shard MemLogs merge deterministically in ascending worker/shard-id
+// order via MergedLog(); see src/net/README.md for the shard model and the
+// merge ordering rule.
 
 #ifndef SRC_NET_FRONTEND_H_
 #define SRC_NET_FRONTEND_H_
@@ -33,6 +45,7 @@
 
 #include "src/apps/server_app.h"
 #include "src/net/channel.h"
+#include "src/runtime/memlog.h"
 #include "src/runtime/process.h"
 
 namespace fob {
@@ -40,9 +53,13 @@ namespace fob {
 class Frontend {
  public:
   struct Options {
+    // Worker count == worker-thread count == shard count: each worker is
+    // dispatched on its own std::thread (a round with one active lane runs
+    // inline on the caller's thread, so workers=1 is the single-threaded
+    // baseline).
     size_t workers = 2;
-    // Requests dispatched per process entry. 1 degenerates to the legacy
-    // per-request Dispatch behavior.
+    // Requests dispatched per lane per process entry. 1 degenerates to the
+    // legacy per-request Dispatch behavior.
     size_t batch = 8;
     // Applied to every worker (and every replacement): nonzero turns a
     // hung worker into a kBudgetExhausted crash the pool recovers from.
@@ -53,7 +70,7 @@ class Frontend {
     uint64_t served = 0;     // responses written, error responses included
     uint64_t failed = 0;     // requests whose worker died serving them
     uint64_t requeued = 0;   // batch-remainder requests re-queued after a crash
-    uint64_t batches = 0;    // process entries used
+    uint64_t batches = 0;    // lane dispatches (process entries) used
     uint64_t rejected = 0;   // lines that did not parse as a ServerRequest
   };
 
@@ -67,8 +84,8 @@ class Frontend {
   LineChannel& Connect(uint64_t client_id);
 
   // Ingests every line currently readable across all channels (fair,
-  // round-robin) and serves the pending queue in batches. Returns the
-  // number of responses written this pump.
+  // round-robin) and serves the pending queue in parallel lane batches.
+  // Returns the number of responses written this pump.
   size_t Pump();
 
   // Pumps until every connected channel is closed and drained and no
@@ -77,6 +94,14 @@ class Frontend {
 
   // True when nothing is pending and every channel has reached EOF.
   bool Idle() const;
+
+  // The worker/shard this client's requests are (or would be) served by.
+  // Assignment is first-seen round robin and never changes afterwards.
+  size_t LaneOf(uint64_t client_id);
+
+  // Deterministic merged view of every worker shard's error log, folded in
+  // ascending worker/shard-id order (the canonical merge rule).
+  MemLog MergedLog();
 
   const Stats& stats() const { return stats_; }
   uint64_t restarts() const { return pool_.restarts(); }
@@ -95,6 +120,8 @@ class Frontend {
   Options options_;
   WorkerPool<ServerApp> pool_;
   std::map<uint64_t, std::unique_ptr<LineChannel>> clients_;
+  std::map<uint64_t, size_t> affinity_;  // client id -> sticky lane
+  size_t next_lane_ = 0;
   std::deque<Pending> pending_;
   Stats stats_;
 };

@@ -20,20 +20,20 @@ void AccessCursor::Invalidate() {
 
 bool AccessCursor::Resolve(Ptr p) {
   valid_ = false;
-  const DataUnit* unit = memory_.table_.Lookup(p.unit);
+  const DataUnit* unit = memory_.shard_->table.Lookup(p.unit);
   if (unit == nullptr || !unit->live || unit->size == 0) {
     return false;
   }
   unit_ = unit->id;
   base_ = unit->base;
   end_ = unit->base + unit->size;
-  epoch_ = memory_.table_.retire_epoch();
+  epoch_ = memory_.shard_->table.retire_epoch();
   valid_ = true;
   return true;
 }
 
 size_t AccessCursor::FastRun(Ptr p, size_t n) {
-  if (!valid_ || p.unit != unit_ || epoch_ != memory_.table_.retire_epoch()) {
+  if (!valid_ || p.unit != unit_ || epoch_ != memory_.shard_->table.retire_epoch()) {
     if (!Resolve(p)) {
       return 0;
     }
@@ -46,10 +46,10 @@ size_t AccessCursor::FastRun(Ptr p, size_t n) {
 }
 
 uint8_t AccessCursor::ReadU8(Ptr p) {
-  if (checked_ && memory_.config_.access_budget == 0 && FastRun(p, 1) == 1) {
-    ++memory_.accesses_;
+  if (checked_ && memory_.shard_->config.access_budget == 0 && FastRun(p, 1) == 1) {
+    ++memory_.shard_->accesses;
     uint8_t v = 0;
-    bool ok = memory_.space_.Read(p.addr, &v, 1);
+    bool ok = memory_.shard_->space.Read(p.addr, &v, 1);
     assert(ok && "in-bounds unit memory must be mapped");
     (void)ok;
     return v;
@@ -58,9 +58,9 @@ uint8_t AccessCursor::ReadU8(Ptr p) {
 }
 
 void AccessCursor::WriteU8(Ptr p, uint8_t v) {
-  if (checked_ && memory_.config_.access_budget == 0 && FastRun(p, 1) == 1) {
-    ++memory_.accesses_;
-    bool ok = memory_.space_.Write(p.addr, &v, 1);
+  if (checked_ && memory_.shard_->config.access_budget == 0 && FastRun(p, 1) == 1) {
+    ++memory_.shard_->accesses;
+    bool ok = memory_.shard_->space.Write(p.addr, &v, 1);
     assert(ok && "in-bounds unit memory must be mapped");
     (void)ok;
     return;
@@ -70,7 +70,7 @@ void AccessCursor::WriteU8(Ptr p, uint8_t v) {
 
 void AccessCursor::Read(Ptr p, void* dst, size_t n) {
   uint8_t* out = static_cast<uint8_t*>(dst);
-  if (memory_.config_.access_budget != 0) {
+  if (memory_.shard_->config.access_budget != 0) {
     // Budgeted runs are the harness's hang detector; take the exact per-byte
     // path so the budget trips at precisely the same access it always did.
     for (size_t i = 0; i < n; ++i) {
@@ -85,8 +85,8 @@ void AccessCursor::Read(Ptr p, void* dst, size_t n) {
     // Standard: no checks to hoist; do the raw block copy, falling back to
     // the per-byte path to reproduce the exact faulting byte on unmapped
     // memory.
-    if (memory_.space_.Read(p.addr, out, n)) {
-      memory_.accesses_ += n;
+    if (memory_.shard_->space.Read(p.addr, out, n)) {
+      memory_.shard_->accesses += n;
       return;
     }
     for (size_t i = 0; i < n; ++i) {
@@ -99,8 +99,8 @@ void AccessCursor::Read(Ptr p, void* dst, size_t n) {
     Ptr q = p + static_cast<int64_t>(i);
     size_t run = FastRun(q, n - i);
     if (run > 0) {
-      memory_.accesses_ += run;
-      bool ok = memory_.space_.Read(q.addr, out + i, run);
+      memory_.shard_->accesses += run;
+      bool ok = memory_.shard_->space.Read(q.addr, out + i, run);
       assert(ok && "in-bounds unit memory must be mapped");
       (void)ok;
       i += run;
@@ -113,7 +113,7 @@ void AccessCursor::Read(Ptr p, void* dst, size_t n) {
 
 void AccessCursor::Write(Ptr p, const void* src, size_t n) {
   const uint8_t* in = static_cast<const uint8_t*>(src);
-  if (memory_.config_.access_budget != 0) {
+  if (memory_.shard_->config.access_budget != 0) {
     for (size_t i = 0; i < n; ++i) {
       memory_.WriteU8(p + static_cast<int64_t>(i), in[i]);
     }
@@ -125,8 +125,8 @@ void AccessCursor::Write(Ptr p, const void* src, size_t n) {
     }
     // The byte loop writes the mapped prefix before faulting; so does the
     // raw block write, so only the fault address needs the per-byte replay.
-    if (memory_.space_.Write(p.addr, in, n)) {
-      memory_.accesses_ += n;
+    if (memory_.shard_->space.Write(p.addr, in, n)) {
+      memory_.shard_->accesses += n;
       return;
     }
     for (size_t i = 0; i < n; ++i) {
@@ -139,8 +139,8 @@ void AccessCursor::Write(Ptr p, const void* src, size_t n) {
     Ptr q = p + static_cast<int64_t>(i);
     size_t run = FastRun(q, n - i);
     if (run > 0) {
-      memory_.accesses_ += run;
-      bool ok = memory_.space_.Write(q.addr, in + i, run);
+      memory_.shard_->accesses += run;
+      bool ok = memory_.shard_->space.Write(q.addr, in + i, run);
       assert(ok && "in-bounds unit memory must be mapped");
       (void)ok;
       i += run;

@@ -63,12 +63,12 @@ class PolicyHandler {
 
  protected:
   // Memory grants friendship to the base class only; subclasses reach the
-  // runtime internals through these.
-  AddressSpace& space() { return mem_.space_; }
-  const ObjectTable& table() const { return mem_.table_; }
-  BoundlessStore& boundless() { return mem_.boundless_; }
-  ValueSequence& sequence() { return mem_.sequence_; }
-  const Memory::Config& config() const { return mem_.config_; }
+  // shard bundle through these.
+  AddressSpace& space() { return mem_.shard_->space; }
+  const ObjectTable& table() const { return mem_.shard_->table; }
+  BoundlessStore& boundless() { return mem_.shard_->boundless; }
+  ValueSequence& sequence() { return mem_.shard_->sequence; }
+  const Memory::Config& config() const { return mem_.shard_->config; }
   Memory::CheckResult Check(Ptr p, size_t n) const { return mem_.CheckAccess(p, n); }
   void LogError(bool is_write, Ptr p, size_t n, const Memory::CheckResult& check) {
     mem_.LogError(is_write, p, n, check);

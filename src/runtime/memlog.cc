@@ -56,6 +56,34 @@ void MemLog::Record(MemErrorRecord record) {
   recent_.push_back(std::move(record));
   if (recent_.size() > capacity_) {
     recent_.pop_front();
+    ++dropped_;
+  }
+}
+
+void MemLog::Merge(const MemLog& other) {
+  total_ += other.total_;
+  read_errors_ += other.read_errors_;
+  write_errors_ += other.write_errors_;
+  dropped_ += other.dropped_;
+  for (const auto& [name, count] : other.by_unit_) {
+    by_unit_[name] += count;
+  }
+  for (const auto& [site, stat] : other.sites_) {
+    MemSiteStat& mine = sites_[site];
+    if (mine.count == 0) {
+      mine.site = stat.site;
+      mine.unit_name = stat.unit_name;
+      mine.function = stat.function;
+      mine.is_write = stat.is_write;
+    }
+    mine.count += stat.count;
+  }
+  for (const MemErrorRecord& record : other.recent_) {
+    recent_.push_back(record);
+    if (recent_.size() > capacity_) {
+      recent_.pop_front();
+      ++dropped_;
+    }
   }
 }
 
@@ -63,6 +91,10 @@ std::string MemLog::Summary() const {
   std::ostringstream os;
   os << "memory-error log: " << total_ << " total (" << write_errors_ << " writes, "
      << read_errors_ << " reads)\n";
+  if (dropped_ > 0) {
+    os << "  detail ring capped at " << capacity_ << ": " << dropped_
+       << " older records evicted (aggregates exact)\n";
+  }
   // Sort units by error count, descending.
   std::vector<std::pair<std::string, uint64_t>> units(by_unit_.begin(), by_unit_.end());
   std::sort(units.begin(), units.end(),
@@ -75,7 +107,7 @@ std::string MemLog::Summary() const {
 
 void MemLog::Clear() {
   recent_.clear();
-  total_ = read_errors_ = write_errors_ = 0;
+  total_ = read_errors_ = write_errors_ = dropped_ = 0;
   by_unit_.clear();
   sites_.clear();
 }

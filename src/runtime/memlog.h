@@ -5,9 +5,17 @@
 //  the program's attempts to commit memory errors."
 //
 // The log keeps bounded per-error records (a ring of the most recent
-// kDefaultCapacity) plus unbounded counters, and can echo entries to a
-// stream as they happen. The stability experiments read the counters; the
-// examples echo the stream.
+// `capacity` records — Memory::Config::log_capacity — with an overflow
+// counter for evictions, so multi-attack streams that commit thousands of
+// errors cannot grow a worker's log without bound) plus exact aggregate
+// counters, and can echo entries to a stream as they happen. The stability
+// experiments read the counters; the examples echo the stream.
+//
+// Per-shard logs merge deterministically: MemLog::Merge folds another log's
+// aggregates and ring into this one, and callers (Frontend::MergedLog, the
+// harness's RunFrontendExperiment) merge in ascending shard-id order, so
+// the merged view of a parallel run is identical no matter how the worker
+// threads interleaved.
 
 #ifndef SRC_RUNTIME_MEMLOG_H_
 #define SRC_RUNTIME_MEMLOG_H_
@@ -68,9 +76,21 @@ class MemLog {
   uint64_t write_errors() const { return write_errors_; }
   // Errors per data-unit name, e.g. "prescan::buf" -> 37.
   const std::map<std::string, uint64_t>& errors_by_unit() const { return by_unit_; }
-  // Errors per site id (unbounded; see MemSiteStat).
+  // Errors per site id (exact: one entry per distinct site, never evicted,
+  // so aggregation survives the ring bound; see MemSiteStat).
   const std::map<SiteId, MemSiteStat>& sites() const { return sites_; }
   const std::deque<MemErrorRecord>& recent() const { return recent_; }
+  // Records evicted from the bounded ring (recorded-but-no-longer-stored);
+  // total_errors() == recent().size() + dropped() for an unmerged log.
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+  // Folds another shard's log into this one: aggregate counters and per-site
+  // stats sum exactly; the other ring's records append in their original
+  // order (evicting, and counting, the oldest beyond capacity). Merging
+  // shards in ascending shard-id order is the repo's canonical deterministic
+  // merge rule (see src/net/README.md).
+  void Merge(const MemLog& other);
 
   // When set, every record is also printed to the stream as it happens.
   void set_echo(std::ostream* stream) { echo_ = stream; }
@@ -89,6 +109,7 @@ class MemLog {
   uint64_t total_ = 0;
   uint64_t read_errors_ = 0;
   uint64_t write_errors_ = 0;
+  uint64_t dropped_ = 0;
   std::map<std::string, uint64_t> by_unit_;
   std::map<SiteId, MemSiteStat> sites_;
   std::ostream* echo_ = nullptr;

@@ -22,19 +22,9 @@ Memory::Memory(AccessPolicy policy) : Memory(PolicySpec(policy)) {}
 
 Memory::Memory(const PolicySpec& spec) : Memory(ConfigFromSpec(spec)) {}
 
-Memory::Memory(const Config& config)
-    : config_(config),
-      sequence_(config.sequence),
-      log_(config.log_capacity),
-      boundless_(config.boundless_capacity) {
-  policy_table_ = std::make_unique<PolicyTable>(*this, config_.policy);
-  handler_ = &policy_table_->fallback_handler();
-  uniform_ = policy_table_->uniform();
-  heap_ = std::make_unique<Heap>(space_, table_, kHeapBase, config_.heap_bytes);
-  stack_ = std::make_unique<Stack>(space_, table_, kStackLow, config_.stack_bytes);
-  space_.Map(kGlobalBase, config_.global_bytes);
-  global_cursor_ = kGlobalBase;
-  global_end_ = kGlobalBase + config_.global_bytes;
+Memory::Memory(const Config& config) : shard_(std::make_unique<Shard>(*this, config)) {
+  handler_ = &shard_->policy_table->fallback_handler();
+  uniform_ = shard_->policy_table->uniform();
 }
 
 Memory::~Memory() = default;
@@ -42,57 +32,59 @@ Memory::~Memory() = default;
 // ---- Allocation -----------------------------------------------------------
 
 Ptr Memory::Malloc(size_t size, std::string name) {
-  Addr payload = heap_->Malloc(size, std::move(name));
+  Addr payload = shard_->heap->Malloc(size, std::move(name));
   if (payload == 0) {
     return kNullPtr;
   }
-  return Ptr(payload, heap_->BlockUnit(payload));
+  return Ptr(payload, shard_->heap->BlockUnit(payload));
 }
 
 PolicyHandler& Memory::ResolveAllocHandler(Ptr p, std::optional<CheckResult>& check) {
   check = CheckAccess(p, 1);
   // Free/realloc errors are logged as writes, so the site resolves with the
   // write kind — one policy governs everything that mutates a block.
-  return policy_table_->ResolveSite(SiteOf(*check, AccessKind::kWrite));
+  return shard_->policy_table->ResolveSite(SiteOf(*check, AccessKind::kWrite));
 }
 
 void Memory::Free(Ptr p) {
   if (p.IsNull()) {
     return;  // free(NULL) is a no-op in every libc
   }
+  Heap& heap = *shard_->heap;
   std::optional<CheckResult> check;
   PolicyHandler& handler = uniform_ ? *handler_ : ResolveAllocHandler(p, check);
   if (!handler.continues_on_error()) {
     // Both non-continuing configurations die here: Standard with the
     // allocator's own abort, BoundsCheck with its terminate-on-error
     // behaviour.
-    heap_->Free(p.addr);
+    heap.Free(p.addr);
     return;
   }
   // Continuing policies treat an invalid free like an invalid write: log it
   // and discard the operation.
-  if (heap_->BlockSize(p.addr) == 0) {
+  if (heap.BlockSize(p.addr) == 0) {
     if (!check.has_value()) {
       check = CheckAccess(p, 1);
     }
     LogError(/*is_write=*/true, p, 0, *check);
     return;
   }
-  boundless_.DropUnit(heap_->BlockUnit(p.addr));
-  heap_->Free(p.addr);
+  shard_->boundless.DropUnit(heap.BlockUnit(p.addr));
+  heap.Free(p.addr);
 }
 
 Ptr Memory::Realloc(Ptr p, size_t new_size) {
   if (p.IsNull()) {
     return Malloc(new_size, "realloc");
   }
+  Heap& heap = *shard_->heap;
   std::optional<CheckResult> check;
   PolicyHandler& handler = uniform_ ? *handler_ : ResolveAllocHandler(p, check);
   if (!handler.continues_on_error()) {
-    Addr fresh = heap_->Realloc(p.addr, new_size);
-    return fresh == 0 ? kNullPtr : Ptr(fresh, heap_->BlockUnit(fresh));
+    Addr fresh = heap.Realloc(p.addr, new_size);
+    return fresh == 0 ? kNullPtr : Ptr(fresh, heap.BlockUnit(fresh));
   }
-  size_t old_size = heap_->BlockSize(p.addr);
+  size_t old_size = heap.BlockSize(p.addr);
   if (old_size == 0) {
     if (!check.has_value()) {
       check = CheckAccess(p, 1);
@@ -100,16 +92,16 @@ Ptr Memory::Realloc(Ptr p, size_t new_size) {
     LogError(/*is_write=*/true, p, 0, *check);
     return p;  // leave the program with its pointer; best effort
   }
-  UnitId old_unit = heap_->BlockUnit(p.addr);
-  Addr fresh = heap_->Realloc(p.addr, new_size);
+  UnitId old_unit = heap.BlockUnit(p.addr);
+  Addr fresh = heap.Realloc(p.addr, new_size);
   if (fresh == 0) {
     return kNullPtr;
   }
   if (new_size > old_size) {
     handler.OnReallocGrow(old_unit, fresh, old_size, new_size);
   }
-  boundless_.DropUnit(old_unit);
-  return Ptr(fresh, heap_->BlockUnit(fresh));
+  shard_->boundless.DropUnit(old_unit);
+  return Ptr(fresh, heap.BlockUnit(fresh));
 }
 
 Ptr Memory::AllocGlobal(size_t size, std::string name) {
@@ -117,12 +109,12 @@ Ptr Memory::AllocGlobal(size_t size, std::string name) {
     size = 1;
   }
   size_t reserved = (size + 15) & ~static_cast<size_t>(15);
-  if (global_cursor_ + reserved > global_end_) {
+  if (shard_->global_cursor + reserved > shard_->global_end) {
     return kNullPtr;
   }
-  Addr base = global_cursor_;
-  global_cursor_ += reserved;
-  UnitId unit = table_.Register(base, size, UnitKind::kGlobal, std::move(name));
+  Addr base = shard_->global_cursor;
+  shard_->global_cursor += reserved;
+  UnitId unit = shard_->table.Register(base, size, UnitKind::kGlobal, std::move(name));
   return Ptr(base, unit);
 }
 
@@ -130,22 +122,22 @@ Ptr Memory::AllocGlobal(size_t size, std::string name) {
 
 Memory::Frame::Frame(Memory& memory, std::string function)
     : memory_(memory), exceptions_at_entry_(std::uncaught_exceptions()) {
-  memory_.stack_->PushFrame(std::move(function));
+  memory_.shard_->stack->PushFrame(std::move(function));
 }
 
 Memory::Frame::~Frame() noexcept(false) {
   if (std::uncaught_exceptions() > exceptions_at_entry_) {
     // The simulated process is crashing through this frame; it never
     // returns, so the canary is not consulted.
-    memory_.stack_->PopFrameUnchecked();
+    memory_.shard_->stack->PopFrameUnchecked();
     return;
   }
-  memory_.stack_->PopFrame();
+  memory_.shard_->stack->PopFrame();
 }
 
 Ptr Memory::Frame::Local(size_t size, std::string name) {
-  Addr base = memory_.stack_->AllocLocal(size, std::move(name));
-  const DataUnit* unit = memory_.table_.LookupByAddress(base);
+  Addr base = memory_.shard_->stack->AllocLocal(size, std::move(name));
+  const DataUnit* unit = memory_.shard_->table.LookupByAddress(base);
   assert(unit != nullptr);
   return Ptr(base, unit->id);
 }
@@ -153,9 +145,9 @@ Ptr Memory::Frame::Local(size_t size, std::string name) {
 // ---- Checked access ---------------------------------------------------------
 
 void Memory::BumpAccess() {
-  ++accesses_;
-  if (config_.access_budget != 0 && accesses_ > config_.access_budget) {
-    throw Fault::BudgetExhausted(config_.access_budget);
+  ++shard_->accesses;
+  if (shard_->config.access_budget != 0 && shard_->accesses > shard_->config.access_budget) {
+    throw Fault::BudgetExhausted(shard_->config.access_budget);
   }
 }
 
@@ -164,9 +156,10 @@ Memory::CheckResult Memory::CheckAccess(Ptr p, size_t n) const {
   // The table search is what a Jones-Kelly/CRED checker executes per access;
   // performing it here (even though the referent id already hangs off the
   // pointer) keeps the checked policies' cost model honest.
-  const DataUnit* containing = table_.LookupByAddress(p.addr);
-  result.unit = table_.Lookup(p.unit);
-  result.status = OobRegistry::Classify(table_, p.unit, p.addr, n);
+  const ObjectTable& table = shard_->table;
+  const DataUnit* containing = table.LookupByAddress(p.addr);
+  result.unit = table.Lookup(p.unit);
+  result.status = OobRegistry::Classify(table, p.unit, p.addr, n);
   result.in_bounds = result.status == PointerStatus::kInBounds;
   (void)containing;
   return result;
@@ -174,7 +167,7 @@ Memory::CheckResult Memory::CheckAccess(Ptr p, size_t n) const {
 
 SiteId Memory::SiteOf(const CheckResult& check, AccessKind kind) const {
   return MakeSiteId(check.unit != nullptr ? std::string_view(check.unit->name) : std::string_view(),
-                    stack_->current_function(), kind);
+                    shard_->stack->current_function(), kind);
 }
 
 SiteId Memory::SiteForAccess(Ptr p, AccessKind kind) const {
@@ -182,7 +175,7 @@ SiteId Memory::SiteForAccess(Ptr p, AccessKind kind) const {
 }
 
 void Memory::LogError(bool is_write, Ptr p, size_t n, const CheckResult& check, SiteId site) {
-  oob_.Note(check.status);
+  shard_->oob.Note(check.status);
   MemErrorRecord record;
   record.is_write = is_write;
   record.addr = p.addr;
@@ -190,25 +183,25 @@ void Memory::LogError(bool is_write, Ptr p, size_t n, const CheckResult& check, 
   record.unit = p.unit;
   record.unit_name = check.unit != nullptr ? check.unit->name : "";
   record.status = check.status;
-  record.function = stack_->current_function();
-  record.access_index = accesses_;
+  record.function = shard_->stack->current_function();
+  record.access_index = shard_->accesses;
   record.site = site != kInvalidSite
                     ? site
                     : MakeSiteId(record.unit_name, record.function,
                                  is_write ? AccessKind::kWrite : AccessKind::kRead);
-  log_.Record(std::move(record));
+  shard_->log.Record(std::move(record));
 }
 
 void Memory::SiteDispatchRead(Ptr p, void* dst, size_t n) {
   CheckResult check = CheckAccess(p, n);
   if (check.in_bounds) {
-    bool ok = space_.Read(p.addr, dst, n);
+    bool ok = shard_->space.Read(p.addr, dst, n);
     assert(ok && "in-bounds unit memory must be mapped");
     (void)ok;
     return;
   }
   SiteId site = SiteOf(check, AccessKind::kRead);
-  PolicyHandler& handler = policy_table_->ResolveSite(site);
+  PolicyHandler& handler = shard_->policy_table->ResolveSite(site);
   // Unchecked (Standard) sites get no error record — the raw access landing
   // or segfaulting IS the continuation; see StandardHandler::Continue*.
   if (handler.checked()) {
@@ -220,13 +213,13 @@ void Memory::SiteDispatchRead(Ptr p, void* dst, size_t n) {
 void Memory::SiteDispatchWrite(Ptr p, const void* src, size_t n) {
   CheckResult check = CheckAccess(p, n);
   if (check.in_bounds) {
-    bool ok = space_.Write(p.addr, src, n);
+    bool ok = shard_->space.Write(p.addr, src, n);
     assert(ok && "in-bounds unit memory must be mapped");
     (void)ok;
     return;
   }
   SiteId site = SiteOf(check, AccessKind::kWrite);
-  PolicyHandler& handler = policy_table_->ResolveSite(site);
+  PolicyHandler& handler = shard_->policy_table->ResolveSite(site);
   if (handler.checked()) {
     LogError(/*is_write=*/true, p, n, check, site);
   }
@@ -349,7 +342,7 @@ void Memory::WriteBytes(Ptr p, std::string_view bytes) {
 }
 
 PointerStatus Memory::Classify(Ptr p, size_t n) const {
-  return OobRegistry::Classify(table_, p.unit, p.addr, n);
+  return OobRegistry::Classify(shard_->table, p.unit, p.addr, n);
 }
 
 }  // namespace fob

@@ -1,9 +1,11 @@
 // fob::Memory — the failure-oblivious runtime.
 //
 // Memory is what the code emitted by a failure-oblivious compiler would link
-// against: it owns a simulated process image (address space, heap, call
-// stack, globals, Jones-Kelly object table) and mediates every load and
-// store according to a PolicySpec.
+// against: the access-mediation façade over one fob::Shard — the
+// self-contained simulated process image (address space, heap, call stack,
+// globals, Jones-Kelly object table, error log, policy table; see
+// src/runtime/shard.h). Memory mediates every load and store according to
+// the shard's PolicySpec:
 //
 //   * checking code: classify the access against the pointer's intended
 //     referent (src/softmem/oob_registry.h);
@@ -17,18 +19,22 @@
 //
 // Policy selection is per *site* (src/runtime/policy_spec.h): the PolicySpec
 // in Config maps SiteId -> AccessPolicy with a default fallback, resolved
-// through the PolicyTable (src/runtime/policy_table.h) to PolicyHandler
-// strategies (src/runtime/handlers/). A uniform spec — the common case, and
-// what the legacy Memory(AccessPolicy) constructor builds — binds one
-// handler at construction so the hot access path stays a single virtual
-// dispatch, exactly as before per-site resolution existed. A mixed spec
-// routes only *invalid* accesses through site resolution: in-bounds accesses
-// are policy-independent, so the per-site machinery costs nothing until the
-// checking code actually fails.
+// through the shard's PolicyTable (src/runtime/policy_table.h) to
+// PolicyHandler strategies (src/runtime/handlers/). A uniform spec — the
+// common case, and what the legacy Memory(AccessPolicy) constructor builds —
+// binds one handler at construction so the hot access path stays a single
+// virtual dispatch, exactly as before per-site resolution existed. A mixed
+// spec routes only *invalid* accesses through site resolution: in-bounds
+// accesses are policy-independent, so the per-site machinery costs nothing
+// until the checking code actually fails.
 //
 // The Standard policy skips the object-table search entirely and touches the
 // page map only, so the measured gap between Standard and the checked
 // policies reproduces the cost profile of inserting dynamic checks.
+//
+// Every Memory owns exactly one Shard and shares nothing mutable with any
+// other Memory, so concurrent workers each holding their own Memory may run
+// on real threads with no synchronization (src/net/frontend.h).
 //
 // "Programs" written against this runtime allocate with Malloc/Frame::Local,
 // address memory through fob::Ptr, and access it through Read*/Write*.
@@ -42,48 +48,23 @@
 #include <string>
 #include <string_view>
 
-#include "src/runtime/boundless.h"
-#include "src/runtime/manufactured.h"
 #include "src/runtime/memlog.h"
 #include "src/runtime/policy.h"
 #include "src/runtime/policy_spec.h"
 #include "src/runtime/ptr.h"
-#include "src/softmem/address_space.h"
+#include "src/runtime/shard.h"
 #include "src/softmem/fault.h"
-#include "src/softmem/heap.h"
-#include "src/softmem/object_table.h"
-#include "src/softmem/oob_registry.h"
-#include "src/softmem/stack.h"
 
 namespace fob {
 
 class AccessCursor;
 class PolicyHandler;
-class PolicyTable;
 
 class Memory {
  public:
-  struct Config {
-    // Which continuation runs where: a uniform spec (assignable from a bare
-    // AccessPolicy) reproduces the paper's whole-program policies; a spec
-    // with per-site overrides enables the Durieux-style search-space sweep.
-    PolicySpec policy = AccessPolicy::kFailureOblivious;
-    SequenceKind sequence = SequenceKind::kPaper;
-    size_t heap_bytes = 16 << 20;
-    size_t global_bytes = 1 << 20;
-    size_t stack_bytes = 1 << 20;
-    size_t log_capacity = MemLog::kDefaultCapacity;
-    // 0 = unlimited. When nonzero, the access that exceeds the budget throws
-    // Fault{kBudgetExhausted}; the harness uses this to detect hangs.
-    uint64_t access_budget = 0;
-    // Cap on the Boundless policy's stored out-of-bounds bytes (0 =
-    // unbounded); bounds attacker-driven memory growth per the ACSAC
-    // variant.
-    size_t boundless_capacity = 0;
-    // How many invalid accesses the Threshold policy continues through
-    // before terminating the program.
-    uint64_t error_threshold = 4096;
-  };
+  // The shard bundle's configuration; kept under the historical name so
+  // `Memory::Config` call sites read unchanged.
+  using Config = ShardConfig;
 
   // Thin compatibility constructor: a uniform spec over one policy.
   explicit Memory(AccessPolicy policy);
@@ -94,8 +75,8 @@ class Memory {
   Memory& operator=(const Memory&) = delete;
 
   // The fallback (whole-program) policy; per-site overrides live in spec().
-  AccessPolicy policy() const { return config_.policy.fallback(); }
-  const PolicySpec& spec() const { return config_.policy; }
+  AccessPolicy policy() const { return shard_->config.policy.fallback(); }
+  const PolicySpec& spec() const { return shard_->config.policy; }
 
   // What the checking code learned about one access: whether it may proceed,
   // how the pointer relates to its intended referent, and the referent
@@ -190,29 +171,38 @@ class Memory {
 
   // ---- Introspection ------------------------------------------------------
 
-  MemLog& log() { return log_; }
-  const MemLog& log() const { return log_; }
-  uint64_t access_count() const { return accesses_; }
-  void set_access_budget(uint64_t budget) { config_.access_budget = budget; }
+  // The shard handle: this Memory's whole simulated universe. Everything
+  // below is a view into it.
+  Shard& shard() { return *shard_; }
+  const Shard& shard() const { return *shard_; }
+  // Stable worker identity for merged-log ordering; stamped by the pool.
+  uint32_t shard_id() const { return shard_->config.shard_id; }
+  void set_shard_id(uint32_t id) { shard_->config.shard_id = id; }
+
+  MemLog& log() { return shard_->log; }
+  const MemLog& log() const { return shard_->log; }
+  uint64_t access_count() const { return shard_->accesses; }
+  void set_access_budget(uint64_t budget) { shard_->config.access_budget = budget; }
   PointerStatus Classify(Ptr p, size_t n = 1) const;
 
-  AddressSpace& space() { return space_; }
-  const ObjectTable& objects() const { return table_; }
-  Heap& heap() { return *heap_; }
-  Stack& stack() { return *stack_; }
-  ValueSequence& sequence() { return sequence_; }
-  const OobRegistry& oob() const { return oob_; }
-  const BoundlessStore& boundless() const { return boundless_; }
+  AddressSpace& space() { return shard_->space; }
+  const ObjectTable& objects() const { return shard_->table; }
+  Heap& heap() { return *shard_->heap; }
+  Stack& stack() { return *shard_->stack; }
+  ValueSequence& sequence() { return shard_->sequence; }
+  const OobRegistry& oob() const { return shard_->oob; }
+  const BoundlessStore& boundless() const { return shard_->boundless; }
 
   // The site id the *next* invalid access through p would resolve to, given
   // the current stack frame. What the sweep and the tests use to name sites
   // without replaying a whole workload.
   SiteId SiteForAccess(Ptr p, AccessKind kind) const;
 
-  // Region layout (fixed; tests rely on the ordering globals < heap < stack).
-  static constexpr Addr kGlobalBase = 0x0000000000100000ull;
-  static constexpr Addr kHeapBase = 0x0000000010000000ull;
-  static constexpr Addr kStackLow = 0x00007fffff000000ull;
+  // Region layout, re-exported from the shard (tests rely on the ordering
+  // globals < heap < stack).
+  static constexpr Addr kGlobalBase = Shard::kGlobalBase;
+  static constexpr Addr kHeapBase = Shard::kHeapBase;
+  static constexpr Addr kStackLow = Shard::kStackLow;
 
  private:
   friend class PolicyHandler;
@@ -237,21 +227,9 @@ class Memory {
   // paths can log without a second table search.
   PolicyHandler& ResolveAllocHandler(Ptr p, std::optional<CheckResult>& check);
 
-  Config config_;
-  std::unique_ptr<PolicyTable> policy_table_;
-  PolicyHandler* handler_ = nullptr;  // fallback handler, owned by the table
+  std::unique_ptr<Shard> shard_;
+  PolicyHandler* handler_ = nullptr;  // fallback handler, owned by the shard's table
   bool uniform_ = true;
-  AddressSpace space_;
-  ObjectTable table_;
-  std::unique_ptr<Heap> heap_;
-  std::unique_ptr<Stack> stack_;
-  Addr global_cursor_;
-  Addr global_end_;
-  ValueSequence sequence_;
-  MemLog log_;
-  OobRegistry oob_;
-  BoundlessStore boundless_;
-  uint64_t accesses_ = 0;
 };
 
 }  // namespace fob

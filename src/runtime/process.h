@@ -3,18 +3,28 @@
 // RunAsProcess runs a computation the way the OS runs a process: a Fault
 // thrown anywhere inside is "the process died" and is converted into an exit
 // status. WorkerPool models Apache's regenerating pool of child processes
-// (§4.3.2): work is dispatched to workers round robin, a worker that faults
-// is torn down and a replacement is constructed by re-running the factory —
-// which is what makes restarts cost real (re-initialization) time in the
-// throughput experiment.
+// (§4.3.2): work is dispatched to workers (round robin, or to an explicit
+// worker index for sticky/parallel callers), a worker that faults is torn
+// down and a replacement is constructed by re-running the factory — which is
+// what makes restarts cost real (re-initialization) time in the throughput
+// experiment.
+//
+// Concurrency contract: each worker owns its whole simulated universe (its
+// App holds a Memory holding a Shard — src/runtime/shard.h), so
+// DispatchBatchOn may run concurrently from one thread per *distinct* index.
+// A dispatch touches only its own worker slot; the restart counter is
+// atomic; the factory must be safe to invoke concurrently (the standard
+// factories build fresh state from captured-by-value configuration).
 
 #ifndef SRC_RUNTIME_PROCESS_H_
 #define SRC_RUNTIME_PROCESS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/softmem/fault.h"
@@ -66,11 +76,19 @@ template <typename App>
 class WorkerPool {
  public:
   using Factory = std::function<std::unique_ptr<App>()>;
+  // Index-aware construction: receives the worker slot being (re)built, so
+  // per-worker identity — a shard id, a seeded RNG — is stable across
+  // replacements. A plain Factory wraps into one that ignores the index.
+  using IndexedFactory = std::function<std::unique_ptr<App>(size_t)>;
 
-  WorkerPool(size_t worker_count, Factory factory) : factory_(std::move(factory)) {
+  WorkerPool(size_t worker_count, Factory factory)
+      : WorkerPool(worker_count,
+                   IndexedFactory([factory = std::move(factory)](size_t) { return factory(); })) {}
+
+  WorkerPool(size_t worker_count, IndexedFactory factory) : factory_(std::move(factory)) {
     workers_.resize(worker_count);
-    for (auto& w : workers_) {
-      w = factory_();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      workers_[i] = factory_(i);
     }
   }
 
@@ -78,12 +96,12 @@ class WorkerPool {
   // (the replacement cost is paid here, synchronously, like a fork+init).
   template <typename Fn>
   RunResult Dispatch(Fn&& work) {
-    size_t index = next_++ % workers_.size();
+    size_t index = RoundRobin();
     App* app = workers_[index].get();
     RunResult result = RunAsProcess([&] { work(*app); });
     if (result.crashed()) {
-      ++restarts_;
-      workers_[index] = factory_();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      workers_[index] = factory_(index);
     }
     return result;
   }
@@ -97,11 +115,21 @@ class WorkerPool {
   // that caused it.
   template <typename Fn>
   BatchOutcome DispatchBatch(size_t count, Fn&& work) {
+    return DispatchBatchOn(RoundRobin(), count, std::forward<Fn>(work));
+  }
+
+  // DispatchBatch pinned to one worker. This is the truly-parallel entry
+  // point: the Frontend runs one DispatchBatchOn per worker index on its own
+  // std::thread. Safe concurrently for distinct indices — a crashed worker
+  // is replaced in place (on the calling thread, so the restart latency
+  // lands on that lane while the other lanes stream on), and the shared
+  // restart counter is atomic.
+  template <typename Fn>
+  BatchOutcome DispatchBatchOn(size_t index, size_t count, Fn&& work) {
     BatchOutcome outcome;
     if (count == 0) {
       return outcome;
     }
-    size_t index = next_++ % workers_.size();
     App* app = workers_[index].get();
     size_t i = 0;
     RunResult result = RunAsProcess([&] {
@@ -111,23 +139,25 @@ class WorkerPool {
     });
     outcome.completed = i;
     if (result.crashed()) {
-      ++restarts_;
-      workers_[index] = factory_();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      workers_[index] = factory_(index);
       outcome.crashed = true;
       outcome.failure = result;
     }
     return outcome;
   }
 
-  uint64_t restarts() const { return restarts_; }
+  uint64_t restarts() const { return restarts_.load(std::memory_order_relaxed); }
   size_t size() const { return workers_.size(); }
   App& worker(size_t index) { return *workers_[index]; }
 
  private:
-  Factory factory_;
+  size_t RoundRobin() { return next_.fetch_add(1, std::memory_order_relaxed) % workers_.size(); }
+
+  IndexedFactory factory_;
   std::vector<std::unique_ptr<App>> workers_;
-  size_t next_ = 0;
-  uint64_t restarts_ = 0;
+  std::atomic<size_t> next_{0};
+  std::atomic<uint64_t> restarts_{0};
 };
 
 }  // namespace fob

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -226,6 +227,81 @@ TEST(FrontendTest, BatchSizeOneDegeneratesToPerRequestDispatch) {
   EXPECT_EQ(frontend.restarts(), 3u);
   EXPECT_EQ(frontend.stats().failed, 3u);
   EXPECT_EQ(frontend.stats().requeued, 0u);
+}
+
+TEST(FrontendTest, SessionAffinityRoutesAClientToOneStickyWorkerShard) {
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 4, .batch = 2});
+  // First-seen round robin: clients bind to lanes in connection order, and
+  // the binding never changes afterwards.
+  LineChannel& a = frontend.Connect(10);
+  LineChannel& b = frontend.Connect(20);
+  size_t lane_a = frontend.LaneOf(10);
+  size_t lane_b = frontend.LaneOf(20);
+  EXPECT_NE(lane_a, lane_b);
+
+  // Client A's requests include attacks; client B's are clean. After a
+  // parallel run, every one of A's error records must sit in A's sticky
+  // shard and B's shard must be clean — the requests never migrated.
+  for (int i = 0; i < 3; ++i) {
+    a.ClientSend(Get(MakeApacheAttackUrl(), RequestTag::kAttack).Serialize());
+    a.ClientSend(Get("/index.html").Serialize());
+    b.ClientSend(Get("/index.html").Serialize());
+  }
+  a.ClientClose();
+  b.ClientClose();
+  EXPECT_EQ(frontend.Run(), 9u);
+  EXPECT_EQ(frontend.LaneOf(10), lane_a);
+  EXPECT_EQ(frontend.LaneOf(20), lane_b);
+  EXPECT_GT(frontend.pool().worker(lane_a).memory().log().total_errors(), 0u);
+  EXPECT_EQ(frontend.pool().worker(lane_b).memory().log().total_errors(), 0u);
+  // The merged view still sees everything, in shard-id order.
+  EXPECT_EQ(frontend.MergedLog().total_errors(),
+            frontend.pool().worker(lane_a).memory().log().total_errors());
+}
+
+TEST(FrontendTest, PerClientOrderingIsPreservedUnderParallelDispatch) {
+  // Three clients fan out over distinct lanes and are served concurrently;
+  // each client must still see its own responses in exactly the order it
+  // sent the requests (distinguishable by body size / content).
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 3, .batch = 2});
+  struct Want {
+    uint64_t client;
+    std::string path;
+  };
+  std::vector<Want> sends;
+  for (int round = 0; round < 3; ++round) {
+    sends.push_back({1, "/index.html"});
+    sends.push_back({2, "/files/big.bin"});
+    sends.push_back({3, "/docs/flexc.html"});
+    sends.push_back({1, "/docs/flexc.html"});
+  }
+  for (const Want& want : sends) {
+    frontend.Connect(want.client).ClientSend(Get(want.path).Serialize());
+  }
+  for (uint64_t client : {1u, 2u, 3u}) {
+    frontend.Connect(client).ClientClose();
+  }
+  EXPECT_EQ(frontend.Run(), sends.size());
+
+  std::map<uint64_t, std::vector<std::string>> received;
+  for (uint64_t client : {1u, 2u, 3u}) {
+    received[client] = frontend.Connect(client).ClientReceiveAll();
+  }
+  std::map<uint64_t, size_t> cursor;
+  for (const Want& want : sends) {
+    auto response = ServerResponse::Deserialize(received[want.client].at(cursor[want.client]++));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+    if (want.path == "/files/big.bin") {
+      EXPECT_EQ(response->body.size(), 830 * 1024u);
+    } else if (want.path == "/docs/flexc.html") {
+      EXPECT_NE(response->body.find("docs"), std::string::npos);
+    } else {
+      EXPECT_NE(response->body.find("research project"), std::string::npos);
+    }
+  }
 }
 
 TEST(FrontendTest, MalformedLineGetsAnErrorResponse) {

@@ -51,6 +51,87 @@ TEST(MemLogTest, RingBufferDropsOldest) {
   EXPECT_EQ(log.recent().back().unit_name, "u9");
 }
 
+TEST(MemLogTest, OverflowCounterAccountsForEveryEvictedRecord) {
+  MemLog log(4);
+  for (int i = 0; i < 3; ++i) {
+    log.Record(MakeRecord(true, "early"));
+  }
+  EXPECT_EQ(log.dropped(), 0u);  // under the cap: nothing evicted
+  for (int i = 0; i < 6000; ++i) {
+    log.Record(MakeRecord(true, "attack_flood"));
+  }
+  // A multi-attack flood stores only `capacity` records; everything else is
+  // counted, not kept — stored + dropped always equals total.
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.recent().size(), 4u);
+  EXPECT_EQ(log.dropped(), 5999u);
+  EXPECT_EQ(log.recent().size() + log.dropped(), log.total_errors());
+  // The aggregates stay exact despite the bounded ring.
+  EXPECT_EQ(log.errors_by_unit().at("attack_flood"), 6000u);
+  EXPECT_EQ(log.errors_by_unit().at("early"), 3u);
+  log.Clear();
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(MemLogTest, LogCapacityIsConfigurablePerShard) {
+  Memory::Config config;
+  config.log_capacity = 2;
+  Memory memory(config);
+  Ptr p = memory.Malloc(4, "buf");
+  for (int i = 0; i < 5; ++i) {
+    (void)memory.ReadU8(p + 10);
+  }
+  EXPECT_EQ(memory.log().total_errors(), 5u);
+  EXPECT_EQ(memory.log().recent().size(), 2u);
+  EXPECT_EQ(memory.log().dropped(), 3u);
+  // sites() aggregation is exact: one site, all five errors.
+  ASSERT_EQ(memory.log().sites().size(), 1u);
+  EXPECT_EQ(memory.log().sites().begin()->second.count, 5u);
+}
+
+TEST(MemLogTest, MergeSumsAggregatesAndKeepsSiteMetadata) {
+  MemLog a;
+  MemLog b;
+  MemErrorRecord shared = MakeRecord(true, "hot_buf");
+  shared.site = MakeSiteId("hot_buf", "handler", AccessKind::kWrite);
+  a.Record(shared);
+  a.Record(shared);
+  MemErrorRecord reads = MakeRecord(false, "cold_buf");
+  reads.site = MakeSiteId("cold_buf", "reader", AccessKind::kRead);
+  b.Record(shared);
+  b.Record(reads);
+
+  MemLog merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.total_errors(), 4u);
+  EXPECT_EQ(merged.write_errors(), 3u);
+  EXPECT_EQ(merged.read_errors(), 1u);
+  EXPECT_EQ(merged.errors_by_unit().at("hot_buf"), 3u);
+  EXPECT_EQ(merged.errors_by_unit().at("cold_buf"), 1u);
+  ASSERT_EQ(merged.sites().size(), 2u);
+  EXPECT_EQ(merged.sites().at(shared.site).count, 3u);
+  EXPECT_EQ(merged.sites().at(shared.site).unit_name, "hot_buf");
+  EXPECT_EQ(merged.sites().at(reads.site).count, 1u);
+  // The ring holds both logs' records, first-merged first (the caller's
+  // shard-id order is the ordering rule).
+  EXPECT_EQ(merged.recent().size(), 4u);
+  EXPECT_EQ(merged.recent().front().unit_name, "hot_buf");
+  EXPECT_EQ(merged.recent().back().unit_name, "cold_buf");
+}
+
+TEST(MemLogTest, MergeRespectsCapacityAndCountsEvictions) {
+  MemLog big;  // default capacity
+  for (int i = 0; i < 3; ++i) {
+    big.Record(MakeRecord(true, "shard0"));
+  }
+  MemLog merged(2);
+  merged.Merge(big);
+  EXPECT_EQ(merged.total_errors(), 3u);
+  EXPECT_EQ(merged.recent().size(), 2u);
+  EXPECT_EQ(merged.dropped(), 1u);
+}
+
 TEST(MemLogTest, EchoStreamsRecordsAsTheyHappen) {
   MemLog log;
   std::ostringstream echo;
