@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apache_survival.dir/examples/apache_survival.cpp.o"
+  "CMakeFiles/apache_survival.dir/examples/apache_survival.cpp.o.d"
+  "apache_survival"
+  "apache_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apache_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apache.dir/bench/bench_apache.cc.o"
+  "CMakeFiles/bench_apache.dir/bench/bench_apache.cc.o.d"
+  "bench_apache"
+  "bench_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apache_throughput.dir/bench/bench_apache_throughput.cc.o"
+  "CMakeFiles/bench_apache_throughput.dir/bench/bench_apache_throughput.cc.o.d"
+  "bench_apache_throughput"
+  "bench_apache_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apache_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_check_cost.dir/bench/bench_check_cost.cc.o"
+  "CMakeFiles/bench_check_cost.dir/bench/bench_check_cost.cc.o.d"
+  "bench_check_cost"
+  "bench_check_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_check_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

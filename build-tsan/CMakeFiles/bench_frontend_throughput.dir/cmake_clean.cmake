@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontend_throughput.dir/bench/bench_frontend_throughput.cc.o"
+  "CMakeFiles/bench_frontend_throughput.dir/bench/bench_frontend_throughput.cc.o.d"
+  "bench_frontend_throughput"
+  "bench_frontend_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontend_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_manufacture.dir/bench/bench_manufacture.cc.o"
+  "CMakeFiles/bench_manufacture.dir/bench/bench_manufacture.cc.o.d"
+  "bench_manufacture"
+  "bench_manufacture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_manufacture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mc.dir/bench/bench_mc.cc.o"
+  "CMakeFiles/bench_mc.dir/bench/bench_mc.cc.o.d"
+  "bench_mc"
+  "bench_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutt.dir/bench/bench_mutt.cc.o"
+  "CMakeFiles/bench_mutt.dir/bench/bench_mutt.cc.o.d"
+  "bench_mutt"
+  "bench_mutt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pine.dir/bench/bench_pine.cc.o"
+  "CMakeFiles/bench_pine.dir/bench/bench_pine.cc.o.d"
+  "bench_pine"
+  "bench_pine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_matrix.dir/bench/bench_security_matrix.cc.o"
+  "CMakeFiles/bench_security_matrix.dir/bench/bench_security_matrix.cc.o.d"
+  "bench_security_matrix"
+  "bench_security_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sendmail.dir/bench/bench_sendmail.cc.o"
+  "CMakeFiles/bench_sendmail.dir/bench/bench_sendmail.cc.o.d"
+  "bench_sendmail"
+  "bench_sendmail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sendmail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

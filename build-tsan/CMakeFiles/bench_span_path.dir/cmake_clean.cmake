@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_span_path.dir/bench/bench_span_path.cc.o"
+  "CMakeFiles/bench_span_path.dir/bench/bench_span_path.cc.o.d"
+  "bench_span_path"
+  "bench_span_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_span_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_span_path.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep.dir/bench/bench_sweep.cc.o"
+  "CMakeFiles/bench_sweep.dir/bench/bench_sweep.cc.o.d"
+  "bench_sweep"
+  "bench_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

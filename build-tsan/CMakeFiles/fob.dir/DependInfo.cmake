@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apache.cc" "CMakeFiles/fob.dir/src/apps/apache.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/apache.cc.o.d"
+  "/root/repo/src/apps/mc.cc" "CMakeFiles/fob.dir/src/apps/mc.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/mc.cc.o.d"
+  "/root/repo/src/apps/mutt.cc" "CMakeFiles/fob.dir/src/apps/mutt.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/mutt.cc.o.d"
+  "/root/repo/src/apps/pine.cc" "CMakeFiles/fob.dir/src/apps/pine.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/pine.cc.o.d"
+  "/root/repo/src/apps/resident.cc" "CMakeFiles/fob.dir/src/apps/resident.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/resident.cc.o.d"
+  "/root/repo/src/apps/sendmail.cc" "CMakeFiles/fob.dir/src/apps/sendmail.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/sendmail.cc.o.d"
+  "/root/repo/src/apps/server_adapters.cc" "CMakeFiles/fob.dir/src/apps/server_adapters.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/server_adapters.cc.o.d"
+  "/root/repo/src/apps/server_app.cc" "CMakeFiles/fob.dir/src/apps/server_app.cc.o" "gcc" "CMakeFiles/fob.dir/src/apps/server_app.cc.o.d"
+  "/root/repo/src/archive/gzip.cc" "CMakeFiles/fob.dir/src/archive/gzip.cc.o" "gcc" "CMakeFiles/fob.dir/src/archive/gzip.cc.o.d"
+  "/root/repo/src/archive/tar.cc" "CMakeFiles/fob.dir/src/archive/tar.cc.o" "gcc" "CMakeFiles/fob.dir/src/archive/tar.cc.o.d"
+  "/root/repo/src/codec/base64.cc" "CMakeFiles/fob.dir/src/codec/base64.cc.o" "gcc" "CMakeFiles/fob.dir/src/codec/base64.cc.o.d"
+  "/root/repo/src/codec/utf7.cc" "CMakeFiles/fob.dir/src/codec/utf7.cc.o" "gcc" "CMakeFiles/fob.dir/src/codec/utf7.cc.o.d"
+  "/root/repo/src/codec/utf8.cc" "CMakeFiles/fob.dir/src/codec/utf8.cc.o" "gcc" "CMakeFiles/fob.dir/src/codec/utf8.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "CMakeFiles/fob.dir/src/harness/experiment.cc.o" "gcc" "CMakeFiles/fob.dir/src/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/stats.cc" "CMakeFiles/fob.dir/src/harness/stats.cc.o" "gcc" "CMakeFiles/fob.dir/src/harness/stats.cc.o.d"
+  "/root/repo/src/harness/sweep.cc" "CMakeFiles/fob.dir/src/harness/sweep.cc.o" "gcc" "CMakeFiles/fob.dir/src/harness/sweep.cc.o.d"
+  "/root/repo/src/harness/table.cc" "CMakeFiles/fob.dir/src/harness/table.cc.o" "gcc" "CMakeFiles/fob.dir/src/harness/table.cc.o.d"
+  "/root/repo/src/harness/workloads.cc" "CMakeFiles/fob.dir/src/harness/workloads.cc.o" "gcc" "CMakeFiles/fob.dir/src/harness/workloads.cc.o.d"
+  "/root/repo/src/libc/cstring.cc" "CMakeFiles/fob.dir/src/libc/cstring.cc.o" "gcc" "CMakeFiles/fob.dir/src/libc/cstring.cc.o.d"
+  "/root/repo/src/mail/mbox.cc" "CMakeFiles/fob.dir/src/mail/mbox.cc.o" "gcc" "CMakeFiles/fob.dir/src/mail/mbox.cc.o.d"
+  "/root/repo/src/mail/message.cc" "CMakeFiles/fob.dir/src/mail/message.cc.o" "gcc" "CMakeFiles/fob.dir/src/mail/message.cc.o.d"
+  "/root/repo/src/net/frontend.cc" "CMakeFiles/fob.dir/src/net/frontend.cc.o" "gcc" "CMakeFiles/fob.dir/src/net/frontend.cc.o.d"
+  "/root/repo/src/net/http.cc" "CMakeFiles/fob.dir/src/net/http.cc.o" "gcc" "CMakeFiles/fob.dir/src/net/http.cc.o.d"
+  "/root/repo/src/net/imap.cc" "CMakeFiles/fob.dir/src/net/imap.cc.o" "gcc" "CMakeFiles/fob.dir/src/net/imap.cc.o.d"
+  "/root/repo/src/net/smtp.cc" "CMakeFiles/fob.dir/src/net/smtp.cc.o" "gcc" "CMakeFiles/fob.dir/src/net/smtp.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "CMakeFiles/fob.dir/src/regex/regex.cc.o" "gcc" "CMakeFiles/fob.dir/src/regex/regex.cc.o.d"
+  "/root/repo/src/regex/rewrite.cc" "CMakeFiles/fob.dir/src/regex/rewrite.cc.o" "gcc" "CMakeFiles/fob.dir/src/regex/rewrite.cc.o.d"
+  "/root/repo/src/runtime/access_cursor.cc" "CMakeFiles/fob.dir/src/runtime/access_cursor.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/access_cursor.cc.o.d"
+  "/root/repo/src/runtime/boundless.cc" "CMakeFiles/fob.dir/src/runtime/boundless.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/boundless.cc.o.d"
+  "/root/repo/src/runtime/handlers/boundless.cc" "CMakeFiles/fob.dir/src/runtime/handlers/boundless.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/boundless.cc.o.d"
+  "/root/repo/src/runtime/handlers/bounds_check.cc" "CMakeFiles/fob.dir/src/runtime/handlers/bounds_check.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/bounds_check.cc.o.d"
+  "/root/repo/src/runtime/handlers/failure_oblivious.cc" "CMakeFiles/fob.dir/src/runtime/handlers/failure_oblivious.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/failure_oblivious.cc.o.d"
+  "/root/repo/src/runtime/handlers/policy_handler.cc" "CMakeFiles/fob.dir/src/runtime/handlers/policy_handler.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/policy_handler.cc.o.d"
+  "/root/repo/src/runtime/handlers/standard.cc" "CMakeFiles/fob.dir/src/runtime/handlers/standard.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/standard.cc.o.d"
+  "/root/repo/src/runtime/handlers/threshold.cc" "CMakeFiles/fob.dir/src/runtime/handlers/threshold.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/threshold.cc.o.d"
+  "/root/repo/src/runtime/handlers/wrap.cc" "CMakeFiles/fob.dir/src/runtime/handlers/wrap.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/wrap.cc.o.d"
+  "/root/repo/src/runtime/handlers/zero_manufacture.cc" "CMakeFiles/fob.dir/src/runtime/handlers/zero_manufacture.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/handlers/zero_manufacture.cc.o.d"
+  "/root/repo/src/runtime/manufactured.cc" "CMakeFiles/fob.dir/src/runtime/manufactured.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/manufactured.cc.o.d"
+  "/root/repo/src/runtime/memlog.cc" "CMakeFiles/fob.dir/src/runtime/memlog.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/memlog.cc.o.d"
+  "/root/repo/src/runtime/memory.cc" "CMakeFiles/fob.dir/src/runtime/memory.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/memory.cc.o.d"
+  "/root/repo/src/runtime/policy.cc" "CMakeFiles/fob.dir/src/runtime/policy.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/policy.cc.o.d"
+  "/root/repo/src/runtime/policy_spec.cc" "CMakeFiles/fob.dir/src/runtime/policy_spec.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/policy_spec.cc.o.d"
+  "/root/repo/src/runtime/process.cc" "CMakeFiles/fob.dir/src/runtime/process.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/process.cc.o.d"
+  "/root/repo/src/runtime/shard.cc" "CMakeFiles/fob.dir/src/runtime/shard.cc.o" "gcc" "CMakeFiles/fob.dir/src/runtime/shard.cc.o.d"
+  "/root/repo/src/softmem/address_space.cc" "CMakeFiles/fob.dir/src/softmem/address_space.cc.o" "gcc" "CMakeFiles/fob.dir/src/softmem/address_space.cc.o.d"
+  "/root/repo/src/softmem/fault.cc" "CMakeFiles/fob.dir/src/softmem/fault.cc.o" "gcc" "CMakeFiles/fob.dir/src/softmem/fault.cc.o.d"
+  "/root/repo/src/softmem/heap.cc" "CMakeFiles/fob.dir/src/softmem/heap.cc.o" "gcc" "CMakeFiles/fob.dir/src/softmem/heap.cc.o.d"
+  "/root/repo/src/softmem/object_table.cc" "CMakeFiles/fob.dir/src/softmem/object_table.cc.o" "gcc" "CMakeFiles/fob.dir/src/softmem/object_table.cc.o.d"
+  "/root/repo/src/softmem/oob_registry.cc" "CMakeFiles/fob.dir/src/softmem/oob_registry.cc.o" "gcc" "CMakeFiles/fob.dir/src/softmem/oob_registry.cc.o.d"
+  "/root/repo/src/softmem/stack.cc" "CMakeFiles/fob.dir/src/softmem/stack.cc.o" "gcc" "CMakeFiles/fob.dir/src/softmem/stack.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "CMakeFiles/fob.dir/src/vfs/vfs.cc.o" "gcc" "CMakeFiles/fob.dir/src/vfs/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_browse.dir/examples/mc_browse.cpp.o"
+  "CMakeFiles/mc_browse.dir/examples/mc_browse.cpp.o.d"
+  "mc_browse"
+  "mc_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

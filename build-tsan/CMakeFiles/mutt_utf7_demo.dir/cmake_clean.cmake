@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutt_utf7_demo.dir/examples/mutt_utf7_demo.cpp.o"
+  "CMakeFiles/mutt_utf7_demo.dir/examples/mutt_utf7_demo.cpp.o.d"
+  "mutt_utf7_demo"
+  "mutt_utf7_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutt_utf7_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sendmail_attack.dir/examples/sendmail_attack.cpp.o"
+  "CMakeFiles/sendmail_attack.dir/examples/sendmail_attack.cpp.o.d"
+  "sendmail_attack"
+  "sendmail_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sendmail_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

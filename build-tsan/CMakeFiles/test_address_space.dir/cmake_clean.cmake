@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address_space.dir/tests/test_address_space.cc.o"
+  "CMakeFiles/test_address_space.dir/tests/test_address_space.cc.o.d"
+  "test_address_space"
+  "test_address_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_apache.dir/tests/test_app_apache.cc.o"
+  "CMakeFiles/test_app_apache.dir/tests/test_app_apache.cc.o.d"
+  "test_app_apache"
+  "test_app_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_extensions.dir/tests/test_app_extensions.cc.o"
+  "CMakeFiles/test_app_extensions.dir/tests/test_app_extensions.cc.o.d"
+  "test_app_extensions"
+  "test_app_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_mc.dir/tests/test_app_mc.cc.o"
+  "CMakeFiles/test_app_mc.dir/tests/test_app_mc.cc.o.d"
+  "test_app_mc"
+  "test_app_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_mutt.dir/tests/test_app_mutt.cc.o"
+  "CMakeFiles/test_app_mutt.dir/tests/test_app_mutt.cc.o.d"
+  "test_app_mutt"
+  "test_app_mutt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_mutt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_pine.dir/tests/test_app_pine.cc.o"
+  "CMakeFiles/test_app_pine.dir/tests/test_app_pine.cc.o.d"
+  "test_app_pine"
+  "test_app_pine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_pine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

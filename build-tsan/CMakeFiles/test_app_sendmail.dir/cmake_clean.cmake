@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_sendmail.dir/tests/test_app_sendmail.cc.o"
+  "CMakeFiles/test_app_sendmail.dir/tests/test_app_sendmail.cc.o.d"
+  "test_app_sendmail"
+  "test_app_sendmail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_sendmail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

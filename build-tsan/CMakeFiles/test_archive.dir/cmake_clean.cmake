@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archive.dir/tests/test_archive.cc.o"
+  "CMakeFiles/test_archive.dir/tests/test_archive.cc.o.d"
+  "test_archive"
+  "test_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_sweeps.dir/tests/test_attack_sweeps.cc.o"
+  "CMakeFiles/test_attack_sweeps.dir/tests/test_attack_sweeps.cc.o.d"
+  "test_attack_sweeps"
+  "test_attack_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

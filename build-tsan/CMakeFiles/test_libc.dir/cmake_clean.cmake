@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_libc.dir/tests/test_libc.cc.o"
+  "CMakeFiles/test_libc.dir/tests/test_libc.cc.o.d"
+  "test_libc"
+  "test_libc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_libc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

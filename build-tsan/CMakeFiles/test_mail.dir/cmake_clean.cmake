@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mail.dir/tests/test_mail.cc.o"
+  "CMakeFiles/test_mail.dir/tests/test_mail.cc.o.d"
+  "test_mail"
+  "test_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manufactured.dir/tests/test_manufactured.cc.o"
+  "CMakeFiles/test_manufactured.dir/tests/test_manufactured.cc.o.d"
+  "test_manufactured"
+  "test_manufactured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manufactured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memlog.dir/tests/test_memlog.cc.o"
+  "CMakeFiles/test_memlog.dir/tests/test_memlog.cc.o.d"
+  "test_memlog"
+  "test_memlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

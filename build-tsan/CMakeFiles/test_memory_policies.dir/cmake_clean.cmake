@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_policies.dir/tests/test_memory_policies.cc.o"
+  "CMakeFiles/test_memory_policies.dir/tests/test_memory_policies.cc.o.d"
+  "test_memory_policies"
+  "test_memory_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

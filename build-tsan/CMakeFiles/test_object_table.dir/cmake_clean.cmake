@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_object_table.dir/tests/test_object_table.cc.o"
+  "CMakeFiles/test_object_table.dir/tests/test_object_table.cc.o.d"
+  "test_object_table"
+  "test_object_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_object_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

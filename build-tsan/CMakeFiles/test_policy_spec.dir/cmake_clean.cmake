@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_spec.dir/tests/test_policy_spec.cc.o"
+  "CMakeFiles/test_policy_spec.dir/tests/test_policy_spec.cc.o.d"
+  "test_policy_spec"
+  "test_policy_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process.dir/tests/test_process.cc.o"
+  "CMakeFiles/test_process.dir/tests/test_process.cc.o.d"
+  "test_process"
+  "test_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

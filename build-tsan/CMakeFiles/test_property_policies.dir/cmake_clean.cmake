@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_policies.dir/tests/test_property_policies.cc.o"
+  "CMakeFiles/test_property_policies.dir/tests/test_property_policies.cc.o.d"
+  "test_property_policies"
+  "test_property_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

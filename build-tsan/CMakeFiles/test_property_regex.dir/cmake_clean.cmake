@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_regex.dir/tests/test_property_regex.cc.o"
+  "CMakeFiles/test_property_regex.dir/tests/test_property_regex.cc.o.d"
+  "test_property_regex"
+  "test_property_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

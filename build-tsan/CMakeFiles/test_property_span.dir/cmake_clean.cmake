@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_span.dir/tests/test_property_span.cc.o"
+  "CMakeFiles/test_property_span.dir/tests/test_property_span.cc.o.d"
+  "test_property_span"
+  "test_property_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

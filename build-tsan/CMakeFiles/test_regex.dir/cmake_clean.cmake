@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regex.dir/tests/test_regex.cc.o"
+  "CMakeFiles/test_regex.dir/tests/test_regex.cc.o.d"
+  "test_regex"
+  "test_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

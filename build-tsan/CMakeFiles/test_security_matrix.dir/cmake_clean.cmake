@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_matrix.dir/tests/test_security_matrix.cc.o"
+  "CMakeFiles/test_security_matrix.dir/tests/test_security_matrix.cc.o.d"
+  "test_security_matrix"
+  "test_security_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

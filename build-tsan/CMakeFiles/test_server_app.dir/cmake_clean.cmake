@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_app.dir/tests/test_server_app.cc.o"
+  "CMakeFiles/test_server_app.dir/tests/test_server_app.cc.o.d"
+  "test_server_app"
+  "test_server_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack.dir/tests/test_stack.cc.o"
+  "CMakeFiles/test_stack.dir/tests/test_stack.cc.o.d"
+  "test_stack"
+  "test_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
