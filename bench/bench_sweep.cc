@@ -4,12 +4,20 @@
 // table (src/harness/sweep.h). CI runs this as the sweep smoke job and
 // uploads the tables next to the BENCH_*.json perf artifacts.
 //
-//   bench_sweep [server] [max_combinations] [max_sites] [single|multi]
+//   bench_sweep [server] [max_combinations] [max_sites] [single|multi] [adaptive]
 //
 // server: pine | apache | sendmail | mc | mutt (default apache)
 // multi sweeps over MakeMultiAttackStream(server) instead of the §4
 // single-attack stream.
+//
+// adaptive additionally runs the online learner (RunAdaptiveExperiment over
+// the same stream and candidate set), prints its convergence trace, and
+// compares the learned assignment against the sweep's best ranked one: the
+// run fails unless the learner's validated continuation is acceptable and
+// logs within an order of magnitude of the exhaustive-search winner — the
+// Rigger-style online selection reaching the Durieux-style offline oracle.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,10 +46,50 @@ bool ParseServer(const char* name, Server* server) {
   return false;
 }
 
+// The learned assignment must reach within this factor of the exhaustive
+// winner's logged error count (and be acceptable) for the comparison to
+// pass — "same order of magnitude" as the offline oracle.
+constexpr uint64_t kAdaptiveFactor = 10;
+
+int CompareAdaptive(Server server, const SweepResult& sweep) {
+  AdaptiveExperimentOptions options;
+  options.controller.candidates = sweep.options.candidates;
+  options.controller.max_sites = sweep.options.max_sites;
+  // One baseline epoch + a full arm pass per site + slack to settle.
+  options.epochs =
+      1 + sweep.sites.size() * sweep.options.candidates.size() + 2 * sweep.sites.size() + 2;
+  AdaptiveReport adaptive = RunAdaptiveExperiment(server, sweep.options.stream, options);
+  std::printf("\n%s", adaptive.ToTraceString().c_str());
+
+  const SweepEntry* best = nullptr;
+  for (const SweepEntry& entry : sweep.entries) {
+    if (entry.acceptable()) {
+      best = &entry;
+      break;  // entries are ranked; the first acceptable one is the winner
+    }
+  }
+  if (best == nullptr) {
+    std::printf("adaptive-vs-exhaustive: sweep found no acceptable assignment to compare\n");
+    return 1;
+  }
+  uint64_t oracle = best->report.memory_errors_logged;
+  uint64_t learned = adaptive.validation.memory_errors_logged;
+  bool learned_acceptable = adaptive.validation.outcome == Outcome::kContinued &&
+                            adaptive.validation.subsequent_requests_ok;
+  bool within = learned <= std::max<uint64_t>(oracle, 1) * kAdaptiveFactor;
+  std::printf(
+      "adaptive-vs-exhaustive: learned %llu errors (%s) vs exhaustive best %llu errors — %s\n",
+      static_cast<unsigned long long>(learned), learned_acceptable ? "acceptable" : "UNACCEPTABLE",
+      static_cast<unsigned long long>(oracle),
+      learned_acceptable && within ? "within factor" : "FAILED");
+  return learned_acceptable && within ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   Server server = Server::kApache;
   SweepOptions options;
   options.max_combinations = 64;
+  bool adaptive = false;
   if (argc > 1 && !ParseServer(argv[1], &server)) {
     std::fprintf(stderr, "unknown server '%s' (pine|apache|sendmail|mc|mutt)\n", argv[1]);
     return 2;
@@ -60,8 +108,19 @@ int Run(int argc, char** argv) {
       return 2;
     }
   }
+  if (argc > 5) {
+    if (std::strcmp(argv[5], "adaptive") == 0) {
+      adaptive = true;
+    } else {
+      std::fprintf(stderr, "unknown mode '%s' (adaptive)\n", argv[5]);
+      return 2;
+    }
+  }
   SweepResult result = RunPolicySweep(server, options);
   std::printf("%s", result.ToTableString().c_str());
+  if (adaptive) {
+    return CompareAdaptive(server, result);
+  }
   // Exit nonzero when no assignment achieved acceptable continuation — the
   // smoke job's pass criterion.
   return result.acceptable_count() > 0 ? 0 : 1;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <sstream>
 #include <tuple>
 #include <utility>
 
@@ -107,32 +108,45 @@ AttackReport RunAttackExperiment(Server server, const PolicySpec& spec) {
                              MakeAttackStream(server));
 }
 
-FrontendReport RunFrontendExperiment(const ServerFactory& factory, const TrafficStream& stream,
-                                     const Frontend::Options& options) {
-  Frontend frontend(factory, options);
-  std::vector<uint64_t> clients;  // distinct ids, first-seen order
+namespace {
+
+// One full pass of a stream through a frontend: send every request (client
+// ids offset into the caller's namespace), close, run to completion, and
+// reassemble stream-ordered responses from the per-client FIFOs — well
+// defined because responses on one channel arrive in that client's request
+// order (sticky lane affinity). A request whose channel ran dry (its worker
+// died serving it and re-serving was impossible) yields a default-
+// constructed response. Returns the distinct offset client ids in
+// first-seen order so callers can drain or disconnect them.
+struct StreamServeResult {
+  std::vector<ServerResponse> responses;  // indexed like stream.requests
+  std::vector<uint64_t> clients;          // offset ids, first-seen order
+};
+
+StreamServeResult ServeStreamThroughFrontend(Frontend& frontend, const TrafficStream& stream,
+                                             uint64_t client_offset) {
+  StreamServeResult result;
   std::set<uint64_t> seen;
   for (const ServerRequest& request : stream.requests) {
-    if (seen.insert(request.client_id).second) {
-      clients.push_back(request.client_id);
+    uint64_t client = client_offset + request.client_id;
+    if (seen.insert(client).second) {
+      result.clients.push_back(client);
     }
-    frontend.Connect(request.client_id).ClientSend(request.Serialize());
+    frontend.Connect(client).ClientSend(request.Serialize());
   }
-  for (uint64_t client : clients) {
+  for (uint64_t client : result.clients) {
     frontend.Connect(client).ClientClose();
   }
   frontend.Run();
 
-  // Reassemble stream order from the per-client FIFOs.
   std::map<uint64_t, std::deque<std::string>> lines;
-  for (uint64_t client : clients) {
+  for (uint64_t client : result.clients) {
     std::vector<std::string> received = frontend.Connect(client).ClientReceiveAll();
     lines[client] = std::deque<std::string>(received.begin(), received.end());
   }
-  FrontendReport report;
-  report.responses.reserve(stream.requests.size());
+  result.responses.reserve(stream.requests.size());
   for (const ServerRequest& request : stream.requests) {
-    std::deque<std::string>& queue = lines[request.client_id];
+    std::deque<std::string>& queue = lines[client_offset + request.client_id];
     ServerResponse response;  // default-constructed if the channel ran dry
     if (!queue.empty()) {
       if (auto parsed = ServerResponse::Deserialize(queue.front())) {
@@ -140,12 +154,106 @@ FrontendReport RunFrontendExperiment(const ServerFactory& factory, const Traffic
       }
       queue.pop_front();
     }
-    report.responses.push_back(std::move(response));
+    result.responses.push_back(std::move(response));
   }
+  return result;
+}
+
+}  // namespace
+
+FrontendReport RunFrontendExperiment(const ServerFactory& factory, const TrafficStream& stream,
+                                     const Frontend::Options& options) {
+  Frontend frontend(factory, options);
+  FrontendReport report;
+  report.responses = ServeStreamThroughFrontend(frontend, stream, /*client_offset=*/0).responses;
   report.stats = frontend.stats();
   report.restarts = frontend.restarts();
   report.merged_log = frontend.MergedLog();
   return report;
+}
+
+// ---- Online context-aware policy learning ----------------------------------
+
+AdaptiveReport RunAdaptiveExperiment(Server server, const TrafficStream& stream,
+                                     const AdaptiveExperimentOptions& options) {
+  AdaptivePolicyController controller(options.controller);
+  // Workers are constructed under the (continuing) prior and rebound to the
+  // controller's current spec before each epoch; crash replacements are
+  // rebound by the frontend's factory wrapper. Exploring a terminating arm
+  // therefore cannot fault worker construction, even for servers whose
+  // startup is part of the attack (Pine's mailbox, MC's config).
+  Frontend frontend(
+      MakeServerAppFactory(server, PolicySpec(options.controller.prior), options.setup),
+      options.frontend);
+
+  AdaptiveReport report;
+  uint64_t restarts_before = 0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    AdaptiveEpochTrace entry;
+    entry.epoch = epoch;
+    entry.spec = controller.CurrentSpec();
+    frontend.Rebind(entry.spec);
+
+    // Distinct id namespace per epoch (channels half-close at end of
+    // stream and cannot be reused); a stream's client ids stay well below
+    // the stride. The epoch's clients are disconnected once drained, so
+    // channel polling cost stays proportional to one epoch's client count.
+    StreamServeResult served =
+        ServeStreamThroughFrontend(frontend, stream, (epoch + 1) * (uint64_t{1} << 32));
+    for (size_t i = 0; i < stream.requests.size(); ++i) {
+      const ServerRequest& request = stream.requests[i];
+      if (request.tag == RequestTag::kAttack) {
+        entry.attack_acceptable = entry.attack_acceptable && served.responses[i].acceptable;
+      } else if (request.tag == RequestTag::kLegit) {
+        entry.legit_ok = entry.legit_ok && served.responses[i].acceptable;
+      }
+    }
+    for (uint64_t client : served.clients) {
+      frontend.Disconnect(client);
+    }
+
+    frontend.FeedSiteObservations(controller);
+    EpochVerdict verdict;
+    verdict.attack_acceptable = entry.attack_acceptable;
+    verdict.legit_ok = entry.legit_ok;
+    verdict.restarts = frontend.restarts() - restarts_before;
+    restarts_before = frontend.restarts();
+    entry.restarts = verdict.restarts;
+    entry.errors = controller.EndEpoch(verdict);
+    report.trace.push_back(std::move(entry));
+  }
+
+  report.sites = controller.sites();
+  report.learned = controller.BestSpec();
+  report.validation = RunStreamExperiment(
+      MakeServerAppFactory(server, report.learned, options.setup), stream);
+  return report;
+}
+
+std::string AdaptiveReport::ToTraceString() const {
+  std::ostringstream os;
+  os << "Adaptive policy learning: " << trace.size() << " epochs, " << sites.size()
+     << " tracked sites\n";
+  for (size_t i = 0; i < sites.size(); ++i) {
+    os << "  site " << i << ": " << sites[i].Label() << " (" << sites[i].total_errors
+       << " total errors" << (sites[i].crash_tainted ? ", terminate arms retired" : "") << ")\n";
+  }
+  for (const AdaptiveEpochTrace& entry : trace) {
+    os << "epoch " << entry.epoch << ":";
+    for (const AdaptiveSiteState& site : sites) {
+      os << " " << PolicyName(entry.spec.Resolve(site.site));
+    }
+    os << " | errors " << entry.errors << ", restarts " << entry.restarts << ", "
+       << (entry.attack_acceptable && entry.legit_ok ? "acceptable" : "NOT acceptable") << "\n";
+  }
+  os << "learned:";
+  for (const AdaptiveSiteState& site : sites) {
+    os << " " << PolicyName(learned.Resolve(site.site));
+  }
+  os << " | validation " << OutcomeName(validation.outcome) << ", "
+     << validation.memory_errors_logged << " memory errors, subsequent requests "
+     << (validation.subsequent_requests_ok ? "ok" : "FAILED") << "\n";
+  return os.str();
 }
 
 }  // namespace fob

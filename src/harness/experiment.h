@@ -19,6 +19,7 @@
 #include "src/apps/server_app.h"
 #include "src/harness/workloads.h"
 #include "src/net/frontend.h"
+#include "src/runtime/adaptive.h"
 #include "src/runtime/memlog.h"
 #include "src/runtime/policy.h"
 #include "src/runtime/policy_spec.h"
@@ -92,6 +93,72 @@ struct FrontendReport {
 // given), runs it to completion, and merges the outcome.
 FrontendReport RunFrontendExperiment(const ServerFactory& factory, const TrafficStream& stream,
                                      const Frontend::Options& options);
+
+// ---- Online context-aware policy learning --------------------------------
+//
+// The epoch loop around AdaptivePolicyController (src/runtime/adaptive.h):
+// one long-lived Frontend serves `stream` once per epoch; between epochs
+// the controller's CurrentSpec is pushed into the live worker shards
+// (Frontend::Rebind — logs, heaps and handler state survive the respec),
+// and after each epoch the Frontend feeds the merged per-shard site
+// aggregates back (ascending shard-id order) together with the §4
+// acceptability verdicts and the pool's restart delta. The run is
+// deterministic: same stream + seed + worker count ⇒ identical trace and
+// identical learned assignment.
+//
+// Epoch verdicts are measured on the *live* shards — deliberately: an
+// online learner observes the deployment it is steering, so damage a bad
+// arm did in an earlier epoch (a corrupted daemon structure, a shifted
+// manufactured-value phase) legitimately colors later epochs' verdicts,
+// exactly as it would color a real server's. The learned assignment is
+// therefore re-validated with a fresh single-process run
+// (AdaptiveReport::validation), which is the clean-room number comparable
+// to a SweepEntry's report.
+
+struct AdaptiveExperimentOptions {
+  // Epochs to learn for. The default covers one full arm pass for a couple
+  // of sites under the default candidate set, plus slack to settle.
+  size_t epochs = 24;
+  AdaptivePolicyController::Options controller;
+  // worker_access_budget doubles as the per-epoch hang detector: a worker
+  // that spins (e.g. a value-seeking loop under kZeroManufacture) exhausts
+  // it, crashes, restarts — and the controller observes the restart.
+  Frontend::Options frontend{/*workers=*/2, /*batch=*/8,
+                             /*worker_access_budget=*/5'000'000};
+  // The §4 attack configuration by default, matching RunAttackExperiment
+  // and the sweep, so adaptive outcomes compare apples-to-apples.
+  ServerSetup setup;
+};
+
+// One epoch of the convergence trace.
+struct AdaptiveEpochTrace {
+  size_t epoch = 0;
+  // The spec that served this epoch (prior fallback + per-site overrides).
+  PolicySpec spec;
+  // Errors observed at tracked sites this epoch, summed across shards.
+  uint64_t errors = 0;
+  uint64_t restarts = 0;
+  bool attack_acceptable = true;
+  bool legit_ok = true;
+};
+
+struct AdaptiveReport {
+  std::vector<AdaptiveEpochTrace> trace;
+  // Final per-site bandit state, ordered as sites were discovered.
+  std::vector<AdaptiveSiteState> sites;
+  // The learned assignment (controller BestSpec) ...
+  PolicySpec learned;
+  // ... validated with a fresh single-process run of the same stream, so
+  // the outcome is directly comparable to a SweepEntry's report.
+  AttackReport validation;
+
+  // The human-readable convergence trace (one line per epoch + the learned
+  // assignment) — what CI uploads next to the sweep tables.
+  std::string ToTraceString() const;
+};
+
+AdaptiveReport RunAdaptiveExperiment(Server server, const TrafficStream& stream,
+                                     const AdaptiveExperimentOptions& options = {});
 
 }  // namespace fob
 

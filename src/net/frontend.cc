@@ -6,31 +6,56 @@
 #include <utility>
 #include <vector>
 
-namespace fob {
+#include "src/runtime/adaptive.h"
 
-namespace {
+namespace fob {
 
 // Wraps the caller's factory into the pool's index-aware form: every worker
 // (and every crash replacement for it) gets the access budget applied and
 // its shard stamped with the stable worker index — the identity the
-// deterministic log merge orders by.
-WorkerPool<ServerApp>::IndexedFactory PerShard(Frontend::Factory factory, uint64_t budget) {
-  return [factory = std::move(factory), budget](size_t index) {
+// deterministic log merge orders by. When a Rebind spec is in force, the
+// replacement is rebound to it after construction, so a crash replacement
+// serves under the current epoch's spec even though the base factory
+// captured the construction-time (continuing) spec.
+WorkerPool<ServerApp>::IndexedFactory Frontend::MakeWorkerFactory(Factory factory) {
+  return [this, factory = std::move(factory)](size_t index) {
     std::unique_ptr<ServerApp> app = factory();
-    if (budget != 0) {
-      app->memory().set_access_budget(budget);
-    }
+    ++incarnations_[index];
+    ArmBudget(app->memory());
     app->memory().set_shard_id(static_cast<uint32_t>(index));
+    if (respec_.has_value()) {
+      app->memory().Rebind(*respec_);
+    }
     return app;
   };
 }
 
-}  // namespace
+void Frontend::ArmBudget(Memory& memory) {
+  if (options_.worker_access_budget != 0) {
+    memory.set_access_budget(memory.access_count() + options_.worker_access_budget);
+  }
+}
 
 Frontend::Frontend(Factory factory, const Options& options)
     : options_(options),
-      pool_(options.workers == 0 ? 1 : options.workers,
-            PerShard(std::move(factory), options.worker_access_budget)) {}
+      incarnations_(options.workers == 0 ? 1 : options.workers, 0),
+      pool_(options.workers == 0 ? 1 : options.workers, MakeWorkerFactory(std::move(factory))) {}
+
+void Frontend::Rebind(const PolicySpec& spec) {
+  respec_ = spec;
+  for (size_t index = 0; index < pool_.size(); ++index) {
+    Memory& memory = pool_.worker(index).memory();
+    memory.Rebind(spec);
+    ArmBudget(memory);
+  }
+}
+
+void Frontend::FeedSiteObservations(AdaptivePolicyController& controller) {
+  for (size_t index = 0; index < pool_.size(); ++index) {
+    Memory& memory = pool_.worker(index).memory();
+    controller.ObserveShardLog(memory.shard_id(), memory.log(), incarnations_[index]);
+  }
+}
 
 LineChannel& Frontend::Connect(uint64_t client_id) {
   std::unique_ptr<LineChannel>& slot = clients_[client_id];
@@ -38,6 +63,11 @@ LineChannel& Frontend::Connect(uint64_t client_id) {
     slot = std::make_unique<LineChannel>();
   }
   return *slot;
+}
+
+void Frontend::Disconnect(uint64_t client_id) {
+  clients_.erase(client_id);
+  affinity_.erase(client_id);
 }
 
 size_t Frontend::LaneOf(uint64_t client_id) {

@@ -41,14 +41,19 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/apps/server_app.h"
 #include "src/net/channel.h"
 #include "src/runtime/memlog.h"
+#include "src/runtime/policy_spec.h"
 #include "src/runtime/process.h"
 
 namespace fob {
+
+class AdaptivePolicyController;
 
 class Frontend {
  public:
@@ -79,9 +84,16 @@ class Frontend {
   Frontend(Factory factory, const Options& options);
 
   // Attaches a client connection. The returned channel is owned by the
-  // Frontend and stable for its lifetime; the client writes serialized
+  // Frontend and stable until Disconnect; the client writes serialized
   // requests with ClientSend and half-closes with ClientClose when done.
   LineChannel& Connect(uint64_t client_id);
+
+  // Forgets a client entirely: frees its channel and its lane-affinity
+  // entry (the round-robin cursor does not rewind). Call only once the
+  // client is closed and drained — the adaptive epoch loop retires each
+  // epoch's client namespace this way, so channel polling cost does not
+  // grow with epoch count.
+  void Disconnect(uint64_t client_id);
 
   // Ingests every line currently readable across all channels (fair,
   // round-robin) and serves the pending queue in parallel lane batches.
@@ -103,6 +115,24 @@ class Frontend {
   // ascending worker/shard-id order (the canonical merge rule).
   MemLog MergedLog();
 
+  // Epoch-boundary respec of every live worker shard (Memory::Rebind: logs,
+  // heap and handler-bank state survive; only SiteId -> policy resolution
+  // changes) — and of every *future* crash replacement, which is
+  // constructed by the original factory (under whatever spec it captured,
+  // which must be a continuing one so construction cannot fault) and then
+  // rebound to the latest respec before serving. Re-arms each worker's
+  // hang budget to `accesses + worker_access_budget`, so budget exhaustion
+  // stays an intra-epoch hang signal rather than a lifetime cap. Must be
+  // called between pumps: no lane threads may be running.
+  void Rebind(const PolicySpec& spec);
+
+  // Feeds every worker shard's cumulative per-site error aggregates to the
+  // controller, in ascending worker/shard-id order — the same deterministic
+  // rule MemLog::Merge callers follow — so all lanes learn from each
+  // other's errors and the learning trajectory is reproducible no matter
+  // how lane threads interleaved. Call once per epoch, between pumps.
+  void FeedSiteObservations(AdaptivePolicyController& controller);
+
   const Stats& stats() const { return stats_; }
   uint64_t restarts() const { return pool_.restarts(); }
   WorkerPool<ServerApp>& pool() { return pool_; }
@@ -116,8 +146,21 @@ class Frontend {
   void Ingest();
   void ServePending();
   void Respond(uint64_t client_id, const ServerResponse& response);
+  WorkerPool<ServerApp>::IndexedFactory MakeWorkerFactory(Factory factory);
+  void ArmBudget(Memory& memory);
 
   Options options_;
+  // The latest Rebind spec, applied to crash replacements after the base
+  // factory constructs them. Written only between pumps (no lane threads
+  // running); read by the factory on lane threads during dispatch — the
+  // thread spawn orders those reads after the write.
+  std::optional<PolicySpec> respec_;
+  // Per-worker-slot construction counter: bumped by the factory on every
+  // (re)build, so observers can tell a replacement's fresh log from the
+  // dead worker's. Each slot is written only by the lane thread replacing
+  // that worker (distinct elements, no sharing); read by the main thread
+  // after the join.
+  std::vector<uint64_t> incarnations_;
   WorkerPool<ServerApp> pool_;
   std::map<uint64_t, std::unique_ptr<LineChannel>> clients_;
   std::map<uint64_t, size_t> affinity_;  // client id -> sticky lane

@@ -1,0 +1,282 @@
+#include "src/runtime/adaptive.h"
+
+#include <algorithm>
+#include <climits>
+
+namespace fob {
+
+std::string AdaptiveSiteState::Label() const {
+  return std::string(is_write ? "write " : "read ") + unit_name + " @ " + function;
+}
+
+bool PolicyTerminates(AccessPolicy policy) {
+  switch (policy) {
+    case AccessPolicy::kStandard:
+    case AccessPolicy::kBoundsCheck:
+    case AccessPolicy::kThreshold:
+      return true;
+    case AccessPolicy::kFailureOblivious:
+    case AccessPolicy::kBoundless:
+    case AccessPolicy::kWrap:
+    case AccessPolicy::kZeroManufacture:
+      return false;
+  }
+  return false;
+}
+
+std::vector<AccessPolicy> DefaultAdaptiveCandidates() {
+  return std::vector<AccessPolicy>(kAllPolicies.begin(), kAllPolicies.end());
+}
+
+AdaptivePolicyController::AdaptivePolicyController() : AdaptivePolicyController(Options()) {}
+
+AdaptivePolicyController::AdaptivePolicyController(const Options& options)
+    : options_(options), rng_state_(options.seed == 0 ? 0x9e3779b97f4a7c15ull : options.seed) {
+  if (options_.candidates.empty()) {
+    options_.candidates = std::vector<AccessPolicy>(1, options_.prior);
+  }
+}
+
+// SplitMix64: deterministic, seedable, and consulted in a fixed order —
+// the entire learning trajectory is a pure function of (observations, seed).
+uint64_t AdaptivePolicyController::NextRandom() {
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+PolicySpec AdaptivePolicyController::CurrentSpec() const {
+  PolicySpec spec(options_.prior);
+  for (const AdaptiveSiteState& site : sites_) {
+    spec.Set(site.site, site.current);
+  }
+  return spec;
+}
+
+PolicySpec AdaptivePolicyController::BestSpec() const {
+  PolicySpec spec(options_.prior);
+  for (const AdaptiveSiteState& site : sites_) {
+    spec.Set(site.site, BestArmOf(site));
+  }
+  return spec;
+}
+
+size_t AdaptivePolicyController::ArmIndex(size_t site_index, AccessPolicy policy) const {
+  const std::vector<AdaptiveArm>& arms = sites_[site_index].arms;
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (arms[i].policy == policy) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+AccessPolicy AdaptivePolicyController::BestArmOf(const AdaptiveSiteState& site) const {
+  const AdaptiveArm* best = nullptr;
+  for (const AdaptiveArm& arm : site.arms) {
+    if (arm.disabled || arm.pulls == 0) {
+      continue;
+    }
+    // On a mean tie, a continuing arm beats a terminate-capable one: a site
+    // whose errors never recurred after epoch 0 (a construction-time site,
+    // say) scores every later arm 0, and "best" must not resolve to
+    // kStandard/kBoundsCheck on zero information — the validation run would
+    // execute the construction under an arm the live epochs never actually
+    // exercised there. Remaining ties keep the earlier candidate.
+    if (best == nullptr || arm.mean_reward() > best->mean_reward() ||
+        (arm.mean_reward() == best->mean_reward() && PolicyTerminates(best->policy) &&
+         !PolicyTerminates(arm.policy))) {
+      best = &arm;
+    }
+  }
+  return best == nullptr ? options_.prior : best->policy;
+}
+
+void AdaptivePolicyController::ObserveShardLog(uint32_t shard_id, const MemLog& log,
+                                               uint64_t incarnation) {
+  // A new incarnation means the worker was replaced and this log started
+  // from zero: drop the dead worker's baselines so the fresh counts are
+  // read in full, not differenced against a ghost. (Errors the dead worker
+  // logged after its last observation are gone with it — the controller
+  // only sees what the serving layer still holds at epoch end.)
+  uint64_t& known = shard_incarnation_[shard_id];
+  if (incarnation != known) {
+    known = incarnation;
+    auto it = last_counts_.lower_bound({shard_id, 0});
+    while (it != last_counts_.end() && it->first.first == shard_id) {
+      it = last_counts_.erase(it);
+    }
+  }
+  for (const auto& [site_id, stat] : log.sites()) {
+    uint64_t& last = last_counts_[{shard_id, site_id}];
+    // Fallback for callers that do not track incarnations: a count below
+    // the last observation still means the shard was replaced.
+    uint64_t delta = stat.count >= last ? stat.count - last : stat.count;
+    last = stat.count;
+
+    auto it = site_index_.find(site_id);
+    if (it == site_index_.end()) {
+      if (sites_.size() >= options_.max_sites) {
+        continue;  // beyond the tracking cap; fallback policy governs it
+      }
+      AdaptiveSiteState site;
+      site.site = site_id;
+      site.unit_name = stat.unit_name;
+      site.function = stat.function;
+      site.is_write = stat.is_write;
+      site.current = options_.prior;
+      site.arms.reserve(options_.candidates.size());
+      for (AccessPolicy candidate : options_.candidates) {
+        AdaptiveArm arm;
+        arm.policy = candidate;
+        site.arms.push_back(arm);
+      }
+      it = site_index_.emplace(site_id, sites_.size()).first;
+      new_this_epoch_.push_back(sites_.size());
+      sites_.push_back(std::move(site));
+    }
+    AdaptiveSiteState& site = sites_[it->second];
+    site.epoch_errors += delta;
+    site.total_errors += delta;
+  }
+}
+
+uint64_t AdaptivePolicyController::EndEpoch(const EpochVerdict& verdict) {
+  const bool acceptable = verdict.attack_acceptable && verdict.legit_ok;
+  const bool lost_worker = verdict.restarts > 0;
+
+  // The arms whose choice was this epoch's experiment: the focus site plus
+  // any site first observed this epoch (it ran the prior). Epoch 0 has no
+  // focus, so every site is new and every prior arm is rewarded — the
+  // baseline observation that seeds the bandit.
+  std::vector<size_t> updated = new_this_epoch_;
+  if (focus_ != SIZE_MAX &&
+      std::find(updated.begin(), updated.end(), focus_) == updated.end()) {
+    updated.push_back(focus_);
+  }
+
+  uint64_t epoch_errors = 0;
+  for (const AdaptiveSiteState& site : sites_) {
+    epoch_errors += site.epoch_errors;
+  }
+
+  // Crash attribution. When the epoch lost a worker, the culprits are the
+  // sites currently holding terminate-capable arms — *wherever* they sit:
+  // a non-focus site's standing kThreshold arm can cross its persistent
+  // error budget (the counter survives Rebind) in an epoch where some
+  // other site was the experiment, and it, not the innocent focus arm,
+  // must absorb the penalty and lose its terminate arms. Only when no site
+  // holds a terminate-capable arm (a hang-budget exhaustion under a
+  // continuing policy) does the blame fall on the epoch's experiment.
+  std::vector<size_t> culprits;
+  if (lost_worker) {
+    for (size_t i = 0; i < sites_.size(); ++i) {
+      if (PolicyTerminates(sites_[i].current)) {
+        culprits.push_back(i);
+      }
+    }
+    if (culprits.empty()) {
+      if (focus_ != SIZE_MAX) {
+        culprits.push_back(focus_);
+      } else {
+        culprits = updated;  // baseline epoch: the prior everywhere
+      }
+    }
+  }
+  auto is_culprit = [&culprits](size_t index) {
+    return std::find(culprits.begin(), culprits.end(), index) != culprits.end();
+  };
+
+  for (size_t index : updated) {
+    AdaptiveSiteState& site = sites_[index];
+    double reward = -options_.error_weight * static_cast<double>(site.epoch_errors);
+    // The unacceptable penalty belongs to the epoch's *experiment* — the
+    // focus deviation, or the prior on the baseline epoch — unless a
+    // worker loss explains the failed responses, in which case it follows
+    // the crash culprits. A site merely first observed during a focus
+    // epoch chose nothing and is charged nothing beyond its own errors.
+    const bool experimented = index == focus_ || focus_ == SIZE_MAX;
+    if (!acceptable && (lost_worker ? is_culprit(index) : experimented)) {
+      reward -= options_.unacceptable_penalty;
+    }
+    if (lost_worker && is_culprit(index)) {
+      reward -= options_.crash_penalty;
+    }
+    size_t arm_index = ArmIndex(index, site.current);
+    if (arm_index != SIZE_MAX) {
+      AdaptiveArm& arm = site.arms[arm_index];
+      arm.total_reward += reward;
+      ++arm.pulls;
+    }
+  }
+
+  // Culprits outside the updated set absorb the crash as a forced penalty
+  // pull of their standing arm, and the safety rail retires every
+  // terminate-capable arm at any culprit site that held one.
+  for (size_t index : culprits) {
+    AdaptiveSiteState& site = sites_[index];
+    if (std::find(updated.begin(), updated.end(), index) == updated.end()) {
+      size_t arm_index = ArmIndex(index, site.current);
+      if (arm_index != SIZE_MAX) {
+        AdaptiveArm& arm = site.arms[arm_index];
+        arm.total_reward -=
+            options_.crash_penalty + (acceptable ? 0.0 : options_.unacceptable_penalty);
+        ++arm.pulls;
+      }
+    }
+    if (PolicyTerminates(site.current)) {
+      site.crash_tainted = true;
+      for (AdaptiveArm& arm : site.arms) {
+        if (PolicyTerminates(arm.policy)) {
+          arm.disabled = true;
+        }
+      }
+    }
+  }
+
+  for (AdaptiveSiteState& site : sites_) {
+    site.epoch_errors = 0;
+  }
+  new_this_epoch_.clear();
+  ++epochs_completed_;
+
+  // Select the next epoch's assignment: one focus site deviates, everyone
+  // else exploits its best observed arm.
+  if (!sites_.empty()) {
+    focus_ = focus_ == SIZE_MAX ? 0 : (focus_ + 1) % sites_.size();
+    for (size_t i = 0; i < sites_.size(); ++i) {
+      AdaptiveSiteState& site = sites_[i];
+      if (i != focus_) {
+        site.current = BestArmOf(site);
+        continue;
+      }
+      // Focus: cover untried enabled arms first (candidate order), then
+      // epsilon-greedy among the enabled arms.
+      size_t untried = SIZE_MAX;
+      std::vector<size_t> enabled;
+      for (size_t a = 0; a < site.arms.size(); ++a) {
+        if (site.arms[a].disabled) {
+          continue;
+        }
+        enabled.push_back(a);
+        if (untried == SIZE_MAX && site.arms[a].pulls == 0) {
+          untried = a;
+        }
+      }
+      if (enabled.empty()) {
+        site.current = options_.prior;
+      } else if (untried != SIZE_MAX) {
+        site.current = site.arms[untried].policy;
+      } else if (static_cast<double>(NextRandom() >> 11) * 0x1.0p-53 < options_.epsilon) {
+        site.current = site.arms[enabled[NextRandom() % enabled.size()]].policy;
+      } else {
+        site.current = BestArmOf(site);
+      }
+    }
+  }
+  return epoch_errors;
+}
+
+}  // namespace fob

@@ -1,0 +1,202 @@
+// AdaptivePolicyController: online, context-aware per-site policy learning.
+//
+// The search-space sweep (src/harness/sweep.h) finds good per-site policy
+// assignments *offline*, by exhaustively enumerating the mixed-radix space
+// Durieux et al. describe and replaying the workload once per assignment.
+// Rigger et al.'s "Context-aware Failure-oblivious Computing" follow-up asks
+// for the online version: start serving under a safe prior, observe what
+// each continuation policy actually does at each error site, and promote or
+// demote sites between epochs — no oracle replay, just the signals a live
+// deployment has.
+//
+// This controller is that learner, structured as a per-site bandit:
+//
+//   * every error site (SiteId) the serving stack observes becomes a set of
+//     *arms*, one per candidate AccessPolicy;
+//   * between epochs the controller assembles a PolicySpec (prior fallback +
+//     one override per tracked site) that a live shard adopts via
+//     Memory::Rebind / Frontend::Rebind — the shard keeps its heap, its
+//     MemLog aggregates and its handler-bank state, only resolution changes;
+//   * during an epoch the serving layers feed observations back:
+//     - per-shard MemLog site aggregates, fed by the Frontend in ascending
+//       shard-id order (the same deterministic merge rule as MemLog::Merge),
+//       so all lanes learn from each other's errors;
+//     - the epoch verdict — §4 acceptability of attack and legit responses
+//       (from ServerResponse::acceptable) and WorkerPool restarts (crash /
+//       termination / hang-budget signals);
+//   * EndEpoch turns the observation into a reward for the arms that ran
+//     and epsilon-greedily re-selects each site's policy for the next epoch.
+//
+// Exploration is *focused*: each epoch at most one site (round robin over
+// the tracked sites) deviates from its best-known arm — first covering its
+// untried arms in candidate order, then epsilon-greedy — while every other
+// site holds its best observed arm. One deviation per epoch keeps credit
+// assignment clean (the epoch reward updates exactly the arms whose choice
+// was this epoch's experiment) and keeps the run deterministic: the RNG is
+// a seeded SplitMix64 consulted in a fixed order, so the same stream + seed
+// + worker count always learns the identical assignment — the property
+// tests/test_adaptive.cc pins.
+//
+// Safety rail: once a site's assigned arm has crashed/terminated a shard
+// (any epoch with worker restarts while the site held a non-continuing
+// policy), the terminate-capable arms (kStandard, kBoundsCheck, kThreshold)
+// are permanently disabled for that site — an online learner must not keep
+// probing arms that take down workers.
+
+#ifndef SRC_RUNTIME_ADAPTIVE_H_
+#define SRC_RUNTIME_ADAPTIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/memlog.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/policy_spec.h"
+
+namespace fob {
+
+// One candidate policy's running statistics at one site.
+struct AdaptiveArm {
+  AccessPolicy policy = AccessPolicy::kFailureOblivious;
+  double total_reward = 0.0;
+  uint64_t pulls = 0;
+  // Permanently excluded from selection (crash safety rail).
+  bool disabled = false;
+
+  double mean_reward() const { return pulls == 0 ? 0.0 : total_reward / static_cast<double>(pulls); }
+};
+
+// Everything the controller knows about one error site.
+struct AdaptiveSiteState {
+  SiteId site = kInvalidSite;
+  std::string unit_name;
+  std::string function;
+  bool is_write = false;
+  // The policy assigned for the epoch in flight.
+  AccessPolicy current = AccessPolicy::kFailureOblivious;
+  // Parallel to Options::candidates.
+  std::vector<AdaptiveArm> arms;
+  // Errors observed at this site during the current epoch (summed across
+  // shards, reset by EndEpoch) and over the whole run.
+  uint64_t epoch_errors = 0;
+  uint64_t total_errors = 0;
+  // An epoch with restarts ran while this site held a non-continuing arm.
+  bool crash_tainted = false;
+
+  std::string Label() const;
+};
+
+// What one epoch looked like from the serving layer, beyond the per-site
+// error aggregates (which arrive separately via ObserveShardLog).
+struct EpochVerdict {
+  // Every attack-tagged response carried acceptable == true (§4 "the attack
+  // was absorbed").
+  bool attack_acceptable = true;
+  // Every legit-tagged response carried acceptable == true (§4 "subsequent
+  // legitimate requests still succeed").
+  bool legit_ok = true;
+  // Worker replacements during the epoch: crashes, bounds terminations and
+  // hang-budget exhaustions all surface here.
+  uint64_t restarts = 0;
+};
+
+// Every policy, as a vector — the default arm set. Out of line so the
+// constexpr array never inlines into vector construction (GCC 12's
+// -Warray-bounds/-Wrestrict analyzers walk impossible aliasing paths
+// through that combination).
+std::vector<AccessPolicy> DefaultAdaptiveCandidates();
+
+class AdaptivePolicyController {
+ public:
+  struct Options {
+    // Every site starts here, and it is the spec fallback for untracked
+    // sites. Must be a continuing policy — worker construction runs under
+    // the prior (Frontend::Rebind applies overrides post-construction), and
+    // epoch 0 observes sites through it.
+    AccessPolicy prior = AccessPolicy::kFailureOblivious;
+    // The arms. Defaults to every policy; non-continuing ones are explored
+    // too (and disabled per site once they cost a shard).
+    std::vector<AccessPolicy> candidates = DefaultAdaptiveCandidates();
+    // Probability the focus site explores a random enabled arm instead of
+    // exploiting, once all its arms have been tried.
+    double epsilon = 0.1;
+    uint64_t seed = 1;
+    // Reward shaping: reward = -error_weight * site_epoch_errors, minus the
+    // penalties when the epoch was unacceptable / lost a worker. The
+    // penalties dominate any plausible error count, so acceptability is
+    // lexically more important than the error rate.
+    double error_weight = 1.0;
+    double unacceptable_penalty = 1e5;
+    double crash_penalty = 1e7;
+    // Cap on tracked sites, first-observed order (ascending shard id, then
+    // SiteId within a shard — deterministic).
+    size_t max_sites = 8;
+  };
+
+  AdaptivePolicyController();
+  explicit AdaptivePolicyController(const Options& options);
+
+  // The spec for the epoch in flight: prior fallback + one override per
+  // tracked site. Hand this to Memory::Rebind / Frontend::Rebind.
+  PolicySpec CurrentSpec() const;
+
+  // The learned assignment: each site's best enabled arm among those
+  // actually tried (the prior where nothing has been tried yet).
+  PolicySpec BestSpec() const;
+
+  // Feeds one shard's cumulative per-site error aggregates (MemLog::sites()).
+  // Call once per shard per epoch, in ascending shard-id order — the
+  // Frontend's FeedSiteObservations does exactly that. The controller
+  // differences against the last observation of the same (shard, site);
+  // `incarnation` is the worker-replacement counter for the shard slot
+  // (Frontend tracks it), which resets the baselines exactly when the log
+  // actually restarted — without it a replacement that re-accumulates past
+  // the dead worker's count would be differenced against the ghost.
+  void ObserveShardLog(uint32_t shard_id, const MemLog& log, uint64_t incarnation = 0);
+
+  // Closes the epoch: rewards the arms that were this epoch's experiment,
+  // applies the crash safety rail, and re-selects every site's policy for
+  // the next epoch. Returns the total errors observed at tracked sites this
+  // epoch (the convergence-trace number).
+  uint64_t EndEpoch(const EpochVerdict& verdict);
+
+  const std::vector<AdaptiveSiteState>& sites() const { return sites_; }
+  const Options& options() const { return options_; }
+  size_t epochs_completed() const { return epochs_completed_; }
+  // Index into sites() of the site deviating in the epoch in flight;
+  // SIZE_MAX before any site exists (tracing and tests).
+  size_t focus_site() const { return focus_; }
+
+ private:
+  size_t ArmIndex(size_t site_index, AccessPolicy policy) const;
+  AccessPolicy BestArmOf(const AdaptiveSiteState& site) const;
+  uint64_t NextRandom();
+
+  Options options_;
+  std::vector<AdaptiveSiteState> sites_;
+  std::map<SiteId, size_t> site_index_;
+  // (shard id, site) -> last cumulative count seen, for delta extraction.
+  std::map<std::pair<uint32_t, SiteId>, uint64_t> last_counts_;
+  // shard id -> last worker incarnation observed (see ObserveShardLog).
+  std::map<uint32_t, uint64_t> shard_incarnation_;
+  // Sites first observed during the epoch in flight: their prior arm was
+  // the policy that actually ran, so they are rewarded alongside the focus.
+  std::vector<size_t> new_this_epoch_;
+  // Index into sites_ of the one site deviating this epoch; SIZE_MAX before
+  // any site exists (and on epoch 0, where every site runs the prior).
+  size_t focus_ = SIZE_MAX;
+  size_t epochs_completed_ = 0;
+  uint64_t rng_state_;
+};
+
+// True for policies whose continuation can take the worker down (raw access
+// crash or deliberate termination) rather than continue.
+bool PolicyTerminates(AccessPolicy policy);
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_ADAPTIVE_H_

@@ -29,6 +29,13 @@ Memory::Memory(const Config& config) : shard_(std::make_unique<Shard>(*this, con
 
 Memory::~Memory() = default;
 
+void Memory::Rebind(const PolicySpec& spec) {
+  shard_->config.policy = spec;
+  shard_->policy_table->Rebind(spec);
+  handler_ = &shard_->policy_table->fallback_handler();
+  uniform_ = shard_->policy_table->uniform();
+}
+
 // ---- Allocation -----------------------------------------------------------
 
 Ptr Memory::Malloc(size_t size, std::string name) {

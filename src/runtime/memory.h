@@ -78,6 +78,14 @@ class Memory {
   AccessPolicy policy() const { return shard_->config.policy.fallback(); }
   const PolicySpec& spec() const { return shard_->config.policy; }
 
+  // Re-specs the live shard's policy resolution at an epoch boundary: the
+  // MemLog keeps its aggregates, the handler bank keeps its state (a
+  // Threshold counter survives), the heap/object table are untouched — only
+  // SiteId -> AccessPolicy resolution changes, effective from the next
+  // access. Must not be called while another thread is accessing this
+  // Memory (the Frontend rebinds between pumps, when no lane threads run).
+  void Rebind(const PolicySpec& spec);
+
   // What the checking code learned about one access: whether it may proceed,
   // how the pointer relates to its intended referent, and the referent
   // itself. Produced by CheckAccess, consumed by the PolicyHandler

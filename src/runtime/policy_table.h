@@ -31,6 +31,16 @@ class PolicyTable {
   const PolicySpec& spec() const { return spec_; }
   bool uniform() const { return spec_.uniform(); }
 
+  // Replaces the SiteId -> AccessPolicy mapping of a *live* table, effective
+  // from the next resolution. The handler bank is kept: stateful policies
+  // (Threshold's error counter, Boundless' store) carry their accumulated
+  // state across the respec, exactly as a whole-program recompilation would
+  // not reset a running process. This is the epoch-boundary hook the
+  // adaptive controller (src/runtime/adaptive.h) uses to promote/demote
+  // sites without discarding the shard. Callers going through Memory must
+  // use Memory::Rebind, which also refreshes the façade's fast-path caches.
+  void Rebind(const PolicySpec& spec) { spec_ = spec; }
+
   // The handler accesses use when the site has no override (and the only
   // handler a uniform table ever consults).
   PolicyHandler& fallback_handler() { return HandlerFor(spec_.fallback()); }

@@ -164,6 +164,87 @@ TEST(SiteDispatchTest, FreeFollowsTheSiteResolvedPolicy) {
   EXPECT_TRUE(ok.ok());
 }
 
+// ---- Live respec (Rebind) ---------------------------------------------------
+
+TEST(RebindTest, PreservesMemLogAggregatesAndTakesEffectOnNextAccess) {
+  Memory memory(AccessPolicy::kFailureOblivious);
+  Ptr buf = memory.Malloc(8, "buf");
+  SiteId write_site;
+  {
+    Memory::Frame frame(memory, "serve");
+    write_site = memory.SiteForAccess(buf + 32, AccessKind::kWrite);
+    memory.WriteU8(buf + 32, 1);
+    memory.WriteU8(buf + 40, 2);
+  }
+  ASSERT_EQ(memory.log().total_errors(), 2u);
+  ASSERT_EQ(memory.log().sites().at(write_site).count, 2u);
+
+  // Respec the live shard: the hot site now terminates.
+  PolicySpec respec(AccessPolicy::kFailureOblivious);
+  respec.Set(write_site, AccessPolicy::kBoundsCheck);
+  memory.Rebind(respec);
+
+  // The error history survived the respec untouched...
+  EXPECT_EQ(memory.log().total_errors(), 2u);
+  EXPECT_EQ(memory.log().sites().at(write_site).count, 2u);
+  EXPECT_EQ(memory.spec().Resolve(write_site), AccessPolicy::kBoundsCheck);
+
+  // ...and the new resolution governs the very next access.
+  {
+    Memory::Frame frame(memory, "serve");
+    RunResult result = RunAsProcess([&] { memory.WriteU8(buf + 32, 3); });
+    EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+  }
+  // The heap survived too: the block is still readable in bounds.
+  memory.WriteU8(buf, 7);
+  EXPECT_EQ(memory.ReadU8(buf), 7u);
+}
+
+TEST(RebindTest, UniformToUniformSwitchesTheFastPathHandler) {
+  // Both specs are uniform, so both take the single-dispatch fast path —
+  // the rebind must swap which handler that path binds.
+  Memory memory(AccessPolicy::kFailureOblivious);
+  Ptr buf = memory.Malloc(4, "buf");
+  memory.WriteU8(buf, 0xAB);
+  memory.Rebind(PolicySpec(AccessPolicy::kWrap));
+  {
+    Memory::Frame frame(memory, "serve");
+    // Wrap redirects the out-of-bounds read back into the unit: offset 4
+    // wraps to 0, observing the in-bounds byte — FO would manufacture.
+    EXPECT_EQ(memory.ReadU8(buf + 4), 0xAB);
+  }
+  EXPECT_EQ(memory.log().total_errors(), 1u);
+}
+
+TEST(RebindTest, HandlerBankStateSurvivesTheRespec) {
+  // Threshold's error counter lives in the handler bank, which Rebind
+  // keeps: errors continued *before* the respec still count against the
+  // budget after it — the live shard is the same simulated process.
+  Memory::Config config;
+  config.policy = AccessPolicy::kThreshold;
+  config.error_threshold = 3;
+  Memory memory(config);
+  Ptr buf = memory.Malloc(8, "buf");
+  {
+    Memory::Frame frame(memory, "serve");
+    memory.WriteU8(buf + 32, 1);
+    memory.WriteU8(buf + 32, 2);
+  }
+  EXPECT_EQ(memory.log().total_errors(), 2u);
+
+  // Rebind to a mixed spec that still resolves this site to kThreshold.
+  PolicySpec respec(AccessPolicy::kFailureOblivious);
+  respec.Set(MakeSiteId("buf", "serve", AccessKind::kWrite), AccessPolicy::kThreshold);
+  memory.Rebind(respec);
+  {
+    Memory::Frame frame(memory, "serve");
+    memory.WriteU8(buf + 32, 3);  // third continued error: budget spent
+    RunResult result = RunAsProcess([&] { memory.WriteU8(buf + 32, 4); });
+    EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated)
+        << "the pre-respec error count must still be charged";
+  }
+}
+
 // ---- New handler semantics --------------------------------------------------
 
 TEST(ZeroManufactureTest, InvalidReadsAreZeroAndConsumeNoSequence) {

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Documentation link checker.
+
+Verifies, for every markdown file passed on the command line (or the
+default doc set when none is given):
+
+  * every relative markdown link ``[text](target)`` resolves to an existing
+    file or directory (anchors are stripped; http/https/mailto links are
+    skipped);
+  * every backticked repo path — a token starting with ``src/``, ``docs/``,
+    ``tests/``, ``bench/``, ``examples/``, ``tools/`` or ``.github/`` —
+    names a file or directory that exists, so prose references cannot go
+    stale silently. Brace alternation (``foo.{h,cc}``) is expanded; tokens
+    containing ``*`` are treated as globs and must match something.
+
+Exit status is nonzero if anything is broken; each problem is printed as
+``file: broken reference``.
+"""
+
+import glob
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_DOCS = [
+    "README.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/BENCHMARKS.md",
+    "src/net/README.md",
+    "src/runtime/handlers/README.md",
+]
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+PATH_PREFIXES = ("src/", "docs/", "tests/", "bench/", "examples/", "tools/", ".github/")
+
+
+def expand_braces(token: str):
+    """foo.{h,cc} -> [foo.h, foo.cc]; at most one brace group is expected."""
+    match = re.search(r"\{([^}]*)\}", token)
+    if not match:
+        return [token]
+    prefix, suffix = token[: match.start()], token[match.end():]
+    return [prefix + alt + suffix for alt in match.group(1).split(",")]
+
+
+def display_name(doc: Path) -> str:
+    try:
+        return str(doc.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(doc)
+
+
+def check_file(doc: Path) -> list:
+    problems = []
+    text = doc.read_text(encoding="utf-8")
+
+    for target in MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (doc.parent / path).exists():
+            problems.append(f"{display_name(doc)}: broken link ({target})")
+
+    for token in BACKTICK.findall(text):
+        if not token.startswith(PATH_PREFIXES):
+            continue
+        # Prose like `src/harness/sweep.h, bench_sweep, ...` is not a path.
+        if any(c in token for c in " ,;`"):
+            continue
+        for candidate in expand_braces(token):
+            if "*" in candidate:
+                if not glob.glob(str(REPO_ROOT / candidate)):
+                    problems.append(
+                        f"{display_name(doc)}: stale glob reference ({candidate})")
+                continue
+            if not (REPO_ROOT / candidate).exists():
+                problems.append(
+                    f"{display_name(doc)}: stale file reference ({candidate})")
+    return problems
+
+
+def main(argv: list) -> int:
+    docs = [Path(a).resolve() for a in argv] if argv else [REPO_ROOT / d for d in DEFAULT_DOCS]
+    problems = []
+    for doc in docs:
+        if not doc.exists():
+            problems.append(f"{doc}: document itself is missing")
+            continue
+        problems.extend(check_file(doc))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"ok: {len(docs)} documents, all links and file references resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
