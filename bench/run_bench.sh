@@ -9,8 +9,12 @@
 #                            byte loops vs cursor/span fast path
 #   BENCH_span_path.json   — strcpy/memcpy/UTF-8 decode, byte loop vs span,
 #                            under all seven policies
-#   BENCH_check_cost.json  — object-table search cost vs live-object
-#                            population (Standard vs checked vs mixed spec)
+#   BENCH_check_cost.json  — access-resolution cost vs live-object
+#                            population (Standard vs checked vs mixed
+#                            spec), sequential + random axes, with
+#                            page-map fast-path hit-rate counters; CI's
+#                            perf-smoke gate (tools/check_perf_smoke.py)
+#                            runs over this file
 #   BENCH_throughput.json  — parallel-Frontend serving throughput,
 #                            requests/sec vs worker-thread count x batch
 #                            size, per policy (FO vs Bounds Check vs

@@ -1,7 +1,9 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <iomanip>
 #include <map>
 #include <set>
 #include <sstream>
@@ -189,6 +191,7 @@ AdaptiveReport RunAdaptiveExperiment(Server server, const TrafficStream& stream,
   AdaptiveReport report;
   uint64_t restarts_before = 0;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    auto epoch_start = std::chrono::steady_clock::now();
     AdaptiveEpochTrace entry;
     entry.epoch = epoch;
     entry.spec = controller.CurrentSpec();
@@ -220,6 +223,9 @@ AdaptiveReport RunAdaptiveExperiment(Server server, const TrafficStream& stream,
     restarts_before = frontend.restarts();
     entry.restarts = verdict.restarts;
     entry.errors = controller.EndEpoch(verdict);
+    entry.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                              epoch_start)
+                        .count();
     report.trace.push_back(std::move(entry));
   }
 
@@ -244,7 +250,9 @@ std::string AdaptiveReport::ToTraceString() const {
       os << " " << PolicyName(entry.spec.Resolve(site.site));
     }
     os << " | errors " << entry.errors << ", restarts " << entry.restarts << ", "
-       << (entry.attack_acceptable && entry.legit_ok ? "acceptable" : "NOT acceptable") << "\n";
+       << (entry.attack_acceptable && entry.legit_ok ? "acceptable" : "NOT acceptable") << ", "
+       << std::fixed << std::setprecision(1) << entry.wall_ms << " ms\n";
+    os.unsetf(std::ios_base::floatfield);
   }
   os << "learned:";
   for (const AdaptiveSiteState& site : sites) {

@@ -140,6 +140,10 @@ struct AdaptiveEpochTrace {
   uint64_t restarts = 0;
   bool attack_acceptable = true;
   bool legit_ok = true;
+  // Wall-clock time this epoch took to serve (rebind through EndEpoch), so
+  // the ADAPTIVE_*.txt artifacts show where learning time goes. Excluded
+  // from determinism comparisons — only the trace string carries it.
+  double wall_ms = 0;
 };
 
 struct AdaptiveReport {

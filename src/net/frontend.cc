@@ -275,7 +275,11 @@ MemLog Frontend::MergedLog() {
   }
   MemLog merged(capacity);
   for (size_t index = 0; index < pool_.size(); ++index) {
-    merged.Merge(pool_.worker(index).memory().log());
+    const Memory& memory = pool_.worker(index).memory();
+    merged.Merge(memory.log());
+    // Fast-path counters live on the shard, not in its log; fold them in
+    // here so the merged view carries the pool's translation profile.
+    merged.AddTranslationStats(memory.translation_hits(), memory.translation_misses());
   }
   return merged;
 }

@@ -65,6 +65,8 @@ void MemLog::Merge(const MemLog& other) {
   read_errors_ += other.read_errors_;
   write_errors_ += other.write_errors_;
   dropped_ += other.dropped_;
+  translation_hits_ += other.translation_hits_;
+  translation_misses_ += other.translation_misses_;
   for (const auto& [name, count] : other.by_unit_) {
     by_unit_[name] += count;
   }
@@ -91,6 +93,10 @@ std::string MemLog::Summary() const {
   std::ostringstream os;
   os << "memory-error log: " << total_ << " total (" << write_errors_ << " writes, "
      << read_errors_ << " reads)\n";
+  if (translation_hits_ + translation_misses_ > 0) {
+    os << "  page-map fast path: " << translation_hits_ << " hits, " << translation_misses_
+       << " misses\n";
+  }
   if (dropped_ > 0) {
     os << "  detail ring capped at " << capacity_ << ": " << dropped_
        << " older records evicted (aggregates exact)\n";
@@ -108,6 +114,7 @@ std::string MemLog::Summary() const {
 void MemLog::Clear() {
   recent_.clear();
   total_ = read_errors_ = write_errors_ = dropped_ = 0;
+  translation_hits_ = translation_misses_ = 0;
   by_unit_.clear();
   sites_.clear();
 }

@@ -85,6 +85,16 @@ class MemLog {
   uint64_t dropped() const { return dropped_; }
   size_t capacity() const { return capacity_; }
 
+  // Page-map fast-path resolution stats (Shard::translation_hits/_misses),
+  // folded in at merge points so a merged log carries the whole pool's
+  // translation profile alongside its error profile.
+  void AddTranslationStats(uint64_t hits, uint64_t misses) {
+    translation_hits_ += hits;
+    translation_misses_ += misses;
+  }
+  uint64_t translation_hits() const { return translation_hits_; }
+  uint64_t translation_misses() const { return translation_misses_; }
+
   // Folds another shard's log into this one: aggregate counters and per-site
   // stats sum exactly; the other ring's records append in their original
   // order (evicting, and counting, the oldest beyond capacity). Merging
@@ -110,6 +120,8 @@ class MemLog {
   uint64_t read_errors_ = 0;
   uint64_t write_errors_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t translation_hits_ = 0;
+  uint64_t translation_misses_ = 0;
   std::map<std::string, uint64_t> by_unit_;
   std::map<SiteId, MemSiteStat> sites_;
   std::ostream* echo_ = nullptr;

@@ -158,6 +158,62 @@ void Memory::BumpAccess() {
   }
 }
 
+bool Memory::TryFastRead(Ptr p, void* dst, size_t n) {
+  if (n == 0 || p.unit == kInvalidUnit) {
+    return false;  // degenerate accesses keep their historical path
+  }
+  const PageMap::Entry* entry = shard_->page_map.Find(p.addr);
+  if (entry == nullptr || entry->data == nullptr || entry->owner != p.unit) {
+    ++shard_->translation_misses;
+    return false;
+  }
+  // The owner invariant guarantees the unit is live; Lookup is a vector
+  // index, not a search.
+  const DataUnit* unit = shard_->table.Lookup(p.unit);
+  if (!unit->Contains(p.addr, n)) {
+    ++shard_->translation_misses;
+    return false;
+  }
+  ++shard_->translation_hits;
+  size_t offset = static_cast<size_t>(p.addr - PageBaseOf(p.addr));
+  if (offset + n <= kPageSize) {
+    std::memcpy(dst, entry->data + offset, n);
+  } else {
+    // Straddles into the next page of the same unit; the multi-entry TLB
+    // absorbs the extra page translation.
+    bool ok = shard_->space.Read(p.addr, dst, n);
+    assert(ok && "in-bounds unit memory must be mapped");
+    (void)ok;
+  }
+  return true;
+}
+
+bool Memory::TryFastWrite(Ptr p, const void* src, size_t n) {
+  if (n == 0 || p.unit == kInvalidUnit) {
+    return false;
+  }
+  const PageMap::Entry* entry = shard_->page_map.Find(p.addr);
+  if (entry == nullptr || entry->data == nullptr || entry->owner != p.unit) {
+    ++shard_->translation_misses;
+    return false;
+  }
+  const DataUnit* unit = shard_->table.Lookup(p.unit);
+  if (!unit->Contains(p.addr, n)) {
+    ++shard_->translation_misses;
+    return false;
+  }
+  ++shard_->translation_hits;
+  size_t offset = static_cast<size_t>(p.addr - PageBaseOf(p.addr));
+  if (offset + n <= kPageSize) {
+    std::memcpy(entry->data + offset, src, n);
+  } else {
+    bool ok = shard_->space.Write(p.addr, src, n);
+    assert(ok && "in-bounds unit memory must be mapped");
+    (void)ok;
+  }
+  return true;
+}
+
 Memory::CheckResult Memory::CheckAccess(Ptr p, size_t n) const {
   CheckResult result;
   // The table search is what a Jones-Kelly/CRED checker executes per access;
@@ -235,6 +291,9 @@ void Memory::SiteDispatchWrite(Ptr p, const void* src, size_t n) {
 
 void Memory::Write(Ptr p, const void* src, size_t n) {
   BumpAccess();
+  if (TryFastWrite(p, src, n)) {
+    return;
+  }
   if (uniform_) {
     handler_->Write(p, src, n);
     return;
@@ -244,6 +303,9 @@ void Memory::Write(Ptr p, const void* src, size_t n) {
 
 void Memory::Read(Ptr p, void* dst, size_t n) {
   BumpAccess();
+  if (TryFastRead(p, dst, n)) {
+    return;
+  }
   if (uniform_) {
     handler_->Read(p, dst, n);
     return;

@@ -9,6 +9,14 @@
 //
 //   * checking code: classify the access against the pointer's intended
 //     referent (src/softmem/oob_registry.h);
+//   * fast path: before any policy machinery runs, the access is offered to
+//     the shard's page-granular unit map (src/softmem/page_map.h) — a valid
+//     access through the sole live unit on its page resolves in O(1) with no
+//     interval search, and behaves identically under every policy, so the
+//     fast path is taken unconditionally. Misses fall through to the full
+//     pipeline byte-identically. Access resolution is therefore three tiers:
+//     page-map fast path → object-table interval search → policy resolution
+//     (see src/runtime/handlers/README.md);
 //   * continuation code: for invalid accesses, do what the resolved policy
 //     says — crash (kStandard, by actually performing/faulting the raw
 //     access), terminate (kBoundsCheck), discard-writes/manufacture-reads
@@ -190,6 +198,9 @@ class Memory {
   MemLog& log() { return shard_->log; }
   const MemLog& log() const { return shard_->log; }
   uint64_t access_count() const { return shard_->accesses; }
+  // Page-map fast-path resolution counters (see Shard::translation_hits).
+  uint64_t translation_hits() const { return shard_->translation_hits; }
+  uint64_t translation_misses() const { return shard_->translation_misses; }
   void set_access_budget(uint64_t budget) { shard_->config.access_budget = budget; }
   PointerStatus Classify(Ptr p, size_t n = 1) const;
 
@@ -217,6 +228,15 @@ class Memory {
   friend class AccessCursor;
 
   void BumpAccess();
+  // Tier 1: resolve the access through the shard's page map alone. Returns
+  // true (access performed) only when the full checking code would have
+  // classified it kInBounds — a live sole-owner page whose owner is p's
+  // intended referent and whose extent contains [addr, addr+n) — which is
+  // policy-independent, so hits bypass dispatch for every policy including
+  // Standard. A false return performed nothing and consumed nothing; the
+  // caller falls into the interval-search tiers byte-identically.
+  bool TryFastRead(Ptr p, void* dst, size_t n);
+  bool TryFastWrite(Ptr p, const void* src, size_t n);
   CheckResult CheckAccess(Ptr p, size_t n) const;
   // Records one invalid access. `site` is the access's already-derived
   // SiteId when the caller resolved it (the mixed-spec dispatch path, which

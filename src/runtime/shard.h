@@ -36,6 +36,7 @@
 #include "src/softmem/heap.h"
 #include "src/softmem/object_table.h"
 #include "src/softmem/oob_registry.h"
+#include "src/softmem/page_map.h"
 #include "src/softmem/stack.h"
 
 namespace fob {
@@ -90,6 +91,12 @@ class Shard {
 
   ShardConfig config;
   std::unique_ptr<PolicyTable> policy_table;
+  // The O(1) address→unit translation layer. Declared before the space and
+  // table so it outlives both; the constructor attaches it to each before
+  // any region is mapped or unit registered, so every Map/Unmap and
+  // Register/Retire in this bundle's lifetime flows through it and the map
+  // can never skew from the state it summarizes.
+  PageMap page_map;
   AddressSpace space;
   ObjectTable table;
   std::unique_ptr<Heap> heap;
@@ -101,6 +108,13 @@ class Shard {
   OobRegistry oob;
   BoundlessStore boundless;
   uint64_t accesses = 0;
+  // Fast-path resolution counters: a hit is a checked access that resolved
+  // through the page map alone (no interval search); a miss fell into
+  // ObjectTable::LookupByAddress. Deterministic for a given stream + seed +
+  // worker count (tests/test_shard.cc); surfaced through MemLog merges and
+  // BENCH_check_cost.json.
+  uint64_t translation_hits = 0;
+  uint64_t translation_misses = 0;
 };
 
 }  // namespace fob

@@ -3,22 +3,32 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/softmem/page_map.h"
+
 namespace fob {
 
-namespace {
-Addr PageBase(Addr addr) { return addr & ~static_cast<Addr>(kPageSize - 1); }
-}  // namespace
+void AddressSpace::AttachPageMap(PageMap* map) {
+  page_map_ = map;
+  if (page_map_ != nullptr) {
+    for (const auto& [page, data] : pages_) {
+      page_map_->OnPageMapped(page, data.get());
+    }
+  }
+}
 
 void AddressSpace::Map(Addr base, size_t size) {
   if (size == 0) {
     return;
   }
-  Addr first = PageBase(base);
-  Addr last = PageBase(base + size - 1);
+  Addr first = PageBaseOf(base);
+  Addr last = PageBaseOf(base + size - 1);
   for (Addr page = first;; page += kPageSize) {
     if (page >= kNullGuardSize && pages_.find(page) == pages_.end()) {
       auto data = std::make_unique<uint8_t[]>(kPageSize);
       std::memset(data.get(), 0, kPageSize);
+      if (page_map_ != nullptr) {
+        page_map_->OnPageMapped(page, data.get());
+      }
       pages_.emplace(page, std::move(data));
     }
     if (page == last) {
@@ -31,17 +41,21 @@ void AddressSpace::Unmap(Addr base, size_t size) {
   if (size == 0) {
     return;
   }
-  Addr first = PageBase(base);
-  Addr last = PageBase(base + size - 1);
+  Addr first = PageBaseOf(base);
+  Addr last = PageBaseOf(base + size - 1);
   for (Addr page = first;; page += kPageSize) {
     // Only unmap pages fully inside the range.
     if (page >= base && page + kPageSize <= base + size) {
-      // Drop the TLB entry with the page it points into: a later Map of the
+      // Drop the TLB slot with the page it points into: a later Map of the
       // same page allocates fresh storage, and serving reads or writes
-      // through the stale cached pointer would touch freed memory.
-      if (page == cached_page_) {
-        cached_page_ = ~static_cast<Addr>(0);
-        cached_data_ = nullptr;
+      // through the stale cached pointer would touch freed memory. Same for
+      // the attached page map's data pointer.
+      TranslationSlot& slot = tlb_[SlotIndex(page)];
+      if (slot.page == page) {
+        slot = TranslationSlot{};
+      }
+      if (page_map_ != nullptr) {
+        page_map_->OnPageUnmapped(page);
       }
       pages_.erase(page);
     }
@@ -55,8 +69,8 @@ bool AddressSpace::IsMapped(Addr addr, size_t size) const {
   if (size == 0) {
     size = 1;
   }
-  Addr first = PageBase(addr);
-  Addr last = PageBase(addr + size - 1);
+  Addr first = PageBaseOf(addr);
+  Addr last = PageBaseOf(addr + size - 1);
   for (Addr page = first;; page += kPageSize) {
     if (pages_.find(page) == pages_.end()) {
       return false;
@@ -69,35 +83,37 @@ bool AddressSpace::IsMapped(Addr addr, size_t size) const {
 }
 
 uint8_t* AddressSpace::PageData(Addr page_base) {
-  if (page_base == cached_page_) {
-    return cached_data_;
+  TranslationSlot& slot = tlb_[SlotIndex(page_base)];
+  if (slot.page == page_base) {
+    return slot.data;
   }
   auto it = pages_.find(page_base);
   if (it == pages_.end()) {
     return nullptr;
   }
-  cached_page_ = page_base;
-  cached_data_ = it->second.get();
+  slot.page = page_base;
+  slot.data = it->second.get();
   return it->second.get();
 }
 
 const uint8_t* AddressSpace::PageData(Addr page_base) const {
-  if (page_base == cached_page_) {
-    return cached_data_;
+  TranslationSlot& slot = tlb_[SlotIndex(page_base)];
+  if (slot.page == page_base) {
+    return slot.data;
   }
   auto it = pages_.find(page_base);
   if (it == pages_.end()) {
     return nullptr;
   }
-  cached_page_ = page_base;
-  cached_data_ = it->second.get();
+  slot.page = page_base;
+  slot.data = it->second.get();
   return it->second.get();
 }
 
 bool AddressSpace::Read(Addr addr, void* dst, size_t n) const {
   uint8_t* out = static_cast<uint8_t*>(dst);
   while (n > 0) {
-    Addr page = PageBase(addr);
+    Addr page = PageBaseOf(addr);
     const uint8_t* data = PageData(page);
     if (data == nullptr) {
       return false;
@@ -115,7 +131,7 @@ bool AddressSpace::Read(Addr addr, void* dst, size_t n) const {
 bool AddressSpace::Write(Addr addr, const void* src, size_t n) {
   const uint8_t* in = static_cast<const uint8_t*>(src);
   while (n > 0) {
-    Addr page = PageBase(addr);
+    Addr page = PageBaseOf(addr);
     uint8_t* data = PageData(page);
     if (data == nullptr) {
       return false;
@@ -132,7 +148,7 @@ bool AddressSpace::Write(Addr addr, const void* src, size_t n) {
 
 bool AddressSpace::Fill(Addr addr, uint8_t value, size_t n) {
   while (n > 0) {
-    Addr page = PageBase(addr);
+    Addr page = PageBaseOf(addr);
     uint8_t* data = PageData(page);
     if (data == nullptr) {
       return false;

@@ -14,6 +14,7 @@
 #ifndef SRC_SOFTMEM_ADDRESS_SPACE_H_
 #define SRC_SOFTMEM_ADDRESS_SPACE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -27,6 +28,13 @@ using Addr = uint64_t;
 inline constexpr size_t kPageSize = 4096;
 // [0, kNullGuardSize) is permanently unmapped.
 inline constexpr Addr kNullGuardSize = 0x10000;
+
+// Base address of the page containing addr.
+inline constexpr Addr PageBaseOf(Addr addr) {
+  return addr & ~static_cast<Addr>(kPageSize - 1);
+}
+
+class PageMap;
 
 class AddressSpace {
  public:
@@ -58,18 +66,35 @@ class AddressSpace {
   size_t mapped_bytes() const { return pages_.size() * kPageSize; }
   size_t page_count() const { return pages_.size(); }
 
+  // Attaches the page-granular translation map (src/softmem/page_map.h) this
+  // space notifies on Map/Unmap; existing pages are reported immediately, so
+  // attach order relative to mapping does not matter. One map per space
+  // (fob::Shard attaches its own at construction); pass nullptr to detach.
+  void AttachPageMap(PageMap* map);
+
  private:
+  // Direct-mapped multi-entry translation cache (a software TLB): most
+  // access streams touch a small working set of pages, and real compiled
+  // code pays nothing for address translation — this keeps the unchecked
+  // Standard policy's cost model honest, and unlike the old 1-slot cache it
+  // survives strided and multi-buffer access patterns. Page data pointers
+  // are stable across map rehashes, so slots only need invalidation on
+  // Unmap.
+  static constexpr size_t kTranslationSlots = 64;
+  struct TranslationSlot {
+    Addr page = ~static_cast<Addr>(0);
+    uint8_t* data = nullptr;
+  };
+  static size_t SlotIndex(Addr page_base) {
+    return static_cast<size_t>(page_base / kPageSize) % kTranslationSlots;
+  }
+
   uint8_t* PageData(Addr page_base);
   const uint8_t* PageData(Addr page_base) const;
 
   std::unordered_map<Addr, std::unique_ptr<uint8_t[]>> pages_;
-  // One-entry translation cache (a 1-slot TLB): most accesses hit the same
-  // page as their predecessor, and real compiled code pays nothing for
-  // address translation — this keeps the unchecked Standard policy's cost
-  // model honest. Page data pointers are stable across map rehashes, so the
-  // cache only needs invalidation on Unmap.
-  mutable Addr cached_page_ = ~static_cast<Addr>(0);
-  mutable uint8_t* cached_data_ = nullptr;
+  mutable std::array<TranslationSlot, kTranslationSlots> tlb_{};
+  PageMap* page_map_ = nullptr;
 };
 
 }  // namespace fob

@@ -34,6 +34,8 @@ enum class UnitKind : uint8_t {
 
 const char* UnitKindName(UnitKind kind);
 
+class PageMap;
+
 struct DataUnit {
   UnitId id = kInvalidUnit;
   Addr base = 0;
@@ -65,12 +67,25 @@ class ObjectTable {
   const DataUnit* Lookup(UnitId id) const;
 
   // The live unit containing addr, or nullptr. This is the table search the
-  // Jones-Kelly checker performs on every checked access: a binary search
-  // over the sorted interval vector, the cache-friendly analogue of CRED's
-  // splay tree. bench_check_cost tracks how this search's cost scales with
-  // the live-object population (it is the whole gap between the Standard
-  // and checked configurations).
+  // Jones-Kelly checker performs on a checked access: a binary search over
+  // the sorted interval vector, the cache-friendly analogue of CRED's splay
+  // tree. Since the page-granular fast path (src/softmem/page_map.h)
+  // resolves valid sole-owner-page accesses in O(1), this search is the
+  // *slow* tier — mixed pages, page misses and invalid accesses land here.
+  // bench_check_cost tracks both tiers' cost against the live-object
+  // population.
   const DataUnit* LookupByAddress(Addr addr) const;
+
+  // The first live unit overlapping [lo, hi), or nullptr. Zero-size units
+  // span one byte for overlap purposes (matching OobRegistry::Classify).
+  // What PageMap refreshes a page's sole owner from on retirement.
+  const DataUnit* FirstLiveOverlap(Addr lo, Addr hi) const;
+
+  // Attaches the page-granular translation map notified on Register/Retire;
+  // already-live units are reported immediately, so attach order does not
+  // matter. One map per table (fob::Shard attaches its own at
+  // construction); pass nullptr to detach.
+  void AttachPageMap(PageMap* map);
 
   size_t live_count() const { return by_base_.size(); }
   size_t total_registered() const { return units_.size(); }
@@ -94,6 +109,7 @@ class ObjectTable {
   std::vector<DataUnit> units_;     // units_[id - 1]
   std::vector<Interval> by_base_;   // live units, sorted by base address
   uint64_t retire_epoch_ = 0;
+  PageMap* page_map_ = nullptr;
 };
 
 }  // namespace fob

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "src/softmem/page_map.h"
+
 namespace fob {
 namespace {
 
@@ -122,7 +124,7 @@ TEST(AddressSpaceTest, MappedBytesAccounting) {
   EXPECT_EQ(space.mapped_bytes(), 2 * kPageSize);
 }
 
-// Regression: the 1-slot TLB must not serve accesses through a page pointer
+// Regression: the translation cache must not serve accesses through a page
 // that Unmap freed. Remapping the same page allocates fresh zeroed storage;
 // a stale cache entry would instead read the old (freed) data — or worse.
 TEST(AddressSpaceTest, UnmapInvalidatesTranslationCache) {
@@ -160,6 +162,98 @@ TEST(AddressSpaceTest, UnmapIsPreciseAboutOtherPages) {
   space.Map(kBase, kPageSize);
   space.Unmap(kBase + 1, kPageSize - 2);
   EXPECT_TRUE(space.IsMapped(kBase, kPageSize));
+}
+
+// The direct-mapped translation cache holds 64 entries; pages 64 slots
+// apart conflict and must evict each other cleanly, and a warm cache over
+// many pages must keep every translation correct.
+TEST(AddressSpaceTest, TranslationCacheSurvivesConflictsAcrossManyPages) {
+  AddressSpace space;
+  constexpr Addr kBase = 0x100000;
+  constexpr size_t kPages = 130;  // > 2x the cache's 64 slots
+  space.Map(kBase, kPages * kPageSize);
+  for (size_t i = 0; i < kPages; ++i) {
+    uint8_t v = static_cast<uint8_t>(i);
+    ASSERT_TRUE(space.Write(kBase + i * kPageSize + 7, &v, 1));
+  }
+  // Re-read in an order that ping-pongs conflicting slots (i and i + 64).
+  for (size_t i = 0; i < kPages - 64; ++i) {
+    uint8_t a = 0xff;
+    uint8_t b = 0xff;
+    ASSERT_TRUE(space.Read(kBase + i * kPageSize + 7, &a, 1));
+    ASSERT_TRUE(space.Read(kBase + (i + 64) * kPageSize + 7, &b, 1));
+    EXPECT_EQ(a, static_cast<uint8_t>(i));
+    EXPECT_EQ(b, static_cast<uint8_t>(i + 64));
+  }
+}
+
+// An Unmap spanning several cached pages must drop every covered
+// translation, not just the first page's.
+TEST(AddressSpaceTest, UnmapSpanningManyCachedPages) {
+  AddressSpace space;
+  constexpr Addr kBase = 0x100000;
+  constexpr size_t kPages = 8;
+  space.Map(kBase, kPages * kPageSize);
+  for (size_t i = 0; i < kPages; ++i) {
+    uint8_t v = 0x5a;
+    ASSERT_TRUE(space.Write(kBase + i * kPageSize, &v, 1));  // warm each slot
+  }
+  space.Unmap(kBase, kPages * kPageSize);
+  for (size_t i = 0; i < kPages; ++i) {
+    uint8_t out = 0;
+    EXPECT_FALSE(space.Read(kBase + i * kPageSize, &out, 1));
+  }
+  // Remap: all pages fresh and zeroed, none served from stale slots.
+  space.Map(kBase, kPages * kPageSize);
+  for (size_t i = 0; i < kPages; ++i) {
+    uint8_t out = 0xff;
+    ASSERT_TRUE(space.Read(kBase + i * kPageSize, &out, 1));
+    EXPECT_EQ(out, 0);
+  }
+}
+
+// ---- Page-map coherence through Map/Unmap ---------------------------------
+
+TEST(AddressSpacePageMapTest, MapAndUnmapDrivePageRecords) {
+  AddressSpace space;
+  PageMap map;
+  space.AttachPageMap(&map);
+  constexpr Addr kBase = 0x100000;
+  space.Map(kBase, 2 * kPageSize);
+  EXPECT_TRUE(map.HasData(kBase));
+  EXPECT_TRUE(map.HasData(kBase + kPageSize + 99));
+  EXPECT_FALSE(map.HasData(kBase + 2 * kPageSize));
+  space.Unmap(kBase, kPageSize);
+  EXPECT_FALSE(map.HasData(kBase));
+  EXPECT_TRUE(map.HasData(kBase + kPageSize));
+}
+
+TEST(AddressSpacePageMapTest, AttachPopulatesExistingPages) {
+  AddressSpace space;
+  constexpr Addr kBase = 0x100000;
+  space.Map(kBase, kPageSize);
+  PageMap map;
+  space.AttachPageMap(&map);
+  EXPECT_TRUE(map.HasData(kBase));
+  EXPECT_FALSE(map.HasData(kBase + kPageSize));
+}
+
+TEST(AddressSpacePageMapTest, RemapRefreshesDataPointer) {
+  AddressSpace space;
+  PageMap map;
+  space.AttachPageMap(&map);
+  constexpr Addr kBase = 0x100000;
+  space.Map(kBase, kPageSize);
+  space.Unmap(kBase, kPageSize);
+  EXPECT_FALSE(map.HasData(kBase));
+  space.Map(kBase, kPageSize);
+  // The record must point at the fresh page's storage.
+  EXPECT_TRUE(map.HasData(kBase));
+  const PageMap::Entry* entry = map.Find(kBase);
+  ASSERT_NE(entry, nullptr);
+  uint8_t v = 0x42;
+  ASSERT_TRUE(space.Write(kBase + 5, &v, 1));
+  EXPECT_EQ(entry->data[5], 0x42);
 }
 
 }  // namespace

@@ -276,5 +276,56 @@ TEST_P(SpanEquivalenceTest, CursorRevalidatesAfterFree) {
   EXPECT_EQ(pair.ref.access_count(), pair.span.access_count());
 }
 
+// Stale-bounds hazard through the cursor: after the cached unit retires and
+// a fresh allocation reuses its address, the warmed cursor's fallback path
+// (now fronted by the page-map fast path in Memory) must classify accesses
+// through the stale pointer dangling — never serve them from the fresh
+// unit now owning the page — and keep byte-loop equivalence throughout.
+TEST_P(SpanEquivalenceTest, CursorStaleBoundsAfterAddressReuse) {
+  auto [policy, seed] = GetParam();
+  (void)seed;
+  if (policy == AccessPolicy::kStandard || policy == AccessPolicy::kBoundsCheck) {
+    GTEST_SKIP() << "free-then-use is fatal under non-continuing policies";
+  }
+  Pair pair(policy);
+  Ptr ref_p = pair.ref.Malloc(2 * kPageSize, "victim");
+  Ptr span_p = pair.span.Malloc(2 * kPageSize, "victim");
+
+  AccessCursor cursor(pair.span);
+  for (int i = 0; i < 64; ++i) {
+    pair.ref.WriteU8(ref_p + i, static_cast<uint8_t>(i));
+    cursor.WriteU8(span_p + i, static_cast<uint8_t>(i));
+  }
+  pair.ref.Free(ref_p);
+  pair.span.Free(span_p);
+  // Fresh allocations reuse the freed address under new unit ids; the page
+  // map now names them as the pages' owners.
+  Ptr ref_fresh = pair.ref.Malloc(2 * kPageSize, "fresh");
+  Ptr span_fresh = pair.span.Malloc(2 * kPageSize, "fresh");
+  ASSERT_EQ(ref_fresh.addr, ref_p.addr);
+  ASSERT_EQ(span_fresh.addr, span_p.addr);
+  pair.ref.WriteU8(ref_fresh, 0x77);
+  pair.span.WriteU8(span_fresh, 0x77);
+
+  // Both sides access through the stale pointers: dangling on both, same
+  // values, same logs — and the fresh units' bytes stay untouched.
+  uint8_t ref_out[8];
+  uint8_t span_out[8];
+  for (int i = 0; i < 8; ++i) {
+    ref_out[i] = pair.ref.ReadU8(ref_p + i);
+    span_out[i] = cursor.ReadU8(span_p + i);
+    pair.ref.WriteU8(ref_p + i, 0xee);
+    cursor.WriteU8(span_p + i, 0xee);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ref_out[i], span_out[i]) << "byte " << i;
+  }
+  ExpectSameState(pair, {ref_fresh}, {2 * kPageSize});
+  ASSERT_GT(pair.span.log().total_errors(), 0u);
+  EXPECT_EQ(pair.span.log().recent().back().status, PointerStatus::kDangling);
+  EXPECT_EQ(pair.span.log().recent().back().unit_name, "victim");
+  EXPECT_EQ(pair.span.ReadU8(span_fresh), 0x77);
+}
+
 }  // namespace
 }  // namespace fob

@@ -132,6 +132,30 @@ TEST(ShardDeterminismTest, MuttMergedOutcomeIdenticalFor1And2And8Workers) {
   ExpectMergedOutcomeInvariantAcrossWorkerCounts(Server::kMutt);
 }
 
+// The page-map fast-path counters are part of the deterministic outcome:
+// identical stream + seed + worker count must produce identical merged
+// translation hit/miss totals (shards are disjoint and access streams are
+// replayed identically, so the counters can only differ if dispatch
+// nondeterminism leaked into the access path).
+TEST(ShardDeterminismTest, TranslationCountersAreDeterministicPerRun) {
+  StreamOptions stream_options;
+  stream_options.requests = 48;
+  stream_options.clients = 6;
+  stream_options.attack_period = 4;
+  stream_options.attacks_per_period = 1;
+  stream_options.seed = 7;
+  TrafficStream stream = MakeTrafficStream(Server::kApache, stream_options);
+  ServerFactory factory = MakeServerAppFactory(Server::kApache, AccessPolicy::kFailureOblivious);
+  Frontend::Options options{.workers = 2, .batch = 4};
+
+  FrontendReport first = RunFrontendExperiment(factory, stream, options);
+  FrontendReport second = RunFrontendExperiment(factory, stream, options);
+  ASSERT_GT(first.merged_log.translation_hits() + first.merged_log.translation_misses(), 0u)
+      << "stream exercised no checked accesses";
+  EXPECT_EQ(first.merged_log.translation_hits(), second.merged_log.translation_hits());
+  EXPECT_EQ(first.merged_log.translation_misses(), second.merged_log.translation_misses());
+}
+
 TEST(ShardDeterminismTest, CrashingPolicyRunsAreRepeatableUnderParallelDispatch) {
   // Even when workers crash and are replaced mid-run, sticky lanes plus
   // post-join merging make the whole run a deterministic function of the

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate over BENCH_check_cost.json.
+
+Pairs each checked benchmark (BM_CheckCost*FailureOblivious*) with its raw
+counterpart (same name with Standard in place of FailureOblivious, same
+args) and fails if the checked/raw slowdown exceeds the bound. With the
+page-granular fast path in place, checked scalar reads should sit within a
+small constant of raw ones on the fast-path regimes; a ratio past the bound
+means the fast path regressed (map incoherence, a miss-everything bug, or a
+slow tier leak into the hot loop).
+
+The slow-tier pin (BM_ResidentProbe*) is deliberately named outside the
+pairing: mixed-page probes are allowed to scale with the table.
+
+Usage: tools/check_perf_smoke.py [BENCH_check_cost.json] [--max-ratio 6.0]
+Exits nonzero if any pair exceeds the bound (or if no pairs were found,
+which would mean the gate is vacuous).
+"""
+
+import argparse
+import json
+import sys
+
+
+def per_item_ns(entry):
+    """Nanoseconds per processed item, from items_per_second."""
+    ips = entry.get("items_per_second")
+    if ips:
+        return 1e9 / ips
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", nargs="?", default="BENCH_check_cost.json")
+    parser.add_argument("--max-ratio", type=float, default=6.0,
+                        help="maximum allowed checked/raw per-item time ratio")
+    args = parser.parse_args()
+
+    with open(args.json_path) as f:
+        report = json.load(f)
+
+    # Real runs only (no aggregates), keyed by full name including args.
+    runs = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        ns = per_item_ns(entry)
+        if ns is not None:
+            runs[entry["name"]] = (ns, entry)
+
+    failures = []
+    pairs = 0
+    for name, (checked_ns, entry) in sorted(runs.items()):
+        if "FailureOblivious" not in name or not name.startswith("BM_CheckCost"):
+            continue
+        raw_name = name.replace("FailureOblivious", "Standard")
+        if raw_name not in runs:
+            print(f"warning: no raw counterpart for {name}", file=sys.stderr)
+            continue
+        raw_ns = runs[raw_name][0]
+        ratio = checked_ns / raw_ns if raw_ns > 0 else float("inf")
+        pairs += 1
+        hit_rate = entry.get("hit_rate")
+        hit = f", hit_rate {hit_rate:.3f}" if hit_rate is not None else ""
+        verdict = "ok" if ratio <= args.max_ratio else "FAIL"
+        print(f"{verdict}: {name}: checked {checked_ns:.1f} ns vs raw {raw_ns:.1f} ns "
+              f"-> {ratio:.2f}x (bound {args.max_ratio:g}x{hit})")
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+
+    if pairs == 0:
+        print("error: no checked/raw benchmark pairs found; gate is vacuous", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nperf smoke FAILED: {len(failures)} pair(s) over {args.max_ratio:g}x",
+              file=sys.stderr)
+        return 1
+    print(f"\nperf smoke ok: {pairs} pair(s) within {args.max_ratio:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
