@@ -5,10 +5,22 @@
 // uploads the tables next to the BENCH_*.json perf artifacts.
 //
 //   bench_sweep [server] [max_combinations] [max_sites] [single|multi] [adaptive]
+//   bench_sweep sites [out.json]
 //
 // server: pine | apache | sendmail | mc | mutt (default apache)
 // multi sweeps over MakeMultiAttackStream(server) instead of the §4
 // single-attack stream.
+//
+// When SITES_static.json (or $FOB_SITES_STATIC) is present, every sweep
+// additionally prints a one-line coverage summary scoring the exercised
+// error sites against the statically constructible universe enumerated by
+// fob_analyze pass 3 (src/harness/site_coverage.h).
+//
+// `sites` runs the baseline workload of every server over both the §4
+// single-attack stream and the multi-attack stream, and dumps the union of
+// exercised sites as dynamic-dump JSON for `fob_analyze --check-dynamic`.
+// It exits nonzero if any exercised site is a phantom (absent from the
+// static universe) — the dynamic half of the superset proof.
 //
 // adaptive additionally runs the online learner (RunAdaptiveExperiment over
 // the same stream and candidate set), prints its convergence trace, and
@@ -21,8 +33,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "src/harness/site_coverage.h"
 #include "src/harness/sweep.h"
 
 namespace fob {
@@ -44,6 +59,74 @@ bool ParseServer(const char* name, Server* server) {
     }
   }
   return false;
+}
+
+// Every site the sweep touched: the baseline discovery run plus every
+// enumerated assignment (fallback policies can surface sites the baseline
+// never reached).
+std::vector<MemSiteStat> ExercisedSites(const SweepResult& result) {
+  std::vector<MemSiteStat> all = result.baseline_report.error_sites;
+  for (const SweepEntry& entry : result.entries) {
+    all.insert(all.end(), entry.report.error_sites.begin(), entry.report.error_sites.end());
+  }
+  return all;
+}
+
+// Prints the coverage line (or a note when no universe file is around).
+// Returns the number of phantom sites observed.
+size_t PrintCoverage(const std::vector<MemSiteStat>& exercised) {
+  const std::string path = DefaultUniversePath();
+  if (path.empty()) {
+    std::printf("site coverage: no static universe (set FOB_SITES_STATIC or run "
+                "tools/fob_analyze to emit SITES_static.json)\n");
+    return 0;
+  }
+  auto universe = LoadStaticSiteUniverse(path);
+  if (!universe.has_value()) {
+    std::printf("site coverage: unreadable static universe at %s\n", path.c_str());
+    return 0;
+  }
+  SiteCoverage coverage = ComputeSiteCoverage(exercised, *universe);
+  std::printf("%s\n", coverage.Summary().c_str());
+  for (const MemSiteStat& phantom : coverage.phantoms) {
+    std::printf("  PHANTOM %s %s @ %s (site 0x%016llx)\n", phantom.is_write ? "write" : "read",
+                phantom.unit_name.c_str(), phantom.function.c_str(),
+                static_cast<unsigned long long>(phantom.site));
+  }
+  return coverage.phantoms.size();
+}
+
+// `sites` mode: exercise every server's baseline workload over both stream
+// shapes and dump the union of observed sites for fob_analyze.
+int DumpSites(const char* out_path) {
+  static constexpr Server kServers[] = {Server::kPine, Server::kApache, Server::kSendmail,
+                                        Server::kMc, Server::kMutt};
+  std::vector<MemSiteStat> all;
+  for (Server server : kServers) {
+    for (bool multi : {false, true}) {
+      SweepOptions options;
+      options.max_combinations = 0;  // baseline discovery only
+      if (multi) {
+        options.stream = MakeMultiAttackStream(server);
+      }
+      SweepResult result = RunPolicySweep(server, options);
+      const std::vector<MemSiteStat>& sites = result.baseline_report.error_sites;
+      all.insert(all.end(), sites.begin(), sites.end());
+    }
+  }
+  const std::string json = DynamicSitesJson(all);
+  if (out_path != nullptr) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 2;
+    }
+    out << json;
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("%s", json.c_str());
+  }
+  return PrintCoverage(all) == 0 ? 0 : 1;
 }
 
 // The learned assignment must reach within this factor of the exhaustive
@@ -90,6 +173,9 @@ int Run(int argc, char** argv) {
   SweepOptions options;
   options.max_combinations = 64;
   bool adaptive = false;
+  if (argc > 1 && std::strcmp(argv[1], "sites") == 0) {
+    return DumpSites(argc > 2 ? argv[2] : nullptr);
+  }
   if (argc > 1 && !ParseServer(argv[1], &server)) {
     std::fprintf(stderr, "unknown server '%s' (pine|apache|sendmail|mc|mutt)\n", argv[1]);
     return 2;
@@ -118,6 +204,7 @@ int Run(int argc, char** argv) {
   }
   SweepResult result = RunPolicySweep(server, options);
   std::printf("%s", result.ToTableString().c_str());
+  PrintCoverage(ExercisedSites(result));
   if (adaptive) {
     return CompareAdaptive(server, result);
   }

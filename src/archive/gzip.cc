@@ -7,7 +7,7 @@ namespace fob {
 
 namespace {
 
-std::array<uint32_t, 256> BuildCrcTable() {
+constexpr std::array<uint32_t, 256> BuildCrcTable() {
   std::array<uint32_t, 256> table{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
@@ -40,7 +40,9 @@ uint32_t GetU32(std::string_view s, size_t pos) {
 }  // namespace
 
 uint32_t Crc32(std::string_view data) {
-  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  // constexpr: the table lives in .rodata — no guard variable, no writable
+  // bss, nothing shared-mutable across shards (shard-isolation pass 2).
+  static constexpr std::array<uint32_t, 256> kTable = BuildCrcTable();
   uint32_t crc = 0xffffffffu;
   for (char ch : data) {
     crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);

@@ -1,0 +1,185 @@
+#include "src/harness/site_coverage.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fob {
+
+namespace {
+
+// SITES_static.json is machine-generated with a fixed shape (fob_analyze
+// pass 3), so the loader only needs two scans: every `"id": "0x..."` value
+// and the `"unit_count"/"frame_count"` scalars. Not a general JSON parser
+// on purpose — no third-party dependency, and a malformed file simply
+// yields nullopt.
+
+std::optional<uint64_t> ScanHexAfter(const std::string& text, size_t pos) {
+  size_t open = text.find("\"0x", pos);
+  if (open == std::string::npos) {
+    return std::nullopt;
+  }
+  size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::string hex = text.substr(open + 3, close - open - 3);
+  if (hex.empty() || hex.size() > 16) {
+    return std::nullopt;
+  }
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+size_t ScanCountAfter(const std::string& text, const std::string& key) {
+  size_t pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  pos = text.find(':', pos);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return static_cast<size_t>(std::strtoull(text.c_str() + pos + 1, nullptr, 10));
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::optional<StaticSiteUniverse> LoadStaticSiteUniverse(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  StaticSiteUniverse universe;
+  universe.units = ScanCountAfter(text, "unit_count");
+  universe.frames = ScanCountAfter(text, "frame_count");
+  size_t pos = 0;
+  while (true) {
+    size_t key = text.find("\"id\"", pos);
+    if (key == std::string::npos) {
+      break;
+    }
+    std::optional<uint64_t> id = ScanHexAfter(text, key + 4);
+    if (!id.has_value()) {
+      return std::nullopt;  // malformed entry: refuse a partial universe
+    }
+    universe.ids.insert(*id);
+    pos = key + 4;
+  }
+  if (universe.ids.empty()) {
+    return std::nullopt;
+  }
+  return universe;
+}
+
+std::string DefaultUniversePath() {
+  if (const char* env = std::getenv("FOB_SITES_STATIC")) {
+    if (std::ifstream(env)) {
+      return env;
+    }
+    return "";
+  }
+  const std::string fallback = "SITES_static.json";
+  return std::ifstream(fallback) ? fallback : "";
+}
+
+std::string SiteCoverage::Summary() const {
+  std::ostringstream os;
+  os << "site coverage: " << exercised << "/" << universe
+     << " static sites exercised";
+  if (universe > 0) {
+    os << " (" << std::fixed;
+    os.precision(2);
+    os << 100.0 * static_cast<double>(exercised) / static_cast<double>(universe)
+       << "%)";
+  }
+  if (!phantoms.empty()) {
+    os << "; " << phantoms.size() << " PHANTOM site(s) outside the static universe";
+  }
+  return os.str();
+}
+
+SiteCoverage ComputeSiteCoverage(const std::vector<MemSiteStat>& exercised,
+                                 const StaticSiteUniverse& universe) {
+  SiteCoverage coverage;
+  coverage.universe = universe.size();
+  std::set<SiteId> seen;
+  for (const MemSiteStat& stat : exercised) {
+    if (!seen.insert(stat.site).second) {
+      continue;
+    }
+    if (universe.Contains(stat.site)) {
+      ++coverage.exercised;
+    } else {
+      coverage.phantoms.push_back(stat);
+    }
+  }
+  return coverage;
+}
+
+std::string DynamicSitesJson(const std::vector<MemSiteStat>& exercised) {
+  std::string out = "{\n \"schema\": 1,\n \"generated_by\": \"bench_sweep sites\",\n \"sites\": [";
+  std::set<SiteId> seen;
+  bool first = true;
+  for (const MemSiteStat& stat : exercised) {
+    if (!seen.insert(stat.site).second) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    char id[32];
+    std::snprintf(id, sizeof(id), "0x%016llx",
+                  static_cast<unsigned long long>(stat.site));
+    out += "\n  {\"id\": \"";
+    out += id;
+    out += "\", \"unit\": ";
+    AppendJsonString(out, stat.unit_name);
+    out += ", \"frame\": ";
+    AppendJsonString(out, stat.function);
+    out += ", \"kind\": \"";
+    out += stat.is_write ? "write" : "read";
+    out += "\"}";
+  }
+  out += "\n ]\n}\n";
+  return out;
+}
+
+}  // namespace fob

@@ -1,0 +1,69 @@
+// Coverage against the static site universe.
+//
+// fob_analyze pass 3 (tools/fob_analyze/site_universe.py) enumerates every
+// statically constructible SiteId into SITES_static.json. This helper loads
+// that universe and scores a run's *exercised* sites against it, giving the
+// Durieux-style sweep and the adaptive learner an honest denominator: the
+// "exhaustive" search explores the sites a workload exhibits, and the
+// coverage line says what fraction of the statically possible error sites
+// that is.
+//
+// A site observed dynamically but absent from the universe is a *phantom*:
+// either the extractor missed a name source or the run crossed a site the
+// static model cannot construct. Phantoms falsify the superset claim, so
+// they are surfaced (and fail the CI analyze job via
+// fob_analyze --check-dynamic on the dumped sites).
+
+#ifndef SRC_HARNESS_SITE_COVERAGE_H_
+#define SRC_HARNESS_SITE_COVERAGE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/runtime/memlog.h"
+#include "src/runtime/policy_spec.h"
+
+namespace fob {
+
+struct StaticSiteUniverse {
+  std::set<SiteId> ids;
+  // Counts from the universe file's metadata, for the summary line.
+  size_t units = 0;
+  size_t frames = 0;
+
+  bool Contains(SiteId id) const { return ids.count(id) != 0; }
+  size_t size() const { return ids.size(); }
+};
+
+// Loads SITES_static.json (ids are "0x..." hex strings — 64-bit SiteIds do
+// not survive a JSON double round-trip as numbers). Returns nullopt when
+// the file is missing or unparseable; the caller decides how loud to be.
+std::optional<StaticSiteUniverse> LoadStaticSiteUniverse(const std::string& path);
+
+// The default universe location: $FOB_SITES_STATIC, or SITES_static.json
+// in the current directory. Empty when neither resolves to a readable file.
+std::string DefaultUniversePath();
+
+struct SiteCoverage {
+  size_t exercised = 0;        // distinct exercised sites found in the universe
+  size_t universe = 0;         // static universe size (the denominator)
+  std::vector<MemSiteStat> phantoms;  // exercised but NOT in the universe
+
+  // One line, e.g. "site coverage: 7/2112 static sites exercised (0.33%)".
+  std::string Summary() const;
+};
+
+// Scores exercised sites (deduplicated by SiteId) against the universe.
+SiteCoverage ComputeSiteCoverage(const std::vector<MemSiteStat>& exercised,
+                                 const StaticSiteUniverse& universe);
+
+// Serializes exercised sites as the dynamic-dump JSON that
+// `fob_analyze --check-dynamic` consumes (schema mirrors SITES_static.json).
+std::string DynamicSitesJson(const std::vector<MemSiteStat>& exercised);
+
+}  // namespace fob
+
+#endif  // SRC_HARNESS_SITE_COVERAGE_H_

@@ -8,7 +8,7 @@ namespace fob {
 
 namespace {
 constexpr size_t kLocalAlign = 8;
-const std::string kNoFunction = "<no frame>";
+constexpr std::string_view kNoFunction = "<no frame>";
 }  // namespace
 
 Stack::Stack(AddressSpace& space, ObjectTable& table, Addr low, size_t size)
@@ -20,8 +20,8 @@ Stack::Stack(AddressSpace& space, ObjectTable& table, Addr low, size_t size)
   space_.Map(low, size + kTopPad);
 }
 
-const std::string& Stack::current_function() const {
-  return frames_.empty() ? kNoFunction : frames_.back().name;
+std::string_view Stack::current_function() const {
+  return frames_.empty() ? kNoFunction : std::string_view(frames_.back().name);
 }
 
 void Stack::PushFrame(std::string name) {

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/softmem/address_space.h"
@@ -57,7 +58,9 @@ class Stack {
   void PopFrameUnchecked();
 
   size_t depth() const { return frames_.size(); }
-  const std::string& current_function() const;
+  // The innermost frame's function, or "<no frame>". A view into the frame
+  // record (or into a constant), not a copy: valid until the frame pops.
+  std::string_view current_function() const;
   Addr stack_pointer() const { return sp_; }
   uint64_t canary_checks() const { return canary_checks_; }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 
 #include "src/harness/experiment.h"
@@ -61,7 +62,8 @@ TEST(StatsTest, CleanupRunsBetweenSamples) {
 
 TEST(StatsTest, StopwatchAdvances) {
   Stopwatch watch;
-  volatile int sink = 0;
+  // The sum of 0..99999 overflows int; 64 bits keeps the busy-loop defined.
+  volatile int64_t sink = 0;
   for (int i = 0; i < 100000; ++i) {
     sink = sink + i;
   }

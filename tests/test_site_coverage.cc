@@ -1,0 +1,144 @@
+#include "src/harness/site_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/runtime/memlog.h"
+#include "src/runtime/policy_spec.h"
+
+namespace fob {
+namespace {
+
+// Cross-language pins: tools/fob_analyze/site_universe.py replicates
+// MakeSiteId in Python, and its golden test asserts these exact values.
+// If either side drifts, the static universe's ids stop matching the
+// runtime's and every coverage number becomes garbage — so both sides pin
+// the same two vectors.
+TEST(SiteIdPins, MatchesPythonReplica) {
+  EXPECT_EQ(MakeSiteId("config_line", "load_setup", AccessKind::kRead),
+            0x7F7A68C74487F124ull);
+  EXPECT_EQ(MakeSiteId("", "<no frame>", AccessKind::kWrite), 0x53986E3666FD06C4ull);
+}
+
+class SiteCoverageTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const std::string& name, const std::string& content) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  MemSiteStat Stat(const std::string& unit, const std::string& function, bool is_write,
+                   uint64_t count = 1) {
+    MemSiteStat stat;
+    stat.unit_name = unit;
+    stat.function = function;
+    stat.is_write = is_write;
+    stat.count = count;
+    stat.site = MakeSiteId(unit, function, is_write ? AccessKind::kWrite : AccessKind::kRead);
+    return stat;
+  }
+};
+
+TEST_F(SiteCoverageTest, LoadsUniverseFromHexIds) {
+  const std::string path = WriteFile(
+      "universe.json",
+      "{\n \"schema\": 1,\n \"unit_count\": 2, \"frame_count\": 1,\n \"sites\": [\n"
+      "  {\"id\": \"0x7f7a68c74487f124\", \"unit\": \"config_line\","
+      " \"frame\": \"load_setup\", \"kind\": \"read\"},\n"
+      "  {\"id\": \"0x53986e3666fd06c4\", \"unit\": \"\","
+      " \"frame\": \"<no frame>\", \"kind\": \"write\"}\n ]\n}\n");
+  auto universe = LoadStaticSiteUniverse(path);
+  ASSERT_TRUE(universe.has_value());
+  EXPECT_EQ(universe->size(), 2u);
+  EXPECT_EQ(universe->units, 2u);
+  EXPECT_EQ(universe->frames, 1u);
+  EXPECT_TRUE(universe->Contains(0x7F7A68C74487F124ull));
+  EXPECT_TRUE(universe->Contains(0x53986E3666FD06C4ull));
+  EXPECT_FALSE(universe->Contains(0x1ull));
+}
+
+TEST_F(SiteCoverageTest, MissingOrMalformedUniverseIsNullopt) {
+  EXPECT_FALSE(LoadStaticSiteUniverse(::testing::TempDir() + "no_such_file.json").has_value());
+  const std::string bad =
+      WriteFile("bad.json", "{\"sites\": [{\"id\": \"not-hex-at-all\"}]}");
+  EXPECT_FALSE(LoadStaticSiteUniverse(bad).has_value());
+  const std::string empty = WriteFile("empty.json", "{\"sites\": []}");
+  EXPECT_FALSE(LoadStaticSiteUniverse(empty).has_value());
+}
+
+TEST_F(SiteCoverageTest, CoverageDeduplicatesAndSplitsPhantoms) {
+  StaticSiteUniverse universe;
+  const SiteId known = MakeSiteId("config_line", "load_setup", AccessKind::kRead);
+  universe.ids = {known, MakeSiteId("", "<no frame>", AccessKind::kWrite)};
+
+  std::vector<MemSiteStat> exercised = {
+      Stat("config_line", "load_setup", /*is_write=*/false, 7),
+      Stat("config_line", "load_setup", /*is_write=*/false, 3),  // duplicate site
+      Stat("ghost_unit", "load_setup", /*is_write=*/true),       // phantom
+  };
+  SiteCoverage coverage = ComputeSiteCoverage(exercised, universe);
+  EXPECT_EQ(coverage.exercised, 1u);
+  EXPECT_EQ(coverage.universe, 2u);
+  ASSERT_EQ(coverage.phantoms.size(), 1u);
+  EXPECT_EQ(coverage.phantoms[0].unit_name, "ghost_unit");
+
+  const std::string summary = coverage.Summary();
+  EXPECT_NE(summary.find("site coverage: 1/2 static sites exercised"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("50.00%"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("PHANTOM"), std::string::npos) << summary;
+}
+
+TEST_F(SiteCoverageTest, CleanCoverageSummaryHasNoPhantomTalk) {
+  StaticSiteUniverse universe;
+  universe.ids = {MakeSiteId("config_line", "load_setup", AccessKind::kRead)};
+  SiteCoverage coverage = ComputeSiteCoverage(
+      {Stat("config_line", "load_setup", /*is_write=*/false)}, universe);
+  EXPECT_EQ(coverage.Summary(), "site coverage: 1/1 static sites exercised (100.00%)");
+}
+
+TEST_F(SiteCoverageTest, DynamicDumpRoundTripsThroughTheLoader) {
+  // The dynamic dump uses the same "id": "0x..." shape as the static
+  // universe, so the loader doubles as its parser — which is exactly how a
+  // phantom check can diff the two files.
+  std::vector<MemSiteStat> exercised = {
+      Stat("config_line", "load_setup", /*is_write=*/false),
+      Stat("config_line", "load_setup", /*is_write=*/false),  // deduplicated
+      Stat("", "<no frame>", /*is_write=*/true),
+  };
+  const std::string json = DynamicSitesJson(exercised);
+  EXPECT_NE(json.find("\"kind\": \"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"\""), std::string::npos);
+
+  const std::string path = WriteFile("dynamic.json", json);
+  auto parsed = LoadStaticSiteUniverse(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE(parsed->Contains(MakeSiteId("config_line", "load_setup", AccessKind::kRead)));
+  EXPECT_TRUE(parsed->Contains(MakeSiteId("", "<no frame>", AccessKind::kWrite)));
+}
+
+TEST_F(SiteCoverageTest, DynamicDumpEscapesJsonMetacharacters) {
+  MemSiteStat stat = Stat("unit\"with\\quote", "frame\nline", /*is_write=*/true);
+  const std::string json = DynamicSitesJson({stat});
+  EXPECT_NE(json.find("unit\\\"with\\\\quote"), std::string::npos) << json;
+  EXPECT_NE(json.find("frame\\nline"), std::string::npos) << json;
+}
+
+TEST_F(SiteCoverageTest, DefaultPathPrefersEnvOverride) {
+  const std::string path = WriteFile("override.json", "{}");
+  ::setenv("FOB_SITES_STATIC", path.c_str(), 1);
+  EXPECT_EQ(DefaultUniversePath(), path);
+  ::setenv("FOB_SITES_STATIC", (path + ".does-not-exist").c_str(), 1);
+  EXPECT_EQ(DefaultUniversePath(), "");
+  ::unsetenv("FOB_SITES_STATIC");
+}
+
+}  // namespace
+}  // namespace fob

@@ -13,8 +13,9 @@ default doc set when none is given):
     stale silently. Brace alternation (``foo.{h,cc}``) is expanded; tokens
     containing ``*`` are treated as globs and must match something.
 
-Exit status is nonzero if anything is broken; each problem is printed as
-``file: broken reference``.
+Exit status: 0 everything resolves; 1 a link or path reference is broken
+(each problem printed as ``file: broken reference``); 2 a document passed
+on the command line does not exist or cannot be read (config error).
 """
 
 import glob
@@ -29,8 +30,10 @@ DEFAULT_DOCS = [
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKS.md",
+    "docs/STATIC_ANALYSIS.md",
     "src/net/README.md",
     "src/runtime/handlers/README.md",
+    "tools/README.md",
 ]
 
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -56,7 +59,10 @@ def display_name(doc: Path) -> str:
 
 def check_file(doc: Path) -> list:
     problems = []
-    text = doc.read_text(encoding="utf-8")
+    try:
+        text = doc.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [f"{display_name(doc)}: unreadable ({err})"]
 
     for target in MD_LINK.findall(text):
         if target.startswith(("http://", "https://", "mailto:", "#")):
@@ -87,11 +93,15 @@ def check_file(doc: Path) -> list:
 
 def main(argv: list) -> int:
     docs = [Path(a).resolve() for a in argv] if argv else [REPO_ROOT / d for d in DEFAULT_DOCS]
+    missing = [doc for doc in docs if not doc.exists()]
+    for doc in missing:
+        print(f"error: document itself is missing: {display_name(doc)}", file=sys.stderr)
+    if missing:
+        # A misspelled argument (or a DEFAULT_DOCS entry that was deleted
+        # without updating this list) is a config error, not a broken link.
+        return 2
     problems = []
     for doc in docs:
-        if not doc.exists():
-            problems.append(f"{doc}: document itself is missing")
-            continue
         problems.extend(check_file(doc))
     for problem in problems:
         print(problem)

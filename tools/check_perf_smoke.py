@@ -13,8 +13,9 @@ The slow-tier pin (BM_ResidentProbe*) is deliberately named outside the
 pairing: mixed-page probes are allowed to scale with the table.
 
 Usage: tools/check_perf_smoke.py [BENCH_check_cost.json] [--max-ratio 6.0]
-Exits nonzero if any pair exceeds the bound (or if no pairs were found,
-which would mean the gate is vacuous).
+Exit status: 0 all pairs within the bound; 1 a pair exceeded it or no
+pairs were found (a vacuous gate is a failing gate); 2 the input file is
+missing or not a benchmark JSON report (config error, never a traceback).
 """
 
 import argparse
@@ -25,7 +26,7 @@ import sys
 def per_item_ns(entry):
     """Nanoseconds per processed item, from items_per_second."""
     ips = entry.get("items_per_second")
-    if ips:
+    if isinstance(ips, (int, float)) and ips > 0:
         return 1e9 / ips
     return None
 
@@ -37,12 +38,27 @@ def main():
                         help="maximum allowed checked/raw per-item time ratio")
     args = parser.parse_args()
 
-    with open(args.json_path) as f:
-        report = json.load(f)
+    try:
+        with open(args.json_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except OSError as err:
+        print(f"error: cannot read {args.json_path}: {err.strerror or err}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as err:
+        print(f"error: {args.json_path} is not valid JSON: {err}", file=sys.stderr)
+        return 2
+
+    benchmarks = report.get("benchmarks") if isinstance(report, dict) else None
+    if not isinstance(benchmarks, list):
+        print(f"error: {args.json_path} has no 'benchmarks' array "
+              "(not a google-benchmark JSON report?)", file=sys.stderr)
+        return 2
 
     # Real runs only (no aggregates), keyed by full name including args.
     runs = {}
-    for entry in report.get("benchmarks", []):
+    for entry in benchmarks:
+        if not isinstance(entry, dict) or "name" not in entry:
+            continue
         if entry.get("run_type", "iteration") != "iteration":
             continue
         ns = per_item_ns(entry)

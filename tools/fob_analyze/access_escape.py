@@ -1,0 +1,211 @@
+"""Pass 1 — access-escape analyzer.
+
+The paper's safety argument assumes the compiler inserted a check at every
+memory access. In this reproduction the "compiled" code is the app layer
+(src/{apps,libc,codec,mail,regex,archive,vfs}), and the check insertion is
+the convention that all simulated-memory access routes through
+Memory::Read/Write/ReadSpan/WriteSpan (and their typed wrappers) or an
+AccessCursor. This pass turns the convention into a machine-checked
+invariant by flagging, in every *mediated* boundary file (one that names
+Memory / Ptr / AccessCursor and therefore handles simulated memory):
+
+  backing-introspection  calls that reach the shard's backing storage or
+                         internals (.space()/.shard()/.heap()/.stack()/
+                         .objects()/.oob()/.boundless()/.sequence(),
+                         Translate(...)) — the only routes by which a raw
+                         host pointer into simulated memory can be obtained;
+  memcpy-family          libc block/string primitives (memcpy, strcpy,
+                         strlen, ...) which, applied to backing storage,
+                         would be exactly the unchecked access the paper's
+                         compiler never emits — boundary code must use the
+                         src/libc checked ports (StrLen, StrCpy, ...) or
+                         host std::string operations;
+  raw-byte-pointer       declarations of mutable byte pointers (char*,
+                         unsigned char*, uint8_t*, void*, std::byte*) — the
+                         types backing storage leaks as. Const-qualified
+                         byte pointers (host string literals, name tables)
+                         are the sanctioned host-side idiom and are not
+                         flagged;
+  reinterpret-cast       reinterpret_cast, the laundering route between
+                         pointer families.
+
+Boundary files that never name Memory/Ptr/AccessCursor are host-side
+support code (e.g. the tar/gzip wire-format codecs operate on host
+std::string bytes); they sit outside the simulated process the same way a
+separate, uninstrumented binary would, and only the backing-introspection
+rule applies to them.
+
+The runtime layer itself (src/{runtime,softmem}, plus src/net and
+src/harness) implements the mediation and is exempt by scope — that
+exemption *is* the reviewed allowlist's largest entry, and anything else
+must be listed in allowlist.json with a reason.
+"""
+
+from __future__ import annotations
+
+from cpp_lexer import IDENT, PUNCT
+from frontend import Violation
+
+PASS_NAME = "access-escape"
+
+BOUNDARY_DIRS = [
+    "src/apps", "src/libc", "src/codec", "src/mail", "src/regex",
+    "src/archive", "src/vfs",
+]
+
+_MEDIATED_MARKERS = {"Memory", "Ptr", "AccessCursor"}
+
+_INTROSPECTION_MEMBERS = {
+    "space", "shard", "heap", "stack", "objects", "oob", "boundless",
+    "sequence",
+}
+
+_BARE_BACKING_CALLS = {"Translate"}
+
+_MEMCPY_FAMILY = {
+    "memcpy", "memmove", "memset", "memchr", "memcmp", "strcpy", "strncpy",
+    "stpcpy", "strcat", "strncat", "strlen", "strnlen", "strchr", "strrchr",
+    "strstr", "strcmp", "strncmp", "sprintf", "vsprintf", "bcopy", "bzero",
+}
+
+_BYTE_TYPE_SINGLE = {"char", "void", "uint8_t", "int8_t", "byte"}
+
+# Tokens that may legitimately precede a declaration's type.
+_DECL_LEAD = {";", "{", "}", "(", ","}
+_DECL_LEAD_IDENTS = {"static", "inline", "constexpr", "mutable", "register"}
+
+
+def _is_mediated(src) -> bool:
+    return any(t.kind == IDENT and t.text in _MEDIATED_MARKERS for t in src.tokens)
+
+
+def _scan_introspection(src, out):
+    tokens = src.tokens
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != PUNCT or tok.text not in {".", "->"}:
+            continue
+        if i + 2 >= n:
+            continue
+        name = tokens[i + 1]
+        if name.kind != IDENT or name.text not in _INTROSPECTION_MEMBERS:
+            continue
+        if not (tokens[i + 2].kind == PUNCT and tokens[i + 2].text == "("):
+            continue
+        snippet = f"{tok.text}{name.text}()"
+        out.append(Violation(
+            PASS_NAME, "backing-introspection", src.path, name.line,
+            f"`{snippet}` exposes shard internals / backing storage outside "
+            "the mediated Read/Write/AccessCursor API", snippet))
+    for i, tok in enumerate(tokens):
+        if tok.kind == IDENT and tok.text in _BARE_BACKING_CALLS:
+            if i + 1 < n and tokens[i + 1].kind == PUNCT and tokens[i + 1].text == "(":
+                # Skip the definition/declaration context (runtime headers
+                # are out of scope anyway; boundary dirs should never even
+                # name it).
+                out.append(Violation(
+                    PASS_NAME, "backing-introspection", src.path, tok.line,
+                    f"`{tok.text}(...)` resolves a simulated address to a raw "
+                    "host pointer", f"{tok.text}("))
+
+
+def _scan_memcpy_family(src, out):
+    tokens = src.tokens
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != IDENT or tok.text not in _MEMCPY_FAMILY:
+            continue
+        if not (i + 1 < n and tokens[i + 1].kind == PUNCT and tokens[i + 1].text == "("):
+            continue
+        # Member calls named like libc primitives (x.memcmp is not libc).
+        if i > 0 and tokens[i - 1].kind == PUNCT and tokens[i - 1].text in {".", "->"}:
+            continue
+        out.append(Violation(
+            PASS_NAME, "memcpy-family", src.path, tok.line,
+            f"libc primitive `{tok.text}` bypasses the checked access path; "
+            "use the src/libc checked port or host std::string operations",
+            f"{tok.text}("))
+
+
+def _byte_type_at(tokens, i):
+    """If a byte-ish type spelling starts at tokens[i], returns the index
+    one past the type words, else None.  Handles `unsigned char`,
+    `signed char`, `std::byte` and the single-word spellings."""
+    t = tokens[i]
+    if t.kind != IDENT:
+        return None
+    if t.text in {"unsigned", "signed"}:
+        if i + 1 < len(tokens) and tokens[i + 1].kind == IDENT and tokens[i + 1].text == "char":
+            return i + 2
+        return None
+    if t.text == "std":
+        if (i + 2 < len(tokens) and tokens[i + 1].text == "::"
+                and tokens[i + 2].kind == IDENT and tokens[i + 2].text == "byte"):
+            return i + 3
+        return None
+    if t.text in _BYTE_TYPE_SINGLE:
+        return i + 1
+    return None
+
+
+def _scan_byte_pointers(src, out):
+    tokens = src.tokens
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        prev = tokens[i - 1] if i > 0 else None
+        lead_ok = (
+            prev is None
+            or (prev.kind == PUNCT and prev.text in _DECL_LEAD)
+            or (prev.kind == IDENT and prev.text in _DECL_LEAD_IDENTS)
+        )
+        if not lead_ok:
+            continue
+        # A `const` immediately before the type marks the sanctioned
+        # host-side read-only idiom; `T const*` post-qualification too.
+        after_type = _byte_type_at(tokens, i)
+        if after_type is None:
+            continue
+        j = after_type
+        if j < n and tokens[j].kind == IDENT and tokens[j].text == "const":
+            continue
+        stars = 0
+        while j < n and tokens[j].kind == PUNCT and tokens[j].text == "*":
+            stars += 1
+            j += 1
+        if stars == 0:
+            continue
+        if not (j < n and tokens[j].kind == IDENT):
+            continue
+        name = tokens[j]
+        if name.text in {"const", "Ptr"}:
+            continue
+        type_words = " ".join(t.text for t in tokens[i:after_type])
+        snippet = f"{type_words}{'*' * stars} {name.text}"
+        out.append(Violation(
+            PASS_NAME, "raw-byte-pointer", src.path, tok.line,
+            f"mutable byte-pointer declaration `{snippet}` in mediated code; "
+            "simulated memory must be held as fob::Ptr and accessed through "
+            "Memory/AccessCursor", snippet))
+
+
+def _scan_reinterpret_cast(src, out):
+    for tok in src.tokens:
+        if tok.kind == IDENT and tok.text == "reinterpret_cast":
+            out.append(Violation(
+                PASS_NAME, "reinterpret-cast", src.path, tok.line,
+                "reinterpret_cast in mediated boundary code can launder a "
+                "backing-storage pointer past the checked access path",
+                "reinterpret_cast"))
+
+
+def run(frontend, dirs=None):
+    """Returns the pass's violations over the boundary dirs."""
+    out = []
+    for path in frontend.files_under(dirs or BOUNDARY_DIRS):
+        src = frontend.source(path)
+        _scan_introspection(src, out)
+        if _is_mediated(src):
+            _scan_memcpy_family(src, out)
+            _scan_byte_pointers(src, out)
+            _scan_reinterpret_cast(src, out)
+    return out

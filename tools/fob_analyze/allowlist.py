@@ -1,0 +1,63 @@
+"""Reviewed allowlist for fob_analyze.
+
+Every suppression is an explicit, reviewed record: rule + file (+ optional
+snippet to pin one construct) + a mandatory human reason. Unused entries
+are themselves a failure — a stale allowlist is an unreviewed hole in the
+invariant, so entries must be deleted when the code they excuse goes away.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class AllowlistError(SystemExit):
+    pass
+
+
+class Allowlist:
+    def __init__(self, entries):
+        self.entries = entries
+        self.used = [False] * len(entries)
+
+    @classmethod
+    def load(cls, path):
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except FileNotFoundError:
+            return cls([])
+        except json.JSONDecodeError as err:
+            raise AllowlistError(f"fob_analyze: malformed allowlist {path}: {err}")
+        entries = data.get("entries", [])
+        for i, entry in enumerate(entries):
+            for key in ("rule", "file", "reason"):
+                if not entry.get(key):
+                    raise AllowlistError(
+                        f"fob_analyze: allowlist entry #{i} in {path} lacks a "
+                        f"non-empty `{key}` — suppressions must be reviewed "
+                        "and justified")
+        return cls(entries)
+
+    def suppresses(self, violation) -> bool:
+        for i, entry in enumerate(self.entries):
+            if entry["rule"] != violation.rule:
+                continue
+            if entry["file"] != violation.file:
+                continue
+            if "snippet" in entry and entry["snippet"] != violation.snippet:
+                continue
+            self.used[i] = True
+            return True
+        return False
+
+    def stale_entries(self):
+        return [e for e, used in zip(self.entries, self.used) if not used]
+
+
+def partition(violations, allowlist):
+    """Splits into (reported, suppressed)."""
+    reported, suppressed = [], []
+    for v in violations:
+        (suppressed if allowlist.suppresses(v) else reported).append(v)
+    return reported, suppressed

@@ -1,0 +1,156 @@
+"""Minimal C++ lexer shared by the fob_analyze passes.
+
+Produces a flat token stream with line numbers; comments and preprocessor
+directives are dropped, string/char literals are kept as single tokens (so
+unit-name literals survive while their contents never confuse the scanners).
+
+This is deliberately not a full C++ front end: the passes that consume it
+(tools/fob_analyze/*.py) only need call-expression shapes, declaration
+shapes at known scopes, and brace/paren nesting — all of which a token
+stream models faithfully for the subset of C++ this repository is written
+in. When a real libclang is available the same passes can be driven from a
+clang AST instead (see frontend.py); the lexer is the fallback that keeps
+the suite runnable on toolchains that ship no clang frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"  # "..." including raw strings; text keeps the quotes
+CHAR = "char"  # '...'
+PUNCT = "punct"  # one operator / punctuator per token (maximal munch)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+# Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*",
+]
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident_char(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def tokenize(text: str):
+    """Yields Tokens for `text`; never raises on malformed input (the tail
+    of an unterminated literal is consumed to end-of-line)."""
+    tokens = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Line comment.
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        # Block comment.
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                break
+            line += text.count("\n", i, end + 2)
+            i = end + 2
+            continue
+        # Preprocessor directive: drop the whole (continued) line.
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            while i < n:
+                end = text.find("\n", i)
+                if end == -1:
+                    i = n
+                    break
+                if text[end - 1] == "\\" if end > 0 else False:
+                    line += 1
+                    i = end + 1
+                    continue
+                i = end  # leave the newline for the main loop
+                break
+            continue
+        # Raw string literal.
+        if c == 'R' and text.startswith('R"', i):
+            delim_end = text.find("(", i + 2)
+            if delim_end != -1:
+                delim = text[i + 2:delim_end]
+                close = ')' + delim + '"'
+                end = text.find(close, delim_end)
+                if end != -1:
+                    lit = text[i:end + len(close)]
+                    tokens.append(Token(STRING, lit, line))
+                    line += lit.count("\n")
+                    i = end + len(close)
+                    continue
+        # String / char literal (with escape handling).
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    break  # unterminated; stop at end of line
+                j += 1
+            lit = text[i:j + 1] if j < n else text[i:]
+            tokens.append(Token(STRING if quote == '"' else CHAR, lit, line))
+            i = j + 1
+            continue
+        if _is_ident_start(c):
+            j = i + 1
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (_is_ident_char(text[j]) or text[j] in ".'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], line))
+            i = j
+            continue
+        for punct in _PUNCTUATORS:
+            if text.startswith(punct, i):
+                tokens.append(Token(PUNCT, punct, line))
+                i += len(punct)
+                break
+        else:
+            tokens.append(Token(PUNCT, c, line))
+            i += 1
+    return tokens
+
+
+def string_value(token: Token) -> str:
+    """The contents of a plain "..." literal (no escape decoding beyond the
+    common cases; unit names in this codebase use none)."""
+    text = token.text
+    if text.startswith('R"'):
+        open_paren = text.find("(")
+        return text[open_paren + 1:text.rfind(")")]
+    body = text[1:-1] if len(text) >= 2 else ""
+    return (body.replace("\\\\", "\\").replace('\\"', '"')
+            .replace("\\n", "\n").replace("\\t", "\t").replace("\\r", "\r"))

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""fob-analyze — static-analysis suite for the failure-oblivious runtime.
+
+Three passes prove the conventions the reproduction's claims rest on
+(docs/STATIC_ANALYSIS.md):
+
+  access-escape    every simulated-memory access in the app layer routes
+                   through Memory::Read/Write/*Span or AccessCursor — the
+                   static analogue of the paper's compiler-inserted checks;
+  shard-isolation  no mutable namespace-scope / static-local / class-static
+                   state in src/{softmem,runtime,net,apps}, and no symbol
+                   in a writable data section of the built archive — the
+                   PR 4 "N workers, N disjoint shards" claim as a proved
+                   build-time property;
+  site-universe    every statically constructible SiteId, emitted to
+                   SITES_static.json so sweep/adaptive coverage has an
+                   honest denominator; --check-dynamic verifies an observed
+                   site dump is a subset (no phantom sites).
+
+Exit status: 0 clean, 1 violations (or a stale allowlist), 2 usage/config
+error.
+
+Typical invocations:
+  python3 tools/fob_analyze/fob_analyze.py                      # all passes
+  python3 tools/fob_analyze/fob_analyze.py --passes shard-isolation \
+      --objects build/libfob.a
+  python3 tools/fob_analyze/fob_analyze.py --sites-out SITES_static.json \
+      --check-dynamic SITES_dynamic.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import access_escape  # noqa: E402
+import shard_isolation  # noqa: E402
+import site_universe  # noqa: E402
+from allowlist import Allowlist, partition  # noqa: E402
+from frontend import HAVE_LIBCLANG, Frontend  # noqa: E402
+
+PASSES = ("access-escape", "shard-isolation", "site-universe")
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="fob_analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: two levels up from this file)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json export (default: build/compile_commands.json "
+                             "when present; headers are always discovered from src/)")
+    parser.add_argument("--passes", default="all",
+                        help=f"comma-separated subset of {','.join(PASSES)} (default all)")
+    parser.add_argument("--objects", default=None,
+                        help="built archive for the writable-data-section scan "
+                             "(default: <repo>/build/libfob.a)")
+    parser.add_argument("--no-objects", action="store_true",
+                        help="skip the nm scan (source-only shard-isolation)")
+    parser.add_argument("--require-objects", action="store_true",
+                        help="fail (exit 2) if the nm scan cannot run — CI mode")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist JSON (default: allowlist.json next to this script)")
+    parser.add_argument("--sites-out", default=None, metavar="SITES_static.json",
+                        help="write the static site universe JSON here")
+    parser.add_argument("--check-dynamic", default=None, metavar="DYNAMIC.json",
+                        help="verify a dynamic site dump (bench_sweep sites mode) is a "
+                             "subset of the static universe")
+    parser.add_argument("--json", dest="json_out", default=None, metavar="REPORT.json",
+                        help="write the machine-readable violation report here")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.passes == "all":
+        args.pass_list = list(PASSES)
+    else:
+        args.pass_list = [p.strip() for p in args.passes.split(",") if p.strip()]
+        unknown = [p for p in args.pass_list if p not in PASSES]
+        if unknown:
+            parser.error(f"unknown pass(es): {', '.join(unknown)}")
+    return args
+
+
+def main(argv=None):
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.abspath(args.repo or os.path.join(here, "..", ".."))
+    if not os.path.isdir(os.path.join(repo, "src")):
+        print(f"fob_analyze: {repo} has no src/ directory", file=sys.stderr)
+        return 2
+
+    frontend = Frontend(repo, args.compile_commands)
+    allowlist = Allowlist.load(args.allowlist or os.path.join(here, "allowlist.json"))
+
+    say = (lambda *a, **k: None) if args.quiet else print
+    say(f"fob_analyze: {len(frontend.files)} files "
+        f"({'libclang available' if HAVE_LIBCLANG else 'token front end; no libclang on this toolchain'})")
+
+    all_violations = []
+    notes = []
+    config_errors = []
+
+    if "access-escape" in args.pass_list:
+        all_violations += access_escape.run(frontend)
+
+    if "shard-isolation" in args.pass_list:
+        objects = None
+        if not args.no_objects:
+            objects = args.objects or os.path.join(repo, "build", "libfob.a")
+        violations, nm_error = shard_isolation.run(frontend, objects)
+        all_violations += violations
+        if nm_error:
+            if args.require_objects:
+                config_errors.append(f"shard-isolation object scan: {nm_error}")
+            else:
+                notes.append(f"shard-isolation object scan skipped: {nm_error}")
+
+    universe = None
+    if "site-universe" in args.pass_list:
+        universe = site_universe.extract(frontend)
+        universe_json = universe.to_json()
+        if args.sites_out:
+            with open(args.sites_out, "w", encoding="utf-8") as f:
+                json.dump(universe_json, f, indent=1)
+            say(f"fob_analyze: wrote {args.sites_out}: "
+                f"{len(universe_json['sites'])} sites "
+                f"({len(universe_json['units'])} units x "
+                f"{len(universe_json['frames'])} frames x 2 kinds)")
+        for item in universe_json["unresolved"]:
+            notes.append(
+                f"site-universe: unresolved {item['what']} at "
+                f"{item['file']}:{item['line']} ({item['expr']})")
+        if args.check_dynamic:
+            try:
+                dynamic = site_universe.load_json(args.check_dynamic)
+            except (OSError, json.JSONDecodeError) as err:
+                config_errors.append(f"unreadable dynamic site dump: {err}")
+            else:
+                all_violations += site_universe.check_dynamic(
+                    universe_json, dynamic, args.check_dynamic)
+
+    reported, suppressed = partition(all_violations, allowlist)
+    stale = allowlist.stale_entries()
+
+    for violation in reported:
+        print(violation.render())
+    for note in notes:
+        say(f"note: {note}")
+    for entry in stale:
+        print(f"stale allowlist entry (nothing matches it — delete it): "
+              f"{entry['rule']} {entry['file']} ({entry.get('snippet', '*')})",
+              file=sys.stderr)
+    for err in config_errors:
+        print(f"fob_analyze: config error: {err}", file=sys.stderr)
+
+    if args.json_out:
+        report = {
+            "passes": args.pass_list,
+            "violations": [vars(v) for v in reported],
+            "suppressed": [vars(v) for v in suppressed],
+            "stale_allowlist_entries": stale,
+            "notes": notes,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=1)
+
+    by_pass = {}
+    for v in reported:
+        by_pass[v.pass_name] = by_pass.get(v.pass_name, 0) + 1
+    summary = ", ".join(f"{p}: {by_pass.get(p, 0)}" for p in args.pass_list)
+    say(f"fob_analyze: {len(reported)} violation(s) [{summary}], "
+        f"{len(suppressed)} suppressed by allowlist, {len(stale)} stale entries")
+
+    if config_errors:
+        return 2
+    return 1 if reported or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""Source-model front end for the fob_analyze passes.
+
+The suite is designed around a libclang AST (``clang.cindex`` over the
+project's ``compile_commands.json``); when those bindings are importable
+they are used to sanity-check the translation-unit list. The analysis
+passes themselves run on a token-level source model (cpp_lexer) that is
+sufficient for the shapes they match — call expressions, declarations at a
+known scope, literal arguments — and that keeps the suite runnable on the
+pinned CI toolchain, which ships no clang frontend. The two models see the
+same files: the translation units named by compile_commands.json plus every
+header under src/.
+
+Scope classification: every ``{`` is classified as namespace / class /
+function / block / initializer by looking at the tokens before it, so the
+passes can ask "is this token at namespace scope?" or "which function body
+am I in?" without a full parse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from cpp_lexer import IDENT, PUNCT, STRING, Token, tokenize
+
+try:  # pragma: no cover - exercised only where libclang exists
+    import clang.cindex  # type: ignore
+
+    HAVE_LIBCLANG = True
+except ImportError:
+    HAVE_LIBCLANG = False
+
+# Scope kinds.
+NAMESPACE = "namespace"
+CLASS = "class"
+FUNCTION = "function"
+BLOCK = "block"
+INIT = "init"  # braced initializer / lambda introducer fallout
+
+_CLASS_KEYS = {"class", "struct", "union", "enum"}
+_CONTROL_KEYS = {"if", "for", "while", "switch", "do", "else", "try", "catch"}
+
+
+@dataclass
+class Scope:
+    kind: str
+    name: str = ""
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, forward slashes
+    tokens: list = field(default_factory=list)
+    # scopes[i] is the scope stack *containing* token i (innermost last);
+    # parallel to tokens.
+    scopes: list = field(default_factory=list)
+
+    def namespace_scope(self, i: int) -> bool:
+        """True when token i sits directly at namespace (or file) scope."""
+        return all(s.kind == NAMESPACE for s in self.scopes[i])
+
+    def enclosing_function(self, i: int) -> str:
+        for scope in reversed(self.scopes[i]):
+            if scope.kind == FUNCTION:
+                return scope.name
+        return ""
+
+    def in_function(self, i: int) -> bool:
+        return any(s.kind == FUNCTION for s in self.scopes[i])
+
+    def class_scope(self, i: int) -> bool:
+        """True when the innermost non-namespace scope is a class body."""
+        for scope in reversed(self.scopes[i]):
+            if scope.kind != NAMESPACE:
+                return scope.kind == CLASS
+        return False
+
+
+def _function_name_before(tokens, open_paren: int) -> str:
+    """Best-effort name of the function whose parameter list opens at
+    tokens[open_paren]; handles qualified names (A::B::f) and operators."""
+    i = open_paren - 1
+    if i < 0 or tokens[i].kind != IDENT:
+        return ""
+    parts = [tokens[i].text]
+    # Prepend qualifiers only across `::`; a directly adjacent identifier is
+    # the return type, not part of the name.
+    while i >= 2 and tokens[i - 1].kind == PUNCT and tokens[i - 1].text == "::" \
+            and tokens[i - 2].kind == IDENT:
+        parts.insert(0, tokens[i - 2].text)
+        parts.insert(1, "::")
+        i -= 2
+    return "".join(parts)
+
+
+def _close_of(tokens, i: int, open_c: str, close_c: str) -> int:
+    """Index of the matching close for the open at tokens[i]; len(tokens)
+    if unbalanced."""
+    depth = 0
+    j = i
+    n = len(tokens)
+    while j < n:
+        text = tokens[j].text
+        if tokens[j].kind == PUNCT:
+            if text == open_c:
+                depth += 1
+            elif text == close_c:
+                depth -= 1
+                if depth == 0:
+                    return j
+        j += 1
+    return n
+
+
+def _classify_brace(tokens, i: int, stack) -> Scope:
+    """Classify the `{` at tokens[i] from its left context."""
+    # Walk back over tokens that may sit between a ')' and the body.
+    j = i - 1
+    while j >= 0 and (
+        (tokens[j].kind == IDENT and tokens[j].text in
+         {"const", "noexcept", "override", "final", "mutable", "constexpr",
+          "try"})
+        or (tokens[j].kind == PUNCT and tokens[j].text in {"->", "::", "&", "&&", "*", "<", ">", ",", ")"}
+            and tokens[j].text != ")")
+        or tokens[j].kind == IDENT and j >= 1 and tokens[j - 1].kind == PUNCT and tokens[j - 1].text == "->"
+    ):
+        if tokens[j].kind == IDENT and tokens[j].text == "try":
+            j -= 1
+            break
+        j -= 1
+    if j >= 0 and tokens[j].kind == PUNCT and tokens[j].text == ")":
+        open_paren = None
+        depth = 0
+        k = j
+        while k >= 0:
+            if tokens[k].kind == PUNCT:
+                if tokens[k].text == ")":
+                    depth += 1
+                elif tokens[k].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        open_paren = k
+                        break
+            k -= 1
+        if open_paren is not None:
+            head = open_paren - 1
+            if head >= 0 and tokens[head].kind == IDENT:
+                if tokens[head].text in _CONTROL_KEYS:
+                    return Scope(BLOCK)
+                inside_fn = any(s.kind == FUNCTION for s in stack)
+                if inside_fn:
+                    # A parenthesized call/condition inside a function is a
+                    # plain block (or lambda); nesting is all that matters.
+                    return Scope(BLOCK)
+                return Scope(FUNCTION, _function_name_before(tokens, open_paren))
+        return Scope(BLOCK)
+    if j >= 0 and tokens[j].kind == IDENT:
+        # `namespace X {`, `class X ... {`, `do {`, `else {`, `X x = Y {`.
+        k = j
+        while k >= 0 and not (tokens[k].kind == PUNCT and tokens[k].text in ";}{"):
+            if tokens[k].kind == IDENT and tokens[k].text == "namespace":
+                return Scope(NAMESPACE, tokens[j].text if tokens[j].text != "namespace" else "")
+            if tokens[k].kind == IDENT and tokens[k].text in _CLASS_KEYS:
+                return Scope(CLASS, tokens[j].text)
+            if tokens[k].kind == PUNCT and tokens[k].text in {"=", "(", ","}:
+                return Scope(INIT)
+            k -= 1
+        if tokens[j].text in _CONTROL_KEYS:
+            return Scope(BLOCK)
+        return Scope(BLOCK if any(s.kind == FUNCTION for s in stack) else INIT)
+    if j >= 0 and tokens[j].kind == PUNCT and tokens[j].text == "{" or j < 0:
+        return Scope(BLOCK if any(s.kind == FUNCTION for s in stack) else NAMESPACE)
+    return Scope(INIT)
+
+
+def build_source_file(path: str, text: str) -> SourceFile:
+    tokens = tokenize(text)
+    scopes = []
+    stack: list[Scope] = []
+    for i, tok in enumerate(tokens):
+        if tok.kind == PUNCT and tok.text == "}":
+            if stack:
+                stack.pop()
+        scopes.append(list(stack))
+        if tok.kind == PUNCT and tok.text == "{":
+            stack.append(_classify_brace(tokens, i, stack))
+    return SourceFile(path=path, tokens=tokens, scopes=scopes)
+
+
+def split_call_args(tokens, open_paren: int):
+    """Token slices of the arguments of the call whose '(' is at
+    tokens[open_paren]; returns (args, index_of_close_paren)."""
+    close = _close_of(tokens, open_paren, "(", ")")
+    args = []
+    depth = 0
+    start = open_paren + 1
+    for j in range(open_paren + 1, close):
+        t = tokens[j]
+        if t.kind == PUNCT:
+            if t.text in "([{":
+                depth += 1
+            elif t.text in ")]}":
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                args.append(tokens[start:j])
+                start = j + 1
+    if close > start:
+        args.append(tokens[start:close])
+    elif close == start and args:
+        args.append([])
+    return args, close
+
+
+def iter_calls(src: SourceFile, callee: str):
+    """Yields (index_of_name_token, args) for every call `X(...)` where the
+    identifier immediately before '(' is `callee`."""
+    tokens = src.tokens
+    for i, tok in enumerate(tokens):
+        if tok.kind != IDENT or tok.text != callee:
+            continue
+        j = i + 1
+        if j < len(tokens) and tokens[j].kind == PUNCT and tokens[j].text == "(":
+            args, _ = split_call_args(tokens, j)
+            yield i, args
+
+
+class Frontend:
+    """File discovery + parsed-source cache for one repository checkout."""
+
+    SRC_EXTS = (".cc", ".h")
+
+    def __init__(self, repo_root: str, compile_commands: str | None = None):
+        self.repo_root = os.path.abspath(repo_root)
+        self.compile_commands = compile_commands
+        self._cache: dict[str, SourceFile] = {}
+        self.files = self._discover()
+
+    def _discover(self):
+        found = set()
+        cc_path = self.compile_commands
+        if cc_path is None:
+            default = os.path.join(self.repo_root, "build", "compile_commands.json")
+            cc_path = default if os.path.exists(default) else None
+        if cc_path and os.path.exists(cc_path):
+            try:
+                with open(cc_path, encoding="utf-8") as f:
+                    for entry in json.load(f):
+                        rel = os.path.relpath(
+                            os.path.normpath(os.path.join(entry.get("directory", "."),
+                                                          entry["file"])),
+                            self.repo_root)
+                        rel = rel.replace(os.sep, "/")
+                        if rel.startswith("src/"):
+                            found.add(rel)
+            except (json.JSONDecodeError, KeyError, OSError) as err:
+                raise SystemExit(
+                    f"fob_analyze: unreadable compile_commands at {cc_path}: {err}")
+        # Headers never appear in compile_commands; walk src/ for them (and
+        # for sources, when no export exists yet).
+        src_root = os.path.join(self.repo_root, "src")
+        for dirpath, _dirnames, filenames in os.walk(src_root):
+            for name in filenames:
+                if name.endswith(self.SRC_EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), self.repo_root)
+                    found.add(rel.replace(os.sep, "/"))
+        return sorted(found)
+
+    def source(self, rel_path: str) -> SourceFile:
+        if rel_path not in self._cache:
+            with open(os.path.join(self.repo_root, rel_path), encoding="utf-8") as f:
+                text = f.read()
+            self._cache[rel_path] = build_source_file(rel_path, text)
+        return self._cache[rel_path]
+
+    def files_under(self, dirs):
+        prefixes = tuple(d.rstrip("/") + "/" for d in dirs)
+        return [f for f in self.files if f.startswith(prefixes)]
+
+
+@dataclass
+class Violation:
+    pass_name: str
+    rule: str
+    file: str
+    line: int
+    message: str
+    snippet: str = ""
+
+    def key(self):
+        return (self.rule, self.file, self.snippet)
+
+    def render(self) -> str:
+        where = f"{self.file}:{self.line}"
+        return f"[{self.pass_name}/{self.rule}] {where}: {self.message}"

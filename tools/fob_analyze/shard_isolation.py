@@ -1,0 +1,310 @@
+"""Pass 2 — shard-isolation checker.
+
+PR 4's scaling claim is "N workers, N disjoint shards, no shared mutable
+state": every worker owns one fob::Shard and nothing mutable is reachable
+from two threads. That was audited by hand once and is sampled dynamically
+by the tsan CI job; this pass makes it a proved build-time property from
+two directions:
+
+  AST side — flags, in src/{softmem,runtime,net,apps}:
+    mutable-namespace-state  namespace-scope variable definitions that are
+                             not const/constexpr/constinit;
+    mutable-class-static     static data members without const/constexpr;
+    mutable-static-local     function-local `static` state without const —
+                             one mutable static local is shared by every
+                             shard that calls the function.
+
+  Object side — runs `nm` over the built archive (build/libfob.a) and flags
+    writable-data-symbol     any symbol the linker placed in a writable
+                             section (.data/.bss and friends). Compiler RTTI
+                             infrastructure (vtables, typeinfo, VTTs) lands
+                             in .data.rel.ro under PIE — immutable after
+                             relocation — and is excluded by pattern;
+                             everything else (including guard variables,
+                             which mark a lazily-initialized static) must be
+                             allowlisted with a reason or eliminated.
+
+The object side is the ground truth (it sees through macros, templates and
+headers the token scan might misclassify); the AST side names the exact
+source line to fix and also catches state that never reaches the archive
+(header-only, inline)."""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+
+from cpp_lexer import IDENT, PUNCT
+from frontend import Violation
+
+PASS_NAME = "shard-isolation"
+
+ISOLATION_DIRS = ["src/softmem", "src/runtime", "src/net", "src/apps"]
+
+_SKIP_STATEMENT_HEADS = {
+    "using", "typedef", "friend", "template", "static_assert", "extern",
+    "namespace", "class", "struct", "union", "enum", "concept", "asm",
+    "public", "private", "protected", "case", "default", "goto", "return",
+    "if", "for", "while", "switch", "do", "else", "try", "catch", "break",
+    "continue", "throw", "co_return", "co_yield",
+}
+
+_IMMUTABLE_QUALIFIERS = {"const", "constexpr", "constinit", "consteval"}
+
+# Writable-section symbol types as reported by nm (uppercase = global,
+# lowercase = local): data, BSS, small-data, and their variants.
+_WRITABLE_NM_TYPES = set("DdBbGgSs")
+
+# RTTI/vtable infrastructure: emitted into .data.rel.ro (read-only after
+# dynamic relocation), reported by nm as 'd'/'D' but not mutable state.
+# Sanitizer builds add their own bookkeeping globals (ASan's __odr_asan.*
+# ODR markers, coverage counters) — compiler instrumentation, not program
+# state, so the scan's verdict matches across plain and sanitized archives.
+_RELRO_INFRA = re.compile(
+    r"^(vtable for |typeinfo for |typeinfo name for |VTT for |"
+    r"construction vtable for |__odr_asan\.|__asan_|__sancov_|__msan_|__tsan_)")
+
+
+def _statement_is_function(stmt_tokens) -> bool:
+    """A '(' at top nesting depth before any '=' marks a function
+    declaration/definition (no namespace-scope variable in this codebase
+    uses parenthesized direct-init)."""
+    depth = 0
+    for t in stmt_tokens:
+        if t.kind == PUNCT:
+            if t.text in "<[":
+                depth += 1
+            elif t.text in ">]":
+                depth -= 1
+            elif t.text == "=" and depth == 0:
+                return False
+            elif t.text == "(" and depth == 0:
+                return True
+    return False
+
+
+def _declared_name(stmt_tokens):
+    """The identifier being declared: the last identifier before the first
+    top-level '=', '{', '[' or the terminating ';'."""
+    depth = 0
+    name = None
+    for t in stmt_tokens:
+        if t.kind == PUNCT:
+            if t.text in "<[(":
+                depth += 1
+                if t.text in "[(" and name is not None:
+                    break
+            elif t.text in ">])":
+                depth -= 1
+            elif depth == 0 and t.text in {"=", "{", ";"}:
+                break
+        elif t.kind == IDENT and depth == 0:
+            if t.text not in _IMMUTABLE_QUALIFIERS:
+                name = t
+    return name
+
+
+def _is_immutable(stmt_tokens) -> bool:
+    depth = 0
+    for t in stmt_tokens:
+        if t.kind == PUNCT:
+            if t.text in "<([{":
+                depth += 1
+            elif t.text in ">)]}":
+                depth -= 1
+        elif t.kind == IDENT and depth == 0 and t.text in _IMMUTABLE_QUALIFIERS:
+            return True
+    return False
+
+
+def _check_variable_statement(src, stmt, rule, message, out):
+    if not stmt:
+        return
+    head = stmt[0]
+    if head.kind == IDENT and head.text in _SKIP_STATEMENT_HEADS:
+        return
+    if _statement_is_function(stmt):
+        return
+    name = _declared_name(stmt)
+    if name is None:
+        return
+    if _is_immutable(stmt):
+        return
+    out.append(Violation(
+        PASS_NAME, rule, src.path, name.line,
+        message.format(name=name.text), name.text))
+
+
+def _scan_namespace_scope(src, out):
+    """Namespace-scope statements: tokens whose enclosing scopes are all
+    namespaces, split on ';' and on non-namespace brace groups."""
+    stmt = []
+    skip_close = None  # index of '}' closing a skipped brace group
+    for i, tok in enumerate(src.tokens):
+        if skip_close is not None:
+            if i < skip_close:
+                continue
+            skip_close = None
+            # The brace group was a body (class/function/init); its close
+            # also ends any `X x{...}`-style statement at the next ';'.
+        if not src.namespace_scope(i):
+            continue
+        if tok.kind == PUNCT and tok.text == "{":
+            # Entering a nested scope: namespace braces continue the walk,
+            # anything else is an initializer-or-body to skip over.
+            inner = src.scopes[i + 1] if i + 1 < len(src.scopes) else []
+            if inner and inner[-1].kind == "namespace":
+                stmt = []
+                continue
+            depth = 0
+            j = i
+            while j < len(src.tokens):
+                t = src.tokens[j]
+                if t.kind == PUNCT:
+                    if t.text == "{":
+                        depth += 1
+                    elif t.text == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                j += 1
+            skip_close = j
+            # A skipped body belonging to a braced initializer keeps the
+            # statement alive (`Type x = {...};`); a function body ends it.
+            if _statement_is_function(stmt):
+                stmt = []
+            continue
+        if tok.kind == PUNCT and tok.text in {";", "}"}:
+            _check_variable_statement(
+                src, stmt, "mutable-namespace-state",
+                "namespace-scope mutable state `{name}` is shared by every "
+                "shard in the process", out)
+            stmt = []
+            continue
+        stmt.append(tok)
+
+
+def _scan_class_statics(src, out):
+    """Statements at class scope beginning with `static` that declare data."""
+    stmt = []
+    collecting = False
+    for i, tok in enumerate(src.tokens):
+        scopes = src.scopes[i]
+        at_class = bool(scopes) and scopes[-1].kind == "class"
+        if not at_class:
+            if not collecting:
+                continue
+        if tok.kind == PUNCT and tok.text in {";", "{", "}"}:
+            if collecting and tok.text == ";":
+                _check_variable_statement(
+                    src, stmt, "mutable-class-static",
+                    "static data member `{name}` is process-wide mutable "
+                    "state", out)
+            if collecting and tok.text == "{" and _statement_is_function(stmt):
+                pass  # static member function with inline body
+            stmt = []
+            collecting = False
+            continue
+        if not collecting and at_class:
+            prev = src.tokens[i - 1] if i > 0 else None
+            stmt_start = prev is None or (prev.kind == PUNCT and prev.text in ";{}") \
+                or (prev.kind == IDENT and prev.text in {"public", "private", "protected"}) \
+                or (prev.kind == PUNCT and prev.text == ":")
+            if tok.kind == IDENT and tok.text == "static" and stmt_start:
+                collecting = True
+                stmt = [tok]
+            continue
+        if collecting:
+            stmt.append(tok)
+
+
+def _scan_static_locals(src, out):
+    stmt = []
+    collecting = False
+    for i, tok in enumerate(src.tokens):
+        if not src.in_function(i):
+            collecting = False
+            stmt = []
+            continue
+        if tok.kind == PUNCT and tok.text in {";", "{", "}"}:
+            if collecting:
+                _check_variable_statement(
+                    src, stmt, "mutable-static-local",
+                    "function-local `static {name}` is shared by every shard "
+                    "that calls this function", out)
+            stmt = []
+            collecting = False
+            continue
+        if not collecting:
+            prev = src.tokens[i - 1] if i > 0 else None
+            stmt_start = prev is not None and prev.kind == PUNCT and prev.text in ";{}"
+            if tok.kind == IDENT and tok.text == "static" and stmt_start:
+                collecting = True
+                stmt = [tok]
+            continue
+        stmt.append(tok)
+
+
+def scan_sources(frontend, dirs=None):
+    out = []
+    for path in frontend.files_under(dirs or ISOLATION_DIRS):
+        src = frontend.source(path)
+        _scan_namespace_scope(src, out)
+        _scan_class_statics(src, out)
+        _scan_static_locals(src, out)
+    return out
+
+
+def scan_objects(objects_path, nm_tool=None):
+    """Writable-data-section scan of a built archive / object file.
+
+    Returns (violations, error): `error` is a human-readable string when the
+    scan could not run at all (missing tool or file)."""
+    if not os.path.exists(objects_path):
+        return [], f"object archive not found: {objects_path} (build first)"
+    tool = nm_tool or shutil.which("nm") or shutil.which("llvm-nm")
+    if tool is None:
+        return [], "no `nm` tool on PATH"
+    try:
+        proc = subprocess.run(
+            [tool, "-C", objects_path], capture_output=True, text=True,
+            check=True)
+    except subprocess.CalledProcessError as err:
+        return [], f"nm failed on {objects_path}: {err.stderr.strip()}"
+    out = []
+    member = os.path.basename(objects_path)
+    for line in proc.stdout.splitlines():
+        line = line.rstrip()
+        if line.endswith(":") and " " not in line:
+            member = line[:-1]
+            continue
+        fields = line.split(maxsplit=2)
+        if len(fields) == 3:
+            _addr, sym_type, symbol = fields
+        elif len(fields) == 2 and fields[0] in _WRITABLE_NM_TYPES:
+            sym_type, symbol = fields
+        else:
+            continue
+        if sym_type not in _WRITABLE_NM_TYPES:
+            continue
+        if _RELRO_INFRA.match(symbol):
+            continue
+        out.append(Violation(
+            PASS_NAME, "writable-data-symbol", member, 0,
+            f"symbol `{symbol}` lives in a writable data section "
+            f"(nm type '{sym_type}') — shared mutable state across shards",
+            symbol))
+    return out, None
+
+
+def run(frontend, objects_path=None, dirs=None):
+    """Full pass: source scan plus (when an archive is given) object scan.
+    Returns (violations, object_scan_error)."""
+    violations = scan_sources(frontend, dirs)
+    error = None
+    if objects_path is not None:
+        object_violations, error = scan_objects(objects_path)
+        violations.extend(object_violations)
+    return violations, error

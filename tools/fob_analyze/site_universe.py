@@ -1,0 +1,258 @@
+"""Pass 3 — static site-universe extraction.
+
+A SiteId (src/runtime/policy_spec.h) is FNV-1a over (unit name, frame
+function, access kind). The sweep and the adaptive learner search over the
+sites a *workload happens to exercise*; until now the universe of
+statically constructible sites was unknown, so "exhaustive exploration" had
+no denominator. This pass enumerates it:
+
+  frame functions   string literals bound by `Memory::Frame f(mem, "...")`
+                    plus the runtime's "<no frame>" (empty stack);
+  unit names        heap/global names: the name-position literal of
+                    Malloc / NewCString / NewBytes / AllocGlobal calls and
+                    their documented defaults ("alloc", "cstring", "bytes",
+                    "global"); stack locals registered by Frame::Local get
+                    frame-qualified names ("<frame>::<local>", default
+                    local name "local") exactly as src/softmem/stack.cc
+                    builds them; plus "" — the null unit a wild pointer
+                    resolves to;
+  access kinds      read, write.
+
+Name arguments that are not literals are resolved one call level deep:
+when a function forwards one of its parameters into an allocator's name
+position (PopulateResidentHeap, StrDup), its call sites contribute their
+literal at that position. Anything still unresolved is reported in the
+JSON (`unresolved`) rather than silently dropped — the denominator must
+not be quietly wrong.
+
+The universe is the cross product units x frames x kinds: a sound
+over-approximation (every dynamically observable site is statically
+constructible; which pairs actually co-occur is a dynamic property). The
+companion check mode verifies the dynamic direction: every site a real run
+observed must be in the static universe — a "phantom site" means the
+extractor missed a name source and the denominator is wrong.
+
+The emitted SITES_static.json carries ids as hex strings ("0x%016x"):
+SiteIds use all 64 bits and JSON numbers do not survive a double
+round-trip up there.
+"""
+
+from __future__ import annotations
+
+import json
+
+from cpp_lexer import IDENT, PUNCT, STRING, string_value
+from frontend import Violation, iter_calls, split_call_args
+
+PASS_NAME = "site-universe"
+
+# Allocator -> (name argument index, default name) from the Memory API
+# declarations in src/runtime/memory.h.
+_ALLOCATORS = {
+    "Malloc": (1, "alloc"),
+    "NewCString": (1, "cstring"),
+    "NewBytes": (1, "bytes"),
+    "AllocGlobal": (1, "global"),
+}
+_LOCAL_DEFAULT = "local"
+_NO_FRAME = "<no frame>"
+
+_FNV_OFFSET = 14695981039346656037
+_FNV_PRIME = 1099511628211
+_MASK = (1 << 64) - 1
+
+
+def make_site_id(unit_name: str, function: str, kind: str) -> int:
+    """Replicates fob::MakeSiteId (src/runtime/policy_spec.cc) bit-for-bit;
+    pinned against the C++ side by tests/test_site_coverage.cc."""
+    h = _FNV_OFFSET
+    for b in unit_name.encode():
+        h = ((h ^ b) * _FNV_PRIME) & _MASK
+    h = ((h ^ 0xFF) * _FNV_PRIME) & _MASK
+    for b in function.encode():
+        h = ((h ^ b) * _FNV_PRIME) & _MASK
+    kind_byte = {"read": 1, "write": 2}[kind]
+    h = ((h ^ kind_byte) * _FNV_PRIME) & _MASK
+    return h if h != 0 else 1
+
+
+def _single_string(arg_tokens):
+    if len(arg_tokens) == 1 and arg_tokens[0].kind == STRING:
+        return string_value(arg_tokens[0])
+    return None
+
+
+def _single_ident(arg_tokens):
+    """The identifier of a bare-name or std::move(name) argument."""
+    idents = [t for t in arg_tokens if t.kind == IDENT and t.text not in {"std", "move"}]
+    if len(idents) == 1:
+        return idents[0].text
+    return None
+
+
+def _param_index(src, func_short_name: str, param: str):
+    """Index of `param` in the parameter list of `func_short_name`'s
+    definition within `src` (first match wins)."""
+    for i, args in iter_calls(src, func_short_name):
+        if not src.in_function(i):  # a definition/declaration head
+            for idx, arg in enumerate(args):
+                if any(t.kind == IDENT and t.text == param for t in arg):
+                    return idx
+    return None
+
+
+class Universe:
+    def __init__(self):
+        self.unit_names = {""}
+        self.frames = {_NO_FRAME}
+        self.unresolved = []
+        # forwarders: callee short name -> name-argument index
+        self.forwarders = {}
+
+    def sites(self):
+        out = []
+        for unit in sorted(self.unit_names):
+            for frame in sorted(self.frames):
+                for kind in ("read", "write"):
+                    out.append({
+                        "id": f"0x{make_site_id(unit, frame, kind):016x}",
+                        "unit": unit,
+                        "frame": frame,
+                        "kind": kind,
+                    })
+        return out
+
+    def to_json(self):
+        return {
+            "schema": 1,
+            "generated_by": "fob_analyze pass 3 (site-universe)",
+            # Scalar counts first: the C++ loader (src/harness/site_coverage)
+            # reads these without a full JSON parser.
+            "unit_count": len(self.unit_names),
+            "frame_count": len(self.frames),
+            "units": sorted(self.unit_names),
+            "frames": sorted(self.frames),
+            "unresolved": self.unresolved,
+            "sites": self.sites(),
+        }
+
+
+def _scan_frames_and_locals(src, universe):
+    """`Memory::Frame f(mem, "name")` declarations and `f.Local(n, "name")`
+    calls; Local units are frame-qualified like stack.cc registers them."""
+    tokens = src.tokens
+    frame_vars = {}  # var name -> frame literal, in lexical order
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind == IDENT and tok.text == "Frame":
+            # Memory::Frame <var>( <mem> , "name" )
+            if i + 2 < n and tokens[i + 1].kind == IDENT \
+                    and tokens[i + 2].kind == PUNCT and tokens[i + 2].text == "(":
+                args, _ = split_call_args(tokens, i + 2)
+                if len(args) == 2:
+                    name = _single_string(args[1])
+                    if name is not None:
+                        universe.frames.add(name)
+                        frame_vars[tokens[i + 1].text] = name
+                    else:
+                        universe.unresolved.append({
+                            "file": src.path, "line": tok.line,
+                            "what": "frame name",
+                            "expr": " ".join(t.text for t in args[1]),
+                        })
+        if tok.kind == IDENT and tok.text == "Local":
+            if i >= 2 and tokens[i - 1].kind == PUNCT and tokens[i - 1].text == "." \
+                    and tokens[i - 2].kind == IDENT \
+                    and i + 1 < n and tokens[i + 1].kind == PUNCT and tokens[i + 1].text == "(":
+                var = tokens[i - 2].text
+                args, _ = split_call_args(tokens, i + 1)
+                local_name = _LOCAL_DEFAULT
+                if len(args) >= 2:
+                    lit = _single_string(args[1])
+                    if lit is None:
+                        universe.unresolved.append({
+                            "file": src.path, "line": tok.line,
+                            "what": "local name",
+                            "expr": " ".join(t.text for t in args[1]),
+                        })
+                        continue
+                    local_name = lit
+                frames = [frame_vars[var]] if var in frame_vars else sorted(universe.frames)
+                if var not in frame_vars:
+                    universe.unresolved.append({
+                        "file": src.path, "line": tok.line,
+                        "what": "frame variable (over-approximated to all frames)",
+                        "expr": var,
+                    })
+                for frame in frames:
+                    universe.unit_names.add(f"{frame}::{local_name}")
+
+
+def _scan_allocators(frontend, src, universe, allocators):
+    for callee, (name_idx, default) in allocators.items():
+        for i, args in iter_calls(src, callee):
+            if not src.in_function(i):
+                continue  # declaration / definition head, not a call
+            universe.unit_names.add(default)
+            if len(args) <= name_idx:
+                continue
+            lit = _single_string(args[name_idx])
+            if lit is not None:
+                universe.unit_names.add(lit)
+                continue
+            param = _single_ident(args[name_idx])
+            enclosing = src.enclosing_function(i).split("::")[-1]
+            idx = _param_index(src, enclosing, param) if param and enclosing else None
+            if idx is not None:
+                universe.forwarders.setdefault(enclosing, idx)
+            else:
+                universe.unresolved.append({
+                    "file": src.path, "line": src.tokens[i].line,
+                    "what": f"{callee} name",
+                    "expr": " ".join(t.text for t in args[name_idx]),
+                })
+
+
+def extract(frontend, files=None):
+    universe = Universe()
+    paths = files if files is not None else frontend.files
+    for path in paths:
+        src = frontend.source(path)
+        _scan_frames_and_locals(src, universe)
+        _scan_allocators(frontend, src, universe, _ALLOCATORS)
+    # One level of name forwarding: literals at the forwarded position of
+    # the forwarder's call sites.
+    if universe.forwarders:
+        forwarded = {name: (idx, None) for name, idx in universe.forwarders.items()
+                     if name not in _ALLOCATORS}
+        for path in paths:
+            src = frontend.source(path)
+            for callee, (idx, _default) in forwarded.items():
+                for i, args in iter_calls(src, callee):
+                    if not src.in_function(i) or len(args) <= idx:
+                        continue
+                    lit = _single_string(args[idx])
+                    if lit is not None:
+                        universe.unit_names.add(lit)
+    return universe
+
+
+def check_dynamic(universe_json, dynamic_json, dynamic_path):
+    """Verifies every dynamically observed site is in the static universe.
+    Returns Violations for phantom sites."""
+    static_ids = {site["id"] for site in universe_json["sites"]}
+    out = []
+    for site in dynamic_json.get("sites", []):
+        if site["id"] not in static_ids:
+            label = f"{site.get('kind', '?')} {site.get('unit', '?')} @ {site.get('frame', '?')}"
+            out.append(Violation(
+                PASS_NAME, "phantom-site", dynamic_path, 0,
+                f"dynamically observed site {site['id']} ({label}) is not in "
+                "the static universe — the extractor missed a name source",
+                site["id"]))
+    return out
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)

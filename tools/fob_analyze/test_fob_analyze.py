@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for the fob_analyze passes (registered in ctest).
+
+Each pass is run over a temporary mini-repo seeded with the deliberate
+violations under testdata/; every seeded violation must be caught and the
+sanctioned idioms must not be flagged. The suite then runs all passes over
+the *real* tree and asserts a clean report — the analyzer gate itself.
+
+Environment:
+  FOB_ARCHIVE  path to the built libfob archive for the nm scan of the
+               real tree (set by CMake; defaults to <repo>/build/libfob.a,
+               skipped when absent).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.abspath(os.path.join(HERE, "..", ".."))
+TESTDATA = os.path.join(HERE, "testdata")
+sys.path.insert(0, HERE)
+
+import access_escape  # noqa: E402
+import shard_isolation  # noqa: E402
+import site_universe  # noqa: E402
+from allowlist import Allowlist, partition  # noqa: E402
+from frontend import Frontend  # noqa: E402
+
+
+def make_mini_repo(tmp, mapping):
+    """Creates tmp/src/... from {repo-relative dest: testdata file}."""
+    for dest, fixture in mapping.items():
+        full = os.path.join(tmp, dest)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        shutil.copyfile(os.path.join(TESTDATA, fixture), full)
+    # The mini-repo needs a src/ dir even if empty elsewhere.
+    os.makedirs(os.path.join(tmp, "src"), exist_ok=True)
+    return Frontend(tmp)
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+class AccessEscapeGolden(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="fob_analyze_")
+        self.addCleanup(shutil.rmtree, self.tmp)
+
+    def test_catches_every_seeded_violation(self):
+        frontend = make_mini_repo(
+            self.tmp, {"src/apps/raw_deref.cc": "raw_deref.cc"})
+        violations = access_escape.run(frontend)
+        self.assertEqual(
+            rules_of(violations),
+            ["backing-introspection", "memcpy-family", "raw-byte-pointer",
+             "reinterpret-cast"])
+        by_rule = {}
+        for v in violations:
+            by_rule.setdefault(v.rule, []).append(v)
+        # Two introspection escapes (.space() and Translate), two libc
+        # primitives (memcpy and strlen), one raw pointer, one cast.
+        self.assertEqual(len(by_rule["backing-introspection"]), 2)
+        self.assertEqual(len(by_rule["memcpy-family"]), 2)
+        self.assertEqual(
+            sorted(v.snippet for v in by_rule["raw-byte-pointer"]),
+            ["char* bytes", "void* host"])
+        self.assertEqual(len(by_rule["reinterpret-cast"]), 1)
+        # The sanctioned const-char* host idiom is not flagged.
+        for v in violations:
+            self.assertNotIn("HandlerName", v.snippet)
+
+    def test_unmediated_host_codec_is_exempt(self):
+        # The same libc primitives in a file that never names Memory/Ptr
+        # (host-side wire-format code) are out of scope for every rule but
+        # backing-introspection.
+        host = os.path.join(self.tmp, "src/archive/host_codec.cc")
+        os.makedirs(os.path.dirname(host), exist_ok=True)
+        with open(host, "w", encoding="utf-8") as f:
+            f.write("#include <cstring>\n"
+                    "int HostChecksum(const char* s) {"
+                    " return (int)strlen(s); }\n")
+        frontend = Frontend(self.tmp)
+        self.assertEqual(access_escape.run(frontend), [])
+
+
+class ShardIsolationGolden(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="fob_analyze_")
+        self.addCleanup(shutil.rmtree, self.tmp)
+
+    def test_source_scan_catches_every_seeded_violation(self):
+        frontend = make_mini_repo(
+            self.tmp, {"src/runtime/mutable_global.cc": "mutable_global.cc"})
+        violations = shard_isolation.scan_sources(frontend)
+        by_rule = {}
+        for v in violations:
+            by_rule.setdefault(v.rule, set()).add(v.snippet)
+        self.assertEqual(by_rule.get("mutable-namespace-state"),
+                         {"g_request_count", "g_last_error", "total_faults"})
+        self.assertEqual(by_rule.get("mutable-class-static"), {"total_faults"})
+        self.assertEqual(by_rule.get("mutable-static-local"), {"calls"})
+        # Immutable state is not flagged.
+        for v in violations:
+            self.assertNotIn(v.snippet, {"kLimit", "kTableSize", "kChannels"})
+
+    def test_object_scan_catches_writable_data(self):
+        compiler = shutil.which("g++") or shutil.which("c++")
+        if compiler is None:
+            self.skipTest("no C++ compiler on PATH")
+        obj = os.path.join(self.tmp, "mutable_global.o")
+        subprocess.run(
+            [compiler, "-std=c++20", "-c",
+             os.path.join(TESTDATA, "mutable_global.cc"), "-o", obj],
+            check=True, capture_output=True)
+        violations, error = shard_isolation.scan_objects(obj)
+        self.assertIsNone(error)
+        symbols = " | ".join(v.snippet for v in violations)
+        self.assertIn("g_request_count", symbols)
+        self.assertIn("total_faults", symbols)
+        self.assertIn("g_last_error", symbols)
+        self.assertIn("calls", symbols)
+
+    def test_object_scan_reports_missing_archive(self):
+        violations, error = shard_isolation.scan_objects(
+            os.path.join(self.tmp, "nope.a"))
+        self.assertEqual(violations, [])
+        self.assertIn("not found", error)
+
+
+class SiteUniverseGolden(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="fob_analyze_")
+        self.addCleanup(shutil.rmtree, self.tmp)
+        self.frontend = make_mini_repo(
+            self.tmp, {"src/apps/phantom_site.cc": "phantom_site.cc"})
+
+    def test_extracts_frames_units_and_qualified_locals(self):
+        universe = site_universe.extract(self.frontend)
+        self.assertEqual(universe.frames, {"<no frame>", "real_frame"})
+        self.assertEqual(
+            universe.unit_names,
+            {"", "real_unit", "alloc", "real_frame::real_local"})
+        json_doc = universe.to_json()
+        # 4 units x 2 frames x 2 kinds.
+        self.assertEqual(len(json_doc["sites"]), 16)
+        self.assertEqual(json_doc["unresolved"], [])
+
+    def test_phantom_site_is_caught_and_real_site_is_not(self):
+        universe_json = site_universe.extract(self.frontend).to_json()
+        real = {
+            "id": f"0x{site_universe.make_site_id('real_unit', 'real_frame', 'write'):016x}",
+            "unit": "real_unit", "frame": "real_frame", "kind": "write",
+        }
+        phantom = {
+            "id": f"0x{site_universe.make_site_id('ghost_unit', 'real_frame', 'write'):016x}",
+            "unit": "ghost_unit", "frame": "real_frame", "kind": "write",
+        }
+        dynamic = {"sites": [real, phantom]}
+        violations = site_universe.check_dynamic(universe_json, dynamic, "dyn.json")
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0].rule, "phantom-site")
+        self.assertIn("ghost_unit", violations[0].message)
+
+    def test_fnv_replica_matches_known_vector(self):
+        # Pinned independently by tests/test_site_coverage.cc on the C++
+        # side; the two pins must agree on these exact values.
+        self.assertEqual(
+            site_universe.make_site_id("config_line", "load_setup", "read"),
+            0x7F7A68C74487F124)
+        self.assertEqual(site_universe.make_site_id("", "<no frame>", "write"),
+                         0x53986E3666FD06C4)
+
+
+class RealTreeIsClean(unittest.TestCase):
+    """The gate: the analyzer must run clean on the actual repository."""
+
+    def _frontend(self):
+        return Frontend(REPO)
+
+    def _allowlist(self):
+        return Allowlist.load(os.path.join(HERE, "allowlist.json"))
+
+    def test_access_escape_clean(self):
+        reported, _ = partition(
+            access_escape.run(self._frontend()), self._allowlist())
+        self.assertEqual([v.render() for v in reported], [])
+
+    def test_shard_isolation_clean(self):
+        archive = os.environ.get(
+            "FOB_ARCHIVE", os.path.join(REPO, "build", "libfob.a"))
+        objects = archive if os.path.exists(archive) else None
+        violations, error = shard_isolation.run(self._frontend(), objects)
+        reported, _ = partition(violations, self._allowlist())
+        self.assertEqual([v.render() for v in reported], [])
+        if objects is None:
+            sys.stderr.write("note: no archive; nm scan skipped\n")
+        else:
+            self.assertIsNone(error)
+
+    def test_site_universe_covers_section4_sites(self):
+        # Sites the §4 attack matrix is known to exercise (ROADMAP/PR 2)
+        # must be in the static universe.
+        universe = site_universe.extract(self._frontend())
+        self.assertIn("load_setup", universe.frames)
+        self.assertIn("config_line", universe.unit_names)
+        self.assertIn("vfs_tarfs_resolve::linkname_buf", universe.unit_names)
+        self.assertIn("", universe.unit_names)
+        self.assertIn("<no frame>", universe.frames)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

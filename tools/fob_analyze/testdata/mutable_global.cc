@@ -1,0 +1,44 @@
+// Golden fixture for pass 2 (shard-isolation): deliberate shared mutable
+// state of every flavor the pass must catch. The golden test copies this
+// file to <tmp-repo>/src/runtime/ for the source scan, and compiles it
+// stand-alone for the nm writable-data-section scan. NEVER part of the
+// real tree's build.
+
+#include <cstdint>
+#include <string>
+
+namespace fob {
+
+// VIOLATION(mutable-namespace-state): one counter shared by every shard.
+uint64_t g_request_count = 0;
+
+// VIOLATION(mutable-namespace-state): dynamic init in anonymous namespace.
+namespace {
+std::string g_last_error = "none";
+}  // namespace
+
+// NOT a violation: immutable namespace-scope state.
+constexpr uint64_t kLimit = 4096;
+const int kTableSize = 256;
+
+struct Telemetry {
+  // VIOLATION(mutable-class-static): process-wide mutable member.
+  static uint64_t total_faults;
+
+  // NOT a violation: per-instance state is shard-owned.
+  uint64_t local_faults = 0;
+
+  // NOT a violation: immutable class constant.
+  static constexpr int kChannels = 4;
+};
+
+uint64_t Telemetry::total_faults = 0;
+
+uint64_t CountCall() {
+  // VIOLATION(mutable-static-local): shared by every shard calling this.
+  static uint64_t calls = 0;
+  return ++calls + g_request_count + Telemetry::total_faults +
+         static_cast<uint64_t>(g_last_error.size());
+}
+
+}  // namespace fob

@@ -1,0 +1,23 @@
+// Golden fixture for pass 3 (site-universe): a miniature app whose
+// statically constructible sites are exactly {real_unit, alloc, "",
+// real_frame::real_local} x {real_frame, "<no frame>"} x {read, write}.
+// The golden test extracts this universe, then checks a dynamic dump
+// containing one legitimate site and one *phantom* site (a unit name no
+// static allocation ever creates) — the phantom must be caught: it means
+// the extractor's denominator is wrong. NEVER part of the real build.
+
+#include "src/runtime/memory.h"
+
+namespace fob {
+
+void TinyWorkload(Memory& memory) {
+  Memory::Frame frame(memory, "real_frame");
+  Ptr buf = memory.Malloc(32, "real_unit");
+  Ptr local = frame.Local(16, "real_local");
+  Ptr anon = memory.Malloc(8);  // default unit name "alloc"
+  memory.WriteU8(buf, memory.ReadU8(local));
+  memory.Free(anon);
+  memory.Free(buf);
+}
+
+}  // namespace fob

@@ -1,0 +1,42 @@
+// Golden fixture for pass 1 (access-escape): a mediated boundary file that
+// commits one violation of every rule. The golden test copies this file to
+// <tmp-repo>/src/apps/ and asserts each seeded violation is reported.
+// NEVER compiled or linked into the real tree.
+
+#include <cstring>
+
+#include "src/runtime/memory.h"
+
+namespace fob {
+
+// Uses Memory and Ptr, so the file is "mediated": it handles simulated
+// memory and must route every access through the checked API.
+int BrokenHandler(Memory& memory, Ptr request) {
+  Memory::Frame frame(memory, "broken_handler");
+
+  // VIOLATION(backing-introspection): reaching the shard's address space.
+  auto& space = memory.space();
+  (void)space;
+
+  // VIOLATION(backing-introspection): resolving a raw host pointer.
+  void* host = Translate(request);
+
+  // VIOLATION(raw-byte-pointer): simulated bytes held as a raw pointer.
+  char* bytes = static_cast<char*>(host);
+
+  // VIOLATION(reinterpret-cast): laundering between pointer families.
+  unsigned long cookie = reinterpret_cast<unsigned long>(bytes);
+
+  // VIOLATION(memcpy-family): the unchecked access the paper's compiler
+  // would never emit.
+  std::memcpy(bytes, &cookie, sizeof(cookie));
+
+  // VIOLATION(memcpy-family): unchecked scan.
+  return static_cast<int>(strlen(bytes));
+}
+
+// Sanctioned idioms that must NOT be flagged:
+const char* HandlerName() { return "broken"; }  // const byte pointer (host)
+int Checked(Memory& memory, Ptr p) { return memory.ReadU8(p); }
+
+}  // namespace fob
