@@ -1,0 +1,216 @@
+// Boundless-store scaling: flat byte-map baseline vs paged store
+// (google-benchmark; CI records BENCH_boundless.json in the perf trajectory,
+// and the perf-smoke gate — tools/check_perf_smoke.py — fails the build if
+// the paged store regresses past 2x the flat baseline on the sparse-spray
+// axis).
+//
+// Three axes, each measured against both stores:
+//
+//   * BM_BoundlessDenseOverflow{Flat,Paged}/N — one contiguous N-byte
+//     overflow past a unit's end, then a full read-back: the Mutt/Apache
+//     overflow shape. Paged resolves one page per 256 bytes instead of one
+//     hash entry per byte.
+//   * BM_BoundlessSparseSpray{Flat,Paged}/N — N bytes sprayed as 256-byte
+//     write-once spans strided across a >= 1 GiB simulated address range:
+//     the attack shape ROADMAP's scaling item names. At N = 1M the paged
+//     store holds one materialized page per touched page (counters
+//     pages_live / stored_bytes / range_bytes are emitted), while the flat
+//     store pays one hash entry + one FIFO deque entry per byte.
+//   * BM_BoundlessChurn{Flat,Paged}/N — store-then-DropUnit cycles against
+//     N bytes of background OOB state from other units: the unit-churn
+//     shape. Flat DropUnit scans the whole table per retired unit; paged
+//     walks the per-unit page index.
+//
+// Args: {bytes}. Output unit: ns per stored byte (items = bytes).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/boundless_flat.h"
+#include "src/runtime/boundless_paged.h"
+
+namespace fob {
+namespace {
+
+constexpr UnitId kUnit = 1;
+constexpr UnitId kBackgroundUnit = 2;
+constexpr size_t kSpanBytes = PagedBoundlessStore::kPageBytes;
+constexpr int64_t kSprayRange = 1ll << 30;  // every spray covers >= 1 GiB
+
+// ---- dense overflow ----------------------------------------------------------
+
+// Benchmarks that build a fresh store per iteration run their body once
+// untimed first: tearing down a previous benchmark's multi-million-entry
+// store leaves the allocator a huge free list whose one-time consolidation
+// would otherwise be billed to this benchmark's first timed iteration (and
+// with it, to the calibration run that picks the iteration count).
+template <typename Body>
+void WarmUp(Body&& body) {
+  body();
+}
+
+void BM_BoundlessDenseOverflowFlat(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint64_t sink = 0;
+  auto body = [&] {
+    FlatBoundlessStore store;
+    for (size_t i = 0; i < n; ++i) {
+      store.StoreByte(kUnit, static_cast<int64_t>(i), static_cast<uint8_t>(i));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      sink += *store.LoadByte(kUnit, static_cast<int64_t>(i));
+    }
+  };
+  WarmUp(body);
+  for (auto _ : state) {
+    body();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("flat, contiguous overflow");
+}
+
+void BM_BoundlessDenseOverflowPaged(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> src(n);
+  for (size_t i = 0; i < n; ++i) {
+    src[i] = static_cast<uint8_t>(i);
+  }
+  std::vector<uint8_t> dst(n);
+  std::vector<uint8_t> present(n);
+  uint64_t sink = 0;
+  auto body = [&] {
+    PagedBoundlessStore store;
+    store.StoreSpan(kUnit, 0, src.data(), n);
+    sink += store.LoadSpan(kUnit, 0, n, dst.data(), present.data());
+  };
+  WarmUp(body);
+  for (auto _ : state) {
+    body();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("paged, contiguous overflow");
+}
+
+// ---- sparse spray ------------------------------------------------------------
+
+// N bytes as 256-byte single-value spans, strided so the whole spray covers
+// kSprayRange. This is the perf-smoke gate's paired axis.
+int64_t SprayStride(size_t total_bytes) {
+  size_t spans = total_bytes / kSpanBytes;
+  return spans == 0 ? kSprayRange : kSprayRange / static_cast<int64_t>(spans);
+}
+
+void BM_BoundlessSparseSprayFlat(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  int64_t stride = SprayStride(n);
+  auto body = [&] {
+    FlatBoundlessStore store;
+    for (size_t span = 0; span < n / kSpanBytes; ++span) {
+      int64_t base = static_cast<int64_t>(span) * stride;
+      for (size_t j = 0; j < kSpanBytes; ++j) {
+        store.StoreByte(kUnit, base + static_cast<int64_t>(j), 0x41);
+      }
+    }
+    benchmark::DoNotOptimize(store.stored_bytes());
+  };
+  WarmUp(body);
+  for (auto _ : state) {
+    body();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["range_bytes"] = static_cast<double>(kSprayRange);
+  state.SetLabel("flat, write-once spray");
+}
+
+void BM_BoundlessSparseSprayPaged(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  int64_t stride = SprayStride(n);
+  std::vector<uint8_t> src(kSpanBytes, 0x41);
+  auto body = [&] {
+    PagedBoundlessStore store;
+    for (size_t span = 0; span < n / kSpanBytes; ++span) {
+      store.StoreSpan(kUnit, static_cast<int64_t>(span) * stride, src.data(), kSpanBytes);
+    }
+    benchmark::DoNotOptimize(store.stored_bytes());
+  };
+  WarmUp(body);
+  for (auto _ : state) {
+    body();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  // Untimed replay for the memory-proportionality counters: pages held is a
+  // function of touched pages, not of the gigabyte range sprayed across.
+  PagedBoundlessStore probe;
+  for (size_t span = 0; span < n / kSpanBytes; ++span) {
+    probe.StoreSpan(kUnit, static_cast<int64_t>(span) * stride, src.data(), kSpanBytes);
+  }
+  BoundlessStoreStats stats = probe.stats();
+  state.counters["range_bytes"] = static_cast<double>(kSprayRange);
+  state.counters["pages_live"] = static_cast<double>(stats.pages_live);
+  state.counters["stored_bytes"] = static_cast<double>(probe.stored_bytes());
+  state.SetLabel("paged, write-once spray");
+}
+
+// ---- unit churn --------------------------------------------------------------
+
+// Background state belongs to a long-lived unit; the timed loop stores a
+// little under a fresh unit and retires it, over and over. state.range(0) is
+// the background byte count the flat DropUnit must rescan per cycle.
+constexpr size_t kChurnBytesPerCycle = 64;
+
+void BM_BoundlessChurnFlat(benchmark::State& state) {
+  size_t background = static_cast<size_t>(state.range(0));
+  FlatBoundlessStore store;
+  for (size_t i = 0; i < background; ++i) {
+    store.StoreByte(kBackgroundUnit, static_cast<int64_t>(i), 0x7e);
+  }
+  UnitId next_unit = 100;
+  for (auto _ : state) {
+    UnitId unit = next_unit++;
+    for (size_t i = 0; i < kChurnBytesPerCycle; ++i) {
+      store.StoreByte(unit, static_cast<int64_t>(i * 512), static_cast<uint8_t>(i));
+    }
+    store.DropUnit(unit);
+  }
+  benchmark::DoNotOptimize(store.stored_bytes());
+  state.SetItemsProcessed(state.iterations() * kChurnBytesPerCycle);
+  state.SetLabel("flat, store+drop cycles over " + std::to_string(background) +
+                 " background bytes");
+}
+
+void BM_BoundlessChurnPaged(benchmark::State& state) {
+  size_t background = static_cast<size_t>(state.range(0));
+  PagedBoundlessStore store;
+  for (size_t i = 0; i < background; ++i) {
+    store.StoreByte(kBackgroundUnit, static_cast<int64_t>(i), 0x7e);
+  }
+  UnitId next_unit = 100;
+  for (auto _ : state) {
+    UnitId unit = next_unit++;
+    for (size_t i = 0; i < kChurnBytesPerCycle; ++i) {
+      store.StoreByte(unit, static_cast<int64_t>(i * 512), static_cast<uint8_t>(i));
+    }
+    store.DropUnit(unit);
+  }
+  benchmark::DoNotOptimize(store.stored_bytes());
+  state.SetItemsProcessed(state.iterations() * kChurnBytesPerCycle);
+  state.SetLabel("paged, store+drop cycles over " + std::to_string(background) +
+                 " background bytes");
+}
+
+BENCHMARK(BM_BoundlessDenseOverflowFlat)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_BoundlessDenseOverflowPaged)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_BoundlessSparseSprayFlat)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_BoundlessSparseSprayPaged)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_BoundlessChurnFlat)->Arg(16384)->Arg(131072);
+BENCHMARK(BM_BoundlessChurnPaged)->Arg(16384)->Arg(131072);
+
+}  // namespace
+}  // namespace fob
+
+BENCHMARK_MAIN();

@@ -15,6 +15,11 @@
 #                            page-map fast-path hit-rate counters; CI's
 #                            perf-smoke gate (tools/check_perf_smoke.py)
 #                            runs over this file
+#   BENCH_boundless.json   — boundless OOB store scaling, flat byte-map vs
+#                            paged store, on the dense-overflow /
+#                            sparse-spray / unit-churn axes; the perf-smoke
+#                            gate bounds the paged/flat ratio on the
+#                            sparse-spray axis
 #   BENCH_throughput.json  — parallel-Frontend serving throughput,
 #                            requests/sec vs worker-thread count x batch
 #                            size, per policy (FO vs Bounds Check vs
@@ -57,9 +62,11 @@ run() {
 run bench_overhead BENCH_overhead.json --benchmark_context=hardware_concurrency="$hw_threads"
 run bench_span_path BENCH_span_path.json --benchmark_context=hardware_concurrency="$hw_threads"
 run bench_check_cost BENCH_check_cost.json --benchmark_context=hardware_concurrency="$hw_threads"
+run bench_boundless BENCH_boundless.json --benchmark_context=hardware_concurrency="$hw_threads"
 # bench_frontend_throughput bakes worker_threads_axis + hardware_concurrency
 # into its JSON context itself (see its main), so direct runs are covered too.
 run bench_frontend_throughput BENCH_throughput.json
 
-echo "done; wrote $out_dir/BENCH_overhead.json, $out_dir/BENCH_span_path.json," 
-echo "$out_dir/BENCH_check_cost.json and $out_dir/BENCH_throughput.json"
+echo "done; wrote $out_dir/BENCH_overhead.json, $out_dir/BENCH_span_path.json,"
+echo "$out_dir/BENCH_check_cost.json, $out_dir/BENCH_boundless.json and"
+echo "$out_dir/BENCH_throughput.json"

@@ -277,9 +277,11 @@ MemLog Frontend::MergedLog() {
   for (size_t index = 0; index < pool_.size(); ++index) {
     const Memory& memory = pool_.worker(index).memory();
     merged.Merge(memory.log());
-    // Fast-path counters live on the shard, not in its log; fold them in
-    // here so the merged view carries the pool's translation profile.
+    // Fast-path counters and boundless-store accounting live on the shard,
+    // not in its log; fold them in here so the merged view carries the
+    // pool's translation and OOB-storage profiles.
     merged.AddTranslationStats(memory.translation_hits(), memory.translation_misses());
+    merged.AddBoundlessStats(memory.boundless().stats());
   }
   return merged;
 }

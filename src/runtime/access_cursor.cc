@@ -105,6 +105,14 @@ void AccessCursor::Read(Ptr p, void* dst, size_t n) {
       (void)ok;
       i += run;
     } else {
+      // An out-of-bounds-above tail is status-constant; hand the whole run
+      // to the policy's batched continuation when it has one (boundless:
+      // one page resolution per 256 bytes instead of per-byte lookups).
+      size_t batched = memory_.TryOobRunRead(q, out + i, n - i);
+      if (batched != 0) {
+        i += batched;
+        continue;
+      }
       out[i] = memory_.ReadU8(q);
       ++i;
     }
@@ -145,6 +153,11 @@ void AccessCursor::Write(Ptr p, const void* src, size_t n) {
       (void)ok;
       i += run;
     } else {
+      size_t batched = memory_.TryOobRunWrite(q, in + i, n - i);
+      if (batched != 0) {
+        i += batched;
+        continue;
+      }
       memory_.WriteU8(q, in[i]);
       ++i;
     }

@@ -1,68 +1,20 @@
 // Boundless memory blocks (§5.1, citing Rinard et al., ACSAC 2004).
 //
-// "instead of discarding invalid writes, the generated code stores the
-//  values in a hash table indexed under the data unit identifier and offset.
-//  Corresponding invalid reads return the appropriate stored values. This
-//  variant eliminates size calculation errors — if the program logic is
-//  otherwise acceptable, the program will execute acceptably."
-//
-// Offsets are signed: writes below the base of a unit are as storable as
-// writes past its end.
+// The store behind the kBoundless policy is the paged realization
+// (src/runtime/boundless_paged.h): sparse on-demand pages with presence
+// bitmaps, zero-page dedup, per-unit drop index, and page-granular clock
+// eviction. The original flat byte-map lives on as FlatBoundlessStore
+// (src/runtime/boundless_flat.h), the semantic reference baseline for
+// equivalence tests and benchmarks.
 
 #ifndef SRC_RUNTIME_BOUNDLESS_H_
 #define SRC_RUNTIME_BOUNDLESS_H_
 
-#include <cstdint>
-#include <deque>
-#include <optional>
-#include <unordered_map>
-
-#include "src/softmem/object_table.h"
+#include "src/runtime/boundless_paged.h"
 
 namespace fob {
 
-class BoundlessStore {
- public:
-  // capacity bounds the number of stored out-of-bounds bytes (0 =
-  // unbounded). The ACSAC variant caps its hash table so an attacker
-  // cannot grow it without limit; at capacity, the oldest stored byte is
-  // evicted (its reads then fall back to manufactured values).
-  explicit BoundlessStore(size_t capacity = 0) : capacity_(capacity) {}
-
-  void StoreByte(UnitId unit, int64_t offset, uint8_t value);
-  std::optional<uint8_t> LoadByte(UnitId unit, int64_t offset) const;
-
-  size_t stored_bytes() const { return bytes_.size(); }
-  size_t capacity() const { return capacity_; }
-  uint64_t evictions() const { return evictions_; }
-  // Drops all out-of-bounds bytes recorded for a unit; called when the unit
-  // is retired so a recycled UnitId cannot see a predecessor's overflow.
-  void DropUnit(UnitId unit);
-
- private:
-  struct Key {
-    UnitId unit;
-    int64_t offset;
-    bool operator==(const Key& other) const {
-      return unit == other.unit && offset == other.offset;
-    }
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      uint64_t h = (static_cast<uint64_t>(k.unit) << 32) ^ static_cast<uint64_t>(k.offset);
-      h ^= h >> 33;
-      h *= 0xff51afd7ed558ccdull;
-      h ^= h >> 33;
-      return static_cast<size_t>(h);
-    }
-  };
-
-  size_t capacity_;
-  uint64_t evictions_ = 0;
-  std::unordered_map<Key, uint8_t, KeyHash> bytes_;
-  // Insertion order for FIFO eviction when capacity is bounded.
-  std::deque<Key> order_;
-};
+using BoundlessStore = PagedBoundlessStore;
 
 }  // namespace fob
 

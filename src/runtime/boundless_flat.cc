@@ -1,10 +1,11 @@
-#include "src/runtime/boundless.h"
+#include "src/runtime/boundless_flat.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace fob {
 
-void BoundlessStore::StoreByte(UnitId unit, int64_t offset, uint8_t value) {
+void FlatBoundlessStore::StoreByte(UnitId unit, int64_t offset, uint8_t value) {
   Key key{unit, offset};
   auto [it, inserted] = bytes_.insert_or_assign(key, value);
   (void)it;
@@ -22,7 +23,7 @@ void BoundlessStore::StoreByte(UnitId unit, int64_t offset, uint8_t value) {
   }
 }
 
-std::optional<uint8_t> BoundlessStore::LoadByte(UnitId unit, int64_t offset) const {
+std::optional<uint8_t> FlatBoundlessStore::LoadByte(UnitId unit, int64_t offset) const {
   auto it = bytes_.find(Key{unit, offset});
   if (it == bytes_.end()) {
     return std::nullopt;
@@ -30,7 +31,7 @@ std::optional<uint8_t> BoundlessStore::LoadByte(UnitId unit, int64_t offset) con
   return it->second;
 }
 
-void BoundlessStore::DropUnit(UnitId unit) {
+void FlatBoundlessStore::DropUnit(UnitId unit) {
   std::vector<Key> doomed;
   for (const auto& [key, value] : bytes_) {
     (void)value;
@@ -40,6 +41,15 @@ void BoundlessStore::DropUnit(UnitId unit) {
   }
   for (const Key& key : doomed) {
     bytes_.erase(key);
+  }
+  // Reclaim the dropped keys' FIFO entries too. Leaving them queued is how
+  // the store historically grew without bound: a bounded-capacity store
+  // under unit churn never reached the eviction sweep (the byte map stayed
+  // small), so every churned unit's keys accumulated in the deque forever.
+  if (capacity_ != 0 && !doomed.empty()) {
+    order_.erase(std::remove_if(order_.begin(), order_.end(),
+                                [unit](const Key& key) { return key.unit == unit; }),
+                 order_.end());
   }
 }
 

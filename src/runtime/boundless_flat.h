@@ -1,0 +1,78 @@
+// The original flat boundless store: one hash-table entry per stored
+// out-of-bounds byte, FIFO byte eviction when bounded.
+//
+// Superseded as the store behind the kBoundless policy by
+// PagedBoundlessStore (src/runtime/boundless_paged.h), which materializes
+// fixed-size sparse pages on first OOB touch instead of paying per-byte
+// entries. The flat store is kept as the semantic reference: the randomized
+// equivalence property in tests/test_boundless_paged.cc replays seeded
+// store/load/drop sequences against both and demands byte-for-byte
+// agreement, and bench_boundless pins the paged store's speedup against
+// this baseline on the dense-overflow / sparse-spray / churn axes.
+//
+// Offsets are signed: writes below the base of a unit are as storable as
+// writes past its end.
+
+#ifndef SRC_RUNTIME_BOUNDLESS_FLAT_H_
+#define SRC_RUNTIME_BOUNDLESS_FLAT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "src/softmem/object_table.h"
+
+namespace fob {
+
+class FlatBoundlessStore {
+ public:
+  // capacity bounds the number of stored out-of-bounds bytes (0 =
+  // unbounded). The ACSAC variant caps its hash table so an attacker
+  // cannot grow it without limit; at capacity, the oldest stored byte is
+  // evicted (its reads then fall back to manufactured values).
+  explicit FlatBoundlessStore(size_t capacity = 0) : capacity_(capacity) {}
+
+  void StoreByte(UnitId unit, int64_t offset, uint8_t value);
+  std::optional<uint8_t> LoadByte(UnitId unit, int64_t offset) const;
+
+  size_t stored_bytes() const { return bytes_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+  // FIFO bookkeeping entries currently queued for eviction. Bounded runs
+  // keep this within stored_bytes() + the not-yet-reclaimed drops of the
+  // current sweep; the regression test in tests/test_boundless_paged.cc
+  // pins that DropUnit cannot grow it without bound under unit churn.
+  size_t eviction_queue_size() const { return order_.size(); }
+  // Drops all out-of-bounds bytes recorded for a unit; called when the unit
+  // is retired so a recycled address cannot see a predecessor's overflow.
+  void DropUnit(UnitId unit);
+
+ private:
+  struct Key {
+    UnitId unit;
+    int64_t offset;
+    bool operator==(const Key& other) const {
+      return unit == other.unit && offset == other.offset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.unit) << 32) ^ static_cast<uint64_t>(k.offset);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+  std::unordered_map<Key, uint8_t, KeyHash> bytes_;
+  // Insertion order for FIFO eviction when capacity is bounded.
+  std::deque<Key> order_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_RUNTIME_BOUNDLESS_FLAT_H_

@@ -1,0 +1,285 @@
+#include "src/runtime/boundless_paged.h"
+
+#include <cstring>
+
+namespace fob {
+
+namespace {
+
+// The shared zero page: what every all-zero-content page's reads resolve
+// against until a nonzero store copies-on-write. constexpr, so it lives in
+// a read-only section — the deduplication target is immutable shared data,
+// not writable cross-shard state (tools/fob_analyze pass 2 enforces this at
+// the object level).
+constexpr std::array<uint8_t, PagedBoundlessStore::kPageBytes> kSharedZeroPage{};
+
+}  // namespace
+
+const uint8_t* PagedBoundlessStore::Page::data() const {
+  return owned != nullptr ? owned.get() : kSharedZeroPage.data();
+}
+
+PagedBoundlessStore::PagedBoundlessStore(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      capacity_pages_(capacity_bytes == 0
+                          ? 0
+                          : (capacity_bytes + kPageBytes - 1) / kPageBytes) {}
+
+PagedBoundlessStore::Page& PagedBoundlessStore::Materialize(PageKey key) {
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    return it->second;
+  }
+  auto cit = compressed_.find(key);
+  Page& page = pages_[key];
+  if (cit != compressed_.end()) {
+    // Rematerialize a compressed spray page: fully present, one value.
+    page.owned = std::make_unique<uint8_t[]>(kPageBytes);
+    std::memset(page.owned.get(), cit->second, kPageBytes);
+    page.present.fill(~0ull);
+    page.present_count = kPageBytes;
+    compressed_.erase(cit);
+  } else {
+    // Fresh pages start zero-deduplicated: no 256 B backing until the first
+    // nonzero store.
+    ++zero_pages_live_;
+    unit_pages_[key.unit].insert(key.index);
+  }
+  if (capacity_pages_ != 0) {
+    clock_.push_back(key);
+    page.clock_pos = --clock_.end();
+  }
+  return page;
+}
+
+void PagedBoundlessStore::CopyOnWrite(Page& page) {
+  // Every byte stored so far is zero, so the owned copy starts zero-filled.
+  page.owned = std::make_unique<uint8_t[]>(kPageBytes);
+  std::memset(page.owned.get(), 0, kPageBytes);
+  --zero_pages_live_;
+}
+
+void PagedBoundlessStore::RemoveClockEntry(Page& page) {
+  if (capacity_pages_ == 0) {
+    return;
+  }
+  if (hand_ == page.clock_pos) {
+    hand_ = clock_.erase(page.clock_pos);
+  } else {
+    clock_.erase(page.clock_pos);
+  }
+}
+
+void PagedBoundlessStore::MaybeEvict() {
+  if (capacity_pages_ == 0) {
+    return;
+  }
+  while (pages_.size() > capacity_pages_ && !clock_.empty()) {
+    if (hand_ == clock_.end()) {
+      hand_ = clock_.begin();
+    }
+    PageKey key = *hand_;
+    Page& page = pages_.at(key);
+    if (page.referenced) {
+      // Second chance: clear and move on. A full sweep clears every bit, so
+      // the loop terminates at the first page not touched since.
+      page.referenced = false;
+      ++hand_;
+      continue;
+    }
+    hand_ = clock_.erase(hand_);
+    // Write-once attack spray stores one value over whole ranges; such a
+    // page compresses to a single byte instead of losing its contents.
+    bool uniform = page.present_count == kPageBytes;
+    if (uniform && page.owned != nullptr) {
+      const uint8_t* data = page.owned.get();
+      for (size_t i = 1; i < kPageBytes; ++i) {
+        if (data[i] != data[0]) {
+          uniform = false;
+          break;
+        }
+      }
+    }
+    if (uniform) {
+      compressed_[key] = page.data()[0];
+    } else {
+      stored_bytes_ -= page.present_count;
+      ++pages_evicted_;
+      auto uit = unit_pages_.find(key.unit);
+      if (uit != unit_pages_.end()) {
+        uit->second.erase(key.index);
+        if (uit->second.empty()) {
+          unit_pages_.erase(uit);
+        }
+      }
+    }
+    if (page.owned == nullptr) {
+      --zero_pages_live_;
+    }
+    pages_.erase(key);
+  }
+}
+
+void PagedBoundlessStore::StoreByte(UnitId unit, int64_t offset, uint8_t value) {
+  Page& page = Materialize(KeyOf(unit, offset));
+  size_t byte = static_cast<size_t>(offset & kByteMask);
+  if (page.MarkPresent(byte)) {
+    ++bytes_materialized_;
+    ++stored_bytes_;
+  }
+  page.referenced = true;
+  if (page.owned == nullptr) {
+    if (value == 0) {
+      ++zero_dedup_hits_;
+      MaybeEvict();
+      return;
+    }
+    CopyOnWrite(page);
+  }
+  page.owned[byte] = value;
+  MaybeEvict();
+}
+
+void PagedBoundlessStore::StoreSpan(UnitId unit, int64_t offset, const uint8_t* src,
+                                    size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    int64_t off = offset + static_cast<int64_t>(i);
+    size_t byte = static_cast<size_t>(off & kByteMask);
+    size_t run = n - i < kPageBytes - byte ? n - i : kPageBytes - byte;
+    Page& page = Materialize(KeyOf(unit, off));
+    page.referenced = true;
+    size_t j = 0;
+    // Byte-loop-identical zero dedup: leading zeros land in the shared zero
+    // page; the first nonzero byte breaks the sharing.
+    if (page.owned == nullptr) {
+      for (; j < run && src[i + j] == 0; ++j) {
+        if (page.MarkPresent(byte + j)) {
+          ++bytes_materialized_;
+          ++stored_bytes_;
+        }
+        ++zero_dedup_hits_;
+      }
+      if (j < run) {
+        CopyOnWrite(page);
+      }
+    }
+    if (page.owned != nullptr) {
+      for (; j < run; ++j) {
+        if (page.MarkPresent(byte + j)) {
+          ++bytes_materialized_;
+          ++stored_bytes_;
+        }
+      }
+      std::memcpy(page.owned.get() + byte, src + i, run);
+    }
+    MaybeEvict();
+    i += run;
+  }
+}
+
+std::optional<uint8_t> PagedBoundlessStore::LoadByte(UnitId unit, int64_t offset) {
+  PageKey key = KeyOf(unit, offset);
+  size_t byte = static_cast<size_t>(offset & kByteMask);
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    Page& page = it->second;
+    if (!page.Present(byte)) {
+      return std::nullopt;
+    }
+    page.referenced = true;
+    return page.data()[byte];
+  }
+  auto cit = compressed_.find(key);
+  if (cit != compressed_.end()) {
+    return cit->second;
+  }
+  return std::nullopt;
+}
+
+size_t PagedBoundlessStore::LoadSpan(UnitId unit, int64_t offset, size_t n, uint8_t* dst,
+                                     uint8_t* present) {
+  size_t found = 0;
+  size_t i = 0;
+  while (i < n) {
+    int64_t off = offset + static_cast<int64_t>(i);
+    size_t byte = static_cast<size_t>(off & kByteMask);
+    size_t run = n - i < kPageBytes - byte ? n - i : kPageBytes - byte;
+    PageKey key = KeyOf(unit, off);
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      Page& page = it->second;
+      page.referenced = true;
+      const uint8_t* data = page.data();
+      for (size_t j = 0; j < run; ++j) {
+        if (page.Present(byte + j)) {
+          dst[i + j] = data[byte + j];
+          present[i + j] = 1;
+          ++found;
+        } else {
+          present[i + j] = 0;
+        }
+      }
+    } else if (auto cit = compressed_.find(key); cit != compressed_.end()) {
+      std::memset(dst + i, cit->second, run);
+      std::memset(present + i, 1, run);
+      found += run;
+    } else {
+      std::memset(present + i, 0, run);
+    }
+    i += run;
+  }
+  return found;
+}
+
+void PagedBoundlessStore::DropUnit(UnitId unit) {
+  auto uit = unit_pages_.find(unit);
+  if (uit == unit_pages_.end()) {
+    return;
+  }
+  for (int64_t index : uit->second) {
+    PageKey key{unit, index};
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      stored_bytes_ -= it->second.present_count;
+      if (it->second.owned == nullptr) {
+        --zero_pages_live_;
+      }
+      RemoveClockEntry(it->second);
+      pages_.erase(it);
+      continue;
+    }
+    auto cit = compressed_.find(key);
+    if (cit != compressed_.end()) {
+      stored_bytes_ -= kPageBytes;
+      compressed_.erase(cit);
+    }
+  }
+  unit_pages_.erase(uit);
+}
+
+void PagedBoundlessStore::Clear() {
+  pages_.clear();
+  compressed_.clear();
+  unit_pages_.clear();
+  clock_.clear();
+  hand_ = clock_.end();
+  stored_bytes_ = 0;
+  zero_pages_live_ = 0;
+  bytes_materialized_ = 0;
+  pages_evicted_ = 0;
+  zero_dedup_hits_ = 0;
+}
+
+BoundlessStoreStats PagedBoundlessStore::stats() const {
+  BoundlessStoreStats stats;
+  stats.pages_live = pages_.size();
+  stats.zero_pages_live = zero_pages_live_;
+  stats.compressed_pages = compressed_.size();
+  stats.bytes_materialized = bytes_materialized_;
+  stats.pages_evicted = pages_evicted_;
+  stats.zero_dedup_hits = zero_dedup_hits_;
+  return stats;
+}
+
+}  // namespace fob

@@ -22,6 +22,23 @@ void PolicyHandler::OnReallocGrow(UnitId old_unit, Addr fresh, size_t old_size,
   (void)new_size;
 }
 
+void PolicyHandler::OobRunRead(Ptr p, void* dst, size_t n, const Memory::CheckResult& check) {
+  (void)p;
+  (void)dst;
+  (void)n;
+  (void)check;
+  assert(false && "policy declared BatchesOobRuns() without overriding OobRunRead");
+}
+
+void PolicyHandler::OobRunWrite(Ptr p, const void* src, size_t n,
+                                const Memory::CheckResult& check) {
+  (void)p;
+  (void)src;
+  (void)n;
+  (void)check;
+  assert(false && "policy declared BatchesOobRuns() without overriding OobRunWrite");
+}
+
 void PolicyHandler::ManufactureRead(void* dst, size_t n) {
   uint8_t* out = static_cast<uint8_t*>(dst);
   if (n <= 8) {

@@ -61,6 +61,19 @@ class PolicyHandler {
   virtual void OnReallocGrow(UnitId old_unit, Addr fresh, size_t old_size,
                              size_t new_size);
 
+  // Batched continuation for a maximal run of out-of-bounds-above bytes
+  // through one live referent (Memory::TryOobRunRead/Write). A policy that
+  // returns true from BatchesOobRuns promises OobRunRead/Write are
+  // observably identical to its per-byte ContinueInvalid* loop over the run
+  // — same bytes delivered, same manufactured-sequence consumption — given
+  // the caller has already charged the budget and logged one record per
+  // byte. Policies without a batched form keep the default and the caller
+  // falls back to the per-byte path.
+  virtual bool BatchesOobRuns() const { return false; }
+  virtual void OobRunRead(Ptr p, void* dst, size_t n, const Memory::CheckResult& check);
+  virtual void OobRunWrite(Ptr p, const void* src, size_t n,
+                           const Memory::CheckResult& check);
+
  protected:
   // Memory grants friendship to the base class only; subclasses reach the
   // shard bundle through these.

@@ -67,6 +67,7 @@ void MemLog::Merge(const MemLog& other) {
   dropped_ += other.dropped_;
   translation_hits_ += other.translation_hits_;
   translation_misses_ += other.translation_misses_;
+  AddBoundlessStats(other.boundless_);
   for (const auto& [name, count] : other.by_unit_) {
     by_unit_[name] += count;
   }
@@ -97,6 +98,13 @@ std::string MemLog::Summary() const {
     os << "  page-map fast path: " << translation_hits_ << " hits, " << translation_misses_
        << " misses\n";
   }
+  if (boundless_.any()) {
+    os << "  boundless store: " << boundless_.pages_live << " pages live ("
+       << boundless_.zero_pages_live << " zero-dedup, " << boundless_.compressed_pages
+       << " compressed), " << boundless_.bytes_materialized << " bytes materialized, "
+       << boundless_.pages_evicted << " pages evicted, " << boundless_.zero_dedup_hits
+       << " zero-dedup hits\n";
+  }
   if (dropped_ > 0) {
     os << "  detail ring capped at " << capacity_ << ": " << dropped_
        << " older records evicted (aggregates exact)\n";
@@ -115,6 +123,7 @@ void MemLog::Clear() {
   recent_.clear();
   total_ = read_errors_ = write_errors_ = dropped_ = 0;
   translation_hits_ = translation_misses_ = 0;
+  boundless_ = BoundlessStoreStats{};
   by_unit_.clear();
   sites_.clear();
 }

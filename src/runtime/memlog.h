@@ -26,6 +26,7 @@
 #include <ostream>
 #include <string>
 
+#include "src/runtime/boundless_paged.h"
 #include "src/runtime/policy_spec.h"
 #include "src/softmem/address_space.h"
 #include "src/softmem/object_table.h"
@@ -95,6 +96,20 @@ class MemLog {
   uint64_t translation_hits() const { return translation_hits_; }
   uint64_t translation_misses() const { return translation_misses_; }
 
+  // Boundless-store accounting (PagedBoundlessStore::stats()), folded in at
+  // the same merge points as the translation counters. Gauges and cumulative
+  // counters alike sum across shards, so a merged log's Summary shows the
+  // pool-wide OOB storage profile.
+  void AddBoundlessStats(const BoundlessStoreStats& stats) {
+    boundless_.pages_live += stats.pages_live;
+    boundless_.zero_pages_live += stats.zero_pages_live;
+    boundless_.compressed_pages += stats.compressed_pages;
+    boundless_.bytes_materialized += stats.bytes_materialized;
+    boundless_.pages_evicted += stats.pages_evicted;
+    boundless_.zero_dedup_hits += stats.zero_dedup_hits;
+  }
+  const BoundlessStoreStats& boundless_stats() const { return boundless_; }
+
   // Folds another shard's log into this one: aggregate counters and per-site
   // stats sum exactly; the other ring's records append in their original
   // order (evicting, and counting, the oldest beyond capacity). Merging
@@ -122,6 +137,7 @@ class MemLog {
   uint64_t dropped_ = 0;
   uint64_t translation_hits_ = 0;
   uint64_t translation_misses_ = 0;
+  BoundlessStoreStats boundless_;
   std::map<std::string, uint64_t> by_unit_;
   std::map<SiteId, MemSiteStat> sites_;
   std::ostream* echo_ = nullptr;

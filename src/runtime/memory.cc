@@ -289,6 +289,61 @@ void Memory::SiteDispatchWrite(Ptr p, const void* src, size_t n) {
   handler.ContinueInvalidWrite(p, src, n, check);
 }
 
+size_t Memory::TryOobRunRead(Ptr p, void* dst, size_t n) {
+  if (n == 0 || shard_->config.access_budget != 0) {
+    return 0;
+  }
+  CheckResult check = CheckAccess(p, 1);
+  // kOobAbove through a live referent is status-constant for every later
+  // byte of the run (addresses only grow), which is what makes one
+  // classification stand for all n per-byte classifications.
+  if (check.status != PointerStatus::kOobAbove) {
+    return 0;
+  }
+  SiteId site = kInvalidSite;
+  PolicyHandler* handler = handler_;
+  if (!uniform_) {
+    site = SiteOf(check, AccessKind::kRead);
+    handler = &shard_->policy_table->ResolveSite(site);
+  }
+  if (!handler->checked() || !handler->BatchesOobRuns()) {
+    return 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    BumpAccess();
+    ++shard_->translation_misses;
+    LogError(/*is_write=*/false, p + static_cast<int64_t>(i), 1, check, site);
+  }
+  handler->OobRunRead(p, dst, n, check);
+  return n;
+}
+
+size_t Memory::TryOobRunWrite(Ptr p, const void* src, size_t n) {
+  if (n == 0 || shard_->config.access_budget != 0) {
+    return 0;
+  }
+  CheckResult check = CheckAccess(p, 1);
+  if (check.status != PointerStatus::kOobAbove) {
+    return 0;
+  }
+  SiteId site = kInvalidSite;
+  PolicyHandler* handler = handler_;
+  if (!uniform_) {
+    site = SiteOf(check, AccessKind::kWrite);
+    handler = &shard_->policy_table->ResolveSite(site);
+  }
+  if (!handler->checked() || !handler->BatchesOobRuns()) {
+    return 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    BumpAccess();
+    ++shard_->translation_misses;
+    LogError(/*is_write=*/true, p + static_cast<int64_t>(i), 1, check, site);
+  }
+  handler->OobRunWrite(p, src, n, check);
+  return n;
+}
+
 void Memory::Write(Ptr p, const void* src, size_t n) {
   BumpAccess();
   if (TryFastWrite(p, src, n)) {

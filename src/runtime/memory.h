@@ -237,6 +237,16 @@ class Memory {
   // caller falls into the interval-search tiers byte-identically.
   bool TryFastRead(Ptr p, void* dst, size_t n);
   bool TryFastWrite(Ptr p, const void* src, size_t n);
+  // Batched handling of a whole run of out-of-bounds-above bytes through one
+  // live referent (the span clients' OOB tail: AccessCursor's slow branch).
+  // Returns n if the run was handled — observably identical to the per-byte
+  // loop: per-byte budget charges, translation misses, one single-byte error
+  // record per byte, and the policy's batched continuation — or 0 (nothing
+  // performed, nothing consumed) when the access is not such a run, the
+  // budget is armed, or the resolved policy has no batched form; the caller
+  // falls back to the per-byte path byte-identically.
+  size_t TryOobRunRead(Ptr p, void* dst, size_t n);
+  size_t TryOobRunWrite(Ptr p, const void* src, size_t n);
   CheckResult CheckAccess(Ptr p, size_t n) const;
   // Records one invalid access. `site` is the access's already-derived
   // SiteId when the caller resolved it (the mixed-spec dispatch path, which

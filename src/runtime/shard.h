@@ -62,7 +62,9 @@ struct ShardConfig {
   uint64_t access_budget = 0;
   // Cap on the Boundless policy's stored out-of-bounds bytes (0 =
   // unbounded); bounds attacker-driven memory growth per the ACSAC
-  // variant.
+  // variant. The paged store rounds this up to whole 256-byte pages
+  // (minimum one page when nonzero) and evicts at page granularity under a
+  // clock policy; see src/runtime/boundless_paged.h.
   size_t boundless_capacity = 0;
   // How many invalid accesses the Threshold policy continues through
   // before terminating the program.

@@ -202,19 +202,22 @@ TEST(ApacheLogTest, AttackRequestLoggedNormallyUnderFailureOblivious) {
 
 // ---- bounded boundless store --------------------------------------------------
 
-TEST(BoundlessCapacityTest, EvictsOldestWhenFull) {
+TEST(BoundlessCapacityTest, EvictsColdPagesWhenFull) {
   Memory::Config config;
   config.policy = AccessPolicy::kBoundless;
-  config.boundless_capacity = 8;
+  // The paged store evicts at page granularity: two 256-byte pages.
+  config.boundless_capacity = 512;
   Memory memory(config);
   Ptr unit = memory.Malloc(4, "small");
   for (int i = 0; i < 20; ++i) {
-    memory.WriteU8(unit + 100 + i, static_cast<uint8_t>(i));
+    // One byte in each of 20 distinct pages, so capacity pressure must
+    // evict whole cold pages.
+    memory.WriteU8(unit + 100 + static_cast<int64_t>(i) * 4096, static_cast<uint8_t>(i + 1));
   }
-  EXPECT_LE(memory.boundless().stored_bytes(), 8u);
+  EXPECT_LE(memory.boundless().stored_bytes(), 2u);
   EXPECT_GE(memory.boundless().evictions(), 12u);
-  // The newest bytes survive; the oldest fall back to manufactured values.
-  EXPECT_EQ(memory.ReadU8(unit + 100 + 19), 19);
+  // The newest byte survives; the oldest fall back to manufactured values.
+  EXPECT_EQ(memory.ReadU8(unit + 100 + 19 * 4096), 20);
   EXPECT_NE(memory.ReadU8(unit + 100 + 0), 0xff);  // readable, just not stored
 }
 

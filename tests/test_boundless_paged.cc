@@ -1,0 +1,285 @@
+// PagedBoundlessStore (src/runtime/boundless_paged.h): the paged store must
+// be observably equivalent to the flat reference store byte-for-byte, keep
+// recycled units isolated, dedup all-zero pages with copy-on-write, fall
+// back to manufactured values after eviction under every sequence kind, and
+// surface its accounting deterministically through merged MemLogs. Also
+// pins the flat store's DropUnit FIFO reclamation (the ghost-entry
+// regression) since the flat store remains the equivalence baseline.
+
+#include "src/runtime/boundless_paged.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/workloads.h"
+#include "src/net/frontend.h"
+#include "src/runtime/boundless_flat.h"
+#include "src/runtime/manufactured.h"
+#include "src/runtime/memory.h"
+
+namespace fob {
+namespace {
+
+// ---- randomized equivalence with the flat reference -------------------------
+
+// Replays one seeded stream of stores (byte and span), loads, and unit drops
+// against both stores and demands byte-for-byte agreement on every load.
+// Both stores run unbounded: capacity semantics legitimately differ (FIFO
+// bytes vs clock pages) and are pinned by their own tests.
+void RunEquivalenceStream(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  FlatBoundlessStore flat;
+  PagedBoundlessStore paged;
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  std::uniform_int_distribution<uint32_t> unit_dist(1, 6);
+  // Offsets cluster around page boundaries (negative included) with
+  // occasional far-spray outliers.
+  auto next_offset = [&]() -> int64_t {
+    int64_t base = static_cast<int64_t>(rng() % 2048) - 1024;
+    if (rng() % 8 == 0) {
+      base += static_cast<int64_t>(rng() % (1 << 20)) - (1 << 19);
+    }
+    return base;
+  };
+  // Zero-heavy values so the zero-dedup path is exercised constantly.
+  auto next_value = [&]() -> uint8_t {
+    return rng() % 3 == 0 ? 0 : static_cast<uint8_t>(rng());
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    int op = op_dist(rng);
+    UnitId unit = unit_dist(rng);
+    int64_t offset = next_offset();
+    if (op < 40) {
+      uint8_t value = next_value();
+      flat.StoreByte(unit, offset, value);
+      paged.StoreByte(unit, offset, value);
+    } else if (op < 60) {
+      // Span store straddling page boundaries.
+      size_t n = 1 + rng() % 700;
+      std::vector<uint8_t> data(n);
+      for (auto& b : data) {
+        b = next_value();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        flat.StoreByte(unit, offset + static_cast<int64_t>(i), data[i]);
+      }
+      paged.StoreSpan(unit, offset, data.data(), n);
+    } else if (op < 90) {
+      size_t n = 1 + rng() % 700;
+      std::vector<uint8_t> got(n, 0xcd);
+      std::vector<uint8_t> present(n, 0xcd);
+      size_t found = paged.LoadSpan(unit, offset, n, got.data(), present.data());
+      size_t expected_found = 0;
+      for (size_t i = 0; i < n; ++i) {
+        auto expected = flat.LoadByte(unit, offset + static_cast<int64_t>(i));
+        ASSERT_EQ(present[i] != 0, expected.has_value())
+            << "seed " << seed << " step " << step << " byte " << i;
+        if (expected.has_value()) {
+          ++expected_found;
+          ASSERT_EQ(got[i], *expected) << "seed " << seed << " step " << step << " byte " << i;
+        }
+      }
+      ASSERT_EQ(found, expected_found);
+      // Single-byte loads agree too.
+      auto flat_byte = flat.LoadByte(unit, offset);
+      auto paged_byte = paged.LoadByte(unit, offset);
+      ASSERT_EQ(paged_byte, flat_byte) << "seed " << seed << " step " << step;
+    } else if (op < 95) {
+      flat.DropUnit(unit);
+      paged.DropUnit(unit);
+    }
+    ASSERT_EQ(paged.stored_bytes(), flat.stored_bytes())
+        << "seed " << seed << " step " << step;
+  }
+}
+
+TEST(PagedBoundlessEquivalence, MatchesFlatStoreOverSeededStreams) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    RunEquivalenceStream(seed);
+  }
+}
+
+// ---- recycled-unit isolation -------------------------------------------------
+
+TEST(PagedBoundlessStoreTest, DropUnitIsolatesRecycledUnitIds) {
+  PagedBoundlessStore store;
+  store.StoreByte(7, 300, 0xaa);
+  store.StoreByte(7, -12, 0xbb);
+  std::vector<uint8_t> span(700, 0x11);
+  store.StoreSpan(7, 1000, span.data(), span.size());
+  store.StoreByte(8, 300, 0xcc);  // another unit's state must survive
+  ASSERT_TRUE(store.LoadByte(7, 300).has_value());
+
+  store.DropUnit(7);
+
+  EXPECT_FALSE(store.LoadByte(7, 300).has_value());
+  EXPECT_FALSE(store.LoadByte(7, -12).has_value());
+  uint8_t dst[700];
+  uint8_t present[700];
+  EXPECT_EQ(store.LoadSpan(7, 1000, 700, dst, present), 0u);
+  EXPECT_EQ(store.LoadByte(8, 300), std::optional<uint8_t>(0xcc));
+  EXPECT_EQ(store.stored_bytes(), 1u);
+
+  // A fresh store through the same (recycled) id starts from nothing.
+  store.StoreByte(7, 300, 0x5a);
+  EXPECT_EQ(store.LoadByte(7, 300), std::optional<uint8_t>(0x5a));
+  EXPECT_FALSE(store.LoadByte(7, 301).has_value());
+}
+
+// ---- zero-page dedup + copy-on-write ----------------------------------------
+
+TEST(PagedBoundlessStoreTest, AllZeroPagesShareTheZeroPageUntilFirstNonzeroStore) {
+  PagedBoundlessStore store;
+  for (int i = 0; i < 64; ++i) {
+    store.StoreByte(3, 512 + i, 0);
+  }
+  BoundlessStoreStats stats = store.stats();
+  EXPECT_EQ(stats.pages_live, 1u);
+  EXPECT_EQ(stats.zero_pages_live, 1u);  // no 256-byte backing yet
+  EXPECT_EQ(stats.zero_dedup_hits, 64u);
+  EXPECT_EQ(stats.bytes_materialized, 64u);
+  EXPECT_EQ(store.LoadByte(3, 512), std::optional<uint8_t>(0));
+  EXPECT_FALSE(store.LoadByte(3, 512 + 64).has_value());  // unstored stays absent
+
+  // First nonzero store copies the page out of the shared zero page; the
+  // previously stored zeros keep reading back as zeros.
+  store.StoreByte(3, 512 + 64, 0x7f);
+  stats = store.stats();
+  EXPECT_EQ(stats.pages_live, 1u);
+  EXPECT_EQ(stats.zero_pages_live, 0u);
+  EXPECT_EQ(store.LoadByte(3, 512), std::optional<uint8_t>(0));
+  EXPECT_EQ(store.LoadByte(3, 512 + 63), std::optional<uint8_t>(0));
+  EXPECT_EQ(store.LoadByte(3, 512 + 64), std::optional<uint8_t>(0x7f));
+}
+
+TEST(PagedBoundlessStoreTest, SpanOfZerosThenNonzeroBreaksSharingExactlyOnce) {
+  PagedBoundlessStore store;
+  // One span: 100 zeros then 0xff, all within one page.
+  std::vector<uint8_t> data(101, 0);
+  data[100] = 0xff;
+  store.StoreSpan(5, 0, data.data(), data.size());
+  BoundlessStoreStats stats = store.stats();
+  EXPECT_EQ(stats.pages_live, 1u);
+  EXPECT_EQ(stats.zero_pages_live, 0u);
+  EXPECT_EQ(stats.zero_dedup_hits, 100u);  // the zero prefix hit the shared page
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(store.LoadByte(5, i), std::optional<uint8_t>(0));
+  }
+  EXPECT_EQ(store.LoadByte(5, 100), std::optional<uint8_t>(0xff));
+}
+
+// ---- memory proportional to touched pages ------------------------------------
+
+TEST(PagedBoundlessStoreTest, SparseSprayCostsTouchedPagesNotRange) {
+  PagedBoundlessStore store;
+  // One byte every 16 KiB across a 1 GiB simulated range: 65536 touched
+  // pages out of the 4M pages the range spans.
+  constexpr int64_t kStride = 16 * 1024;
+  constexpr int64_t kStores = (1ll << 30) / kStride;
+  for (int64_t i = 0; i < kStores; ++i) {
+    store.StoreByte(2, i * kStride, static_cast<uint8_t>(i | 1));
+  }
+  EXPECT_EQ(store.stored_bytes(), static_cast<size_t>(kStores));
+  EXPECT_EQ(store.pages_live(), static_cast<size_t>(kStores));  // 1 page per touched byte
+  EXPECT_EQ(store.LoadByte(2, 0), std::optional<uint8_t>(1));
+  EXPECT_FALSE(store.LoadByte(2, kStride / 2).has_value());
+}
+
+// ---- eviction then manufactured-read fallback --------------------------------
+
+// After capacity pressure evicts a page, reads of its bytes must fall back
+// to the policy's manufactured-value sequence — under every sequence kind,
+// byte-for-byte predictable from a replayed ValueSequence.
+TEST(PagedBoundlessStoreTest, EvictedPageReadsFallBackToManufacturedSequence) {
+  for (SequenceKind kind : {SequenceKind::kPaper, SequenceKind::kZeros, SequenceKind::kRandom}) {
+    Memory::Config config;
+    config.policy = AccessPolicy::kBoundless;
+    config.sequence = kind;
+    config.boundless_capacity = 2 * PagedBoundlessStore::kPageBytes;
+    Memory memory(config);
+    Ptr unit = memory.Malloc(8, "victim");
+    // One OOB byte in each of 12 distinct pages: far more pages than the
+    // two the capacity admits, so the earliest pages are gone.
+    for (int i = 0; i < 12; ++i) {
+      memory.WriteU8(unit + 64 + static_cast<int64_t>(i) * 4096, static_cast<uint8_t>(0xe0 + i));
+    }
+    ASSERT_GT(memory.boundless().evictions(), 0u) << SequenceKindName(kind);
+    ASSERT_FALSE(memory.shard().boundless.LoadByte(unit.unit, 64).has_value());
+
+    // Predict the manufactured byte: a single-byte invalid read consumes
+    // exactly one sequence value (truncated), starting from wherever this
+    // shard's sequence already is.
+    ValueSequence replay(kind);
+    for (uint64_t i = 0; i < memory.sequence().values_produced(); ++i) {
+      replay.Next();
+    }
+    uint8_t expected = static_cast<uint8_t>(replay.Next());
+    EXPECT_EQ(memory.ReadU8(unit + 64), expected) << SequenceKindName(kind);
+
+    // The newest page survived eviction and still returns the stored byte.
+    EXPECT_EQ(memory.ReadU8(unit + 64 + 11 * 4096), 0xe0 + 11) << SequenceKindName(kind);
+  }
+}
+
+// ---- flat-store FIFO ghost-entry regression ----------------------------------
+
+// DropUnit must reclaim the dropped unit's FIFO bookkeeping entries.
+// Historically it only erased the byte map, so a bounded store under unit
+// churn (store a little, retire the unit, repeat) accumulated one deque
+// entry per dropped byte forever without ever reaching the eviction sweep.
+TEST(FlatBoundlessStoreTest, DropUnitReclaimsEvictionQueueEntries) {
+  FlatBoundlessStore store(/*capacity=*/64);
+  for (uint32_t round = 1; round <= 500; ++round) {
+    for (int64_t offset = 0; offset < 32; ++offset) {
+      store.StoreByte(round, offset, static_cast<uint8_t>(offset));
+    }
+    store.DropUnit(round);
+    ASSERT_EQ(store.stored_bytes(), 0u);
+    ASSERT_LE(store.eviction_queue_size(), 64u)
+        << "FIFO ghost entries accumulating at round " << round;
+  }
+  EXPECT_EQ(store.eviction_queue_size(), 0u);
+}
+
+// ---- merged accounting across worker counts ----------------------------------
+
+// The boundless counters ride the same deterministic merge rule as the
+// translation counters: identical stream + seed + worker count twice over
+// must produce identical merged boundless stats, at every worker count, and
+// the counters must actually be visible in the merged Summary.
+TEST(PagedBoundlessDeterminismTest, MergedCountersAreDeterministicAcrossWorkerCounts) {
+  StreamOptions stream_options;
+  stream_options.requests = 48;
+  stream_options.clients = 6;
+  stream_options.attack_period = 4;
+  stream_options.attacks_per_period = 1;
+  stream_options.seed = 7;
+  TrafficStream stream = MakeTrafficStream(Server::kApache, stream_options);
+  ServerFactory factory = MakeServerAppFactory(Server::kApache, AccessPolicy::kBoundless);
+
+  for (size_t workers : {1u, 2u, 8u}) {
+    Frontend::Options options{.workers = workers, .batch = 4};
+    FrontendReport first = RunFrontendExperiment(factory, stream, options);
+    FrontendReport second = RunFrontendExperiment(factory, stream, options);
+    const BoundlessStoreStats& a = first.merged_log.boundless_stats();
+    const BoundlessStoreStats& b = second.merged_log.boundless_stats();
+    ASSERT_GT(a.bytes_materialized, 0u)
+        << "attack stream stored no OOB bytes at workers=" << workers;
+    EXPECT_EQ(a.pages_live, b.pages_live) << "workers=" << workers;
+    EXPECT_EQ(a.zero_pages_live, b.zero_pages_live) << "workers=" << workers;
+    EXPECT_EQ(a.compressed_pages, b.compressed_pages) << "workers=" << workers;
+    EXPECT_EQ(a.bytes_materialized, b.bytes_materialized) << "workers=" << workers;
+    EXPECT_EQ(a.pages_evicted, b.pages_evicted) << "workers=" << workers;
+    EXPECT_EQ(a.zero_dedup_hits, b.zero_dedup_hits) << "workers=" << workers;
+    EXPECT_NE(first.merged_log.Summary().find("boundless store:"), std::string::npos)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,21 +1,32 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate over BENCH_check_cost.json.
+"""Perf-smoke gate over the perf-trajectory benchmark JSON files.
 
-Pairs each checked benchmark (BM_CheckCost*FailureOblivious*) with its raw
-counterpart (same name with Standard in place of FailureOblivious, same
-args) and fails if the checked/raw slowdown exceeds the bound. With the
-page-granular fast path in place, checked scalar reads should sit within a
-small constant of raw ones on the fast-path regimes; a ratio past the bound
-means the fast path regressed (map incoherence, a miss-everything bug, or a
-slow tier leak into the hot loop).
+Over BENCH_check_cost.json: pairs each checked benchmark
+(BM_CheckCost*FailureOblivious*) with its raw counterpart (same name with
+Standard in place of FailureOblivious, same args) and fails if the
+checked/raw slowdown exceeds --max-ratio. With the page-granular fast path
+in place, checked scalar reads should sit within a small constant of raw
+ones on the fast-path regimes; a ratio past the bound means the fast path
+regressed (map incoherence, a miss-everything bug, or a slow tier leak into
+the hot loop).
 
 The slow-tier pin (BM_ResidentProbe*) is deliberately named outside the
 pairing: mixed-page probes are allowed to scale with the table.
 
+With --boundless BENCH_boundless.json: additionally pairs each
+BM_BoundlessSparseSprayPaged/N with BM_BoundlessSparseSprayFlat/N and fails
+if the paged store exceeds --max-boundless-ratio times the flat baseline on
+that axis. The paged store's whole point is to beat the flat byte-map on
+sprayed stores; paged/flat drifting past the bound means a paged-store
+regression (per-byte work crept back into the span path, or page
+materialization got pathological).
+
 Usage: tools/check_perf_smoke.py [BENCH_check_cost.json] [--max-ratio 6.0]
-Exit status: 0 all pairs within the bound; 1 a pair exceeded it or no
-pairs were found (a vacuous gate is a failing gate); 2 the input file is
-missing or not a benchmark JSON report (config error, never a traceback).
+           [--boundless BENCH_boundless.json] [--max-boundless-ratio 2.0]
+Exit status: 0 all pairs within their bounds; 1 a pair exceeded its bound
+or no pairs were found (a vacuous gate is a failing gate); 2 an input file
+is missing or not a benchmark JSON report (config error, never a
+traceback).
 """
 
 import argparse
@@ -31,30 +42,25 @@ def per_item_ns(entry):
     return None
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("json_path", nargs="?", default="BENCH_check_cost.json")
-    parser.add_argument("--max-ratio", type=float, default=6.0,
-                        help="maximum allowed checked/raw per-item time ratio")
-    args = parser.parse_args()
-
+def load_runs(json_path):
+    """Real benchmark runs (no aggregates) keyed by full name, or an int
+    exit status on config error."""
     try:
-        with open(args.json_path, encoding="utf-8") as f:
+        with open(json_path, encoding="utf-8") as f:
             report = json.load(f)
     except OSError as err:
-        print(f"error: cannot read {args.json_path}: {err.strerror or err}", file=sys.stderr)
+        print(f"error: cannot read {json_path}: {err.strerror or err}", file=sys.stderr)
         return 2
     except json.JSONDecodeError as err:
-        print(f"error: {args.json_path} is not valid JSON: {err}", file=sys.stderr)
+        print(f"error: {json_path} is not valid JSON: {err}", file=sys.stderr)
         return 2
 
     benchmarks = report.get("benchmarks") if isinstance(report, dict) else None
     if not isinstance(benchmarks, list):
-        print(f"error: {args.json_path} has no 'benchmarks' array "
+        print(f"error: {json_path} has no 'benchmarks' array "
               "(not a google-benchmark JSON report?)", file=sys.stderr)
         return 2
 
-    # Real runs only (no aggregates), keyed by full name including args.
     runs = {}
     for entry in benchmarks:
         if not isinstance(entry, dict) or "name" not in entry:
@@ -64,35 +70,85 @@ def main():
         ns = per_item_ns(entry)
         if ns is not None:
             runs[entry["name"]] = (ns, entry)
+    return runs
 
+
+def check_pairs(runs, select, to_baseline, max_ratio, what):
+    """Generic paired gate: each selected run vs its baseline counterpart.
+
+    Returns (pairs, failures): the number of pairs checked and the list of
+    (name, ratio) pairs over the bound.
+    """
     failures = []
     pairs = 0
-    for name, (checked_ns, entry) in sorted(runs.items()):
-        if "FailureOblivious" not in name or not name.startswith("BM_CheckCost"):
+    for name, (test_ns, entry) in sorted(runs.items()):
+        if not select(name):
             continue
-        raw_name = name.replace("FailureOblivious", "Standard")
-        if raw_name not in runs:
-            print(f"warning: no raw counterpart for {name}", file=sys.stderr)
+        base_name = to_baseline(name)
+        if base_name not in runs:
+            print(f"warning: no {what} baseline for {name}", file=sys.stderr)
             continue
-        raw_ns = runs[raw_name][0]
-        ratio = checked_ns / raw_ns if raw_ns > 0 else float("inf")
+        base_ns = runs[base_name][0]
+        ratio = test_ns / base_ns if base_ns > 0 else float("inf")
         pairs += 1
         hit_rate = entry.get("hit_rate")
         hit = f", hit_rate {hit_rate:.3f}" if hit_rate is not None else ""
-        verdict = "ok" if ratio <= args.max_ratio else "FAIL"
-        print(f"{verdict}: {name}: checked {checked_ns:.1f} ns vs raw {raw_ns:.1f} ns "
-              f"-> {ratio:.2f}x (bound {args.max_ratio:g}x{hit})")
-        if ratio > args.max_ratio:
+        verdict = "ok" if ratio <= max_ratio else "FAIL"
+        print(f"{verdict}: {name}: {test_ns:.1f} ns vs {base_name} {base_ns:.1f} ns "
+              f"-> {ratio:.2f}x (bound {max_ratio:g}x{hit})")
+        if ratio > max_ratio:
             failures.append((name, ratio))
+    return pairs, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", nargs="?", default="BENCH_check_cost.json")
+    parser.add_argument("--max-ratio", type=float, default=6.0,
+                        help="maximum allowed checked/raw per-item time ratio")
+    parser.add_argument("--boundless", metavar="BENCH_boundless.json", default=None,
+                        help="also gate the paged/flat boundless sparse-spray pairs "
+                             "from this report")
+    parser.add_argument("--max-boundless-ratio", type=float, default=2.0,
+                        help="maximum allowed paged/flat per-byte time ratio on the "
+                             "sparse-spray axis")
+    args = parser.parse_args()
+
+    runs = load_runs(args.json_path)
+    if isinstance(runs, int):
+        return runs
+
+    pairs, failures = check_pairs(
+        runs,
+        select=lambda n: n.startswith("BM_CheckCost") and "FailureOblivious" in n,
+        to_baseline=lambda n: n.replace("FailureOblivious", "Standard"),
+        max_ratio=args.max_ratio,
+        what="raw")
+
+    if args.boundless is not None:
+        boundless_runs = load_runs(args.boundless)
+        if isinstance(boundless_runs, int):
+            return boundless_runs
+        spray_pairs, spray_failures = check_pairs(
+            boundless_runs,
+            select=lambda n: n.startswith("BM_BoundlessSparseSprayPaged"),
+            to_baseline=lambda n: n.replace("SparseSprayPaged", "SparseSprayFlat"),
+            max_ratio=args.max_boundless_ratio,
+            what="flat-store")
+        pairs += spray_pairs
+        failures += spray_failures
+        if spray_pairs == 0:
+            print("error: no paged/flat sparse-spray pairs found; boundless gate is vacuous",
+                  file=sys.stderr)
+            return 1
 
     if pairs == 0:
         print("error: no checked/raw benchmark pairs found; gate is vacuous", file=sys.stderr)
         return 1
     if failures:
-        print(f"\nperf smoke FAILED: {len(failures)} pair(s) over {args.max_ratio:g}x",
-              file=sys.stderr)
+        print(f"\nperf smoke FAILED: {len(failures)} pair(s) over bound", file=sys.stderr)
         return 1
-    print(f"\nperf smoke ok: {pairs} pair(s) within {args.max_ratio:g}x")
+    print(f"\nperf smoke ok: {pairs} pair(s) within bounds")
     return 0
 
 
