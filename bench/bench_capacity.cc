@@ -1,0 +1,431 @@
+// bench_capacity: turn measured serving throughput into a provisioning
+// story — workers-needed-for-SLO curves per policy.
+//
+// Reads BENCH_throughput.json (the google-benchmark JSON that
+// bench_frontend_throughput emits; see bench/run_bench.sh) and, per policy
+// row of BM_FrontendThroughput, extracts requests/sec, per-request
+// p50/p99 latency, and crash accounting (restarts / served). From those it
+// emits BENCH_capacity.json with a PCRAFT-style capacity model:
+//
+//   rate_per_worker  = max over (threads, batch) rows of rps / threads
+//                      (the best marginal throughput one worker adds)
+//   crash_rate       = total restarts / total served (per request)
+//   restart_overhead = extra seconds per restart vs the failure-oblivious
+//                      baseline: (1/best_rate - 1/best_rate_fo) / crash_rate
+//   workers_needed(N)= ceil(N / (rate_per_worker * target_utilization))
+//   p99_est          = measured p99 / (1 - target_utilization)
+//                      (M/M/1-style queueing inflation at the provisioned
+//                      utilization; crude, but it moves the right way)
+//
+// The point of the curve: a failure-oblivious pool provisions against its
+// serving rate alone, while a crashing policy's effective rate carries the
+// restart tax — the same availability gap §5 measures, expressed as "how
+// many workers to serve N req/s inside the latency SLO".
+//
+// Usage: bench_capacity [BENCH_throughput.json [BENCH_capacity.json]]
+// Exit codes: 0 ok; 1 input parsed but held no BM_FrontendThroughput rows;
+// 2 missing/malformed input. No third-party deps: a ~100-line recursive-
+// descent JSON reader below handles the subset google-benchmark writes.
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- Minimal JSON value + parser -------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;  // order-preserving
+
+  const Json* Find(const std::string& key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+  double NumberOr(const std::string& key, double fallback) const {
+    const Json* value = Find(key);
+    return (value != nullptr && value->type == Type::kNumber) ? value->number : fallback;
+  }
+  std::string StringOr(const std::string& key, const std::string& fallback) const {
+    const Json* value = Find(key);
+    return (value != nullptr && value->type == Type::kString) ? value->str : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> Parse() {
+    std::optional<Json> value = ParseValue();
+    SkipSpace();
+    if (!value.has_value() || pos_ != text_.size()) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return std::nullopt;
+      }
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u':
+          // Benchmark labels are ASCII; keep a placeholder for exotica.
+          if (pos_ + 4 > text_.size()) {
+            return std::nullopt;
+          }
+          pos_ += 4;
+          out.push_back('?');
+          break;
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    Json value;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      value.type = Json::Type::kObject;
+      SkipSpace();
+      if (Consume('}')) {
+        return value;
+      }
+      for (;;) {
+        std::optional<std::string> key = (SkipSpace(), ParseString());
+        if (!key.has_value() || !Consume(':')) {
+          return std::nullopt;
+        }
+        std::optional<Json> field = ParseValue();
+        if (!field.has_value()) {
+          return std::nullopt;
+        }
+        value.fields.emplace_back(std::move(*key), std::move(*field));
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume('}')) {
+          return value;
+        }
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.type = Json::Type::kArray;
+      SkipSpace();
+      if (Consume(']')) {
+        return value;
+      }
+      for (;;) {
+        std::optional<Json> item = ParseValue();
+        if (!item.has_value()) {
+          return std::nullopt;
+        }
+        value.items.push_back(std::move(*item));
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume(']')) {
+          return value;
+        }
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> str = ParseString();
+      if (!str.has_value()) {
+        return std::nullopt;
+      }
+      value.type = Json::Type::kString;
+      value.str = std::move(*str);
+      return value;
+    }
+    if (ConsumeWord("true")) {
+      value.type = Json::Type::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      value.type = Json::Type::kBool;
+      return value;
+    }
+    if (ConsumeWord("null")) {
+      return value;
+    }
+    // Number (strtod accepts the JSON grammar's numbers and more; good
+    // enough for trusted benchmark output).
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double number = std::strtod(start, &end);
+    if (end == start) {
+      return std::nullopt;
+    }
+    pos_ += static_cast<size_t>(end - start);
+    value.type = Json::Type::kNumber;
+    value.number = number;
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---- Capacity model ---------------------------------------------------------
+
+struct PolicyModel {
+  std::string policy;
+  double rate_per_worker = 0.0;  // best rps a single worker contributes
+  double best_rate = 0.0;        // best absolute rps observed
+  int best_threads = 0;
+  int best_batch = 0;
+  double best_p50_ns = 0.0;
+  double best_p99_ns = 0.0;
+  double restarts = 0.0;
+  double served = 0.0;
+
+  double CrashRate() const { return served > 0.0 ? restarts / served : 0.0; }
+};
+
+// Parses "FailureOblivious/threads:4/batch:16" labels.
+bool ParseLabel(const std::string& label, std::string* policy, int* threads, int* batch) {
+  size_t threads_at = label.find("/threads:");
+  size_t batch_at = label.find("/batch:");
+  if (threads_at == std::string::npos || batch_at == std::string::npos || batch_at < threads_at) {
+    return false;
+  }
+  *policy = label.substr(0, threads_at);
+  *threads = std::atoi(label.c_str() + threads_at + 9);
+  *batch = std::atoi(label.c_str() + batch_at + 7);
+  return *threads > 0 && *batch > 0;
+}
+
+constexpr double kTargetUtilization = 0.7;
+constexpr int64_t kOfferedLoads[] = {1'000, 2'000, 5'000, 10'000, 20'000, 50'000, 100'000};
+
+std::string FormatDouble(double value) {
+  std::ostringstream os;
+  os.precision(6);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string in_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_capacity.json";
+
+  std::ifstream in(in_path);
+  if (!in) {
+    std::cerr << "bench_capacity: cannot open " << in_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::optional<Json> root = JsonParser(text).Parse();
+  if (!root.has_value() || root->type != Json::Type::kObject) {
+    std::cerr << "bench_capacity: " << in_path << " is not a JSON object\n";
+    return 2;
+  }
+
+  std::string hardware_concurrency = "unknown";
+  if (const Json* context = root->Find("context"); context != nullptr) {
+    hardware_concurrency = context->StringOr("hardware_concurrency", hardware_concurrency);
+  }
+
+  const Json* benchmarks = root->Find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->type != Json::Type::kArray) {
+    std::cerr << "bench_capacity: no benchmarks array in " << in_path << "\n";
+    return 2;
+  }
+
+  std::map<std::string, PolicyModel> models;
+  std::vector<std::string> policy_order;  // first-seen, stable output order
+  for (const Json& run : benchmarks->items) {
+    if (run.StringOr("name", "").rfind("BM_FrontendThroughput", 0) != 0) {
+      continue;
+    }
+    // Skip statistical aggregate rows when repetitions were used.
+    const std::string run_type = run.StringOr("run_type", "iteration");
+    if (run_type != "iteration") {
+      continue;
+    }
+    std::string policy;
+    int threads = 0;
+    int batch = 0;
+    if (!ParseLabel(run.StringOr("label", ""), &policy, &threads, &batch)) {
+      continue;
+    }
+    const double rate = run.NumberOr("items_per_second", 0.0);
+    if (rate <= 0.0) {
+      continue;
+    }
+    if (models.find(policy) == models.end()) {
+      policy_order.push_back(policy);
+      models[policy].policy = policy;
+    }
+    PolicyModel& model = models[policy];
+    model.restarts += run.NumberOr("restarts", 0.0);
+    model.served += run.NumberOr("served", 0.0);
+    if (rate / threads > model.rate_per_worker) {
+      model.rate_per_worker = rate / threads;
+    }
+    if (rate > model.best_rate) {
+      model.best_rate = rate;
+      model.best_threads = threads;
+      model.best_batch = batch;
+      model.best_p50_ns = run.NumberOr("p50_ns", 0.0);
+      model.best_p99_ns = run.NumberOr("p99_ns", 0.0);
+    }
+  }
+  if (models.empty()) {
+    std::cerr << "bench_capacity: " << in_path
+              << " holds no BM_FrontendThroughput rows (run bench_frontend_throughput first)\n";
+    return 1;
+  }
+
+  // The failure-oblivious row is the restart-free baseline the restart
+  // overhead is measured against ("Failure Oblivious" in display labels).
+  const PolicyModel* fo = nullptr;
+  for (const auto& [policy, model] : models) {
+    std::string compact;
+    for (char c : policy) {
+      if (c != ' ') {
+        compact.push_back(c);
+      }
+    }
+    if (compact == "FailureOblivious") {
+      fo = &model;
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_capacity: cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << "{\n";
+  out << "  \"context\": {\n";
+  out << "    \"source\": \"" << in_path << "\",\n";
+  out << "    \"hardware_concurrency\": \"" << hardware_concurrency << "\",\n";
+  out << "    \"target_utilization\": " << FormatDouble(kTargetUtilization) << ",\n";
+  out << "    \"model\": \"workers = ceil(offered / (rate_per_worker * util)); "
+         "p99_est = p99 / (1 - util)\"\n";
+  out << "  },\n";
+  out << "  \"policies\": [\n";
+  for (size_t p = 0; p < policy_order.size(); ++p) {
+    const PolicyModel& model = models[policy_order[p]];
+    const double crash_rate = model.CrashRate();
+    // Seconds of extra per-request cost, attributed per restart. Zero for
+    // restart-free policies and when there is no FO baseline to compare to.
+    double restart_overhead = 0.0;
+    if (fo != nullptr && fo->best_rate > 0.0 && model.best_rate > 0.0 && crash_rate > 0.0) {
+      const double extra_per_request = 1.0 / model.best_rate - 1.0 / fo->best_rate;
+      restart_overhead = extra_per_request > 0.0 ? extra_per_request / crash_rate : 0.0;
+    }
+    out << "    {\n";
+    out << "      \"policy\": \"" << model.policy << "\",\n";
+    out << "      \"rate_per_worker_rps\": " << FormatDouble(model.rate_per_worker) << ",\n";
+    out << "      \"best_rate_rps\": " << FormatDouble(model.best_rate) << ",\n";
+    out << "      \"best_threads\": " << model.best_threads << ",\n";
+    out << "      \"best_batch\": " << model.best_batch << ",\n";
+    out << "      \"p50_ns\": " << FormatDouble(model.best_p50_ns) << ",\n";
+    out << "      \"p99_ns\": " << FormatDouble(model.best_p99_ns) << ",\n";
+    out << "      \"crash_rate_per_request\": " << FormatDouble(crash_rate) << ",\n";
+    out << "      \"restart_overhead_s\": " << FormatDouble(restart_overhead) << ",\n";
+    out << "      \"curve\": [\n";
+    const size_t loads = sizeof(kOfferedLoads) / sizeof(kOfferedLoads[0]);
+    for (size_t i = 0; i < loads; ++i) {
+      const double offered = static_cast<double>(kOfferedLoads[i]);
+      const double effective = model.rate_per_worker * kTargetUtilization;
+      const int64_t workers =
+          effective > 0.0 ? static_cast<int64_t>(std::ceil(offered / effective)) : -1;
+      const double p99_est = model.best_p99_ns / (1.0 - kTargetUtilization);
+      out << "        {\"offered_rps\": " << kOfferedLoads[i]
+          << ", \"workers_needed\": " << workers
+          << ", \"p99_est_ns\": " << FormatDouble(p99_est) << "}"
+          << (i + 1 < loads ? "," : "") << "\n";
+    }
+    out << "      ]\n";
+    out << "    }" << (p + 1 < policy_order.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+
+  std::cout << "bench_capacity: wrote " << out_path << " (" << policy_order.size()
+            << " policies, util " << kTargetUtilization << ")\n";
+  return 0;
+}

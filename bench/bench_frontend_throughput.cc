@@ -1,15 +1,35 @@
 // Parallel-Frontend serving throughput: requests/sec vs worker-thread count
-// x batch size, per policy.
+// x batch size, per policy — plus per-request latency percentiles, the
+// persistent-executor vs legacy fork/join pump-overhead pair, and the
+// imbalanced-stream stealing pair.
 //
 // The scale-layer counterpart of bench_apache_throughput: a 3:1
 // attack:legit Apache traffic mix from eight multiplexed clients is pushed
 // through the Frontend and served by a WorkerPool whose lanes dispatch on
-// real std::threads — the workers axis IS the thread axis (workers=1 is the
-// single-threaded baseline), so the FO rows show near-linear scaling with
-// worker count while the crashing policies stay restart-bound. Batch size
-// amortizes the per-request process-entry cost; under crashing policies it
-// also sets how much work an attack aborts (the batch remainder re-queues
-// after the restart), so the FO : crashing gap widens with batch size.
+// persistent executor threads — the workers axis IS the thread axis
+// (workers=1 is the single-threaded baseline), so the FO rows show
+// near-linear scaling with worker count while the crashing policies stay
+// restart-bound. Batch size amortizes the per-request process-entry cost;
+// under crashing policies it also sets how much work an attack aborts (the
+// batch remainder re-queues after the restart), so the FO : crashing gap
+// widens with batch size.
+//
+// Latency: each pump is timed on a steady clock and its duration is
+// attributed to every request it served; p50_ns/p99_ns counters report the
+// per-request percentiles across the run. That is queueing + service time
+// as a client experiences it, and it is what bench_capacity consumes to
+// project workers-for-SLO curves (docs/BENCHMARKS.md).
+//
+// BM_FrontendPumpOverhead{Persistent,Legacy}: batch=1 x 8 workers x one
+// request per client per pump — the round-trip-dominated regime where the
+// old fork/join's N thread spawns per pump were the fixed cost the
+// persistent executor removes. tools/check_perf_smoke.py gates
+// persistent >= 1.3x legacy on multi-core runners (skipped when
+// hardware_concurrency==1; the pair is meaningless without parallelism).
+//
+// BM_FrontendImbalanced{Steal,Sticky}: one hot client's backlog on a
+// 4-worker pool — sticky-only dispatch serializes it on one lane while
+// three sit idle; the steal plan spreads whole batches across them.
 //
 // Args: (policy index into kAllPolicies, worker threads, batch).
 // run_bench.sh folds the JSON output into BENCH_throughput.json and CI
@@ -19,8 +39,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/harness/workloads.h"
@@ -58,6 +82,49 @@ Round MakeRound() {
   return round;
 }
 
+// Per-pump durations weighted by the requests each pump served, folded into
+// per-request latency percentiles: sort by duration, walk the cumulative
+// request weight to the percentile boundary. A request's "latency" is its
+// pump's wall time — ingest to response write, queueing included.
+class LatencyTrack {
+ public:
+  void Add(std::chrono::steady_clock::duration elapsed, uint64_t requests) {
+    if (requests > 0) {
+      samples_.emplace_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(), requests);
+    }
+  }
+
+  double Percentile(double fraction) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<std::pair<int64_t, uint64_t>> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t total = 0;
+    for (const auto& [ns, weight] : sorted) {
+      total += weight;
+    }
+    const double target = fraction * static_cast<double>(total);
+    uint64_t seen = 0;
+    for (const auto& [ns, weight] : sorted) {
+      seen += weight;
+      if (static_cast<double>(seen) >= target) {
+        return static_cast<double>(ns);
+      }
+    }
+    return static_cast<double>(sorted.back().first);
+  }
+
+  void Report(benchmark::State& state) const {
+    state.counters["p50_ns"] = benchmark::Counter(Percentile(0.50));
+    state.counters["p99_ns"] = benchmark::Counter(Percentile(0.99));
+  }
+
+ private:
+  std::vector<std::pair<int64_t, uint64_t>> samples_;  // (pump ns, requests)
+};
+
 void BM_FrontendThroughput(benchmark::State& state) {
   AccessPolicy policy = PolicyArg(state);
   state.SetLabel(std::string(PolicyName(policy)) + "/threads:" +
@@ -70,16 +137,22 @@ void BM_FrontendThroughput(benchmark::State& state) {
   }
   Round round = MakeRound();
   uint64_t served = 0;
+  LatencyTrack latency;
   for (auto _ : state) {
     for (const auto& [client, line] : round.lines) {
       frontend.Connect(client).ClientSend(line);
     }
-    served += frontend.Pump();
+    auto start = std::chrono::steady_clock::now();
+    size_t this_pump = frontend.Pump();
+    latency.Add(std::chrono::steady_clock::now() - start, this_pump);
+    served += this_pump;
     for (uint64_t client = 1; client <= kClients; ++client) {
       frontend.Connect(client).ClientReceiveAll();  // drain responses
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(served));
+  latency.Report(state);
+  state.counters["served"] = benchmark::Counter(static_cast<double>(served));
   state.counters["restarts"] =
       benchmark::Counter(static_cast<double>(frontend.restarts()));
   state.counters["worker_threads"] =
@@ -93,6 +166,83 @@ BENCHMARK(BM_FrontendThroughput)
     ->ArgsProduct({{2, 1, 0}, {1, 2, 4, 8}, {1, 4, 16}})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---- Pump overhead: persistent executor vs legacy fork/join -----------------
+
+// The round-trip-dominated regime: 8 lanes, one tiny request each, batch 1.
+// Dispatch cost per pump is all fixed overhead — under legacy dispatch that
+// includes 8 thread spawns + joins; under the executor it is one
+// condvar-wakeup round on already-running threads.
+void RunPumpOverhead(benchmark::State& state, bool legacy) {
+  Frontend frontend(
+      MakeServerAppFactory(Server::kApache, AccessPolicy::kFailureOblivious),
+      Frontend::Options{.workers = 8, .batch = 1, .legacy_dispatch = legacy});
+  std::string line = MakeRequest(RequestTag::kLegit, "get", "/index.html").Serialize();
+  for (uint64_t client = 1; client <= kClients; ++client) {
+    frontend.Connect(client);
+  }
+  uint64_t served = 0;
+  for (auto _ : state) {
+    for (uint64_t client = 1; client <= kClients; ++client) {
+      frontend.Connect(client).ClientSend(line);
+    }
+    served += frontend.Pump();
+    for (uint64_t client = 1; client <= kClients; ++client) {
+      frontend.Connect(client).ClientReceiveAll();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(served));
+  // Zero-churn evidence: lifetime executor thread creations, flat across
+  // however many pumps the benchmark ran (0 on the legacy path).
+  state.counters["executor_threads_started"] =
+      benchmark::Counter(static_cast<double>(frontend.executor_threads_started()));
+}
+
+void BM_FrontendPumpOverheadPersistent(benchmark::State& state) {
+  RunPumpOverhead(state, /*legacy=*/false);
+}
+
+void BM_FrontendPumpOverheadLegacy(benchmark::State& state) {
+  RunPumpOverhead(state, /*legacy=*/true);
+}
+
+BENCHMARK(BM_FrontendPumpOverheadPersistent)->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FrontendPumpOverheadLegacy)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// ---- Imbalanced stream: stealing vs sticky-only -----------------------------
+
+// One hot client sends 32 requests per pump at a 4-worker pool. Sticky-only
+// dispatch serializes the whole backlog on the client's one lane; the steal
+// plan hands whole batches to the three idle lanes.
+void RunImbalanced(benchmark::State& state, bool steal) {
+  Frontend frontend(
+      MakeServerAppFactory(Server::kApache, AccessPolicy::kFailureOblivious),
+      Frontend::Options{.workers = 4, .batch = 4, .steal = steal});
+  std::string line = MakeRequest(RequestTag::kLegit, "get", "/index.html").Serialize();
+  LineChannel& hot = frontend.Connect(1);
+  uint64_t served = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      hot.ClientSend(line);
+    }
+    served += frontend.Pump();
+    hot.ClientReceiveAll();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(served));
+  state.counters["stolen_batches"] =
+      benchmark::Counter(static_cast<double>(frontend.stats().stolen_batches));
+}
+
+void BM_FrontendImbalancedSteal(benchmark::State& state) {
+  RunImbalanced(state, /*steal=*/true);
+}
+
+void BM_FrontendImbalancedSticky(benchmark::State& state) {
+  RunImbalanced(state, /*steal=*/false);
+}
+
+BENCHMARK(BM_FrontendImbalancedSteal)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrontendImbalancedSticky)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fob

@@ -23,8 +23,17 @@
 #   BENCH_throughput.json  — parallel-Frontend serving throughput,
 #                            requests/sec vs worker-thread count x batch
 #                            size, per policy (FO vs Bounds Check vs
-#                            Standard); worker threads are real std::threads
-#                            over per-worker shards
+#                            Standard), with per-request p50/p99 latency
+#                            counters; worker lanes run on the Frontend's
+#                            persistent executor threads, and the
+#                            pump-overhead pair (persistent vs legacy
+#                            fork/join) plus the imbalanced-stream stealing
+#                            pair ride along for the perf-smoke gate
+#   BENCH_capacity.json    — workers-for-SLO capacity curves per policy,
+#                            derived from BENCH_throughput.json by
+#                            bench_capacity (rate/worker, crash rate,
+#                            restart overhead, workers needed at 70%
+#                            utilization per offered load)
 #
 # All files are google-benchmark JSON; compare runs with
 # benchmark/tools/compare.py or by diffing real_time per benchmark name.
@@ -67,6 +76,11 @@ run bench_boundless BENCH_boundless.json --benchmark_context=hardware_concurrenc
 # into its JSON context itself (see its main), so direct runs are covered too.
 run bench_frontend_throughput BENCH_throughput.json
 
+# Derive the capacity curves from the throughput run (plain binary, not a
+# google-benchmark harness: it reads one JSON and writes another).
+echo "== bench_capacity -> BENCH_capacity.json"
+"$build_dir/bench_capacity" "$out_dir/BENCH_throughput.json" "$out_dir/BENCH_capacity.json"
+
 echo "done; wrote $out_dir/BENCH_overhead.json, $out_dir/BENCH_span_path.json,"
-echo "$out_dir/BENCH_check_cost.json, $out_dir/BENCH_boundless.json and"
-echo "$out_dir/BENCH_throughput.json"
+echo "$out_dir/BENCH_check_cost.json, $out_dir/BENCH_boundless.json,"
+echo "$out_dir/BENCH_throughput.json and $out_dir/BENCH_capacity.json"

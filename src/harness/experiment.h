@@ -123,8 +123,15 @@ struct AdaptiveExperimentOptions {
   // worker_access_budget doubles as the per-epoch hang detector: a worker
   // that spins (e.g. a value-seeking loop under kZeroManufacture) exhausts
   // it, crashes, restarts — and the controller observes the restart.
-  Frontend::Options frontend{/*workers=*/2, /*batch=*/8,
-                             /*worker_access_budget=*/5'000'000};
+  // Stealing stays off: adaptive learning observes *per-shard* logs, and
+  // some workloads (Pine/Sendmail/MC) read manufactured values whose phase
+  // depends on shard history — rebalancing batches across shards would
+  // change which shard accumulates which history and perturb the pinned
+  // learning trajectories for no throughput gain at these sizes.
+  Frontend::Options frontend{.workers = 2,
+                             .batch = 8,
+                             .worker_access_budget = 5'000'000,
+                             .steal = false};
   // The §4 attack configuration by default, matching RunAttackExperiment
   // and the sweep, so adaptive outcomes compare apples-to-apples.
   ServerSetup setup;

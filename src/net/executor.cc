@@ -1,0 +1,60 @@
+#include "src/net/executor.h"
+
+namespace fob {
+
+LaneExecutor::LaneExecutor(size_t lanes) : has_work_(lanes, 0) {
+  threads_.reserve(lanes);
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    threads_.emplace_back(&LaneExecutor::WorkerMain, this, lane);
+    ++threads_started_;
+  }
+}
+
+LaneExecutor::~LaneExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void LaneExecutor::WorkerMain(size_t lane) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || has_work_[lane] != 0; });
+    if (has_work_[lane] == 0) {
+      return;  // stop requested with nothing assigned
+    }
+    has_work_[lane] = 0;
+    const Job* job = job_;
+    lock.unlock();
+    (*job)(lane);
+    lock.lock();
+    if (--outstanding_ == 0) {
+      done_cv_.notify_one();  // only RunRound's caller waits here
+    }
+  }
+}
+
+void LaneExecutor::RunRound(const std::vector<size_t>& active, const Job& job) {
+  if (active.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    for (size_t lane : active) {
+      has_work_[lane] = 1;
+    }
+    outstanding_ = active.size();
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace fob

@@ -1,0 +1,80 @@
+// LaneExecutor: persistent, parked worker threads for the Frontend's lanes.
+//
+// Before this executor existed the Frontend forked and joined a fresh
+// std::thread per active lane on *every* pump — N thread-create/join
+// syscalls per round, the dominant fixed cost at small batch sizes. The
+// executor starts one long-lived thread per lane exactly once, parks each
+// on a condition variable, and feeds them rounds: RunRound marks the active
+// lanes, wakes the pool, and blocks until every marked lane has run the
+// round's job. Steady-state pumps therefore create zero threads
+// (threads_started() is the pinned counter).
+//
+// Concurrency contract:
+//   * RunRound is called from one thread (the Frontend's pump thread) and
+//     does not return until every active lane's job call has completed, so
+//     round N+1 cannot overlap round N.
+//   * The job runs with the executor's internal mutex *released*; lane
+//     jobs may block, dispatch batches, and replace crashed workers freely.
+//   * All main-thread writes that precede RunRound happen-before the job
+//     body on the lane threads, and all job-body writes happen-before
+//     RunRound's return (the mutex orders both directions) — which is what
+//     lets the Frontend keep its "written before the round / read after
+//     the join" data free of any other synchronization.
+//   * The job must not let exceptions escape (the Frontend's lane body
+//     catches everything and carries errors back by value, same as the old
+//     fork/join path).
+
+#ifndef SRC_NET_EXECUTOR_H_
+#define SRC_NET_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fob {
+
+class LaneExecutor {
+ public:
+  using Job = std::function<void(size_t lane)>;
+
+  // Starts one parked worker thread per lane, immediately.
+  explicit LaneExecutor(size_t lanes);
+
+  // Wakes any parked workers, waits for them to exit, joins. Safe only when
+  // no round is in flight (the Frontend destroys the executor between
+  // pumps).
+  ~LaneExecutor();
+
+  LaneExecutor(const LaneExecutor&) = delete;
+  LaneExecutor& operator=(const LaneExecutor&) = delete;
+
+  // Runs job(lane) for every lane in `active` on that lane's persistent
+  // thread and blocks until all of them finish. Lanes outside `active` stay
+  // parked. `active` must hold distinct lane indices < lanes().
+  void RunRound(const std::vector<size_t>& active, const Job& job);
+
+  // Lifetime thread-creation count: equals lanes() after construction and
+  // never grows — the "zero thread churn per pump" property tests pin.
+  uint64_t threads_started() const { return threads_started_; }
+  size_t lanes() const { return threads_.size(); }
+
+ private:
+  void WorkerMain(size_t lane);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers park here
+  std::condition_variable done_cv_;  // RunRound waits here
+  const Job* job_ = nullptr;         // valid for the duration of one round
+  std::vector<uint8_t> has_work_;    // per lane; guarded by mu_
+  size_t outstanding_ = 0;           // active lanes not yet finished
+  bool stop_ = false;
+  uint64_t threads_started_ = 0;  // written during construction only
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_NET_EXECUTOR_H_

@@ -68,6 +68,7 @@ void MemLog::Merge(const MemLog& other) {
   translation_hits_ += other.translation_hits_;
   translation_misses_ += other.translation_misses_;
   AddBoundlessStats(other.boundless_);
+  AddSchedulerStats(other.shed_requests_, other.stolen_batches_, other.peak_lane_depth_);
   for (const auto& [name, count] : other.by_unit_) {
     by_unit_[name] += count;
   }
@@ -105,6 +106,10 @@ std::string MemLog::Summary() const {
        << boundless_.pages_evicted << " pages evicted, " << boundless_.zero_dedup_hits
        << " zero-dedup hits\n";
   }
+  if (shed_requests_ + stolen_batches_ + peak_lane_depth_ > 0) {
+    os << "  scheduler: " << shed_requests_ << " requests shed, " << stolen_batches_
+       << " batches stolen, peak lane depth " << peak_lane_depth_ << "\n";
+  }
   if (dropped_ > 0) {
     os << "  detail ring capped at " << capacity_ << ": " << dropped_
        << " older records evicted (aggregates exact)\n";
@@ -124,6 +129,7 @@ void MemLog::Clear() {
   total_ = read_errors_ = write_errors_ = dropped_ = 0;
   translation_hits_ = translation_misses_ = 0;
   boundless_ = BoundlessStoreStats{};
+  shed_requests_ = stolen_batches_ = peak_lane_depth_ = 0;
   by_unit_.clear();
   sites_.clear();
 }

@@ -110,6 +110,22 @@ class MemLog {
   }
   const BoundlessStoreStats& boundless_stats() const { return boundless_; }
 
+  // Frontend scheduler accounting (Frontend::Stats), folded in at the same
+  // merge points: requests shed at the overload watermark, whole batches
+  // reassigned by the steal plan, and the high-water per-lane queue depth.
+  // Shed/stolen counters sum; peak depth takes the max, so a merged log
+  // reports the worst backlog any lane saw anywhere in the pool.
+  void AddSchedulerStats(uint64_t shed, uint64_t stolen_batches, uint64_t peak_lane_depth) {
+    shed_requests_ += shed;
+    stolen_batches_ += stolen_batches;
+    if (peak_lane_depth > peak_lane_depth_) {
+      peak_lane_depth_ = peak_lane_depth;
+    }
+  }
+  uint64_t shed_requests() const { return shed_requests_; }
+  uint64_t stolen_batches() const { return stolen_batches_; }
+  uint64_t peak_lane_depth() const { return peak_lane_depth_; }
+
   // Folds another shard's log into this one: aggregate counters and per-site
   // stats sum exactly; the other ring's records append in their original
   // order (evicting, and counting, the oldest beyond capacity). Merging
@@ -138,6 +154,9 @@ class MemLog {
   uint64_t translation_hits_ = 0;
   uint64_t translation_misses_ = 0;
   BoundlessStoreStats boundless_;
+  uint64_t shed_requests_ = 0;
+  uint64_t stolen_batches_ = 0;
+  uint64_t peak_lane_depth_ = 0;
   std::map<std::string, uint64_t> by_unit_;
   std::map<SiteId, MemSiteStat> sites_;
   std::ostream* echo_ = nullptr;

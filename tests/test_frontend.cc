@@ -2,7 +2,11 @@
 // ServerResponse wire serialization, and the Frontend's multiplexed,
 // batched dispatch onto a WorkerPool — including the crash path (failed
 // request answered with an error, batch remainder re-queued onto the
-// replacement worker).
+// replacement worker), the persistent lane executor (threads started once,
+// zero churn per pump, clean drain on destruction), plan-based work
+// stealing (per-client response order and determinism preserved), and the
+// overload watermark (explicit kOverloadedStatus shed, crash-requeued work
+// exempt).
 
 #include "src/net/frontend.h"
 
@@ -230,15 +234,18 @@ TEST(FrontendTest, BatchSizeOneDegeneratesToPerRequestDispatch) {
 }
 
 TEST(FrontendTest, SessionAffinityRoutesAClientToOneStickyWorkerShard) {
+  // Steal off: this test pins *sticky-only* routing — with stealing, an
+  // over-backlogged client's batches may legitimately run on idle shards.
   Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
-                    Frontend::Options{.workers = 4, .batch = 2});
+                    Frontend::Options{.workers = 4, .batch = 2, .steal = false});
   // First-seen round robin: clients bind to lanes in connection order, and
-  // the binding never changes afterwards.
+  // the binding never changes while the client stays open.
   LineChannel& a = frontend.Connect(10);
   LineChannel& b = frontend.Connect(20);
   size_t lane_a = frontend.LaneOf(10);
   size_t lane_b = frontend.LaneOf(20);
   EXPECT_NE(lane_a, lane_b);
+  EXPECT_EQ(frontend.affinity_size(), 2u);
 
   // Client A's requests include attacks; client B's are clean. After a
   // parallel run, every one of A's error records must sit in A's sticky
@@ -251,13 +258,218 @@ TEST(FrontendTest, SessionAffinityRoutesAClientToOneStickyWorkerShard) {
   a.ClientClose();
   b.ClientClose();
   EXPECT_EQ(frontend.Run(), 9u);
-  EXPECT_EQ(frontend.LaneOf(10), lane_a);
-  EXPECT_EQ(frontend.LaneOf(20), lane_b);
   EXPECT_GT(frontend.pool().worker(lane_a).memory().log().total_errors(), 0u);
   EXPECT_EQ(frontend.pool().worker(lane_b).memory().log().total_errors(), 0u);
   // The merged view still sees everything, in shard-id order.
   EXPECT_EQ(frontend.MergedLog().total_errors(),
             frontend.pool().worker(lane_a).memory().log().total_errors());
+  // Both channels reached EOF during the run, so their affinity entries were
+  // evicted — a long-lived frontend does not leak one entry per client ever
+  // seen.
+  EXPECT_EQ(frontend.affinity_size(), 0u);
+}
+
+TEST(FrontendTest, AffinityEntriesEvictWhenAClientDrainsToEof) {
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 2, .batch = 4});
+  LineChannel& gone = frontend.Connect(1);
+  LineChannel& open = frontend.Connect(2);
+  gone.ClientSend(Get("/index.html").Serialize());
+  open.ClientSend(Get("/index.html").Serialize());
+  gone.ClientClose();  // at EOF once its one request drains
+  EXPECT_EQ(frontend.Pump(), 2u);
+  // The closed-and-drained client's lane binding is gone; the open one's
+  // survives the pump (it may still send).
+  EXPECT_EQ(frontend.affinity_size(), 1u);
+  size_t open_lane = frontend.LaneOf(2);
+  open.ClientSend(Get("/index.html").Serialize());
+  EXPECT_EQ(frontend.Pump(), 1u);
+  EXPECT_EQ(frontend.LaneOf(2), open_lane);  // binding stayed stable
+}
+
+TEST(FrontendTest, NewClientsBindToTheLeastLoadedLane) {
+  // Steal off so lane load is exactly sticky backlog. Clients 1 and 2 bind
+  // round-robin to lanes 0 and 1 (all depths equal), wrapping the cursor
+  // back to lane 0. Mid-partition, client 3 arrives while client 1 has a
+  // deep backlog on lane 0 — blind round robin would hand client 3 the
+  // cursor's lane 0; least-loaded binds it to idle lane 1.
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 2, .batch = 8, .steal = false});
+  LineChannel& hot = frontend.Connect(1);
+  frontend.Connect(2);
+  EXPECT_EQ(frontend.LaneOf(1), 0u);
+  EXPECT_EQ(frontend.LaneOf(2), 1u);
+
+  for (int i = 0; i < 6; ++i) {
+    hot.ClientSend(Get("/index.html").Serialize());
+  }
+  LineChannel& late = frontend.Connect(3);
+  late.ClientSend(Get("/index.html").Serialize());
+  EXPECT_EQ(frontend.Pump(), 7u);
+  // Client 3 bound during the pump's partition, when lane 0 already held
+  // client 1's backlog and lane 1 was empty (client 2 sent nothing).
+  EXPECT_EQ(frontend.LaneOf(3), 1u);
+  EXPECT_EQ(frontend.LaneOf(1), 0u);
+}
+
+TEST(FrontendTest, PersistentExecutorStartsThreadsOnceNotPerPump) {
+  Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                    Frontend::Options{.workers = 4, .batch = 2});
+  // All lane threads exist from construction...
+  EXPECT_EQ(frontend.executor_threads_started(), 4u);
+  std::vector<LineChannel*> channels;
+  for (uint64_t client = 1; client <= 4; ++client) {
+    channels.push_back(&frontend.Connect(client));
+  }
+  // ...and five multi-lane pumps later the lifetime creation count has not
+  // moved: steady-state pumps are zero-thread-churn.
+  for (int pump = 0; pump < 5; ++pump) {
+    for (LineChannel* channel : channels) {
+      channel->ClientSend(Get("/index.html").Serialize());
+    }
+    EXPECT_EQ(frontend.Pump(), channels.size());
+    EXPECT_EQ(frontend.executor_threads_started(), 4u);
+  }
+}
+
+TEST(FrontendTest, LegacyDispatchForksPerPumpAndStartsNoExecutor) {
+  Frontend frontend(
+      ApacheFactory(AccessPolicy::kFailureOblivious),
+      Frontend::Options{.workers = 3, .batch = 2, .legacy_dispatch = true});
+  EXPECT_EQ(frontend.executor_threads_started(), 0u);
+  for (uint64_t client = 1; client <= 3; ++client) {
+    LineChannel& channel = frontend.Connect(client);
+    channel.ClientSend(Get("/index.html").Serialize());
+    channel.ClientSend(Get("/docs/flexc.html").Serialize());
+    channel.ClientClose();
+  }
+  EXPECT_EQ(frontend.Run(), 6u);
+  for (uint64_t client = 1; client <= 3; ++client) {
+    for (const std::string& line : frontend.Connect(client).ClientReceiveAll()) {
+      EXPECT_EQ(ServerResponse::Deserialize(line)->status, 200);
+    }
+  }
+}
+
+TEST(FrontendTest, ExecutorDrainsCleanlyOnDestruction) {
+  // Construct, serve multi-lane rounds, destroy — repeatedly. The executor
+  // must park, stop, and join all lane threads with no round in flight;
+  // the tsan job keeps this honest.
+  for (int round = 0; round < 3; ++round) {
+    Frontend frontend(ApacheFactory(AccessPolicy::kFailureOblivious),
+                      Frontend::Options{.workers = 4, .batch = 2});
+    for (uint64_t client = 1; client <= 4; ++client) {
+      LineChannel& channel = frontend.Connect(client);
+      channel.ClientSend(Get("/index.html").Serialize());
+      channel.ClientClose();
+    }
+    EXPECT_EQ(frontend.Run(), 4u);
+  }
+}
+
+TEST(FrontendTest, StealingPreservesPerClientOrderingAndResponses) {
+  // One hot client on lane 0, three idle lanes: the steal plan must move
+  // whole batches to lanes 1-3 (the imbalance the sticky-only frontend
+  // serializes), yet the client still reads its responses in exactly the
+  // order it sent the requests, byte-identical to a sticky-only run.
+  const std::vector<std::string> paths = {"/index.html", "/files/big.bin",
+                                          "/docs/flexc.html"};
+  auto run = [&](bool steal) {
+    Frontend frontend(
+        ApacheFactory(AccessPolicy::kFailureOblivious),
+        Frontend::Options{.workers = 4, .batch = 2, .steal = steal});
+    LineChannel& hot = frontend.Connect(1);
+    for (int i = 0; i < 12; ++i) {
+      hot.ClientSend(Get(paths[i % paths.size()]).Serialize());
+    }
+    hot.ClientClose();
+    EXPECT_EQ(frontend.Run(), 12u);
+    return std::make_pair(hot.ClientReceiveAll(), frontend.stats().stolen_batches);
+  };
+
+  auto [stolen_lines, stolen_count] = run(/*steal=*/true);
+  auto [sticky_lines, sticky_count] = run(/*steal=*/false);
+  EXPECT_GT(stolen_count, 0u);
+  EXPECT_EQ(sticky_count, 0u);
+  // Responses in submission order, with the right body per request...
+  ASSERT_EQ(stolen_lines.size(), 12u);
+  for (size_t i = 0; i < stolen_lines.size(); ++i) {
+    auto response = ServerResponse::Deserialize(stolen_lines[i]);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+    if (paths[i % paths.size()] == "/files/big.bin") {
+      EXPECT_EQ(response->body.size(), 830 * 1024u);
+    }
+  }
+  // ...and byte-identical to the sticky-only run: stealing changed which
+  // shard served each batch, not what any client observed.
+  EXPECT_EQ(stolen_lines, sticky_lines);
+}
+
+TEST(FrontendTest, SheddingPastTheWatermarkIsExplicitAndDeterministic) {
+  auto run = [] {
+    Frontend frontend(
+        ApacheFactory(AccessPolicy::kFailureOblivious),
+        Frontend::Options{.workers = 1, .batch = 2, .shed_watermark = 3});
+    LineChannel& client = frontend.Connect(1);
+    for (int i = 0; i < 5; ++i) {
+      client.ClientSend(Get("/index.html").Serialize());
+    }
+    client.ClientClose();
+    EXPECT_EQ(frontend.Run(), 5u);  // every request answered — 200 or 503
+    EXPECT_EQ(frontend.stats().shed, 2u);
+    EXPECT_EQ(frontend.stats().max_lane_depth, 3u);
+    MemLog merged = frontend.MergedLog();
+    EXPECT_EQ(merged.shed_requests(), 2u);
+    EXPECT_EQ(merged.peak_lane_depth(), 3u);
+    EXPECT_NE(merged.Summary().find("2 requests shed"), std::string::npos);
+    return client.ClientReceiveAll();
+  };
+
+  std::vector<std::string> lines = run();
+  ASSERT_EQ(lines.size(), 5u);
+  // The first three (up to the watermark) served; the overflow answered
+  // with the explicit overload status, never silently queued — and in
+  // submission order, after the accepted requests' responses.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ServerResponse::Deserialize(lines[i])->status, 200);
+  }
+  for (size_t i = 3; i < 5; ++i) {
+    auto response = ServerResponse::Deserialize(lines[i]);
+    EXPECT_EQ(response->status, Frontend::kOverloadedStatus);
+    EXPECT_NE(response->error.find("overloaded"), std::string::npos);
+  }
+  // Deterministic: an identical stream sheds identically.
+  EXPECT_EQ(run(), lines);
+}
+
+TEST(FrontendTest, SheddingExemptsCrashRequeuedWork) {
+  // Standard policy: the attack crashes the worker with two requests still
+  // behind it in the batch. Those crash remainders re-queue onto the
+  // replacement even though the lane is at its watermark — recovery work is
+  // never shed; only the fresh over-watermark request is.
+  Frontend frontend(
+      ApacheFactory(AccessPolicy::kStandard),
+      Frontend::Options{.workers = 1, .batch = 4, .shed_watermark = 3});
+  LineChannel& client = frontend.Connect(1);
+  client.ClientSend(Get(MakeApacheAttackUrl(), RequestTag::kAttack).Serialize());
+  for (int i = 0; i < 3; ++i) {
+    client.ClientSend(Get("/index.html").Serialize());
+  }
+  client.ClientClose();
+  EXPECT_EQ(frontend.Run(), 4u);
+  EXPECT_EQ(frontend.restarts(), 1u);
+  EXPECT_EQ(frontend.stats().failed, 1u);
+  EXPECT_EQ(frontend.stats().requeued, 2u);  // served by the replacement
+  EXPECT_EQ(frontend.stats().shed, 1u);      // only the 4th, fresh, request
+
+  std::vector<std::string> lines = client.ClientReceiveAll();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(ServerResponse::Deserialize(lines[0])->status, 500);  // the attack
+  EXPECT_EQ(ServerResponse::Deserialize(lines[1])->status, 200);  // requeued
+  EXPECT_EQ(ServerResponse::Deserialize(lines[2])->status, 200);  // requeued
+  EXPECT_EQ(ServerResponse::Deserialize(lines[3])->status,
+            Frontend::kOverloadedStatus);
 }
 
 TEST(FrontendTest, PerClientOrderingIsPreservedUnderParallelDispatch) {

@@ -132,6 +132,32 @@ TEST(MemLogTest, MergeRespectsCapacityAndCountsEvictions) {
   EXPECT_EQ(merged.dropped(), 1u);
 }
 
+TEST(MemLogTest, SchedulerStatsSumCountersAndMaxPeakDepth) {
+  MemLog a;
+  a.AddSchedulerStats(/*shed=*/3, /*stolen_batches=*/2, /*peak_lane_depth=*/7);
+  MemLog b;
+  b.AddSchedulerStats(/*shed=*/1, /*stolen_batches=*/0, /*peak_lane_depth=*/4);
+
+  MemLog merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.shed_requests(), 4u);
+  EXPECT_EQ(merged.stolen_batches(), 2u);
+  // Peak depth is a high-water mark, not a sum: merging takes the max.
+  EXPECT_EQ(merged.peak_lane_depth(), 7u);
+  std::string summary = merged.Summary();
+  EXPECT_NE(summary.find("4 requests shed"), std::string::npos);
+  EXPECT_NE(summary.find("2 batches stolen"), std::string::npos);
+  EXPECT_NE(summary.find("peak lane depth 7"), std::string::npos);
+
+  merged.Clear();
+  EXPECT_EQ(merged.shed_requests(), 0u);
+  EXPECT_EQ(merged.stolen_batches(), 0u);
+  EXPECT_EQ(merged.peak_lane_depth(), 0u);
+  // A quiet scheduler stays out of the digest.
+  EXPECT_EQ(merged.Summary().find("scheduler"), std::string::npos);
+}
+
 TEST(MemLogTest, EchoStreamsRecordsAsTheyHappen) {
   MemLog log;
   std::ostringstream echo;

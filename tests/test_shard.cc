@@ -156,6 +156,47 @@ TEST(ShardDeterminismTest, TranslationCountersAreDeterministicPerRun) {
   EXPECT_EQ(first.merged_log.translation_misses(), second.merged_log.translation_misses());
 }
 
+TEST(ShardDeterminismTest, StealingKeepsMergedOutcomeInvariantForAHotClient) {
+  // One client means one sticky lane: at workers>1 every other lane is idle
+  // and the steal plan must redistribute the hot backlog across shards
+  // (stolen_batches > 0 — stealing is actually exercised, not vacuous).
+  // Apache handles each request independently of shard history, so the
+  // merged outcome must still be byte-identical to the single-worker run
+  // even though different worker counts steal onto different shards.
+  StreamOptions stream_options;
+  stream_options.requests = 48;
+  stream_options.clients = 1;
+  stream_options.attack_period = 4;
+  stream_options.attacks_per_period = 1;
+  stream_options.seed = 7;
+  TrafficStream stream = MakeTrafficStream(Server::kApache, stream_options);
+  ServerFactory factory = MakeServerAppFactory(Server::kApache, AccessPolicy::kFailureOblivious);
+
+  FrontendReport baseline =
+      RunFrontendExperiment(factory, stream, Frontend::Options{.workers = 1, .batch = 4});
+  ASSERT_EQ(baseline.responses.size(), stream.requests.size());
+  ASSERT_GT(baseline.merged_log.total_errors(), 0u) << "stream reached no error sites";
+  EXPECT_EQ(baseline.stats.stolen_batches, 0u);  // one lane: nothing to steal
+
+  for (size_t workers : {2u, 8u}) {
+    FrontendReport parallel = RunFrontendExperiment(
+        factory, stream, Frontend::Options{.workers = workers, .batch = 4});
+    EXPECT_GT(parallel.stats.stolen_batches, 0u) << "workers=" << workers;
+    ASSERT_EQ(parallel.responses.size(), stream.requests.size());
+    for (size_t i = 0; i < stream.requests.size(); ++i) {
+      EXPECT_EQ(parallel.responses[i].Serialize(), baseline.responses[i].Serialize())
+          << "response " << i << " differs at workers=" << workers;
+    }
+    EXPECT_EQ(parallel.merged_log.total_errors(), baseline.merged_log.total_errors())
+        << "workers=" << workers;
+    EXPECT_EQ(SiteCounts(parallel.merged_log), SiteCounts(baseline.merged_log))
+        << "merged site aggregates differ at workers=" << workers;
+    // The merged log carries the scheduler's story too.
+    EXPECT_EQ(parallel.merged_log.stolen_batches(), parallel.stats.stolen_batches);
+    EXPECT_EQ(parallel.restarts, 0u);
+  }
+}
+
 TEST(ShardDeterminismTest, CrashingPolicyRunsAreRepeatableUnderParallelDispatch) {
   // Even when workers crash and are replaced mid-run, sticky lanes plus
   // post-join merging make the whole run a deterministic function of the

@@ -21,8 +21,18 @@ sprayed stores; paged/flat drifting past the bound means a paged-store
 regression (per-byte work crept back into the span path, or page
 materialization got pathological).
 
+With --throughput BENCH_throughput.json: additionally gates pump dispatch
+overhead — BM_FrontendPumpOverheadPersistent (the parked persistent-
+executor path) must beat BM_FrontendPumpOverheadLegacy (fork/join a thread
+per lane per pump) by at least --min-pump-speedup on the small-batch
+8-worker round-trip regime. The pair is only meaningful with real
+parallelism, so when the report's context says hardware_concurrency <= 1
+the gate is skipped (a 1-core container cannot show it; a multi-core CI
+runner must).
+
 Usage: tools/check_perf_smoke.py [BENCH_check_cost.json] [--max-ratio 6.0]
            [--boundless BENCH_boundless.json] [--max-boundless-ratio 2.0]
+           [--throughput BENCH_throughput.json] [--min-pump-speedup 1.3]
 Exit status: 0 all pairs within their bounds; 1 a pair exceeded its bound
 or no pairs were found (a vacuous gate is a failing gate); 2 an input file
 is missing or not a benchmark JSON report (config error, never a
@@ -43,8 +53,9 @@ def per_item_ns(entry):
 
 
 def load_runs(json_path):
-    """Real benchmark runs (no aggregates) keyed by full name, or an int
-    exit status on config error."""
+    """(runs, context): real benchmark runs (no aggregates) keyed by full
+    name plus the report's context object, or an int exit status on config
+    error."""
     try:
         with open(json_path, encoding="utf-8") as f:
             report = json.load(f)
@@ -61,6 +72,7 @@ def load_runs(json_path):
               "(not a google-benchmark JSON report?)", file=sys.stderr)
         return 2
 
+    context = report.get("context") if isinstance(report.get("context"), dict) else {}
     runs = {}
     for entry in benchmarks:
         if not isinstance(entry, dict) or "name" not in entry:
@@ -70,7 +82,16 @@ def load_runs(json_path):
         ns = per_item_ns(entry)
         if ns is not None:
             runs[entry["name"]] = (ns, entry)
-    return runs
+    return runs, context
+
+
+def hardware_concurrency(context):
+    """The report's recorded core count, or None when absent/garbled."""
+    value = context.get("hardware_concurrency")
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
 
 
 def check_pairs(runs, select, to_baseline, max_ratio, what):
@@ -112,11 +133,18 @@ def main():
     parser.add_argument("--max-boundless-ratio", type=float, default=2.0,
                         help="maximum allowed paged/flat per-byte time ratio on the "
                              "sparse-spray axis")
+    parser.add_argument("--throughput", metavar="BENCH_throughput.json", default=None,
+                        help="also gate the persistent-executor vs legacy fork/join "
+                             "pump-overhead pair from this report")
+    parser.add_argument("--min-pump-speedup", type=float, default=1.3,
+                        help="minimum persistent-over-legacy pump speedup on "
+                             "multi-core machines (skipped at hardware_concurrency<=1)")
     args = parser.parse_args()
 
-    runs = load_runs(args.json_path)
-    if isinstance(runs, int):
-        return runs
+    loaded = load_runs(args.json_path)
+    if isinstance(loaded, int):
+        return loaded
+    runs, _ = loaded
 
     pairs, failures = check_pairs(
         runs,
@@ -126,9 +154,10 @@ def main():
         what="raw")
 
     if args.boundless is not None:
-        boundless_runs = load_runs(args.boundless)
-        if isinstance(boundless_runs, int):
-            return boundless_runs
+        loaded = load_runs(args.boundless)
+        if isinstance(loaded, int):
+            return loaded
+        boundless_runs, _ = loaded
         spray_pairs, spray_failures = check_pairs(
             boundless_runs,
             select=lambda n: n.startswith("BM_BoundlessSparseSprayPaged"),
@@ -141,6 +170,33 @@ def main():
             print("error: no paged/flat sparse-spray pairs found; boundless gate is vacuous",
                   file=sys.stderr)
             return 1
+
+    if args.throughput is not None:
+        loaded = load_runs(args.throughput)
+        if isinstance(loaded, int):
+            return loaded
+        throughput_runs, context = loaded
+        cores = hardware_concurrency(context)
+        if cores is not None and cores <= 1:
+            # One core cannot overlap lanes: fork/join vs parked threads is
+            # pure scheduler noise there, so the gate would only flake.
+            print(f"skip: pump-overhead gate (hardware_concurrency={cores}; "
+                  "pair needs real parallelism)")
+        else:
+            # persistent/legacy per-item time <= 1/speedup <=> persistent is
+            # at least `speedup` times faster.
+            pump_pairs, pump_failures = check_pairs(
+                throughput_runs,
+                select=lambda n: n.startswith("BM_FrontendPumpOverheadPersistent"),
+                to_baseline=lambda n: n.replace("Persistent", "Legacy"),
+                max_ratio=1.0 / args.min_pump_speedup,
+                what="legacy fork/join")
+            pairs += pump_pairs
+            failures += pump_failures
+            if pump_pairs == 0:
+                print("error: no persistent/legacy pump-overhead pair found; "
+                      "pump gate is vacuous", file=sys.stderr)
+                return 1
 
     if pairs == 0:
         print("error: no checked/raw benchmark pairs found; gate is vacuous", file=sys.stderr)
