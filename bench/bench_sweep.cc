@@ -7,7 +7,8 @@
 //   bench_sweep [server] [max_combinations] [max_sites] [single|multi] [adaptive]
 //   bench_sweep sites [out.json]
 //
-// server: pine | apache | sendmail | mc | mutt (default apache)
+// server: pine | apache | sendmail | mc | mutt | archive | codec
+// (default apache)
 // multi sweeps over MakeMultiAttackStream(server) instead of the §4
 // single-attack stream.
 //
@@ -44,17 +45,9 @@ namespace fob {
 namespace {
 
 bool ParseServer(const char* name, Server* server) {
-  struct Entry {
-    const char* name;
-    Server server;
-  };
-  static constexpr Entry kEntries[] = {
-      {"pine", Server::kPine}, {"apache", Server::kApache},   {"sendmail", Server::kSendmail},
-      {"mc", Server::kMc},     {"mutt", Server::kMutt},
-  };
-  for (const Entry& entry : kEntries) {
-    if (std::strcmp(name, entry.name) == 0) {
-      *server = entry.server;
+  for (Server candidate : kAllServers) {
+    if (std::strcmp(name, ServerShortName(candidate)) == 0) {
+      *server = candidate;
       return true;
     }
   }
@@ -99,10 +92,8 @@ size_t PrintCoverage(const std::vector<MemSiteStat>& exercised) {
 // `sites` mode: exercise every server's baseline workload over both stream
 // shapes and dump the union of observed sites for fob_analyze.
 int DumpSites(const char* out_path) {
-  static constexpr Server kServers[] = {Server::kPine, Server::kApache, Server::kSendmail,
-                                        Server::kMc, Server::kMutt};
   std::vector<MemSiteStat> all;
-  for (Server server : kServers) {
+  for (Server server : kAllServers) {
     for (bool multi : {false, true}) {
       SweepOptions options;
       options.max_combinations = 0;  // baseline discovery only
@@ -177,7 +168,8 @@ int Run(int argc, char** argv) {
     return DumpSites(argc > 2 ? argv[2] : nullptr);
   }
   if (argc > 1 && !ParseServer(argv[1], &server)) {
-    std::fprintf(stderr, "unknown server '%s' (pine|apache|sendmail|mc|mutt)\n", argv[1]);
+    std::fprintf(stderr, "unknown server '%s' (pine|apache|sendmail|mc|mutt|archive|codec)\n",
+                 argv[1]);
     return 2;
   }
   if (argc > 2) {

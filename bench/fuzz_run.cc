@@ -1,0 +1,149 @@
+// Fuzzer driver: runs the seeded mutation fuzzer (src/harness/fuzz.h)
+// against one server, prints the discovery log, and optionally archives the
+// minimized findings as a replayable corpus.
+//
+//   fuzz_run <server> [seed] [iterations] [corpus_dir]
+//
+// server: pine | apache | sendmail | mc | mutt | archive | codec
+//
+// With corpus_dir, each finding is written as
+// <corpus_dir>/<server>/case_NNN.req (the request's one-line wire form) and
+// recorded in <corpus_dir>/<server>/MANIFEST.tsv — the format
+// tests/test_corpus_replay.cc replays and tools/check_corpus.py validates
+// (see tests/corpus/README.md). Same seed ⇒ byte-identical corpus, so the
+// checked-in cases can always be regenerated.
+//
+// When SITES_static.json (or $FOB_SITES_STATIC) is present, discovered
+// sites are scored against the static universe: a discovery should be a
+// site the extractor already knew was *constructible* — a phantom means the
+// static model has a hole, and is reported loudly.
+//
+// Exit: 0 = at least one finding, 1 = none, 2 = usage/IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/fuzz.h"
+#include "src/harness/site_coverage.h"
+
+namespace fob {
+namespace {
+
+bool ParseServer(const char* name, Server* server) {
+  for (Server candidate : kAllServers) {
+    if (std::strcmp(name, ServerShortName(candidate)) == 0) {
+      *server = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+int WriteCorpus(const FuzzResult& result, const std::string& corpus_dir) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(corpus_dir) / ServerShortName(result.server);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.string().c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  std::ofstream manifest(dir / "MANIFEST.tsv");
+  if (!manifest) {
+    std::fprintf(stderr, "cannot write %s\n", (dir / "MANIFEST.tsv").string().c_str());
+    return 2;
+  }
+  manifest << "# fuzz corpus for " << ServerShortName(result.server) << " — seed "
+           << result.options.seed << ", " << result.findings.size() << " case(s)\n";
+  manifest << "# <file>\t<seed>\t<generation>\t<0xsite,...>  (see tests/corpus/README.md)\n";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const FuzzFinding& finding = result.findings[i];
+    char name[32];
+    std::snprintf(name, sizeof(name), "case_%03zu.req", i);
+    std::ofstream out(dir / name);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", (dir / name).string().c_str());
+      return 2;
+    }
+    out << finding.request.Serialize() << '\n';
+    CorpusCase record;
+    record.file = name;
+    record.seed = result.options.seed;
+    record.generation = finding.generation;
+    for (const MemSiteStat& stat : finding.new_sites) {
+      record.sites.push_back(stat.site);
+    }
+    manifest << FormatManifestLine(record) << '\n';
+  }
+  std::printf("wrote %zu case(s) under %s\n", result.findings.size(), dir.string().c_str());
+  return 0;
+}
+
+// Scores every discovered site against the static universe, if one is
+// around. Returns the phantom count.
+size_t PrintCoverage(const FuzzResult& result) {
+  std::vector<MemSiteStat> discovered;
+  for (const FuzzFinding& finding : result.findings) {
+    discovered.insert(discovered.end(), finding.new_sites.begin(), finding.new_sites.end());
+  }
+  const std::string path = DefaultUniversePath();
+  if (path.empty()) {
+    std::printf("site coverage: no static universe (set FOB_SITES_STATIC or run "
+                "tools/fob_analyze to emit SITES_static.json)\n");
+    return 0;
+  }
+  auto universe = LoadStaticSiteUniverse(path);
+  if (!universe.has_value()) {
+    std::printf("site coverage: unreadable static universe at %s\n", path.c_str());
+    return 0;
+  }
+  SiteCoverage coverage = ComputeSiteCoverage(discovered, *universe);
+  std::printf("discovered-site %s\n", coverage.Summary().c_str());
+  for (const MemSiteStat& phantom : coverage.phantoms) {
+    std::printf("  PHANTOM %s %s @ %s (site 0x%016llx)\n", phantom.is_write ? "write" : "read",
+                phantom.unit_name.c_str(), phantom.function.c_str(),
+                static_cast<unsigned long long>(phantom.site));
+  }
+  return coverage.phantoms.size();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: fuzz_run <server> [seed] [iterations] [corpus_dir]\n");
+    return 2;
+  }
+  Server server = Server::kApache;
+  if (!ParseServer(argv[1], &server)) {
+    std::fprintf(stderr, "unknown server '%s' (pine|apache|sendmail|mc|mutt|archive|codec)\n",
+                 argv[1]);
+    return 2;
+  }
+  FuzzOptions options;
+  if (argc > 2) {
+    options.seed = std::strtoull(argv[2], nullptr, 10);
+  }
+  if (argc > 3) {
+    options.iterations = static_cast<size_t>(std::strtoull(argv[3], nullptr, 10));
+  }
+  FuzzResult result = RunFuzzer(server, options);
+  std::printf("%s", result.log.c_str());
+  PrintCoverage(result);
+  if (argc > 4) {
+    int status = WriteCorpus(result, argv[4]);
+    if (status != 0) {
+      return status;
+    }
+  }
+  return result.findings.empty() ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace fob
+
+int main(int argc, char** argv) { return fob::Run(argc, argv); }

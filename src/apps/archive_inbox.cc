@@ -1,0 +1,178 @@
+#include "src/apps/archive_inbox.h"
+
+#include <algorithm>
+
+#include "src/archive/gzip.h"
+#include "src/archive/tar.h"
+#include "src/libc/cstring.h"
+
+namespace fob {
+
+namespace {
+
+// Stages uploaded file contents through a simulated I/O buffer, chunk by
+// chunk — the per-byte cost a real server pays writing the unpacked entry
+// out (always in bounds; the realism substrate, not the vulnerability).
+void StageFileContents(Memory& memory, const std::string& contents) {
+  Memory::Frame frame(memory, "inbox_file_io");
+  constexpr size_t kIoBuf = 16 << 10;
+  Ptr buffer = frame.Local(kIoBuf, "upload_io_buf");
+  for (size_t off = 0; off < contents.size(); off += kIoBuf) {
+    size_t chunk = std::min(kIoBuf, contents.size() - off);
+    memory.Write(buffer, contents.data() + off, chunk);
+    std::string readback(chunk, '\0');
+    memory.Read(buffer, readback.data(), chunk);
+  }
+}
+
+}  // namespace
+
+ArchiveInboxApp::ArchiveInboxApp(const PolicySpec& spec) : memory_(spec) {
+  fs_.MkDir("/inbox");
+}
+
+std::string ArchiveInboxApp::ParseGzipNameVulnerable(const std::string& tgz_bytes) {
+  auto field = FindGzipName(tgz_bytes);
+  if (!field) {
+    return "";
+  }
+  // The buffered header read: everything through the name field lands in
+  // program memory before the copy, like gzip's inbuf.
+  Ptr header = memory_.NewBytes(std::string_view(tgz_bytes).substr(0, field->end), "gz_header");
+  Memory::Frame frame(memory_, "gz_read_header");
+  Ptr namebuf = frame.Local(kNameBufSize, "orig_name_buf");
+  // The gzip 1.2.4 bug: the FNAME bytes are copied into the fixed work area
+  // until the header's NUL arrives — nothing ever compares the copy cursor
+  // against the end of the buffer.
+  Ptr p = namebuf;
+  for (size_t i = field->offset; i < field->end; ++i) {
+    uint8_t c = memory_.ReadU8(header + static_cast<int64_t>(i));
+    memory_.WriteU8(p, c);
+    ++p;
+    if (c == 0) {
+      break;
+    }
+  }
+  // Read the display name back out. For an overflowed buffer the in-bounds
+  // prefix has no NUL, so the scan crosses the end and the policy decides
+  // what terminates it (manufactured zero, stored byte, wrapped NUL).
+  std::string name = memory_.ReadCString(namebuf, kNameBufSize * 4);
+  memory_.Free(header);
+  return name;
+}
+
+std::string ArchiveInboxApp::StageSlotName(const std::string& slot) {
+  Memory::Frame frame(memory_, "inbox_lookup");
+  Ptr buf = frame.Local(kSlotBufSize, "slot_name_buf");
+  Ptr raw = memory_.NewCString(slot, "slot_arg");
+  // Unchecked: every slot the shipped workloads send fits kSlotBufSize; an
+  // oversized one (the fuzzer's length-stretch) writes past the end.
+  StrCpy(memory_, buf, raw);
+  memory_.Free(raw);
+  return memory_.ReadCString(buf, kSlotBufSize * 4);
+}
+
+ArchiveInboxApp::Result ArchiveInboxApp::Upload(const std::string& slot,
+                                                const std::string& tgz_bytes) {
+  Result result;
+  std::string staged_slot = StageSlotName(slot);
+  // gzip parses the member header — FNAME included — before it looks at the
+  // compressed stream, so the vulnerable copy runs even for archives whose
+  // payload later fails CRC (exactly gzip 1.2.4's order of operations).
+  std::string display_name = ParseGzipNameVulnerable(tgz_bytes);
+  GunzipError gz_error;
+  auto tar_bytes = GunzipStore(tgz_bytes, &gz_error);
+  if (!tar_bytes) {
+    result.error = "Cannot open archive (gzip error)";
+    return result;
+  }
+  auto entries = ReadTar(*tar_bytes);
+  if (!entries) {
+    result.error = "Cannot open archive (tar error)";
+    return result;
+  }
+  std::string root = "/inbox/" + staged_slot;
+  for (const TarEntry& entry : *entries) {
+    if (entry.type != TarEntryType::kFile) {
+      continue;
+    }
+    StageFileContents(memory_, entry.data);
+    fs_.WriteFile(root + "/" + entry.name, entry.data, /*create_parents=*/true);
+    result.files.push_back(entry.name);
+  }
+  std::sort(result.files.begin(), result.files.end());
+  result.ok = true;
+  result.display = "stored " + std::to_string(result.files.size()) + " files";
+  if (!display_name.empty()) {
+    result.display += " from \"" + display_name + "\"";
+  }
+  return result;
+}
+
+void ArchiveInboxApp::CollectFiles(const std::string& root, std::vector<std::string>& out) {
+  std::vector<std::string> stack = {root};
+  while (!stack.empty()) {
+    std::string path = stack.back();
+    stack.pop_back();
+    if (fs_.ReadFile(path)) {
+      out.push_back(path.substr(root.size() + 1));
+      continue;
+    }
+    if (auto children = fs_.List(path)) {
+      for (const std::string& name : *children) {
+        stack.push_back(path + "/" + name);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+ArchiveInboxApp::Result ArchiveInboxApp::List(const std::string& slot) {
+  Result result;
+  std::string staged_slot = StageSlotName(slot);
+  std::string root = "/inbox/" + staged_slot;
+  if (!fs_.List(root)) {
+    result.error = "no such slot \"" + staged_slot + "\"";
+    return result;
+  }
+  CollectFiles(root, result.files);
+  result.ok = true;
+  result.display = std::to_string(result.files.size()) + " files";
+  return result;
+}
+
+ArchiveInboxApp::Result ArchiveInboxApp::Extract(const std::string& slot,
+                                                 const std::string& entry) {
+  Result result;
+  std::string staged_slot = StageSlotName(slot);
+  auto contents = fs_.ReadFile("/inbox/" + staged_slot + "/" + entry);
+  if (!contents) {
+    result.error = "no such entry \"" + entry + "\"";
+    return result;
+  }
+  // The reply pages through a simulated buffer, like MC's viewer.
+  Memory::Frame frame(memory_, "inbox_extract");
+  size_t n = contents->size();
+  Ptr buf = memory_.Malloc(n + 1, "extract_buf");
+  memory_.WriteBytes(buf, *contents);
+  memory_.WriteU8(buf + static_cast<int64_t>(n), 0);
+  result.display = memory_.ReadBytesAsString(buf, n);
+  memory_.Free(buf);
+  result.ok = true;
+  result.files.push_back(entry);
+  return result;
+}
+
+ArchiveInboxApp::Result ArchiveInboxApp::Drop(const std::string& slot) {
+  Result result;
+  std::string staged_slot = StageSlotName(slot);
+  result.ok = fs_.Remove("/inbox/" + staged_slot);
+  if (!result.ok) {
+    result.error = "no such slot \"" + staged_slot + "\"";
+  } else {
+    result.display = "dropped " + staged_slot;
+  }
+  return result;
+}
+
+}  // namespace fob

@@ -1,0 +1,95 @@
+// mini archive-inbox server (post-§4 matrix row).
+//
+// An upload-and-extract service: clients POST .tgz archives into named inbox
+// slots; the server unpacks them over simulated memory and serves listings
+// and file extractions. Two ported memory errors:
+//
+//  1. gzip original-name parsing (the documented attack): gzip 1.2.4's
+//     get_method() copies the header's FNAME field into a fixed stack
+//     buffer with no length check ("strcpy into the static work area").
+//     Our port stages the member header into simulated memory and copies
+//     the name byte-by-byte into a kNameBufSize frame local; an archive
+//     whose recorded name is longer writes past the end.
+//
+//       Standard          stack physically corrupted; stack-smash fault at
+//                         function return.
+//       Bounds Check      terminates at the first out-of-bounds store.
+//       Failure Oblivious writes discarded; the read-back scan leaves the
+//                         buffer and the first manufactured value (0)
+//                         terminates it — a truncated display name, and the
+//                         upload itself (which never depended on the name)
+//                         completes normally.
+//       Boundless         the full name round-trips through the OOB store.
+//       Wrap              the terminating NUL wraps back into the buffer,
+//                         so the display name comes back empty.
+//
+//  2. Slot-name staging: each request's slot argument is strcpy'd through a
+//     kSlotBufSize lookup buffer. Every slot the §4-style workloads use
+//     fits; an oversized slot name (what the mutation fuzzer finds by
+//     length-stretching the target field) overflows it — an error site the
+//     baseline streams never exercise.
+//
+// The archive substrates (gzip container, tar parsing, the Vfs the slots
+// live in) are honest host-side code, exactly like MC's BrowseTgz: the
+// vulnerability is in the ported header-field handling, not the container
+// math.
+
+#ifndef SRC_APPS_ARCHIVE_INBOX_H_
+#define SRC_APPS_ARCHIVE_INBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+#include "src/vfs/vfs.h"
+
+namespace fob {
+
+class ArchiveInboxApp {
+ public:
+  // gzip 1.2.4 sized its name work area generously; ours is the experiment's
+  // scaled-down equivalent, like MC's kLinkBufSize.
+  static constexpr size_t kNameBufSize = 32;
+  // The slot-lookup staging buffer (error site 2).
+  static constexpr size_t kSlotBufSize = 24;
+
+  explicit ArchiveInboxApp(const PolicySpec& spec);
+
+  struct Result {
+    bool ok = false;
+    std::string display;             // human line ("stored 3 files from ...")
+    std::string error;
+    std::vector<std::string> files;  // affected/listed file paths, sorted
+  };
+
+  // Unpacks a .tgz into /inbox/<slot>/ — the vulnerable FNAME parse runs
+  // first, then the honest gunzip+untar. Malformed containers fail with the
+  // server's standard "Cannot open archive" error (the anticipated case).
+  Result Upload(const std::string& slot, const std::string& tgz_bytes);
+  // Recursive file listing of a slot.
+  Result List(const std::string& slot);
+  // Returns one stored file's contents (staged through the reply buffer).
+  Result Extract(const std::string& slot, const std::string& entry);
+  // Removes a slot and everything in it.
+  Result Drop(const std::string& slot);
+
+  Memory& memory() { return memory_; }
+  Vfs& fs() { return fs_; }
+
+ private:
+  // The gzip 1.2.4 get_method() port: copies the FNAME field out of the
+  // staged header into a fixed frame local, unchecked. Returns the name the
+  // server will display (whatever the policy left in the buffer).
+  std::string ParseGzipNameVulnerable(const std::string& tgz_bytes);
+  // Stages a slot argument through the fixed lookup buffer (error site 2).
+  std::string StageSlotName(const std::string& slot);
+  void CollectFiles(const std::string& root, std::vector<std::string>& out);
+
+  Memory memory_;
+  Vfs fs_;
+};
+
+}  // namespace fob
+
+#endif  // SRC_APPS_ARCHIVE_INBOX_H_

@@ -1,0 +1,169 @@
+#include "src/apps/codec_gateway.h"
+
+#include <cstdint>
+
+#include "src/codec/base64.h"
+#include "src/codec/utf7.h"
+#include "src/codec/utf8.h"
+#include "src/libc/cstring.h"
+
+namespace fob {
+
+CodecGatewayApp::CodecGatewayApp(const PolicySpec& spec) : memory_(spec) {}
+
+Ptr CodecGatewayApp::Utf7ToUtf8Port(Ptr u7, size_t u7len) {
+  Memory::Frame frame(memory_, "utf7_to_utf8");
+  // The sizing mistake, mirror-image of Figure 1's: "decoding removes the
+  // shift characters and packs base64 back into raw bytes, so the output is
+  // never longer than the input". False once a shifted run decodes to
+  // multi-byte UTF-8 — 8 base64 chars carry three 16-bit units that encode
+  // to nine bytes. The safe bound is 3*u7len + 1.
+  Ptr buf = memory_.Malloc(u7len + 1, "u8_out_buf");
+  if (buf.IsNull()) {
+    return kNullPtr;
+  }
+  Ptr p = buf;
+  size_t i = 0;
+  while (i < u7len) {
+    uint8_t c = memory_.ReadU8(u7 + static_cast<int64_t>(i));
+    if (c != '&') {
+      if (c < 0x20 || c >= 0x7f) {
+        memory_.Free(buf);
+        return kNullPtr;  // raw non-printable never legal
+      }
+      memory_.WriteU8(p, c);
+      ++p;
+      ++i;
+      continue;
+    }
+    // Shifted section.
+    ++i;
+    if (i < u7len && memory_.ReadU8(u7 + static_cast<int64_t>(i)) == '-') {
+      memory_.WriteU8(p, '&');
+      ++p;
+      ++i;
+      continue;
+    }
+    uint32_t bits = 0;
+    int nbits = 0;
+    bool any_unit = false;
+    bool closed = false;
+    while (i < u7len) {
+      uint8_t d = memory_.ReadU8(u7 + static_cast<int64_t>(i));
+      if (d == '-') {
+        closed = true;
+        ++i;
+        break;
+      }
+      int index = Base64Index(static_cast<char>(d), kB64Chars);
+      if (index < 0) {
+        memory_.Free(buf);
+        return kNullPtr;
+      }
+      bits = (bits << 6) | static_cast<uint32_t>(index);
+      nbits += 6;
+      if (nbits >= 16) {
+        nbits -= 16;
+        // A C port streams each unit straight into the output buffer —
+        // these unchecked stores are where a long CJK run walks off the
+        // end of the undersized allocation.
+        std::string encoded = Utf8Encode((bits >> nbits) & 0xffffu);
+        for (char b : encoded) {
+          memory_.WriteU8(p, static_cast<uint8_t>(b));
+          ++p;
+        }
+        any_unit = true;
+      }
+      ++i;
+    }
+    if (!closed || !any_unit) {
+      memory_.Free(buf);
+      return kNullPtr;
+    }
+    // Leftover bits must be zero padding only.
+    if (nbits > 0 && (bits & ((1u << nbits) - 1)) != 0) {
+      memory_.Free(buf);
+      return kNullPtr;
+    }
+  }
+  memory_.WriteU8(p, 0);
+  ++p;
+  // Shrink to the bytes "actually used" — under the Standard policy this is
+  // where the stomped heap metadata comes to light (Mutt's safe_realloc
+  // dynamic), not at the overflowing stores themselves.
+  return memory_.Realloc(buf, static_cast<size_t>(p - buf));
+}
+
+std::string CodecGatewayApp::StageCharsetLabel(const std::string& label) {
+  Memory::Frame frame(memory_, "parse_charset");
+  Ptr buf = frame.Local(kCharsetBufSize, "charset_buf");
+  Ptr raw = memory_.NewCString(label, "charset_arg");
+  // Unchecked: every label the shipped workloads send ("utf7", "utf8",
+  // "b64") fits kCharsetBufSize; an oversized one (the fuzzer's
+  // length-stretch of the arg field) writes past the end.
+  StrCpy(memory_, buf, raw);
+  memory_.Free(raw);
+  return memory_.ReadCString(buf, kCharsetBufSize * 4);
+}
+
+CodecGatewayApp::Result CodecGatewayApp::Transcode(const std::string& direction,
+                                                   const std::string& charset,
+                                                   const std::string& input) {
+  Result result;
+  ++requests_served_;
+  StageCharsetLabel(charset);
+  if (direction == "u7to8") {
+    Ptr u7 = memory_.NewCString(input, "codec_input");
+    Ptr converted = Utf7ToUtf8Port(u7, input.size());
+    memory_.Free(u7);
+    if (converted.IsNull()) {
+      result.error = "malformed utf-7";
+      return result;
+    }
+    // The reply path scans the converted string back out of program memory;
+    // under a continuing policy the scan's termination (stored byte,
+    // manufactured zero, wrapped NUL) decides what the client sees.
+    Memory::Frame frame(memory_, "codec_reply");
+    result.output = memory_.ReadCString(converted, input.size() * 3 + 2);
+    memory_.Free(converted);
+    result.ok = true;
+    return result;
+  }
+  if (direction == "u8to7") {
+    Ptr u8 = memory_.NewCString(input, "codec_input");
+    Ptr converted = Utf8ToUtf7(memory_, u8, input.size());
+    memory_.Free(u8);
+    if (converted.IsNull()) {
+      result.error = "invalid utf-8";
+      return result;
+    }
+    Memory::Frame frame(memory_, "codec_reply");
+    result.output = memory_.ReadCString(converted, Utf7MaxOutputBytes(input.size()));
+    memory_.Free(converted);
+    result.ok = true;
+    return result;
+  }
+  if (direction == "b64enc") {
+    Ptr data = memory_.NewBytes(input, "codec_input");
+    result.output = Base64Encode(memory_, data, input.size());
+    memory_.Free(data);
+    result.ok = true;
+    return result;
+  }
+  if (direction == "b64dec") {
+    Ptr text = memory_.NewBytes(input, "codec_input");
+    auto decoded = Base64Decode(memory_, text, input.size());
+    memory_.Free(text);
+    if (!decoded) {
+      result.error = "bad base64";
+      return result;
+    }
+    result.output = std::move(*decoded);
+    result.ok = true;
+    return result;
+  }
+  result.error = "unsupported direction \"" + direction + "\"";
+  return result;
+}
+
+}  // namespace fob

@@ -1,0 +1,83 @@
+// mini codec-gateway server (post-§4 matrix row).
+//
+// A transcoding service: clients submit text plus a direction (utf7→utf8,
+// utf8→utf7, base64 encode/decode) and get the converted bytes back. Two
+// ported memory errors:
+//
+//  1. UTF-7 decoding (the documented attack): the inverse of the paper's
+//     Figure 1 conversion, with the inverse of its sizing mistake. The
+//     gateway allocates `u7len + 1` output bytes on the reasoning that
+//     "decoding only ever shrinks" — true for ASCII and short shifted runs,
+//     false for CJK-dense input, where every 16-bit unit costs ~2.67 input
+//     characters but produces 3 output bytes. A long shifted run overflows
+//     the heap buffer; the correct bound is 3*u7len + 1.
+//
+//       Standard          heap metadata stomped; the shrinking realloc at
+//                         the end discovers the corruption (the Mutt
+//                         safe_realloc dynamic).
+//       Bounds Check      terminates at the first out-of-bounds store.
+//       Failure Oblivious overflow writes discarded; the reply comes back
+//                         truncated at the allocation boundary — output a
+//                         byte-exact prefix of the correct conversion.
+//       Boundless         the full conversion round-trips through the OOB
+//                         store, byte-identical to the host codec — which
+//                         is why an integrity-checking client (the codec
+//                         bomb stream pins expected outputs) accepts only
+//                         per-site assignments that use Boundless here.
+//
+//  2. Charset-label staging: each request's charset tag is strcpy'd through
+//     a fixed lookup buffer. Every label the shipped workloads send fits;
+//     an oversized one (found by the mutation fuzzer stretching the arg
+//     field) overflows it — outside the baseline-exercised site set.
+//
+// Encoding directions use the *correct* checked codecs (src/codec/) — the
+// contrast case, like Mutt's properly sized quoting buffer.
+
+#ifndef SRC_APPS_CODEC_GATEWAY_H_
+#define SRC_APPS_CODEC_GATEWAY_H_
+
+#include <string>
+
+#include "src/runtime/memory.h"
+#include "src/runtime/ptr.h"
+
+namespace fob {
+
+class CodecGatewayApp {
+ public:
+  // The charset-label staging buffer (error site 2).
+  static constexpr size_t kCharsetBufSize = 16;
+
+  explicit CodecGatewayApp(const PolicySpec& spec);
+
+  struct Result {
+    bool ok = false;
+    std::string output;
+    std::string error;
+  };
+
+  // direction: "u7to8" (the vulnerable decode), "u8to7", "b64enc", "b64dec".
+  // charset is the request's label tag (display/bookkeeping only — but it is
+  // staged through the fixed buffer, which is the point).
+  Result Transcode(const std::string& direction, const std::string& charset,
+                   const std::string& input);
+
+  Memory& memory() { return memory_; }
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  // The undersized modified-UTF-7 decoder: reads the input out of simulated
+  // memory, writes the UTF-8 bytes into a u7len+1 heap buffer unchecked,
+  // then shrink-reallocs. Returns kNullPtr on malformed UTF-7 (the
+  // anticipated error path, handled like Figure 1's bail).
+  Ptr Utf7ToUtf8Port(Ptr u7, size_t u7len);
+  // Stages the charset label through the fixed lookup buffer (error site 2).
+  std::string StageCharsetLabel(const std::string& label);
+
+  Memory memory_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace fob
+
+#endif  // SRC_APPS_CODEC_GATEWAY_H_

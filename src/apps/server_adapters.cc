@@ -240,4 +240,67 @@ ServerResponse MuttServer::Handle(const ServerRequest& request) {
   return response;
 }
 
+// ---- Archive Inbox ---------------------------------------------------------
+
+ArchiveServer::ArchiveServer(const PolicySpec& spec) : app_(spec) {}
+
+ServerResponse ArchiveServer::Handle(const ServerRequest& request) {
+  ArchiveInboxApp::Result result;
+  bool attack_upload = false;
+  if (request.op == "upload") {
+    result = app_.Upload(request.target, request.payload);
+    attack_upload = request.tag == RequestTag::kAttack;
+  } else if (request.op == "list") {
+    result = app_.List(request.target);
+  } else if (request.op == "extract") {
+    result = app_.Extract(request.target, request.arg);
+  } else if (request.op == "drop") {
+    result = app_.Drop(request.target);
+  } else {
+    return UnknownOp(request);
+  }
+  ServerResponse response;
+  response.ok = result.ok;
+  response.body = result.display;
+  response.error = result.error;
+  response.lines = result.files;
+  bool count_ok =
+      request.expect.empty() || result.files.size() == ParseU64(request.expect);
+  if (attack_upload) {
+    // Acceptable: the upload was stored in full despite the oversized FNAME
+    // (the name is display-only) — or the malformed container was rejected
+    // through the server's standard "Cannot open archive" path, the
+    // anticipated error case.
+    response.acceptable =
+        (result.ok && count_ok) || StartsWith(result.error, "Cannot open archive");
+  } else {
+    response.acceptable = result.ok && count_ok;
+  }
+  return response;
+}
+
+// ---- Codec Gateway ---------------------------------------------------------
+
+CodecServer::CodecServer(const PolicySpec& spec) : app_(spec) {}
+
+ServerResponse CodecServer::Handle(const ServerRequest& request) {
+  if (request.op != "transcode") {
+    return UnknownOp(request);
+  }
+  CodecGatewayApp::Result result =
+      app_.Transcode(request.target, request.arg, request.payload);
+  ServerResponse response;
+  response.ok = result.ok;
+  response.body = result.output;
+  response.error = result.error;
+  // Acceptable: the conversion came back, and matches exactly when the
+  // workload pins the expected bytes (an integrity-checking client — under
+  // the undersized decode only Boundless reproduces the reference output,
+  // which is what drives the sweep toward a per-site assignment no §4
+  // server needs).
+  response.acceptable =
+      result.ok && (request.expect.empty() || result.output == request.expect);
+  return response;
+}
+
 }  // namespace fob

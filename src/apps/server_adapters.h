@@ -1,4 +1,5 @@
-// ServerApp adapters for the five §4 servers.
+// ServerApp adapters for the five §4 servers and the two post-paper
+// additions (archive inbox, codec gateway).
 //
 // Each adapter owns one app instance (plus its native substrate — Apache's
 // docroot, Mutt's IMAP server) and translates the uniform ServerRequest
@@ -39,6 +40,13 @@
 //             move             target: from, arg: index, arg2: to
 //             compose          target: folder, arg: to, arg2: subject, payload: body
 //             forward          target: folder, arg: index, arg2: to
+//   Archive   upload           target: slot, payload: tgz bytes, expect: stored file count
+//             list             target: slot, expect: file count
+//             extract          target: slot, arg: entry path
+//             drop             target: slot
+//   Codec     transcode        target: direction (u7to8|u8to7|b64enc|b64dec),
+//                              arg: charset label, payload: input text,
+//                              expect: exact output bytes (empty = don't check)
 
 #ifndef SRC_APPS_SERVER_ADAPTERS_H_
 #define SRC_APPS_SERVER_ADAPTERS_H_
@@ -48,6 +56,8 @@
 #include <vector>
 
 #include "src/apps/apache.h"
+#include "src/apps/archive_inbox.h"
+#include "src/apps/codec_gateway.h"
 #include "src/apps/mc.h"
 #include "src/apps/mutt.h"
 #include "src/apps/pine.h"
@@ -116,6 +126,28 @@ class MuttServer : public ServerApp {
  private:
   ImapServer imap_;  // must outlive app_ (declared first)
   MuttApp app_;
+};
+
+class ArchiveServer : public ServerApp {
+ public:
+  explicit ArchiveServer(const PolicySpec& spec);
+  ServerResponse Handle(const ServerRequest& request) override;
+  Memory& memory() override { return app_.memory(); }
+  ArchiveInboxApp& app() { return app_; }
+
+ private:
+  ArchiveInboxApp app_;
+};
+
+class CodecServer : public ServerApp {
+ public:
+  explicit CodecServer(const PolicySpec& spec);
+  ServerResponse Handle(const ServerRequest& request) override;
+  Memory& memory() override { return app_.memory(); }
+  CodecGatewayApp& app() { return app_; }
+
+ private:
+  CodecGatewayApp app_;
 };
 
 }  // namespace fob

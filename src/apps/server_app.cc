@@ -16,6 +16,30 @@ const char* ServerName(Server server) {
       return "Midnight Commander";
     case Server::kMutt:
       return "Mutt";
+    case Server::kArchive:
+      return "Archive Inbox";
+    case Server::kCodec:
+      return "Codec Gateway";
+  }
+  return "?";
+}
+
+const char* ServerShortName(Server server) {
+  switch (server) {
+    case Server::kPine:
+      return "pine";
+    case Server::kApache:
+      return "apache";
+    case Server::kSendmail:
+      return "sendmail";
+    case Server::kMc:
+      return "mc";
+    case Server::kMutt:
+      return "mutt";
+    case Server::kArchive:
+      return "archive";
+    case Server::kCodec:
+      return "codec";
   }
   return "?";
 }

@@ -36,11 +36,19 @@
 
 namespace fob {
 
-// The five servers of §4.
-enum class Server { kPine, kApache, kSendmail, kMc, kMutt };
+// The five servers of §4, plus the two post-paper additions that grow the
+// matrix beyond the seed attacks: the archive inbox (tar/gzip upload over
+// simulated memory, a gzip-1.2.4-style FNAME overflow) and the codec
+// gateway (base64/utf7/utf8 transcoding, a Figure-1-style undersized decode
+// buffer). Every harness that iterates kAllServers picks them up.
+enum class Server { kPine, kApache, kSendmail, kMc, kMutt, kArchive, kCodec };
 const char* ServerName(Server server);
-inline constexpr Server kAllServers[] = {Server::kPine, Server::kApache, Server::kSendmail,
-                                         Server::kMc, Server::kMutt};
+// Lowercase CLI/directory token ("pine", ..., "archive", "codec") — what
+// bench_sweep parses and the fuzz corpus uses as tests/corpus/<server>/.
+const char* ServerShortName(Server server);
+inline constexpr Server kAllServers[] = {Server::kPine,  Server::kApache, Server::kSendmail,
+                                         Server::kMc,    Server::kMutt,   Server::kArchive,
+                                         Server::kCodec};
 
 // What role a request plays in the traffic mix.
 enum class RequestTag : uint8_t {

@@ -76,6 +76,51 @@ std::string GzipStore(std::string_view data) {
   return out;
 }
 
+std::string GzipStoreWithName(std::string_view data, std::string_view name) {
+  // The fixed header GzipStore emits is exactly 10 bytes; FNAME slots in
+  // right after it (RFC 1952 field order: FEXTRA, FNAME, FCOMMENT, FHCRC —
+  // we emit none of the others). The name must not contain NUL.
+  std::string out = GzipStore(data);
+  out[3] = '\x08';  // FLG: FNAME
+  std::string field(name);
+  field.push_back('\0');
+  out.insert(10, field);
+  return out;
+}
+
+std::optional<GzipNameField> FindGzipName(std::string_view bytes) {
+  if (bytes.size() < 10) {
+    return std::nullopt;
+  }
+  if (static_cast<uint8_t>(bytes[0]) != 0x1f || static_cast<uint8_t>(bytes[1]) != 0x8b) {
+    return std::nullopt;
+  }
+  uint8_t flags = static_cast<uint8_t>(bytes[3]);
+  if ((flags & 0x08) == 0) {
+    return std::nullopt;
+  }
+  size_t pos = 10;
+  if (flags & 0x04) {  // FEXTRA precedes FNAME
+    if (pos + 2 > bytes.size()) {
+      return std::nullopt;
+    }
+    uint16_t extra = static_cast<uint8_t>(bytes[pos]) | (static_cast<uint8_t>(bytes[pos + 1]) << 8);
+    pos += 2 + extra;
+  }
+  if (pos >= bytes.size()) {
+    return std::nullopt;
+  }
+  GzipNameField field;
+  field.offset = pos;
+  while (pos < bytes.size() && bytes[pos] != '\0') {
+    ++pos;
+  }
+  // A truncated member may lack the NUL; end then points at the buffer end
+  // and the caller sees an unterminated name, just like a real header read.
+  field.end = pos < bytes.size() ? pos + 1 : bytes.size();
+  return field;
+}
+
 std::optional<std::string> GunzipStore(std::string_view bytes, GunzipError* error) {
   auto fail = [&](GunzipError e) -> std::optional<std::string> {
     if (error != nullptr) {

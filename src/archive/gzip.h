@@ -26,6 +26,23 @@ uint32_t Crc32(std::string_view data);
 // Wraps data in a gzip member whose DEFLATE stream is stored blocks.
 std::string GzipStore(std::string_view data);
 
+// Same container, but with the FNAME flag set and `name` recorded as the
+// member's original file name (NUL-terminated, immediately after the fixed
+// header, per RFC 1952). GunzipStore already skips the field; the archive
+// inbox server (src/apps/archive_inbox.h) parses it through the gzip
+// 1.2.4-style fixed name buffer — the attack surface this writer feeds.
+std::string GzipStoreWithName(std::string_view data, std::string_view name);
+
+// Byte offset of the FNAME field in `bytes`, when the member has one
+// (magic + FLG bit 3), and the offset just past its terminating NUL.
+// nullopt when there is no parseable FNAME field. Host-side header math
+// shared by the honest decoder and the vulnerable inbox parser.
+struct GzipNameField {
+  size_t offset = 0;  // first byte of the name
+  size_t end = 0;     // one past the NUL (== offset of the next field)
+};
+std::optional<GzipNameField> FindGzipName(std::string_view bytes);
+
 enum class GunzipError {
   kBadMagic,
   kUnsupportedCompression,  // a BTYPE other than stored

@@ -1,0 +1,336 @@
+#include "src/harness/fuzz.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/harness/workloads.h"
+#include "src/net/frontend.h"
+
+namespace fob {
+
+namespace {
+
+// SplitMix64 — the same generator and zero-seed discipline as the adaptive
+// controller, so "seeded like the rest of the harness" means exactly that.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Next(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+std::string SiteHex(SiteId id) {
+  std::ostringstream os;
+  os << "0x" << std::hex << id;
+  return os.str();
+}
+
+// The string fields a mutation may touch, in a fixed order (lines and the
+// protocol identity — tag, op, client — stay put: mutants must still parse
+// and route, truncation is tag-preserving by construction).
+constexpr size_t kMutableFields = 4;
+
+std::string* MutableField(ServerRequest& request, size_t index) {
+  switch (index) {
+    case 0:
+      return &request.target;
+    case 1:
+      return &request.arg;
+    case 2:
+      return &request.arg2;
+    default:
+      return &request.payload;
+  }
+}
+
+// Applies one mutation, choosing field and operator from the rng. Fields
+// grow to at most kStretchCap so a runaway stretch cannot swamp a run.
+constexpr size_t kStretchCap = 4096;
+
+void MutateOnce(ServerRequest& request, const std::vector<ServerRequest>& pool,
+                SplitMix64& rng) {
+  size_t field_index = rng.Next(kMutableFields);
+  std::string* field = MutableField(request, field_index);
+  switch (rng.Next(4)) {
+    case 0: {  // byte flip
+      if (field->empty()) {
+        field->push_back(static_cast<char>('A' + rng.Next(26)));
+        break;
+      }
+      size_t at = rng.Next(field->size());
+      (*field)[at] = static_cast<char>((*field)[at] ^ static_cast<char>(1 + rng.Next(255)));
+      break;
+    }
+    case 1: {  // length stretch
+      if (field->empty()) {
+        field->assign(8 + rng.Next(57), static_cast<char>('a' + rng.Next(26)));
+        break;
+      }
+      size_t times = 2 + rng.Next(15);
+      std::string stretched;
+      while (stretched.size() < kStretchCap && times-- > 0) {
+        stretched += *field;
+      }
+      if (stretched.size() > kStretchCap) {
+        stretched.resize(kStretchCap);
+      }
+      *field = std::move(stretched);
+      break;
+    }
+    case 2: {  // field splice from another pool request
+      const ServerRequest& donor = pool[rng.Next(pool.size())];
+      ServerRequest copy = donor;  // MutableField needs a mutable donor view
+      *field = *MutableField(copy, rng.Next(kMutableFields));
+      break;
+    }
+    default: {  // truncation to a prefix
+      if (!field->empty()) {
+        field->resize(rng.Next(field->size()));
+      }
+      break;
+    }
+  }
+}
+
+// Does `request` still trigger every site in `required`?
+bool TriggersAll(Server server, const ServerRequest& request, const FuzzOptions& options,
+                 const std::set<SiteId>& required, size_t& executed) {
+  ++executed;
+  std::vector<MemSiteStat> sites =
+      ExecuteRequestForSites(server, request, options.policy, options.access_budget);
+  std::set<SiteId> seen;
+  for (const MemSiteStat& stat : sites) {
+    seen.insert(stat.site);
+  }
+  for (SiteId id : required) {
+    if (seen.count(id) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Deterministic per-field shrink: drop each mutable field entirely if the
+// finding survives, else halve its prefix while it still triggers. The
+// result is monotone — the minimized request triggers the full new-site set
+// (tests/test_fuzz.cc pins this).
+ServerRequest Minimize(Server server, ServerRequest request, const FuzzOptions& options,
+                       const std::set<SiteId>& required, size_t& executed) {
+  for (size_t field_index = 0; field_index < kMutableFields; ++field_index) {
+    std::string original = *MutableField(request, field_index);
+    if (original.empty()) {
+      continue;
+    }
+    ServerRequest trial = request;
+    MutableField(trial, field_index)->clear();
+    if (TriggersAll(server, trial, options, required, executed)) {
+      request = std::move(trial);
+      continue;
+    }
+    while (MutableField(request, field_index)->size() > 1) {
+      trial = request;
+      std::string* field = MutableField(trial, field_index);
+      field->resize(field->size() / 2);
+      if (!TriggersAll(server, trial, options, required, executed)) {
+        break;
+      }
+      request = std::move(trial);
+    }
+  }
+  return request;
+}
+
+void AppendStreamSites(Server server, const TrafficStream& stream, const FuzzOptions& options,
+                       std::set<SiteId>& sites) {
+  Frontend::Options frontend_options;
+  frontend_options.workers = 1;
+  frontend_options.worker_access_budget = options.access_budget;
+  Frontend frontend(MakeServerAppFactory(server, options.policy), frontend_options);
+  LineChannel& channel = frontend.Connect(0);
+  for (const ServerRequest& request : stream.requests) {
+    channel.ClientSend(request.Serialize());
+  }
+  channel.ClientClose();
+  frontend.Run();
+  MemLog log = frontend.MergedLog();
+  for (const auto& [id, stat] : log.sites()) {
+    sites.insert(id);
+  }
+}
+
+}  // namespace
+
+std::vector<MemSiteStat> ExecuteRequestForSites(Server server, const ServerRequest& request,
+                                                AccessPolicy policy, uint64_t access_budget) {
+  Frontend::Options options;
+  options.workers = 1;
+  options.worker_access_budget = access_budget;
+  Frontend frontend(MakeServerAppFactory(server, policy), options);
+  LineChannel& channel = frontend.Connect(request.client_id);
+  channel.ClientSend(request.Serialize());
+  channel.ClientClose();
+  frontend.Run();
+  MemLog log = frontend.MergedLog();
+  std::vector<MemSiteStat> sites;
+  sites.reserve(log.sites().size());
+  for (const auto& [id, stat] : log.sites()) {
+    sites.push_back(stat);
+  }
+  std::sort(sites.begin(), sites.end(), [](const MemSiteStat& a, const MemSiteStat& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.Label() < b.Label();
+  });
+  return sites;
+}
+
+FuzzResult RunFuzzer(Server server, const FuzzOptions& options) {
+  FuzzResult result;
+  result.server = server;
+  result.options = options;
+  std::ostringstream log;
+
+  // Baseline: everything the §4-style workloads already exercise. A site
+  // has to escape *both* streams to count as a discovery.
+  TrafficStream attack = MakeAttackStream(server);
+  TrafficStream multi = MakeMultiAttackStream(server);
+  AppendStreamSites(server, attack, options, result.baseline_sites);
+  AppendStreamSites(server, multi, options, result.baseline_sites);
+  log << "fuzz " << ServerShortName(server) << ": seed " << options.seed << ", baseline "
+      << result.baseline_sites.size() << " sites\n";
+
+  // The seed pool: the baseline streams' requests, grown by each minimized
+  // finding (discoveries compound).
+  std::vector<ServerRequest> pool = attack.requests;
+  pool.insert(pool.end(), multi.requests.begin(), multi.requests.end());
+
+  std::set<SiteId> known = result.baseline_sites;
+  SplitMix64 rng(options.seed);
+  for (size_t iteration = 0;
+       iteration < options.iterations && result.findings.size() < options.max_findings;
+       ++iteration) {
+    ServerRequest mutant = pool[rng.Next(pool.size())];
+    mutant.expect.clear();  // mutants carry no integrity expectation
+    size_t mutations = 1 + rng.Next(options.max_mutations);
+    for (size_t m = 0; m < mutations; ++m) {
+      MutateOnce(mutant, pool, rng);
+    }
+    ++result.executed;
+    std::vector<MemSiteStat> sites =
+        ExecuteRequestForSites(server, mutant, options.policy, options.access_budget);
+    std::vector<MemSiteStat> fresh;
+    for (const MemSiteStat& stat : sites) {
+      if (known.count(stat.site) == 0) {
+        fresh.push_back(stat);
+      }
+    }
+    if (fresh.empty()) {
+      continue;
+    }
+    std::set<SiteId> required;
+    for (const MemSiteStat& stat : fresh) {
+      required.insert(stat.site);
+      known.insert(stat.site);
+    }
+    FuzzFinding finding;
+    finding.generation = iteration;
+    finding.request = Minimize(server, std::move(mutant), options, required, result.executed);
+    finding.new_sites = std::move(fresh);
+    log << "  iter " << iteration << ": " << finding.new_sites.size() << " new site(s)\n";
+    for (const MemSiteStat& stat : finding.new_sites) {
+      log << "    " << stat.Label() << " (" << SiteHex(stat.site) << ")\n";
+    }
+    pool.push_back(finding.request);
+    result.findings.push_back(std::move(finding));
+  }
+  log << "  " << result.findings.size() << " finding(s), " << result.executed
+      << " executions\n";
+  result.log = log.str();
+  return result;
+}
+
+// ---- Corpus wire format ----------------------------------------------------
+
+std::string FormatManifestLine(const CorpusCase& c) {
+  std::ostringstream os;
+  os << c.file << '\t' << c.seed << '\t' << c.generation << '\t';
+  for (size_t i = 0; i < c.sites.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << SiteHex(c.sites[i]);
+  }
+  return os.str();
+}
+
+std::optional<CorpusCase> ParseManifestLine(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  if (fields.size() != 4 || fields[0].empty()) {
+    return std::nullopt;
+  }
+  CorpusCase parsed;
+  parsed.file = fields[0];
+  {
+    const std::string& s = fields[1];
+    char* end = nullptr;
+    parsed.seed = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || end == nullptr || *end != '\0') {
+      return std::nullopt;
+    }
+  }
+  {
+    const std::string& s = fields[2];
+    char* end = nullptr;
+    parsed.generation = static_cast<size_t>(std::strtoull(s.c_str(), &end, 10));
+    if (s.empty() || end == nullptr || *end != '\0') {
+      return std::nullopt;
+    }
+  }
+  const std::string& sites = fields[3];
+  size_t pos = 0;
+  while (pos <= sites.size()) {
+    size_t comma = sites.find(',', pos);
+    std::string token =
+        comma == std::string::npos ? sites.substr(pos) : sites.substr(pos, comma - pos);
+    if (token.size() <= 2 || token[0] != '0' || (token[1] != 'x' && token[1] != 'X')) {
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    SiteId id = std::strtoull(token.c_str() + 2, &end, 16);
+    if (end == nullptr || *end != '\0' || id == kInvalidSite) {
+      return std::nullopt;
+    }
+    parsed.sites.push_back(id);
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  if (parsed.sites.empty()) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace fob

@@ -1,0 +1,110 @@
+// Seeded mutation fuzzer + replayable attack corpus.
+//
+// The §4 workloads exercise each server's *documented* error sites — the
+// attacks the paper describes. The fuzzer asks what else is reachable: it
+// mutates those attack requests (byte flips, length stretches, field
+// splices, tag-preserving truncations) and drives each mutant through the
+// same Frontend path every harness uses. Any input whose merged MemLog
+// reveals an error SiteId outside the baseline-exercised set is a
+// *finding*: it gets minimized (deterministically, preserving the full
+// discovered-site set) and archived as a one-line wire-serialized case
+// under tests/corpus/<server>/, with a manifest recording the seed,
+// generation and discovered sites — so CI can replay every case forever
+// and fail the moment a site goes silently dead.
+//
+// Everything here is deterministic: one SplitMix64 generator (the adaptive
+// controller's seeding discipline), deterministic workload builders,
+// deterministic execution. Same seed ⇒ identical corpus, byte for byte —
+// tests/test_fuzz.cc pins it. This module is pure compute; all file I/O
+// (corpus writing, discovery logs) lives in bench/fuzz_run.cc.
+
+#ifndef SRC_HARNESS_FUZZ_H_
+#define SRC_HARNESS_FUZZ_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/server_app.h"
+#include "src/runtime/memlog.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/policy_spec.h"
+
+namespace fob {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  // Mutated inputs to try (minimization probes are extra executions).
+  size_t iterations = 200;
+  // Stop after this many findings (each finding = >=1 new site).
+  size_t max_findings = 8;
+  // The observation policy: a continuing policy so one run surveys every
+  // site the input reaches instead of stopping at the first.
+  AccessPolicy policy = AccessPolicy::kFailureOblivious;
+  // Hang guard per execution (a mutant that spins exhausts it and reads as
+  // a crash, not a stuck fuzzer).
+  uint64_t access_budget = 2'000'000;
+  // Mutations stacked per iteration: 1..max_mutations.
+  size_t max_mutations = 3;
+};
+
+struct FuzzFinding {
+  // The minimized input: still triggers every site in new_sites.
+  ServerRequest request;
+  // Sites this input exercises that the baseline workloads do not,
+  // most errors first.
+  std::vector<MemSiteStat> new_sites;
+  // Iteration index that produced the original (pre-minimization) input.
+  size_t generation = 0;
+};
+
+struct FuzzResult {
+  Server server = Server::kApache;
+  FuzzOptions options;
+  // Every site the server's §4 attack stream + multi-attack stream
+  // exercise under options.policy — the novelty baseline.
+  std::set<SiteId> baseline_sites;
+  std::vector<FuzzFinding> findings;
+  // Total executions (mutants + minimization probes).
+  size_t executed = 0;
+  // Human-readable discovery log (what fuzz_run prints / CI uploads).
+  std::string log;
+};
+
+// The fuzzing loop: baseline, mutate, execute, minimize, archive.
+FuzzResult RunFuzzer(Server server, const FuzzOptions& options = {});
+
+// Executes one request through a single-worker Frontend (the same path
+// every harness uses) and returns the distinct error sites logged.
+std::vector<MemSiteStat> ExecuteRequestForSites(Server server, const ServerRequest& request,
+                                                AccessPolicy policy, uint64_t access_budget);
+
+// ---- Corpus wire format ----------------------------------------------------
+//
+// A corpus case is one file holding the request's Serialize() line; the
+// per-server MANIFEST.tsv holds one line per case:
+//
+//   <file>\t<seed>\t<generation>\t<0xsite,0xsite,...>
+//
+// ('#' lines are comments.) SiteIds are hex — 64-bit ids are not safe
+// through tools that round-trip numbers as doubles.
+
+struct CorpusCase {
+  std::string file;       // case file name, relative to the manifest
+  uint64_t seed = 0;      // fuzzer seed that discovered it
+  size_t generation = 0;  // iteration index within that run
+  std::vector<SiteId> sites;  // sites the case must still trigger on replay
+  // Filled by the replayer from `file`, not by ParseManifestLine.
+  ServerRequest request;
+};
+
+std::string FormatManifestLine(const CorpusCase& c);
+// nullopt on malformed input (wrong field count, unparseable numbers,
+// empty site list) — hardened like the tools/ checkers; never throws.
+std::optional<CorpusCase> ParseManifestLine(const std::string& line);
+
+}  // namespace fob
+
+#endif  // SRC_HARNESS_FUZZ_H_

@@ -8,6 +8,8 @@
 #include "src/apps/server_adapters.h"
 #include "src/archive/gzip.h"
 #include "src/archive/tar.h"
+#include "src/codec/base64.h"
+#include "src/codec/utf7.h"
 #include "src/codec/utf8.h"
 #include "src/mail/mbox.h"
 
@@ -121,6 +123,44 @@ TrafficStream MakeAttackStream(Server server) {
       add(Req(RequestTag::kLegit, "move", "INBOX", "1", "archive"));
       break;
     }
+    case Server::kArchive: {
+      // The oversized recorded name overflows the header copy; the upload
+      // itself (which never depended on the name) must still store all
+      // three files, and the slot must stay fully usable afterwards.
+      ServerRequest upload = Req(RequestTag::kAttack, "upload", "drop0");
+      upload.payload = MakeArchiveAttackTgz();
+      add(Expect(upload, 3));
+      ServerRequest list = Req(RequestTag::kLegit, "list", "drop0");
+      add(Expect(list, 3));
+      ServerRequest benign = Req(RequestTag::kLegit, "upload", "drop1");
+      benign.payload = MakeArchiveBenignTgz();
+      add(Expect(benign, 2));
+      add(Req(RequestTag::kLegit, "extract", "drop0", "pkg/readme.txt"));
+      add(Req(RequestTag::kLegit, "drop", "drop1"));
+      break;
+    }
+    case Server::kCodec: {
+      // The decode bomb overflows the undersized output buffer; the
+      // availability criterion is that the gateway answers this and every
+      // later conversion (expect pins exact bytes only on the legit ops —
+      // a truncated bomb reply is the absorbed-attack case, not a failure).
+      ServerRequest bomb = Req(RequestTag::kAttack, "transcode", "u7to8", "utf7");
+      bomb.payload = MakeCodecBombUtf7();
+      add(bomb);
+      ServerRequest legit = Req(RequestTag::kLegit, "transcode", "u7to8", "utf7");
+      legit.payload = "Hello&AOk-!";
+      legit.expect = *Utf7ToUtf8(legit.payload);
+      add(legit);
+      ServerRequest enc = Req(RequestTag::kLegit, "transcode", "b64enc", "b64");
+      enc.payload = "failure oblivious";
+      enc.expect = Base64Encode(enc.payload);
+      add(enc);
+      ServerRequest back = Req(RequestTag::kLegit, "transcode", "u8to7", "utf8");
+      back.payload = MakeMuttBenignFolderName();
+      back.expect = *Utf8ToUtf7(back.payload);
+      add(back);
+      break;
+    }
   }
   return stream;
 }
@@ -191,6 +231,10 @@ TrafficStream MakeMultiAttackStream(Server server) {
       add(Req(RequestTag::kLegit, "read", "INBOX", "1"));
       break;
     }
+    case Server::kArchive:
+      return MakeMalformedArchiveStream();
+    case Server::kCodec:
+      return MakeCodecBombStream();
   }
   return stream;
 }
@@ -201,6 +245,7 @@ TrafficStream MakeTrafficStream(Server server, const StreamOptions& options) {
   StreamRng rng(options.seed);
   std::string mc_pending_copy;  // generator state: a copy awaiting deletion
   bool mc_tree_made = false;
+  std::string archive_pending_slot;  // generator state: a slot awaiting drop
   for (size_t round = 0; round < options.requests; ++round) {
     uint64_t client = options.clients == 0 ? 0 : rng.Next(options.clients);
     bool attack = options.attack_period > 0 &&
@@ -269,6 +314,46 @@ TrafficStream MakeTrafficStream(Server server, const StreamOptions& options) {
         }
         break;
       }
+      case Server::kArchive: {
+        if (attack) {
+          request = Req(tag, "upload", "evil");
+          request.payload = MakeArchiveAttackTgz();
+          request.expect = "3";
+        } else if (archive_pending_slot.empty()) {
+          archive_pending_slot = "slot" + std::to_string(round);
+          request = Req(tag, "upload", archive_pending_slot);
+          request.payload = MakeArchiveBenignTgz();
+          request.expect = "2";
+        } else if (rng.Next(2) == 0) {
+          request = Req(tag, "list", archive_pending_slot);
+          request.expect = "2";
+        } else {
+          request = Req(tag, "drop", archive_pending_slot);
+          archive_pending_slot.clear();
+        }
+        break;
+      }
+      case Server::kCodec: {
+        if (attack) {
+          // Sustained traffic judges continuing service, not byte equality,
+          // so the bomb's expect stays empty (the §4-style criterion).
+          request = Req(tag, "transcode", "u7to8", "utf7");
+          request.payload = MakeCodecBombUtf7();
+        } else if (rng.Next(3) == 0) {
+          request = Req(tag, "transcode", "u7to8", "utf7");
+          request.payload = "Hello&AOk-!";
+          request.expect = *Utf7ToUtf8(request.payload);
+        } else if (rng.Next(2) == 0) {
+          request = Req(tag, "transcode", "b64enc", "b64");
+          request.payload = "sustained traffic";
+          request.expect = Base64Encode(request.payload);
+        } else {
+          request = Req(tag, "transcode", "b64dec", "b64");
+          request.payload = Base64Encode("sustained traffic");
+          request.expect = "sustained traffic";
+        }
+        break;
+      }
     }
     request.client_id = client;
     stream.requests.push_back(std::move(request));
@@ -311,6 +396,10 @@ std::unique_ptr<ServerApp> MakeServerApp(Server server, const PolicySpec& spec,
       folders.emplace_back("archive", std::vector<MailMessage>{});
       return std::make_unique<MuttServer>(spec, std::move(folders));
     }
+    case Server::kArchive:
+      return std::make_unique<ArchiveServer>(spec);
+    case Server::kCodec:
+      return std::make_unique<CodecServer>(spec);
   }
   return nullptr;
 }
@@ -476,6 +565,108 @@ std::string MakeMuttBenignFolderName() {
   // "archive/<CJK><CJK>" — expansion stays under 2x because the wide chars
   // share one shift sequence.
   return "archive/" + Utf8Encode(0x65e5) + Utf8Encode(0x672c) + Utf8Encode(0x8a9e);
+}
+
+// ---- Archive Inbox ---------------------------------------------------------
+
+std::string MakeArchiveAttackTgz(size_t name_chars) {
+  std::vector<TarEntry> entries;
+  entries.push_back(TarEntry::Directory("pkg/"));
+  entries.push_back(TarEntry::File("pkg/readme.txt", "uploaded archive\n"));
+  entries.push_back(TarEntry::File("pkg/data.bin", std::string(256, 'd')));
+  entries.push_back(TarEntry::File("pkg/notes/today.txt", "remember the milk\n"));
+  // A deeply nested recorded path — the kind of original name a desktop
+  // archiver happily embeds, and longer than the inbox's name work area.
+  std::string name;
+  while (name.size() < name_chars) {
+    name += "home-backup-final-v2/";
+  }
+  name.resize(name_chars);
+  return GzipStoreWithName(WriteTar(entries), name);
+}
+
+std::string MakeArchiveBenignTgz() {
+  std::vector<TarEntry> entries;
+  entries.push_back(TarEntry::Directory("pkg/"));
+  entries.push_back(TarEntry::File("pkg/a.txt", "file a\n"));
+  entries.push_back(TarEntry::File("pkg/b.txt", "file b\n"));
+  return GzipStoreWithName(WriteTar(entries), "pkg.tar");
+}
+
+TrafficStream MakeMalformedArchiveStream() {
+  TrafficStream stream;
+  stream.server = Server::kArchive;
+  auto add = [&stream](ServerRequest request) { stream.requests.push_back(std::move(request)); };
+  // Two overflow depths at the FNAME site (count-based per-site assignments
+  // see different error volumes), then two containers the decompressor
+  // rejects — whose headers the vulnerable copy has already parsed by then.
+  ServerRequest deep = Req(RequestTag::kAttack, "upload", "inboxA");
+  deep.payload = MakeArchiveAttackTgz(/*name_chars=*/64);
+  add(Expect(deep, 3));
+  ServerRequest deeper = Req(RequestTag::kAttack, "upload", "inboxA");
+  deeper.payload = MakeArchiveAttackTgz(/*name_chars=*/96);
+  add(Expect(deeper, 3));
+  ServerRequest truncated = Req(RequestTag::kAttack, "upload", "inboxB");
+  truncated.payload = MakeArchiveAttackTgz().substr(0, 20);
+  add(truncated);
+  ServerRequest corrupt = Req(RequestTag::kAttack, "upload", "inboxB");
+  corrupt.payload = MakeArchiveAttackTgz();
+  corrupt.payload[corrupt.payload.size() - 5] ^= 0x20;  // stomp the CRC trailer
+  add(corrupt);
+  ServerRequest benign = Req(RequestTag::kLegit, "upload", "inboxC");
+  benign.payload = MakeArchiveBenignTgz();
+  add(Expect(benign, 2));
+  ServerRequest list = Req(RequestTag::kLegit, "list", "inboxA");
+  add(Expect(list, 3));
+  add(Req(RequestTag::kLegit, "extract", "inboxC", "pkg/a.txt"));
+  add(Req(RequestTag::kLegit, "drop", "inboxC"));
+  return stream;
+}
+
+// ---- Codec Gateway ---------------------------------------------------------
+
+std::string MakeCodecBombUtf8(size_t units) {
+  static constexpr uint32_t kCjk[] = {0x65e5, 0x672c, 0x8a9e};
+  std::string out;
+  out.reserve(units * 3);
+  for (size_t i = 0; i < units; ++i) {
+    out += Utf8Encode(kCjk[i % 3]);
+  }
+  return out;
+}
+
+std::string MakeCodecBombUtf7(size_t units) {
+  // The reference encoder is exact, so the bomb and its expected decode are
+  // the same value seen through the two codecs.
+  return *Utf8ToUtf7(MakeCodecBombUtf8(units));
+}
+
+TrafficStream MakeCodecBombStream() {
+  TrafficStream stream;
+  stream.server = Server::kCodec;
+  auto add = [&stream](ServerRequest request) { stream.requests.push_back(std::move(request)); };
+  // Integrity-checking clients: each bomb's expect pins the reference
+  // output byte for byte, so truncated (Failure Oblivious) and garbled
+  // (Wrap) replies are unacceptable — only Boundless passes at this site.
+  for (size_t units : {size_t{60}, size_t{40}}) {
+    ServerRequest bomb = Req(RequestTag::kAttack, "transcode", "u7to8", "utf7");
+    bomb.payload = MakeCodecBombUtf7(units);
+    bomb.expect = MakeCodecBombUtf8(units);
+    add(bomb);
+  }
+  ServerRequest legit = Req(RequestTag::kLegit, "transcode", "u7to8", "utf7");
+  legit.payload = "Hello&AOk-!";
+  legit.expect = *Utf7ToUtf8(legit.payload);
+  add(legit);
+  ServerRequest enc = Req(RequestTag::kLegit, "transcode", "b64enc", "b64");
+  enc.payload = "failure oblivious";
+  enc.expect = Base64Encode(enc.payload);
+  add(enc);
+  ServerRequest back = Req(RequestTag::kLegit, "transcode", "u8to7", "utf8");
+  back.payload = MakeMuttBenignFolderName();
+  back.expect = *Utf8ToUtf7(back.payload);
+  add(back);
+  return stream;
 }
 
 }  // namespace fob

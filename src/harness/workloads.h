@@ -153,6 +153,35 @@ std::string MakeMuttAttackFolderName(size_t blocks = 24);
 // A benign non-ASCII folder name (expansion < 2x).
 std::string MakeMuttBenignFolderName();
 
+// ---- Archive Inbox ---------------------------------------------------------
+
+// A .tgz whose gzip header records a `name_chars`-long original name (FNAME
+// field) — longer than ArchiveInboxApp::kNameBufSize, so the header copy
+// overflows. The tar payload itself is honest: three regular files.
+std::string MakeArchiveAttackTgz(size_t name_chars = 96);
+// A benign .tgz: short recorded name, two files.
+std::string MakeArchiveBenignTgz();
+// Malformed-container traffic (the archive inbox's multi-attack stream):
+// two oversized-FNAME uploads plus a truncated and a CRC-corrupted archive
+// that must be rejected through the standard "Cannot open archive" path —
+// the gzip-1.2.4 parse order means the vulnerable name copy runs even for
+// archives the decompressor goes on to reject.
+TrafficStream MakeMalformedArchiveStream();
+
+// ---- Codec Gateway ---------------------------------------------------------
+
+// CJK-dense UTF-8 (`units` three-byte codepoints) and its modified-UTF-7
+// encoding — the decode bomb: the UTF-7 form is *shorter* than the UTF-8 it
+// decodes to (8 base64 chars carry 9 output bytes), so the gateway's
+// "decoding never expands" u7len+1 buffer comes up ~12% short.
+std::string MakeCodecBombUtf8(size_t units = 60);
+std::string MakeCodecBombUtf7(size_t units = 60);
+// Integrity-checked transcode traffic (the codec gateway's multi-attack
+// stream): decode bombs whose `expect` pins the reference output byte for
+// byte. Only Boundless reproduces it through the undersized buffer — the
+// assignment shape no §4 server's acceptability criterion demands.
+TrafficStream MakeCodecBombStream();
+
 }  // namespace fob
 
 #endif  // SRC_HARNESS_WORKLOADS_H_

@@ -1,0 +1,129 @@
+// mini archive-inbox server (post-§4 matrix row): the gzip 1.2.4 FNAME
+// overflow under every policy, the anticipated malformed-container errors,
+// and the fuzzer-facing slot-staging site the shipped workloads never touch.
+
+#include "src/apps/archive_inbox.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/harness/workloads.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+// The recorded original name MakeArchiveAttackTgz embeds (workloads.cc):
+// "home-backup-final-v2/" repeated, resized to name_chars.
+std::string AttackName(size_t name_chars) {
+  std::string name;
+  while (name.size() < name_chars) {
+    name += "home-backup-final-v2/";
+  }
+  name.resize(name_chars);
+  return name;
+}
+
+TEST(ArchiveInboxTest, FailureObliviousTruncatesTheDisplayName) {
+  ArchiveInboxApp app(AccessPolicy::kFailureOblivious);
+  auto upload = app.Upload("drop0", MakeArchiveAttackTgz());
+  // The upload never depended on the name: it stores all three files.
+  EXPECT_TRUE(upload.ok);
+  ASSERT_EQ(upload.files.size(), 3u);
+  EXPECT_EQ(upload.files[0], "pkg/data.bin");
+  // The display name is the in-bounds prefix: the overflow writes were
+  // discarded and the read-back scan stopped at the first manufactured zero.
+  std::string expected = AttackName(ArchiveInboxApp::kNameBufSize);
+  EXPECT_NE(upload.display.find("from \"" + expected + "\""), std::string::npos)
+      << upload.display;
+  EXPECT_GT(app.memory().log().write_errors(), 0u);
+}
+
+TEST(ArchiveInboxTest, BoundlessRoundTripsTheFullName) {
+  ArchiveInboxApp app(AccessPolicy::kBoundless);
+  auto upload = app.Upload("drop0", MakeArchiveAttackTgz());
+  EXPECT_TRUE(upload.ok);
+  EXPECT_NE(upload.display.find("from \"" + AttackName(96) + "\""), std::string::npos)
+      << upload.display;
+}
+
+TEST(ArchiveInboxTest, WrapLeavesAnEmptyDisplayName) {
+  // 97 wrapped stores: the terminating NUL lands on buffer[0], so the name
+  // reads back empty and the display drops the "from" clause entirely.
+  ArchiveInboxApp app(AccessPolicy::kWrap);
+  auto upload = app.Upload("drop0", MakeArchiveAttackTgz());
+  EXPECT_TRUE(upload.ok);
+  EXPECT_EQ(upload.display, "stored 3 files");
+}
+
+TEST(ArchiveInboxTest, StandardSmashesTheStack) {
+  ArchiveInboxApp app(AccessPolicy::kStandard);
+  RunResult result = RunAsProcess([&] { app.Upload("drop0", MakeArchiveAttackTgz()); });
+  EXPECT_EQ(result.status, ExitStatus::kStackSmash);
+}
+
+TEST(ArchiveInboxTest, BoundsCheckTerminatesAtTheFirstStore) {
+  ArchiveInboxApp app(AccessPolicy::kBoundsCheck);
+  RunResult result = RunAsProcess([&] { app.Upload("drop0", MakeArchiveAttackTgz()); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(ArchiveInboxTest, FailureObliviousKeepsServingAfterTheAttack) {
+  ArchiveInboxApp app(AccessPolicy::kFailureOblivious);
+  ASSERT_TRUE(app.Upload("drop0", MakeArchiveAttackTgz()).ok);
+  auto list = app.List("drop0");
+  EXPECT_TRUE(list.ok);
+  EXPECT_EQ(list.files.size(), 3u);
+  auto benign = app.Upload("drop1", MakeArchiveBenignTgz());
+  EXPECT_TRUE(benign.ok);
+  EXPECT_EQ(benign.files.size(), 2u);
+  auto extract = app.Extract("drop0", "pkg/readme.txt");
+  EXPECT_TRUE(extract.ok);
+  EXPECT_EQ(extract.display, "uploaded archive\n");
+  EXPECT_TRUE(app.Drop("drop1").ok);
+  EXPECT_FALSE(app.List("drop1").ok);
+}
+
+TEST(ArchiveInboxTest, MalformedContainersGetTheAnticipatedError) {
+  ArchiveInboxApp app(AccessPolicy::kFailureOblivious);
+  // Truncated mid-name: the FNAME parse copies the partial field (short
+  // enough to stay in bounds), then the honest gunzip rejects the stream.
+  auto truncated = app.Upload("drop0", MakeArchiveAttackTgz().substr(0, 20));
+  EXPECT_FALSE(truncated.ok);
+  EXPECT_EQ(truncated.error.rfind("Cannot open archive", 0), 0u) << truncated.error;
+  // Not a gzip stream at all.
+  auto garbage = app.Upload("drop0", "this is not a tgz");
+  EXPECT_FALSE(garbage.ok);
+  EXPECT_EQ(garbage.error.rfind("Cannot open archive", 0), 0u) << garbage.error;
+  EXPECT_TRUE(app.List("drop0").files.empty());
+}
+
+TEST(ArchiveInboxTest, ShippedSlotNamesFitTheStagingBuffer) {
+  // The baseline workloads must never touch the slot-staging site — it is
+  // reserved for the fuzzer to discover (tests/test_fuzz.cc).
+  ArchiveInboxApp app(AccessPolicy::kFailureOblivious);
+  ASSERT_TRUE(app.Upload("drop1", MakeArchiveBenignTgz()).ok);
+  app.List("drop1");
+  app.Extract("drop1", "pkg/a.txt");
+  app.Drop("drop1");
+  EXPECT_EQ(app.memory().log().total_errors(), 0u) << app.memory().log().Summary();
+}
+
+TEST(ArchiveInboxTest, OversizedSlotNameOverflowsTheStagingBuffer) {
+  ArchiveInboxApp app(AccessPolicy::kFailureOblivious);
+  std::string slot(2 * ArchiveInboxApp::kSlotBufSize, 'x');
+  auto upload = app.Upload(slot, MakeArchiveBenignTgz());
+  // Failure-oblivious: the staged slot truncates, the upload proceeds.
+  EXPECT_TRUE(upload.ok);
+  bool saw_slot_site = false;
+  for (const auto& [id, stat] : app.memory().log().sites()) {
+    if (stat.unit_name.find("slot_name_buf") != std::string::npos && stat.is_write) {
+      saw_slot_site = true;
+    }
+  }
+  EXPECT_TRUE(saw_slot_site) << app.memory().log().Summary();
+}
+
+}  // namespace
+}  // namespace fob

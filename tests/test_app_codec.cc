@@ -1,0 +1,138 @@
+// mini codec-gateway server (post-§4 matrix row): the undersized UTF-7
+// decode buffer under every policy — the Figure-1 class of size-calculation
+// error on the *decode* side — plus the anticipated malformed-input errors
+// and the fuzzer-facing charset-staging site.
+
+#include "src/apps/codec_gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/codec/base64.h"
+#include "src/codec/utf7.h"
+#include "src/harness/workloads.h"
+#include "src/runtime/process.h"
+
+namespace fob {
+namespace {
+
+TEST(CodecGatewayTest, FailureObliviousTruncatesTheBombOutput) {
+  CodecGatewayApp app(AccessPolicy::kFailureOblivious);
+  std::string bomb = MakeCodecBombUtf7();
+  std::string full = MakeCodecBombUtf8();
+  auto result = app.Transcode("u7to8", "utf7", bomb);
+  ASSERT_TRUE(result.ok) << result.error;
+  // The overflow stores were discarded: what survives is the in-bounds
+  // prefix of the correct conversion, NUL-terminated by the realloc'd tail.
+  EXPECT_LT(result.output.size(), full.size());
+  EXPECT_EQ(result.output, full.substr(0, result.output.size()));
+  EXPECT_GT(app.memory().log().write_errors(), 0u);
+}
+
+TEST(CodecGatewayTest, BoundlessRecoversTheFullConversion) {
+  // §5.1 again: the out-of-bounds stores round-trip through the boundless
+  // store and Realloc materializes them, so the gateway's reply is
+  // byte-identical to the host codec's.
+  CodecGatewayApp app(AccessPolicy::kBoundless);
+  auto result = app.Transcode("u7to8", "utf7", MakeCodecBombUtf7());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.output, MakeCodecBombUtf8());
+}
+
+TEST(CodecGatewayTest, StandardCorruptsTheHeap) {
+  CodecGatewayApp app(AccessPolicy::kStandard);
+  RunResult result =
+      RunAsProcess([&] { app.Transcode("u7to8", "utf7", MakeCodecBombUtf7()); });
+  EXPECT_EQ(result.status, ExitStatus::kHeapCorruption);
+}
+
+TEST(CodecGatewayTest, BoundsCheckTerminatesAtTheFirstStore) {
+  CodecGatewayApp app(AccessPolicy::kBoundsCheck);
+  RunResult result =
+      RunAsProcess([&] { app.Transcode("u7to8", "utf7", MakeCodecBombUtf7()); });
+  EXPECT_EQ(result.status, ExitStatus::kBoundsTerminated);
+}
+
+TEST(CodecGatewayTest, BenignTranscodesMatchTheHostCodecsUnderEveryPolicy) {
+  const std::string utf7_sample = "Hello&AOk-!";
+  const std::string wide = MakeMuttBenignFolderName();
+  const std::string text = "failure oblivious";
+  for (AccessPolicy policy : kAllPolicies) {
+    CodecGatewayApp app(policy);
+    auto u7to8 = app.Transcode("u7to8", "utf7", utf7_sample);
+    EXPECT_TRUE(u7to8.ok) << PolicyName(policy);
+    EXPECT_EQ(u7to8.output, *Utf7ToUtf8(utf7_sample)) << PolicyName(policy);
+    auto u8to7 = app.Transcode("u8to7", "utf8", wide);
+    EXPECT_TRUE(u8to7.ok) << PolicyName(policy);
+    EXPECT_EQ(u8to7.output, *Utf8ToUtf7(wide)) << PolicyName(policy);
+    auto b64enc = app.Transcode("b64enc", "ascii", text);
+    EXPECT_TRUE(b64enc.ok) << PolicyName(policy);
+    EXPECT_EQ(b64enc.output, Base64Encode(text)) << PolicyName(policy);
+    auto b64dec = app.Transcode("b64dec", "ascii", Base64Encode(text));
+    EXPECT_TRUE(b64dec.ok) << PolicyName(policy);
+    EXPECT_EQ(b64dec.output, text) << PolicyName(policy);
+  }
+}
+
+TEST(CodecGatewayTest, BenignWorkloadLogsNoMemoryErrors) {
+  CodecGatewayApp app(AccessPolicy::kFailureOblivious);
+  app.Transcode("u7to8", "utf7", "Hello&AOk-!");
+  app.Transcode("b64enc", "ascii", "failure oblivious");
+  app.Transcode("u8to7", "utf8", MakeMuttBenignFolderName());
+  EXPECT_EQ(app.memory().log().total_errors(), 0u) << app.memory().log().Summary();
+}
+
+TEST(CodecGatewayTest, FailureObliviousKeepsServingAfterTheBomb) {
+  CodecGatewayApp app(AccessPolicy::kFailureOblivious);
+  ASSERT_TRUE(app.Transcode("u7to8", "utf7", MakeCodecBombUtf7()).ok);
+  auto after = app.Transcode("b64enc", "ascii", "still here");
+  EXPECT_TRUE(after.ok);
+  EXPECT_EQ(after.output, Base64Encode("still here"));
+  EXPECT_EQ(app.requests_served(), 2u);
+}
+
+TEST(CodecGatewayTest, MalformedInputsGetTheAnticipatedErrors) {
+  CodecGatewayApp app(AccessPolicy::kFailureOblivious);
+  auto bad_u7 = app.Transcode("u7to8", "utf7", "&!!");
+  EXPECT_FALSE(bad_u7.ok);
+  EXPECT_NE(bad_u7.error.find("malformed utf-7"), std::string::npos) << bad_u7.error;
+  auto bad_u8 = app.Transcode("u8to7", "utf8", "\xff\xfe");
+  EXPECT_FALSE(bad_u8.ok);
+  EXPECT_NE(bad_u8.error.find("invalid utf-8"), std::string::npos) << bad_u8.error;
+  auto bad_b64 = app.Transcode("b64dec", "ascii", "@@@@");
+  EXPECT_FALSE(bad_b64.ok);
+  EXPECT_NE(bad_b64.error.find("bad base64"), std::string::npos) << bad_b64.error;
+  auto bad_dir = app.Transcode("zstd", "ascii", "x");
+  EXPECT_FALSE(bad_dir.ok);
+  EXPECT_NE(bad_dir.error.find("unsupported direction"), std::string::npos) << bad_dir.error;
+}
+
+TEST(CodecGatewayTest, ShippedCharsetLabelsFitTheStagingBuffer) {
+  // The baseline labels ("utf7", "utf8", "ascii") must never touch the
+  // charset-staging site — it is the fuzzer's to discover.
+  CodecGatewayApp app(AccessPolicy::kFailureOblivious);
+  for (const char* label : {"utf7", "utf8", "ascii"}) {
+    app.Transcode("b64enc", label, "x");
+  }
+  EXPECT_EQ(app.memory().log().total_errors(), 0u) << app.memory().log().Summary();
+}
+
+TEST(CodecGatewayTest, OversizedCharsetLabelOverflowsTheStagingBuffer) {
+  CodecGatewayApp app(AccessPolicy::kFailureOblivious);
+  std::string label(2 * CodecGatewayApp::kCharsetBufSize, 'c');
+  auto result = app.Transcode("b64enc", label, "x");
+  // The label is advisory: the transcode itself still succeeds.
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.output, Base64Encode("x"));
+  bool saw_charset_site = false;
+  for (const auto& [id, stat] : app.memory().log().sites()) {
+    if (stat.unit_name.find("charset_buf") != std::string::npos && stat.is_write) {
+      saw_charset_site = true;
+    }
+  }
+  EXPECT_TRUE(saw_charset_site) << app.memory().log().Summary();
+}
+
+}  // namespace
+}  // namespace fob

@@ -1,0 +1,159 @@
+// The seeded mutation fuzzer (src/harness/fuzz.h): determinism (same seed
+// ⇒ byte-identical corpus and discovered-site set), minimizer monotonicity
+// (every minimized finding still triggers its full new-site set), discovery
+// beyond the §4 baselines for both post-paper servers, and the corpus wire
+// format's round-trip + malformed-input hardening.
+
+#include "src/harness/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fob {
+namespace {
+
+// Bounded options every execution-heavy test shares: enough iterations to
+// reach the staging-buffer sites reliably, few enough to stay test-speed.
+FuzzOptions SmokeOptions() {
+  FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 120;
+  options.max_findings = 4;
+  return options;
+}
+
+std::set<SiteId> DiscoveredSites(const FuzzResult& result) {
+  std::set<SiteId> sites;
+  for (const FuzzFinding& finding : result.findings) {
+    for (const MemSiteStat& stat : finding.new_sites) {
+      sites.insert(stat.site);
+    }
+  }
+  return sites;
+}
+
+// Every finding's minimized request must still trigger every site the
+// finding claims — re-executed from scratch, not trusted from the run.
+void ExpectMonotoneMinimization(const FuzzResult& result) {
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const FuzzFinding& finding = result.findings[i];
+    std::vector<MemSiteStat> sites = ExecuteRequestForSites(
+        result.server, finding.request, result.options.policy, result.options.access_budget);
+    std::set<SiteId> seen;
+    for (const MemSiteStat& stat : sites) {
+      seen.insert(stat.site);
+    }
+    for (const MemSiteStat& stat : finding.new_sites) {
+      EXPECT_EQ(seen.count(stat.site), 1u)
+          << "finding " << i << " lost site " << stat.Label() << " in minimization";
+    }
+  }
+}
+
+TEST(FuzzTest, ArchiveSameSeedYieldsIdenticalCorpusAndDiscoversNewSites) {
+  FuzzOptions options = SmokeOptions();
+  FuzzResult first = RunFuzzer(Server::kArchive, options);
+  FuzzResult second = RunFuzzer(Server::kArchive, options);
+
+  // Discovery: at least one finding, and every discovered site escapes the
+  // §4 baseline streams.
+  ASSERT_FALSE(first.findings.empty()) << first.log;
+  for (const FuzzFinding& finding : first.findings) {
+    ASSERT_FALSE(finding.new_sites.empty());
+    for (const MemSiteStat& stat : finding.new_sites) {
+      EXPECT_EQ(first.baseline_sites.count(stat.site), 0u)
+          << stat.Label() << " is a baseline site, not a discovery";
+    }
+  }
+
+  // Determinism: same seed ⇒ identical corpus, byte for byte, and the
+  // identical discovered-site set.
+  EXPECT_EQ(first.baseline_sites, second.baseline_sites);
+  EXPECT_EQ(first.executed, second.executed);
+  EXPECT_EQ(first.log, second.log);
+  ASSERT_EQ(first.findings.size(), second.findings.size());
+  for (size_t i = 0; i < first.findings.size(); ++i) {
+    EXPECT_EQ(first.findings[i].request.Serialize(), second.findings[i].request.Serialize())
+        << "corpus case " << i << " diverged";
+    EXPECT_EQ(first.findings[i].generation, second.findings[i].generation);
+  }
+  EXPECT_EQ(DiscoveredSites(first), DiscoveredSites(second));
+
+  ExpectMonotoneMinimization(first);
+}
+
+TEST(FuzzTest, CodecDiscoversSitesBeyondTheBaseline) {
+  FuzzResult result = RunFuzzer(Server::kCodec, SmokeOptions());
+  ASSERT_FALSE(result.findings.empty()) << result.log;
+  for (const FuzzFinding& finding : result.findings) {
+    ASSERT_FALSE(finding.new_sites.empty());
+    for (const MemSiteStat& stat : finding.new_sites) {
+      EXPECT_EQ(result.baseline_sites.count(stat.site), 0u)
+          << stat.Label() << " is a baseline site, not a discovery";
+    }
+  }
+  ExpectMonotoneMinimization(result);
+}
+
+// ---- Corpus wire format -----------------------------------------------------
+
+TEST(FuzzCorpusFormatTest, RequestSerializationRoundTrips) {
+  ServerRequest request;
+  request.tag = RequestTag::kAttack;
+  request.client_id = 3;
+  request.op = "upload";
+  request.target = std::string("slot\twith\ttabs");
+  request.arg = "line\nbreak";
+  request.arg2 = std::string("nul\0inside", 10);
+  request.payload = "\x01\x7f\xff percent % escapes";
+  std::string wire = request.Serialize();
+  std::optional<ServerRequest> parsed = ServerRequest::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Serialize(), wire);
+  EXPECT_EQ(parsed->target, request.target);
+  EXPECT_EQ(parsed->arg2, request.arg2);
+  EXPECT_EQ(parsed->payload, request.payload);
+}
+
+TEST(FuzzCorpusFormatTest, ManifestLineRoundTrips) {
+  CorpusCase record;
+  record.file = "case_002.req";
+  record.seed = 424242;
+  record.generation = 17;
+  record.sites = {0x1234abcdull, 0xffffffffffffffffull};
+  std::string line = FormatManifestLine(record);
+  auto parsed = ParseManifestLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->file, record.file);
+  EXPECT_EQ(parsed->seed, record.seed);
+  EXPECT_EQ(parsed->generation, record.generation);
+  EXPECT_EQ(parsed->sites, record.sites);
+  EXPECT_EQ(FormatManifestLine(*parsed), line);
+}
+
+TEST(FuzzCorpusFormatTest, MalformedManifestLinesAreRejected) {
+  // Each of these is one deliberate corruption of a valid line.
+  const char* malformed[] = {
+      "",                                       // empty
+      "case.req\t1\t2",                         // too few fields
+      "case.req\t1\t2\t0x10\textra",            // too many fields
+      "\t1\t2\t0x10",                           // empty file name
+      "case.req\tnope\t2\t0x10",                // unparseable seed
+      "case.req\t1\t2x\t0x10",                  // trailing junk in generation
+      "case.req\t1\t2\t",                       // empty site list
+      "case.req\t1\t2\t10",                     // site without 0x prefix
+      "case.req\t1\t2\t0x10,0xzz",              // non-hex site digits
+      "case.req\t1\t2\t0x0",                    // the invalid site id
+      "case.req\t1\t2\t0x10,",                  // trailing comma
+  };
+  for (const char* line : malformed) {
+    EXPECT_FALSE(ParseManifestLine(line).has_value()) << "accepted: '" << line << "'";
+  }
+}
+
+}  // namespace
+}  // namespace fob

@@ -19,10 +19,14 @@
 #include <vector>
 
 #include "src/apps/apache.h"
+#include "src/apps/archive_inbox.h"
+#include "src/apps/codec_gateway.h"
 #include "src/apps/mc.h"
 #include "src/apps/mutt.h"
 #include "src/apps/pine.h"
 #include "src/apps/sendmail.h"
+#include "src/codec/base64.h"
+#include "src/codec/utf7.h"
 #include "src/harness/experiment.h"
 #include "src/harness/workloads.h"
 #include "src/net/imap.h"
@@ -204,6 +208,61 @@ RunSnapshot LegacyMutt(const PolicySpec& spec) {
   return snap;
 }
 
+RunSnapshot LegacyArchive(const PolicySpec& spec) {
+  RunSnapshot snap;
+  std::unique_ptr<ArchiveInboxApp> inbox;
+  bool output_acceptable = false;
+  bool subsequent_ok = false;
+  RunResult result = RunAsProcess([&] {
+    inbox = std::make_unique<ArchiveInboxApp>(spec);
+    inbox->memory().set_access_budget(kHangBudget);
+    auto upload = inbox->Upload("drop0", MakeArchiveAttackTgz());
+    snap.responses.push_back(Digest(upload.ok, upload.display, upload.error));
+    output_acceptable = upload.ok && upload.files.size() == 3;
+    auto list = inbox->List("drop0");
+    snap.responses.push_back(Digest(list.ok, list.display, list.error));
+    auto benign = inbox->Upload("drop1", MakeArchiveBenignTgz());
+    snap.responses.push_back(Digest(benign.ok, benign.display, benign.error));
+    auto extract = inbox->Extract("drop0", "pkg/readme.txt");
+    snap.responses.push_back(Digest(extract.ok, extract.display, extract.error));
+    auto drop = inbox->Drop("drop1");
+    snap.responses.push_back(Digest(drop.ok, drop.display, drop.error));
+    subsequent_ok = list.ok && list.files.size() == 3 && benign.ok &&
+                    benign.files.size() == 2 && extract.ok && drop.ok;
+  });
+  snap.outcome = ClassifyOutcome(result, output_acceptable);
+  snap.subsequent_ok = result.ok() && subsequent_ok;
+  SnapshotLog(inbox != nullptr ? &inbox->memory().log() : nullptr, snap);
+  return snap;
+}
+
+RunSnapshot LegacyCodec(const PolicySpec& spec) {
+  RunSnapshot snap;
+  std::unique_ptr<CodecGatewayApp> codec;
+  bool output_acceptable = false;
+  bool subsequent_ok = false;
+  RunResult result = RunAsProcess([&] {
+    codec = std::make_unique<CodecGatewayApp>(spec);
+    codec->memory().set_access_budget(kHangBudget);
+    auto bomb = codec->Transcode("u7to8", "utf7", MakeCodecBombUtf7());
+    snap.responses.push_back(Digest(bomb.ok, bomb.output, bomb.error));
+    output_acceptable = bomb.ok;
+    auto hello = codec->Transcode("u7to8", "utf7", "Hello&AOk-!");
+    snap.responses.push_back(Digest(hello.ok, hello.output, hello.error));
+    auto enc = codec->Transcode("b64enc", "b64", "failure oblivious");
+    snap.responses.push_back(Digest(enc.ok, enc.output, enc.error));
+    auto back = codec->Transcode("u8to7", "utf8", MakeMuttBenignFolderName());
+    snap.responses.push_back(Digest(back.ok, back.output, back.error));
+    subsequent_ok = hello.ok && hello.output == *Utf7ToUtf8("Hello&AOk-!") && enc.ok &&
+                    enc.output == Base64Encode("failure oblivious") && back.ok &&
+                    back.output == *Utf8ToUtf7(MakeMuttBenignFolderName());
+  });
+  snap.outcome = ClassifyOutcome(result, output_acceptable);
+  snap.subsequent_ok = result.ok() && subsequent_ok;
+  SnapshotLog(codec != nullptr ? &codec->memory().log() : nullptr, snap);
+  return snap;
+}
+
 RunSnapshot LegacyRun(Server server, const PolicySpec& spec) {
   switch (server) {
     case Server::kPine:
@@ -216,6 +275,10 @@ RunSnapshot LegacyRun(Server server, const PolicySpec& spec) {
       return LegacyMc(spec);
     case Server::kMutt:
       return LegacyMutt(spec);
+    case Server::kArchive:
+      return LegacyArchive(spec);
+    case Server::kCodec:
+      return LegacyCodec(spec);
   }
   return {};
 }

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 namespace fob {
 namespace {
@@ -168,6 +169,77 @@ TEST(SweepMultiAttackTest, BestAssignmentDiffersBetweenSingleAndMultiAttackStrea
   EXPECT_TRUE(multi.entries[0].acceptable());
   EXPECT_EQ(multi.entries[0].assignment[0], AccessPolicy::kFailureOblivious);
   EXPECT_NE(multi.entries[0].assignment, single.entries[0].assignment);
+}
+
+// ---- Matrix expansion: the codec gateway flips the winning policy ----------
+
+TEST(SweepMatrixExpansionTest, CodecBombBestAssignmentDiffersFromEveryPaperServer) {
+  // For all five paper servers, uniform failure-obliviousness is an
+  // acceptable assignment on the §4 attack — that is the paper's headline.
+  // The codec gateway breaks the pattern: its bomb stream checks the reply
+  // bytes, so discarding the overflow stores (FO truncates the conversion)
+  // is wrong output, while Boundless materializes them and reproduces the
+  // host codec exactly. Its best per-site assignment therefore maps its
+  // overflow site to kBoundless — a policy choice no pre-existing server's
+  // acceptable-by-FO row forces — over an error-site set disjoint from all
+  // of theirs.
+  SweepOptions options;
+  options.candidates = {AccessPolicy::kFailureOblivious, AccessPolicy::kBoundless};
+  options.max_sites = 2;
+  options.max_combinations = 16;
+
+  SweepOptions codec_options = options;
+  codec_options.stream = MakeCodecBombStream();
+  SweepResult codec = RunPolicySweep(Server::kCodec, codec_options);
+
+  ASSERT_FALSE(codec.sites.empty());
+  EXPECT_NE(codec.sites[0].unit_name.find("u8_out_buf"), std::string::npos);
+  EXPECT_TRUE(codec.sites[0].is_write);
+
+  ASSERT_FALSE(codec.entries.empty());
+  EXPECT_GT(codec.acceptable_count(), 0u);
+  // Best assignment: Boundless at the overflow site. And acceptability is
+  // decided exactly there — every acceptable entry has it, every FO-at-the-
+  // site entry continues with wrong output.
+  EXPECT_TRUE(codec.entries[0].acceptable());
+  EXPECT_EQ(codec.entries[0].assignment[0], AccessPolicy::kBoundless);
+  for (const SweepEntry& entry : codec.entries) {
+    if (entry.assignment[0] == AccessPolicy::kBoundless) {
+      EXPECT_TRUE(entry.acceptable());
+    } else {
+      EXPECT_EQ(entry.report.outcome, Outcome::kWrongOutput);
+      EXPECT_FALSE(entry.acceptable());
+    }
+  }
+
+  std::set<SiteId> codec_sites;
+  for (const MemSiteStat& stat : codec.sites) {
+    codec_sites.insert(stat.site);
+  }
+
+  const Server paper_servers[] = {Server::kPine, Server::kApache, Server::kSendmail,
+                                  Server::kMc, Server::kMutt};
+  for (Server server : paper_servers) {
+    SweepResult sweep = RunPolicySweep(server, options);
+    ASSERT_FALSE(sweep.sites.empty()) << ServerName(server);
+    // The uniform-FO assignment stays acceptable on every paper server.
+    bool saw_all_fo = false;
+    for (const SweepEntry& entry : sweep.entries) {
+      bool all_fo = std::all_of(entry.assignment.begin(), entry.assignment.end(),
+                                [](AccessPolicy p) { return p == AccessPolicy::kFailureOblivious; });
+      if (all_fo) {
+        saw_all_fo = true;
+        EXPECT_TRUE(entry.acceptable())
+            << ServerName(server) << ": uniform FO lost its §4 acceptability";
+      }
+    }
+    EXPECT_TRUE(saw_all_fo) << ServerName(server);
+    // The codec row's error sites are its own.
+    for (const MemSiteStat& stat : sweep.sites) {
+      EXPECT_EQ(codec_sites.count(stat.site), 0u)
+          << ServerName(server) << " shares site " << stat.Label() << " with the codec gateway";
+    }
+  }
 }
 
 TEST(SweepEndToEndTest, UniformAssignmentReproducesTheUniformExperiment) {

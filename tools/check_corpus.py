@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Structural validator for the checked-in fuzz corpus (tests/corpus/).
+
+Walks every per-server corpus directory and checks the invariants the
+replay test assumes before it ever runs a request:
+
+  - MANIFEST.tsv parses: four tab-separated fields per non-comment line
+    (<file> <seed> <generation> <0xsite,...>), decimal seed/generation,
+    hex site ids with an 0x prefix, no 0x0 (the invalid site id), at least
+    one site per case.
+  - Every manifest entry's case file exists, is exactly one line, and that
+    line is a well-formed wire request (REQ, 10 tab fields).
+  - Every case_*.req file is covered by a manifest entry (no orphans: an
+    unlisted case is a case CI silently stopped replaying).
+  - File names stay within the corpus directory (no separators, no '..').
+
+This is the cheap static half of the corpus contract; the dynamic half
+(recorded sites still fire) is tests/test_corpus_replay.cc.
+
+Usage: tools/check_corpus.py [corpus_root]   (default: tests/corpus)
+Exit status: 0 corpus is structurally sound; 1 an invariant is violated;
+2 the corpus root is missing or unreadable (config error, never a
+traceback).
+"""
+
+import os
+import sys
+
+REQUEST_FIELDS = 10
+
+
+def parse_manifest_line(line):
+    """Returns (file, seed, generation, [site, ...]) or an error string."""
+    fields = line.split("\t")
+    if len(fields) != 4:
+        return "expected 4 tab-separated fields, got %d" % len(fields)
+    name, seed, generation, sites = fields
+    if not name:
+        return "empty case file name"
+    if "/" in name or "\\" in name or ".." in name:
+        return "case file name '%s' escapes the corpus directory" % name
+    if not seed.isdigit():
+        return "seed '%s' is not a decimal integer" % seed
+    if not generation.isdigit():
+        return "generation '%s' is not a decimal integer" % generation
+    if not sites:
+        return "empty site list"
+    parsed = []
+    for token in sites.split(","):
+        if not token.startswith(("0x", "0X")) or len(token) <= 2:
+            return "site '%s' lacks the 0x prefix" % token
+        try:
+            value = int(token[2:], 16)
+        except ValueError:
+            return "site '%s' is not hex" % token
+        if value == 0:
+            return "site 0x0 is the invalid site id"
+        parsed.append(value)
+    return (name, int(seed), int(generation), parsed)
+
+
+def check_case_file(path):
+    """Returns None if the case file holds exactly one wire request."""
+    try:
+        with open(path, encoding="utf-8", errors="surrogateescape") as f:
+            lines = f.read().split("\n")
+    except OSError as err:
+        return "unreadable: %s" % err
+    # A trailing newline yields one empty trailing element; anything more is
+    # a multi-line case the replayer would silently truncate.
+    if len(lines) < 1 or (len(lines) > 2 or (len(lines) == 2 and lines[1] != "")):
+        return "expected exactly one line"
+    wire = lines[0]
+    fields = wire.split("\t")
+    if len(fields) != REQUEST_FIELDS or fields[0] != "REQ":
+        return "not a wire request (want %d tab fields starting with REQ)" % REQUEST_FIELDS
+    return None
+
+
+def check_server_dir(dir_path):
+    """Validates one per-server corpus directory. Returns a list of errors."""
+    errors = []
+    manifest_path = os.path.join(dir_path, "MANIFEST.tsv")
+    if not os.path.isfile(manifest_path):
+        return ["%s: missing MANIFEST.tsv" % dir_path]
+    listed = set()
+    with open(manifest_path, encoding="utf-8") as f:
+        for number, raw in enumerate(f, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parsed = parse_manifest_line(line)
+            if isinstance(parsed, str):
+                errors.append("%s:%d: %s" % (manifest_path, number, parsed))
+                continue
+            name = parsed[0]
+            if name in listed:
+                errors.append("%s:%d: duplicate entry for %s" % (manifest_path, number, name))
+            listed.add(name)
+            case_error = check_case_file(os.path.join(dir_path, name))
+            if case_error:
+                errors.append("%s: %s" % (os.path.join(dir_path, name), case_error))
+    for entry in sorted(os.listdir(dir_path)):
+        if entry.endswith(".req") and entry not in listed:
+            errors.append("%s: orphan case file (not in MANIFEST.tsv)" %
+                          os.path.join(dir_path, entry))
+    if not listed and not errors:
+        errors.append("%s: manifest lists no cases" % manifest_path)
+    return errors
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "tests/corpus"
+    if not os.path.isdir(root):
+        print("check_corpus: corpus root '%s' is not a directory" % root, file=sys.stderr)
+        return 2
+    server_dirs = [
+        os.path.join(root, entry)
+        for entry in sorted(os.listdir(root))
+        if os.path.isdir(os.path.join(root, entry))
+    ]
+    if not server_dirs:
+        print("check_corpus: no per-server directories under '%s'" % root, file=sys.stderr)
+        return 2
+    errors = []
+    cases = 0
+    for dir_path in server_dirs:
+        dir_errors = check_server_dir(dir_path)
+        errors.extend(dir_errors)
+        if not dir_errors:
+            with open(os.path.join(dir_path, "MANIFEST.tsv"), encoding="utf-8") as f:
+                cases += sum(1 for line in f if line.strip() and not line.startswith("#"))
+    for error in errors:
+        print("check_corpus: %s" % error, file=sys.stderr)
+    if errors:
+        return 1
+    print("check_corpus: %d case(s) across %d server(s) — OK" % (cases, len(server_dirs)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
